@@ -1,0 +1,50 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/lower_bounds.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace suu::bench {
+
+/// log2 clamped below at 1 (so ratios of tiny instances stay meaningful).
+inline double lg(double x) { return std::max(1.0, std::log2(x)); }
+/// log2 log2 clamped below at 1.
+inline double lglg(double x) { return std::max(1.0, std::log2(lg(x))); }
+
+struct MeasuredRatio {
+  double ratio = 0.0;      ///< E[T] / LB
+  double ci = 0.0;         ///< 95% CI half-width of the ratio
+  double makespan = 0.0;   ///< E[T]
+};
+
+inline MeasuredRatio measure(const core::Instance& inst,
+                             const sim::PolicyFactory& factory, double lb,
+                             int reps, std::uint64_t seed,
+                             bool strict = false) {
+  sim::EstimateOptions opt;
+  opt.replications = reps;
+  opt.seed = seed;
+  opt.strict_eligibility = strict;
+  const util::Estimate e = sim::estimate_makespan(inst, factory, opt);
+  MeasuredRatio r;
+  r.makespan = e.mean;
+  r.ratio = e.mean / lb;
+  r.ci = e.ci95_half / lb;
+  return r;
+}
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::cout << "\n=== " << title << " ===\n" << what << "\n\n";
+}
+
+}  // namespace suu::bench

@@ -1,0 +1,113 @@
+// F-ADAPT — the paper's concluding conjectures, measured:
+//   "we believe that a fully adaptive schedule should be able to trim an
+//    O(log log) factor from our bounds. It would also be interesting if a
+//    greedy heuristic could achieve the same bounds."
+//
+// We pit the fully adaptive per-step greedy (AdaptiveGreedyPolicy) against
+// the semioblivious SUU-I-SEM and oblivious SUU-I-OBL across the growth
+// family. If the conjecture holds empirically, the adaptive greedy's ratio
+// curve should be at least as flat as SEM's — evidence, not proof.
+//
+// Also ablates SUU-C's gamma_factor (the long-job threshold
+// gamma = factor * t*/log(n+m)): smaller gamma batches more jobs through
+// SUU-I-SEM, larger gamma keeps more in the congestion-prone chain phase.
+#include "bench_common.hpp"
+
+#include "algos/baselines.hpp"
+#include "algos/suu_c.hpp"
+#include "algos/suu_i.hpp"
+
+using namespace suu;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 150));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 10));
+
+  bench::print_header(
+      "F-ADAPT: conclusion conjectures — adaptivity and greed",
+      "Left: adaptive per-step greedy vs SEM/OBL ratio growth "
+      "(identical(0.7), m=8).\nRight (below): SUU-C gamma_factor ablation "
+      "on a chain family with one hard job per chain.");
+
+  util::Table t1({"n", "adaptive-greedy", "suu-i-sem", "suu-i-obl"});
+  for (const int n : {8, 16, 32, 64, 128, 256}) {
+    util::Rng rng(seed + static_cast<std::uint64_t>(n));
+    core::Instance inst = core::make_independent(
+        n, 8, core::MachineModel::identical(0.7), rng);
+    rounding::Lp1Options lp1;
+    lp1.simplex_size_limit = 600;
+    const algos::LowerBound lb = algos::lower_bound_independent(inst, lp1);
+    auto pre_obl = algos::SuuIOblPolicy::precompute(inst, lp1);
+    auto pre_sem = algos::SuuISemPolicy::precompute_round1(inst, lp1);
+
+    const auto ag = bench::measure(
+        inst,
+        [] { return std::make_unique<algos::AdaptiveGreedyPolicy>(); },
+        lb.value, reps, seed + 1);
+    const auto sem = bench::measure(
+        inst,
+        [pre_sem, lp1] {
+          algos::SuuISemPolicy::Config cfg;
+          cfg.lp1 = lp1;
+          cfg.round1 = pre_sem;
+          return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
+        },
+        lb.value, reps, seed + 2);
+    const auto obl = bench::measure(
+        inst,
+        [pre_obl] { return std::make_unique<algos::SuuIOblPolicy>(pre_obl); },
+        lb.value, reps, seed + 3);
+    t1.add_row({std::to_string(n), util::fmt_pm(ag.ratio, ag.ci, 2),
+                util::fmt_pm(sem.ratio, sem.ci, 2),
+                util::fmt_pm(obl.ratio, obl.ci, 2)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\nSUU-C gamma_factor ablation (chains with one hard job "
+               "each; ratio = E[T]/LB):\n\n";
+  // Chain family where each chain has one near-hopeless job, so the
+  // long-job machinery matters.
+  const int n_chains = 6, len = 4, m = 3;
+  std::vector<double> q;
+  for (int c = 0; c < n_chains; ++c) {
+    for (int k = 0; k < len; ++k) {
+      for (int i = 0; i < m; ++i) {
+        q.push_back(k == 1 ? 0.995 : 0.4);  // second job of each chain hard
+      }
+    }
+  }
+  core::Instance inst(n_chains * len, m, std::move(q),
+                      core::make_chain_dag(
+                          std::vector<int>(n_chains, len)));
+  const auto chains = inst.dag().chains();
+  const algos::LowerBound lb = algos::lower_bound_chains(inst, chains);
+  auto lp2 = algos::SuuCPolicy::precompute(inst, chains);
+
+  util::Table t2({"gamma_factor", "E[T]/LB", "mean batches",
+                  "mean supersteps"});
+  for (const double gf : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    util::OnlineStats ratio, batches, supersteps;
+    for (int r = 0; r < reps; ++r) {
+      algos::SuuCPolicy::Config cfg;
+      cfg.lp2 = lp2;
+      cfg.gamma_factor = gf;
+      algos::SuuCPolicy policy(std::move(cfg));
+      sim::ExecConfig ec;
+      ec.seed = util::Rng(seed + 77).child(
+          static_cast<std::uint64_t>(r)).next();
+      ec.strict_eligibility = true;
+      const sim::ExecResult res = sim::execute(inst, policy, ec);
+      if (res.capped) continue;
+      ratio.add(static_cast<double>(res.makespan) / lb.value);
+      batches.add(policy.batches_run());
+      supersteps.add(static_cast<double>(policy.supersteps()));
+    }
+    t2.add_row({util::fmt(gf, 2),
+                util::fmt_pm(ratio.mean(), ratio.ci95_half(), 2),
+                util::fmt(batches.mean(), 2),
+                util::fmt(supersteps.mean(), 1)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// F-OPT — true approximation ratios on tiny instances where E[T_OPT] is
+// computable exactly (Malewicz-style subset DP): how far are the paper's
+// schedules and the baselines from the real optimum, and how loose is the
+// Lemma 1 LP lower bound that the scaling experiments divide by?
+//
+// Context from the paper's intro: no polynomial algorithm can beat 5/4
+// unless P = NP, so ratios > 1 are expected even for the best policies.
+#include "bench_common.hpp"
+
+#include "algos/baselines.hpp"
+#include "algos/exact_dp.hpp"
+#include "algos/exact_width_dp.hpp"
+#include "algos/suu_c.hpp"
+#include "algos/suu_i.hpp"
+
+using namespace suu;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 3000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
+
+  bench::print_header(
+      "F-OPT: measured E[T]/E[T_OPT] with the exact subset-DP optimum",
+      "Tiny instances (n<=8, m<=3). 'LB/OPT' shows how loose the Lemma 1 "
+      "bound is —\nthe denominator used by the scaling benches inflates "
+      "every ratio by roughly its inverse.");
+
+  util::Table table({"family", "n", "m", "LB/OPT", "exact-opt", "sem", "obl",
+                     "greedy", "round-robin", "all-on-one"});
+  struct Case {
+    std::string family;
+    int n, m;
+    core::MachineModel model;
+  };
+  const std::vector<Case> cases = {
+      {"uniform", 5, 2, core::MachineModel::uniform(0.2, 0.9)},
+      {"uniform", 7, 2, core::MachineModel::uniform(0.2, 0.9)},
+      {"uniform", 6, 3, core::MachineModel::uniform(0.2, 0.9)},
+      {"identical(0.7)", 8, 2, core::MachineModel::identical(0.7)},
+      {"classes", 6, 3, core::MachineModel::classes()},
+      {"sparse", 7, 3, core::MachineModel::sparse(0.5, 0.3, 0.9)},
+  };
+  for (const auto& c : cases) {
+    util::Rng rng(seed + static_cast<std::uint64_t>(c.n * 17 + c.m));
+    core::Instance inst = core::make_independent(c.n, c.m, c.model, rng);
+    auto solver = std::make_shared<const algos::ExactSolver>(inst);
+    const double opt_value = solver->expected_makespan();
+    const algos::LowerBound lb = algos::lower_bound_independent(inst);
+
+    auto ratio = [&](const sim::PolicyFactory& f,
+                     std::uint64_t s) {
+      const auto r = bench::measure(inst, f, opt_value, reps, s);
+      return util::fmt(r.ratio, 2);
+    };
+    auto pre_obl = algos::SuuIOblPolicy::precompute(inst);
+    auto pre_sem = algos::SuuISemPolicy::precompute_round1(inst);
+
+    table.add_row(
+        {c.family, std::to_string(c.n), std::to_string(c.m),
+         util::fmt(lb.value / opt_value, 2),
+         ratio([solver] { return std::make_unique<algos::ExactOptPolicy>(
+                   solver); }, seed + 1),
+         ratio([pre_sem] {
+           algos::SuuISemPolicy::Config cfg;
+           cfg.round1 = pre_sem;
+           return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
+         }, seed + 2),
+         ratio([pre_obl] {
+           return std::make_unique<algos::SuuIOblPolicy>(pre_obl);
+         }, seed + 3),
+         ratio([] { return std::make_unique<algos::GreedyLrPolicy>(); },
+               seed + 4),
+         ratio([] { return std::make_unique<algos::RoundRobinPolicy>(); },
+               seed + 5),
+         ratio([] { return std::make_unique<algos::AllOnOnePolicy>(); },
+               seed + 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(The exact-opt column should sit at 1.00 within noise — "
+               "it replays the DP's optimal policy.)\n";
+
+  // ---- Chains against the WIDTH-parameterized exact optimum (Malewicz
+  // regime): low width lets the exact DP reach n = 20+ jobs, giving true
+  // SUU-C ratios instead of LP-bound ratios.
+  std::cout << "\nChain instances vs the width-DP exact optimum:\n\n";
+  util::Table t2({"chains x len", "n", "m", "width", "states",
+                  "width-opt", "suu-c", "round-robin"});
+  struct ChainCase {
+    int n_chains, len, m;
+  };
+  for (const ChainCase cc :
+       std::vector<ChainCase>{{2, 6, 2}, {2, 10, 2}, {3, 6, 3}}) {
+    util::Rng rng(seed + 400 + static_cast<std::uint64_t>(cc.n_chains * 10 +
+                                                          cc.len));
+    const int n = cc.n_chains * cc.len;
+    const auto q = core::gen_q(n, cc.m,
+                               core::MachineModel::uniform(0.25, 0.9), rng);
+    core::Instance inst(
+        n, cc.m, q,
+        core::make_chain_dag(std::vector<int>(
+            static_cast<std::size_t>(cc.n_chains), cc.len)));
+    auto solver = std::make_shared<const algos::WidthExactSolver>(inst);
+    const double opt_value = solver->expected_makespan();
+    auto lp2 = algos::SuuCPolicy::precompute(inst, inst.dag().chains());
+
+    auto ratio = [&](const sim::PolicyFactory& f, std::uint64_t s) {
+      const auto r =
+          bench::measure(inst, f, opt_value, reps / 4, s, /*strict=*/true);
+      return util::fmt(r.ratio, 2);
+    };
+    t2.add_row(
+        {std::to_string(cc.n_chains) + "x" + std::to_string(cc.len),
+         std::to_string(n), std::to_string(cc.m),
+         std::to_string(solver->width()),
+         std::to_string(solver->num_states()),
+         ratio([solver] { return std::make_unique<algos::WidthOptPolicy>(
+                   solver); },
+               seed + 11),
+         ratio([lp2] {
+           algos::SuuCPolicy::Config cfg;
+           cfg.lp2 = lp2;
+           return std::make_unique<algos::SuuCPolicy>(std::move(cfg));
+         }, seed + 12),
+         ratio([] { return std::make_unique<algos::RoundRobinPolicy>(); },
+               seed + 13)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

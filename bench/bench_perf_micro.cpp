@@ -1,0 +1,169 @@
+// PERF — engineering microbenchmarks (google-benchmark): throughput of the
+// substrates so regressions in the solvers/engine are visible. Also the
+// exact-simplex vs Frank–Wolfe ablation in time (value gap is in F-LP).
+#include <benchmark/benchmark.h>
+
+#include "algos/exact_dp.hpp"
+#include "algos/suu_i.hpp"
+#include "core/generators.hpp"
+#include "flow/max_flow.hpp"
+#include "lp/fw_cover.hpp"
+#include "lp/simplex.hpp"
+#include "rounding/lp1.hpp"
+#include "rounding/lp2.hpp"
+#include "sim/engine.hpp"
+#include "stoch/bvn.hpp"
+#include "util/rng.hpp"
+
+using namespace suu;
+
+namespace {
+
+core::Instance bench_instance(int n, int m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return core::make_independent(n, m,
+                                core::MachineModel::uniform(0.3, 0.95), rng);
+}
+
+std::vector<int> all_jobs(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) v[static_cast<std::size_t>(j)] = j;
+  return v;
+}
+
+void BM_SimplexLp1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 8, 11);
+  const auto jobs = all_jobs(n);
+  rounding::Lp1Options opt;
+  opt.solver = rounding::Lp1Options::Solver::Simplex;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rounding::solve_lp1(inst, jobs, 0.5, opt));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SimplexLp1)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_FrankWolfeLp1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 8, 12);
+  const auto jobs = all_jobs(n);
+  rounding::Lp1Options opt;
+  opt.solver = rounding::Lp1Options::Solver::FrankWolfe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rounding::solve_lp1(inst, jobs, 0.5, opt));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FrankWolfeLp1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Complexity();
+
+void BM_RoundLp1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 8, 13);
+  const auto jobs = all_jobs(n);
+  const rounding::Lp1Fractional frac = rounding::solve_lp1(inst, jobs, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rounding::round_lp1(inst, jobs, 0.5, frac));
+  }
+}
+BENCHMARK(BM_RoundLp1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Lp2ChainsPipeline(benchmark::State& state) {
+  const int n_chains = static_cast<int>(state.range(0));
+  util::Rng rng(14);
+  core::Instance inst = core::make_chains(
+      n_chains, 2, 5, 4, core::MachineModel::uniform(0.3, 0.9), rng);
+  const auto chains = inst.dag().chains();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rounding::solve_and_round_lp2(inst, chains));
+  }
+}
+BENCHMARK(BM_Lp2ChainsPipeline)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Dinic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(15);
+  for (auto _ : state) {
+    state.PauseTiming();
+    flow::MaxFlow g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.15)) {
+          g.add_edge(u, v, static_cast<flow::MaxFlow::Cap>(
+                               rng.uniform_below(32)));
+        }
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(g.solve(0, n - 1));
+  }
+}
+BENCHMARK(BM_Dinic)->Arg(64)->Arg(256);
+
+void BM_EngineSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 8, 16);
+  auto pre = algos::SuuIOblPolicy::precompute(inst);
+  std::uint64_t seed = 1;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    algos::SuuIOblPolicy policy(pre);
+    sim::ExecConfig cfg;
+    cfg.seed = ++seed;
+    const sim::ExecResult r = sim::execute(inst, policy, cfg);
+    steps += r.makespan;
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineSteps)->Arg(32)->Arg(128);
+
+void BM_ExactDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 2, 17);
+  for (auto _ : state) {
+    algos::ExactSolver solver(inst);
+    benchmark::DoNotOptimize(solver.expected_makespan());
+  }
+}
+BENCHMARK(BM_ExactDp)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_BvnDecompose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4;
+  util::Rng rng(18);
+  std::vector<double> x(static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform01();
+  double C = 0;
+  for (int i = 0; i < m; ++i) {
+    double r = 0;
+    for (int j = 0; j < n; ++j) {
+      r += x[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)];
+    }
+    C = std::max(C, r);
+  }
+  for (int j = 0; j < n; ++j) {
+    double c = 0;
+    for (int i = 0; i < m; ++i) {
+      c += x[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)];
+    }
+    C = std::max(C, c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stoch::decompose_preemptive(m, n, x, C + 0.01));
+  }
+}
+BENCHMARK(BM_BvnDecompose)->Arg(8)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// T1-F — Table 1, row "Directed forests":
+//   previous O(log m log^2 n log(n+m)/loglog(n+m)) [11] vs this paper's
+//   O(log(n+m) log n loglog min{m,n}) SUU-T (Theorem 12).
+//
+// Also verifies the structural half of the bound: the heavy-path
+// decomposition uses at most floor(log2 n)+1 blocks.
+#include "bench_common.hpp"
+
+#include "algos/baselines.hpp"
+#include "algos/suu_t.hpp"
+#include "chains/decomposition.hpp"
+
+using namespace suu;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 40));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  bench::print_header(
+      "T1-F: Table 1 row 'Directed forests'",
+      "Paper: Thm 12 via O(log n) blocks of disjoint chains. Ratios are "
+      "E[T]/LB;\nblocks column must respect floor(log2 n)+1; the normalized "
+      "column should stay bounded.");
+
+  util::Table table({"kind", "n", "m", "blocks", "log-bound", "round-robin",
+                     "suu-t", "suu-t/(log n log(n+m))"});
+  struct Size {
+    int n, m;
+    bool out;
+  };
+  for (const Size sz : std::vector<Size>{{12, 3, true},
+                                         {24, 4, true},
+                                         {48, 6, true},
+                                         {24, 4, false},
+                                         {48, 6, false}}) {
+    util::Rng rng(seed + static_cast<std::uint64_t>(sz.n) +
+                  (sz.out ? 0 : 1000));
+    core::Instance inst =
+        sz.out ? core::make_out_forest(sz.n, sz.m, 0.15, 3,
+                                       core::MachineModel::uniform(0.3, 0.9),
+                                       rng)
+               : core::make_in_forest(sz.n, sz.m, 0.15, 3,
+                                      core::MachineModel::uniform(0.3, 0.9),
+                                      rng);
+    auto cache = algos::SuuTPolicy::precompute(inst);
+    std::vector<std::vector<int>> all_chains;
+    for (const auto& b : cache->decomp.blocks) {
+      all_chains.insert(all_chains.end(), b.begin(), b.end());
+    }
+    const algos::LowerBound lb = algos::lower_bound_chains(inst, all_chains);
+
+    const auto rr = bench::measure(
+        inst, [] { return std::make_unique<algos::RoundRobinPolicy>(); },
+        lb.value, reps, seed + 1, /*strict=*/true);
+    const auto st = bench::measure(
+        inst,
+        [cache] {
+          return std::make_unique<algos::SuuTPolicy>(
+              algos::SuuCPolicy::Config{}, cache);
+        },
+        lb.value, reps, seed + 2, /*strict=*/true);
+
+    const double norm = bench::lg(sz.n) * bench::lg(sz.n + sz.m);
+    table.add_row({sz.out ? "out-forest" : "in-forest",
+                   std::to_string(sz.n), std::to_string(sz.m),
+                   std::to_string(cache->decomp.num_blocks()),
+                   std::to_string(static_cast<int>(
+                       std::floor(std::log2(sz.n))) + 1),
+                   util::fmt_pm(rr.ratio, rr.ci, 2),
+                   util::fmt_pm(st.ratio, st.ci, 2),
+                   util::fmt(st.ratio / norm, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// MapReduce-style two-phase computation (paper Section 1: "Google's
+// MapReduce generates jobs whose dependencies form a complete bipartite
+// graph, which is equivalent to two phases of independent jobs").
+//
+// We build the complete bipartite precedence DAG (every reduce depends on
+// every map) and schedule it as two SUU-I-SEM phases, exactly as the paper
+// suggests. The engine enforces that no reduce starts before all maps
+// finish (strict eligibility).
+//
+//   ./mapreduce_pipeline [--maps=24] [--reduces=8] [--machines=6]
+#include <iostream>
+#include <memory>
+
+#include "algos/lower_bounds.hpp"
+#include "algos/suu_i.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace suu;
+
+/// Two chained SUU-I-SEM phases: maps first, then reduces.
+class TwoPhasePolicy : public sim::Policy {
+ public:
+  TwoPhasePolicy(std::vector<int> maps, std::vector<int> reduces)
+      : maps_(std::move(maps)), reduces_(std::move(reduces)) {}
+
+  std::string name() const override { return "two-phase-sem"; }
+
+  void reset(const core::Instance& inst, util::Rng rng) override {
+    inst_ = &inst;
+    algos::SuuISemPolicy::Config c1, c2;
+    c1.universe = maps_;
+    c2.universe = reduces_;
+    phase1_ = std::make_unique<algos::SuuISemPolicy>(std::move(c1));
+    phase2_ = std::make_unique<algos::SuuISemPolicy>(std::move(c2));
+    phase1_->reset(inst, rng.child(1));
+    rng2_ = rng.child(2);
+    phase2_ready_ = false;
+  }
+
+  sched::Assignment decide(const sim::ExecState& state) override {
+    for (const int j : maps_) {
+      if (!state.completed(j)) return phase1_->decide(state);
+    }
+    if (!phase2_ready_) {
+      // Reset phase 2 lazily so its LP sees only still-remaining reduces.
+      phase2_->reset(*inst_, rng2_);
+      phase2_ready_ = true;
+    }
+    return phase2_->decide(state);
+  }
+
+ private:
+  std::vector<int> maps_, reduces_;
+  const core::Instance* inst_ = nullptr;
+  std::unique_ptr<algos::SuuISemPolicy> phase1_, phase2_;
+  util::Rng rng2_{0};
+  bool phase2_ready_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int n_maps = static_cast<int>(args.get_int("maps", 24));
+  const int n_reduces = static_cast<int>(args.get_int("reduces", 8));
+  const int m = static_cast<int>(args.get_int("machines", 6));
+  const int n = n_maps + n_reduces;
+
+  // Complete bipartite precedence: reduce r depends on every map.
+  core::Dag dag(n);
+  for (int mp = 0; mp < n_maps; ++mp) {
+    for (int r = 0; r < n_reduces; ++r) dag.add_edge(mp, n_maps + r);
+  }
+  util::Rng rng(11);
+  core::Instance inst(n, m,
+                      core::gen_q(n, m,
+                                  core::MachineModel::uniform(0.3, 0.9),
+                                  rng),
+                      std::move(dag));
+
+  std::vector<int> maps, reduces;
+  for (int j = 0; j < n_maps; ++j) maps.push_back(j);
+  for (int r = 0; r < n_reduces; ++r) reduces.push_back(n_maps + r);
+
+  std::cout << "MapReduce: " << n_maps << " maps -> " << n_reduces
+            << " reduces on " << m << " machines (complete bipartite DAG, "
+            << inst.dag().num_edges() << " edges)\n\n";
+
+  sim::EstimateOptions opt;
+  opt.replications = static_cast<int>(args.get_int("reps", 150));
+  opt.seed = 5;
+  opt.strict_eligibility = true;
+
+  const auto mv = maps;
+  const auto rv = reduces;
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [mv, rv] { return std::make_unique<TwoPhasePolicy>(mv, rv); },
+      opt);
+
+  // Phase-wise lower bounds: each phase is an independent-jobs instance.
+  const algos::LowerBound lb = algos::lower_bound_independent(inst);
+
+  util::Table table({"quantity", "value"});
+  table.add_row({"E[makespan] two-phase SEM",
+                 util::fmt_pm(e.mean, e.ci95_half, 2)});
+  table.add_row({"lower bound (Lemma 1, whole dag)", util::fmt(lb.value, 2)});
+  table.add_row({"ratio", util::fmt(e.mean / lb.value, 2)});
+  table.print(std::cout);
+  std::cout << "\nThe barrier between phases is enforced by the engine: a "
+               "reduce assigned early counts as idle.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Stochastic scheduling on an unrelated cluster (paper Appendix C):
+// exponential job lengths with known rates, per-(machine, job) speeds, and
+// the STC-I algorithm: Lawler-Labetoulle preemptive schedules with doubling
+// deterministic targets.
+//
+//   ./stochastic_cluster [--jobs=12] [--machines=4] [--reps=400]
+#include <iostream>
+
+#include "stoch/instance.hpp"
+#include "stoch/stc_i.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace suu;
+  const util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("jobs", 12));
+  const int m = static_cast<int>(args.get_int("machines", 4));
+  const int reps = static_cast<int>(args.get_int("reps", 400));
+
+  // Cluster: machine speeds vary per job (data locality); job rates vary.
+  util::Rng rng(47);
+  std::vector<double> lambda, speed;
+  for (int j = 0; j < n; ++j) lambda.push_back(0.4 + rng.uniform01() * 1.6);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      speed.push_back(rng.bernoulli(0.85) ? 0.25 + rng.uniform01() : 0.0);
+    }
+    bool any = false;
+    for (int i = 0; i < m; ++i) {
+      if (speed[static_cast<std::size_t>(j) * m + i] > 0) any = true;
+    }
+    if (!any) speed[static_cast<std::size_t>(j) * m] = 1.0;
+  }
+  const stoch::StochInstance inst(n, m, std::move(lambda), std::move(speed));
+
+  std::cout << "Stochastic cluster: " << n << " exponential jobs on " << m
+            << " unrelated machines\n"
+            << "STC-I: " << stoch::stc_round_bound(n)
+            << " doubling rounds of R|pmtn|Cmax (Lawler-Labetoulle)\n\n";
+
+  const stoch::StochEstimate est = stoch::estimate_stoch(
+      inst, reps, static_cast<std::uint64_t>(args.get_int("seed", 9)));
+
+  util::Table table({"quantity", "value"});
+  table.add_row({"E[T] STC-I",
+                 util::fmt_pm(est.stc_i.mean, est.stc_i.ci95_half, 3)});
+  table.add_row({"E[T] sequential-fastest baseline",
+                 util::fmt_pm(est.sequential.mean,
+                              est.sequential.ci95_half, 3)});
+  table.add_row({"E[offline OPT] (per-draw LL optimum)",
+                 util::fmt(est.offline.mean, 3)});
+  table.add_row({"STC-I / offline OPT",
+                 util::fmt(est.stc_i.mean / est.offline.mean, 2)});
+  table.add_row({"speedup vs sequential",
+                 util::fmt(est.sequential.mean / est.stc_i.mean, 2)});
+  table.add_row({"mean rounds used", util::fmt(est.mean_rounds, 2)});
+  table.add_row({"runs needing sequential tail",
+                 util::fmt(100.0 * est.tail_fraction, 1) + "%"});
+  table.print(std::cout);
+  return 0;
+}

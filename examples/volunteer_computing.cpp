@@ -1,0 +1,72 @@
+// Volunteer computing (the paper's SETI@home motivation, Section 1):
+// a large batch of independent work units distributed over a pool of
+// volunteer machines — a few reliable hosts and a long tail of flaky ones.
+//
+// Shows how SUU-I-SEM allocates redundancy: flaky machines are ganged onto
+// stragglers while reliable machines sweep the bulk, and how the makespan
+// compares to "send every unit to its most reliable host".
+//
+//   ./volunteer_computing [--units=48] [--hosts=16] [--reps=200]
+#include <iostream>
+#include <memory>
+
+#include "algos/baselines.hpp"
+#include "algos/lower_bounds.hpp"
+#include "algos/suu_i.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace suu;
+  const util::Args args(argc, argv);
+  const int units = static_cast<int>(args.get_int("units", 48));
+  const int hosts = static_cast<int>(args.get_int("hosts", 16));
+  const int reps = static_cast<int>(args.get_int("reps", 200));
+
+  // A volunteer pool: 20% reliable hosts (fail 5-30% of steps), the rest
+  // flaky (fail 70-98%).
+  util::Rng rng(2026);
+  core::Instance inst =
+      core::make_independent(units, hosts, core::MachineModel::classes(),
+                             rng);
+
+  std::cout << "Volunteer pool: " << units << " work units, " << hosts
+            << " hosts (20% reliable / 80% flaky)\n\n";
+
+  const algos::LowerBound lb = algos::lower_bound_independent(inst);
+
+  sim::EstimateOptions opt;
+  opt.replications = reps;
+  opt.seed = 7;
+
+  util::Table table({"strategy", "E[steps]", "vs LB", "p95"});
+  auto row = [&](const std::string& name, const sim::PolicyFactory& f) {
+    const util::Sampler s = sim::sample_makespan(inst, f, opt);
+    table.add_row({name, util::fmt(s.mean(), 1),
+                   util::fmt(s.mean() / lb.value, 2),
+                   util::fmt(s.quantile(0.95), 0)});
+  };
+
+  auto round1 = algos::SuuISemPolicy::precompute_round1(inst);
+  row("suu-i-sem (adaptive redundancy)", [round1] {
+    algos::SuuISemPolicy::Config cfg;
+    cfg.round1 = round1;
+    return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
+  });
+  auto pre = algos::SuuIOblPolicy::precompute(inst);
+  row("suu-i-obl (fixed redundancy)",
+      [pre] { return std::make_unique<algos::SuuIOblPolicy>(pre); });
+  row("greedy (Lin-Rajaraman flavor)",
+      [] { return std::make_unique<algos::GreedyLrPolicy>(); });
+  row("best-host-only",
+      [] { return std::make_unique<algos::BestMachinePolicy>(); });
+
+  table.print(std::cout);
+  std::cout << "\nLower bound (Lemma 1): " << util::fmt(lb.value, 2)
+            << " steps. Redundancy-aware schedules close most of the gap;\n"
+               "pinning each unit to its best host leaves the flaky tail "
+               "idle and pays for it in the p95.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "algos/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace suu::algos {
+
+sched::Assignment AllOnOnePolicy::decide(const sim::ExecState& state) {
+  const int m = state.instance().num_machines();
+  sched::Assignment a(m, sched::kIdle);
+  for (int j = 0; j < state.instance().num_jobs(); ++j) {
+    if (state.eligible(j)) {
+      std::fill(a.begin(), a.end(), j);
+      break;
+    }
+  }
+  return a;
+}
+
+sched::Assignment RoundRobinPolicy::decide(const sim::ExecState& state) {
+  const int m = state.instance().num_machines();
+  sched::Assignment a(m, sched::kIdle);
+  const std::vector<int> elig = state.eligible_jobs();
+  if (elig.empty()) return a;
+  const auto base = static_cast<std::size_t>(state.now() %
+                                             static_cast<std::int64_t>(
+                                                 elig.size()));
+  for (int i = 0; i < m; ++i) {
+    a[i] = elig[(base + static_cast<std::size_t>(i)) % elig.size()];
+  }
+  return a;
+}
+
+void BestMachinePolicy::reset(const core::Instance& inst, util::Rng rng) {
+  (void)rng;
+  best_machine_.assign(inst.num_jobs(), 0);
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    int best = 0;
+    for (int i = 1; i < inst.num_machines(); ++i) {
+      if (inst.ell(i, j) > inst.ell(best, j)) best = i;
+    }
+    best_machine_[j] = best;
+  }
+}
+
+sched::Assignment BestMachinePolicy::decide(const sim::ExecState& state) {
+  const int m = state.instance().num_machines();
+  sched::Assignment a(m, sched::kIdle);
+  for (int j = 0; j < state.instance().num_jobs(); ++j) {
+    if (!state.eligible(j)) continue;
+    const int i = best_machine_[j];
+    if (a[i] == sched::kIdle) a[i] = j;
+  }
+  return a;
+}
+
+sched::Assignment AdaptiveGreedyPolicy::decide(const sim::ExecState& state) {
+  const core::Instance& inst = state.instance();
+  const int m = inst.num_machines();
+  sched::Assignment a(static_cast<std::size_t>(m), sched::kIdle);
+  const std::vector<int> elig = state.eligible_jobs();
+  if (elig.empty()) return a;
+
+  // F[j] = failure probability of job j this step given committed machines.
+  std::vector<double> fail(elig.size(), 1.0);
+  for (int i = 0; i < m; ++i) {
+    int best = -1;
+    double best_gain = 0.0;
+    for (std::size_t k = 0; k < elig.size(); ++k) {
+      const double gain = fail[k] * (1.0 - inst.q(i, elig[k]));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(k);
+      }
+    }
+    if (best < 0) continue;  // machine useless for every eligible job
+    a[static_cast<std::size_t>(i)] = elig[static_cast<std::size_t>(best)];
+    fail[static_cast<std::size_t>(best)] *=
+        inst.q(i, elig[static_cast<std::size_t>(best)]);
+  }
+  return a;
+}
+
+void GreedyLrPolicy::reset(const core::Instance& inst, util::Rng rng) {
+  (void)rng;
+  inst_ = &inst;
+  rounds_ = 0;
+  pos_ = 0;
+  std::vector<int> all(inst.num_jobs());
+  for (int j = 0; j < inst.num_jobs(); ++j) all[j] = j;
+  build_round(all);
+}
+
+void GreedyLrPolicy::build_round(const std::vector<int>& jobs) {
+  ++rounds_;
+  const core::Instance& inst = *inst_;
+  const int m = inst.num_machines();
+  sched::IntegralAssignment x(inst.num_jobs(), m);
+  std::vector<std::int64_t> load(m, 0);
+
+  // Greedy: each job goes entirely to the machine that finishes it soonest
+  // given current loads (earliest-completion-time list scheduling with
+  // mass demands).
+  for (const int j : jobs) {
+    int best = -1;
+    std::int64_t best_finish = 0;
+    std::int64_t best_steps = 0;
+    for (int i = 0; i < m; ++i) {
+      const double e = inst.ell_capped(i, j, target_mass_);
+      if (e <= 1e-12) continue;
+      const auto steps =
+          static_cast<std::int64_t>(std::ceil(target_mass_ / e - 1e-12));
+      const std::int64_t finish = load[i] + steps;
+      if (best < 0 || finish < best_finish) {
+        best = i;
+        best_finish = finish;
+        best_steps = steps;
+      }
+    }
+    SUU_CHECK_MSG(best >= 0, "job " << j << " has no capable machine");
+    x.add(best, j, best_steps);
+    load[best] += best_steps;
+  }
+  schedule_ = sched::ObliviousSchedule::from_assignment(x);
+  pos_ = 0;
+}
+
+sched::Assignment GreedyLrPolicy::decide(const sim::ExecState& state) {
+  if (pos_ >= schedule_.length()) {
+    build_round(state.remaining_jobs());
+  }
+  SUU_CHECK(schedule_.length() > 0);
+  return schedule_.step(pos_++);
+}
+
+}  // namespace suu::algos

@@ -1,0 +1,84 @@
+// Baseline schedules: the comparison column of Table 1 and the paper's
+// trivial O(n)-approximation.
+//
+//   * AllOnOnePolicy  — every machine gangs up on one eligible job at a
+//     time; the paper's trivial O(n)-approximation and the SUU-I-SEM
+//     fallback for n <= m.
+//   * RoundRobinPolicy — spreads machines over eligible jobs cyclically; a
+//     natural "no-theory" baseline.
+//   * BestMachinePolicy — each job waits for its single most reliable
+//     machine; machines work their queues independently.
+//   * GreedyLrPolicy — a reconstruction of the flavor of Lin–Rajaraman's
+//     greedy O(log n) algorithm [11] (no artifact exists): every round
+//     greedily builds an assignment giving each remaining job >= 1/2 unit
+//     of log mass while balancing machine loads, runs it obliviously, and
+//     repeats on the survivors. Each round succeeds per job with constant
+//     probability, so O(log n) rounds complete everything whp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace suu::algos {
+
+class AllOnOnePolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "all-on-one"; }
+  sched::Assignment decide(const sim::ExecState& state) override;
+};
+
+class RoundRobinPolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  sched::Assignment decide(const sim::ExecState& state) override;
+};
+
+class BestMachinePolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "best-machine"; }
+  void reset(const core::Instance& inst, util::Rng rng) override;
+  sched::Assignment decide(const sim::ExecState& state) override;
+
+ private:
+  std::vector<int> best_machine_;  // per job
+};
+
+/// The paper's concluding conjecture ("It would also be interesting if a
+/// greedy heuristic could achieve the same bounds"): a FULLY adaptive
+/// per-step greedy. Machines are assigned one at a time; each takes the
+/// eligible job maximizing the marginal gain in expected completions this
+/// step, F_j * (1 - q_ij), where F_j is the job's failure probability given
+/// the machines already committed to it. This is the natural submodular
+/// greedy on the step's expected-completion objective. Benchmarked against
+/// SUU-I-SEM in bench_fig_adaptivity.
+class AdaptiveGreedyPolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "adaptive-greedy"; }
+  sched::Assignment decide(const sim::ExecState& state) override;
+};
+
+class GreedyLrPolicy : public sim::Policy {
+ public:
+  /// target_mass: log mass each round guarantees per remaining job.
+  explicit GreedyLrPolicy(double target_mass = 0.5)
+      : target_mass_(target_mass) {}
+  std::string name() const override { return "greedy-lr"; }
+  void reset(const core::Instance& inst, util::Rng rng) override;
+  sched::Assignment decide(const sim::ExecState& state) override;
+
+  /// Rounds started so far (for diagnostics).
+  int rounds() const noexcept { return rounds_; }
+
+ private:
+  void build_round(const std::vector<int>& jobs);
+
+  double target_mass_;
+  const core::Instance* inst_ = nullptr;
+  sched::ObliviousSchedule schedule_{1};
+  std::int64_t pos_ = 0;
+  int rounds_ = 0;
+};
+
+}  // namespace suu::algos

@@ -1,0 +1,194 @@
+#include "algos/exact_dp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace suu::algos {
+
+ExactSolver::ExactSolver(const core::Instance& inst, Options opt)
+    : inst_(&inst), n_(inst.num_jobs()), m_(inst.num_machines()) {
+  SUU_CHECK_MSG(n_ <= opt.max_jobs,
+                "exact DP limited to " << opt.max_jobs << " jobs");
+  SUU_CHECK_MSG(n_ < 31, "mask width");
+  full_mask_ = (n_ == 31) ? 0 : ((1u << n_) - 1);
+
+  const std::size_t n_masks = std::size_t{1} << n_;
+  val_.assign(n_masks, std::numeric_limits<double>::infinity());
+  best_.assign(n_masks * static_cast<std::size_t>(m_), -1);
+  val_[0] = 0.0;
+
+  // Predecessor masks.
+  std::vector<std::uint32_t> pred_mask(n_, 0);
+  for (int j = 0; j < n_; ++j) {
+    for (const int p : inst.dag().preds(j)) pred_mask[j] |= 1u << p;
+  }
+
+  // Masks ordered by popcount so every successor state is already solved.
+  std::vector<std::uint32_t> order;
+  order.reserve(n_masks - 1);
+  for (std::uint32_t mask = 1; mask <= full_mask_; ++mask) order.push_back(mask);
+  std::stable_sort(order.begin(), order.end(),
+                   [](std::uint32_t a, std::uint32_t b) {
+                     return std::popcount(a) < std::popcount(b);
+                   });
+
+  std::vector<int> elig;
+  std::vector<double> fail;      // per eligible job, for one assignment
+  std::vector<int> asg(m_, 0);   // odometer over eligible-job indices
+
+  for (const std::uint32_t mask : order) {
+    // Reachable = completed set closed under predecessors.
+    const std::uint32_t completed = full_mask_ & ~mask;
+    bool reachable = true;
+    for (int j = 0; j < n_ && reachable; ++j) {
+      if ((completed >> j) & 1u) {
+        if ((pred_mask[j] & mask) != 0) reachable = false;
+      }
+    }
+    if (!reachable) continue;
+
+    elig.clear();
+    for (int j = 0; j < n_; ++j) {
+      if (((mask >> j) & 1u) && (pred_mask[j] & mask) == 0) elig.push_back(j);
+    }
+    SUU_CHECK_MSG(!elig.empty(), "acyclic dag must expose an eligible job");
+    const int e = static_cast<int>(elig.size());
+
+    std::int64_t n_asg = 1;
+    for (int i = 0; i < m_; ++i) {
+      n_asg *= e;
+      SUU_CHECK_MSG(n_asg <= opt.max_assignments_per_state,
+                    "assignment enumeration too large; shrink the instance");
+    }
+
+    double best_val = std::numeric_limits<double>::infinity();
+    std::vector<std::int16_t> best_asg(static_cast<std::size_t>(m_), -1);
+
+    std::fill(asg.begin(), asg.end(), 0);
+    fail.assign(static_cast<std::size_t>(e), 1.0);
+
+    for (std::int64_t a = 0; a < n_asg; ++a) {
+      // Failure probability per eligible job under this assignment.
+      std::fill(fail.begin(), fail.end(), 1.0);
+      for (int i = 0; i < m_; ++i) {
+        fail[static_cast<std::size_t>(asg[i])] *=
+            inst.q(i, elig[static_cast<std::size_t>(asg[i])]);
+      }
+
+      // Split eligible jobs: sure successes (f == 0) vs stochastic ones.
+      std::uint32_t sure_bits = 0;
+      std::vector<int> sto;       // indices into elig
+      for (int k = 0; k < e; ++k) {
+        if (fail[static_cast<std::size_t>(k)] <= 0.0) {
+          sure_bits |= 1u << elig[static_cast<std::size_t>(k)];
+        } else {
+          sto.push_back(k);
+        }
+      }
+      const int s = static_cast<int>(sto.size());
+
+      // Enumerate success subsets T of the stochastic jobs with incremental
+      // probabilities: p[T] = p[T\low] * (1-f)/f of the toggled job.
+      const std::uint32_t t_count = 1u << s;
+      double p0 = 1.0;
+      for (const int k : sto) p0 *= fail[static_cast<std::size_t>(k)];
+
+      double expect = 0.0;   // sum P(T) * val[next]
+      double selfp = 0.0;    // probability mass of the self-loop
+      // Iterate T; maintain p via per-bit ratios (f > 0 for stochastic).
+      std::vector<double> ratio(static_cast<std::size_t>(s));
+      std::vector<std::uint32_t> bits(static_cast<std::size_t>(s));
+      for (int b = 0; b < s; ++b) {
+        const int k = sto[static_cast<std::size_t>(b)];
+        const double f = fail[static_cast<std::size_t>(k)];
+        ratio[static_cast<std::size_t>(b)] = (1.0 - f) / f;
+        bits[static_cast<std::size_t>(b)] =
+            1u << elig[static_cast<std::size_t>(k)];
+      }
+      std::vector<double> p(t_count);
+      std::vector<std::uint32_t> succ_bits(t_count);
+      p[0] = p0;
+      succ_bits[0] = sure_bits;
+      for (std::uint32_t T = 1; T < t_count; ++T) {
+        const int low = std::countr_zero(T);
+        p[T] = p[T & (T - 1)] * ratio[static_cast<std::size_t>(low)];
+        succ_bits[T] =
+            succ_bits[T & (T - 1)] | bits[static_cast<std::size_t>(low)];
+      }
+      for (std::uint32_t T = 0; T < t_count; ++T) {
+        if (succ_bits[T] == 0) {
+          selfp += p[T];
+        } else {
+          expect += p[T] * val_[mask & ~succ_bits[T]];
+        }
+      }
+
+      double v;
+      if (selfp >= 1.0 - 1e-15) {
+        v = std::numeric_limits<double>::infinity();
+      } else {
+        v = (1.0 + expect) / (1.0 - selfp);
+      }
+      if (v < best_val) {
+        best_val = v;
+        for (int i = 0; i < m_; ++i) {
+          best_asg[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+              elig[static_cast<std::size_t>(asg[i])]);
+        }
+      }
+
+      // Odometer.
+      for (int i = 0; i < m_; ++i) {
+        if (++asg[i] < e) break;
+        asg[i] = 0;
+      }
+    }
+
+    SUU_CHECK_MSG(std::isfinite(best_val),
+                  "no assignment makes progress from state " << mask);
+    val_[mask] = best_val;
+    std::copy(best_asg.begin(), best_asg.end(),
+              best_.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(mask) *
+                                  static_cast<std::size_t>(m_)));
+  }
+}
+
+double ExactSolver::value(std::uint32_t remaining_mask) const {
+  SUU_CHECK(remaining_mask <= full_mask_);
+  return val_[remaining_mask];
+}
+
+std::vector<int> ExactSolver::best_assignment(
+    std::uint32_t remaining_mask) const {
+  SUU_CHECK(remaining_mask <= full_mask_ && remaining_mask != 0);
+  std::vector<int> a(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        best_[static_cast<std::size_t>(remaining_mask) *
+                  static_cast<std::size_t>(m_) +
+              static_cast<std::size_t>(i)];
+  }
+  return a;
+}
+
+ExactOptPolicy::ExactOptPolicy(std::shared_ptr<const ExactSolver> solver)
+    : solver_(std::move(solver)) {
+  SUU_CHECK(solver_ != nullptr);
+}
+
+sched::Assignment ExactOptPolicy::decide(const sim::ExecState& state) {
+  const core::Instance& inst = state.instance();
+  std::uint32_t mask = 0;
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    if (!state.completed(j)) mask |= 1u << j;
+  }
+  SUU_CHECK(mask != 0);
+  return solver_->best_assignment(mask);
+}
+
+}  // namespace suu::algos

@@ -1,0 +1,71 @@
+// Exact optimal expected makespan for tiny SUU instances.
+//
+// Malewicz [12] gives a polynomial DP for constant machines and constant dag
+// width; here we implement the straightforward exponential version: a value
+// function over the subset lattice of remaining jobs. For each reachable
+// remaining-set S the solver enumerates every assignment of machines to
+// eligible jobs and solves
+//     E[S] = min_a (1 + sum_{T != 0} P_a(T) E[S \ T]) / (1 - P_a(self-loop))
+// where T ranges over success sets. This is the ground truth behind the
+// F-OPT experiment: measured ratios against the true E[T_OPT] rather than an
+// LP bound.
+//
+// Complexity is roughly sum_S |E(S)|^m 2^|E(S)|; practical for n <= ~10 jobs
+// and m <= 3 machines. The constructor enforces a configurable guard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sim/engine.hpp"
+
+namespace suu::algos {
+
+class ExactSolver {
+ public:
+  struct Options {
+    int max_jobs = 16;
+    /// Upper bound on per-state assignment enumeration |E|^m.
+    std::int64_t max_assignments_per_state = 1 << 22;
+  };
+
+  explicit ExactSolver(const core::Instance& inst)
+      : ExactSolver(inst, Options{}) {}
+  ExactSolver(const core::Instance& inst, Options opt);
+
+  /// E[T_OPT] of the instance.
+  double expected_makespan() const { return val_[full_mask_]; }
+
+  /// Optimal expected remaining makespan for a remaining-job bitmask.
+  double value(std::uint32_t remaining_mask) const;
+
+  /// Optimal machine->job assignment for a remaining-job bitmask
+  /// (size m; entries are job ids).
+  std::vector<int> best_assignment(std::uint32_t remaining_mask) const;
+
+  const core::Instance& instance() const { return *inst_; }
+
+ private:
+  const core::Instance* inst_;
+  int n_;
+  int m_;
+  std::uint32_t full_mask_;
+  std::vector<double> val_;
+  std::vector<std::int16_t> best_;  // flattened [mask * m + i] -> job id
+};
+
+/// Plays the exact optimal policy (for cross-validating the DP against
+/// simulation, and for measuring true ratios of the approximations).
+class ExactOptPolicy : public sim::Policy {
+ public:
+  explicit ExactOptPolicy(std::shared_ptr<const ExactSolver> solver);
+  std::string name() const override { return "exact-opt"; }
+  sched::Assignment decide(const sim::ExecState& state) override;
+
+ private:
+  std::shared_ptr<const ExactSolver> solver_;
+};
+
+}  // namespace suu::algos

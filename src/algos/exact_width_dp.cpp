@@ -1,0 +1,294 @@
+#include "algos/exact_width_dp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "chains/dilworth.hpp"
+#include "util/check.hpp"
+
+namespace suu::algos {
+
+std::int64_t WidthExactSolver::encode(const std::vector<int>& counts) const {
+  std::int64_t idx = 0;
+  for (int c = 0; c < w_; ++c) {
+    idx = idx * radix_[static_cast<std::size_t>(c)] +
+          counts[static_cast<std::size_t>(c)];
+  }
+  return idx;
+}
+
+WidthExactSolver::WidthExactSolver(const core::Instance& inst, Options opt)
+    : inst_(&inst) {
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+
+  const chains::ChainCover cover = chains::min_chain_cover(inst.dag());
+  chains_ = cover.chains;
+  w_ = cover.width;
+  SUU_CHECK(w_ >= 1);
+
+  radix_.resize(static_cast<std::size_t>(w_));
+  chain_of_.assign(static_cast<std::size_t>(n), -1);
+  pos_in_chain_.assign(static_cast<std::size_t>(n), -1);
+  std::int64_t n_states = 1;
+  for (int c = 0; c < w_; ++c) {
+    radix_[static_cast<std::size_t>(c)] =
+        static_cast<int>(chains_[static_cast<std::size_t>(c)].size()) + 1;
+    n_states *= radix_[static_cast<std::size_t>(c)];
+    SUU_CHECK_MSG(n_states <= opt.max_states,
+                  "state space too large; width " << w_);
+    for (std::size_t p = 0; p < chains_[static_cast<std::size_t>(c)].size();
+         ++p) {
+      const int j = chains_[static_cast<std::size_t>(c)][p];
+      chain_of_[static_cast<std::size_t>(j)] = c;
+      pos_in_chain_[static_cast<std::size_t>(j)] = static_cast<int>(p);
+    }
+  }
+
+  val_.assign(static_cast<std::size_t>(n_states),
+              std::numeric_limits<double>::infinity());
+  best_.assign(static_cast<std::size_t>(n_states) *
+                   static_cast<std::size_t>(m),
+               -1);
+
+  // Enumerate states in decreasing remaining-job count is unnecessary:
+  // iterate tuples in lexicographic order ascending by TOTAL completed
+  // count so successors (more completed) are... successors have larger
+  // totals, so process totals DESCENDING remaining == ascending completed
+  // from n (all done) downwards? E[state] depends on states with MORE
+  // completed jobs. Process completed-totals descending start from all-done.
+  std::vector<std::vector<std::int64_t>> by_total(
+      static_cast<std::size_t>(n) + 1);
+  {
+    std::vector<int> counts(static_cast<std::size_t>(w_), 0);
+    for (;;) {
+      int total = 0;
+      for (const int c : counts) total += c;
+      by_total[static_cast<std::size_t>(total)].push_back(encode(counts));
+      int c = w_ - 1;
+      while (c >= 0) {
+        if (++counts[static_cast<std::size_t>(c)] <
+            radix_[static_cast<std::size_t>(c)]) {
+          break;
+        }
+        counts[static_cast<std::size_t>(c)] = 0;
+        --c;
+      }
+      if (c < 0) break;
+    }
+  }
+
+  // Predecessor bookkeeping: for eligibility we need, per job, whether all
+  // its dag predecessors are completed under a tuple. Precompute each job's
+  // predecessor list as (chain, pos) pairs: predecessor p is completed iff
+  // counts[chain(p)] > pos(p).
+  std::vector<int> counts(static_cast<std::size_t>(w_));
+  std::vector<int> elig;
+  std::vector<double> fail;
+  std::vector<int> asg(static_cast<std::size_t>(m), 0);
+
+  for (int total = n; total >= 0; --total) {
+    for (const std::int64_t code : by_total[static_cast<std::size_t>(total)]) {
+      // Decode.
+      std::int64_t rem = code;
+      for (int c = w_ - 1; c >= 0; --c) {
+        counts[static_cast<std::size_t>(c)] =
+            static_cast<int>(rem % radix_[static_cast<std::size_t>(c)]);
+        rem /= radix_[static_cast<std::size_t>(c)];
+      }
+      auto completed = [&](int job) {
+        return counts[static_cast<std::size_t>(
+                   chain_of_[static_cast<std::size_t>(job)])] >
+               pos_in_chain_[static_cast<std::size_t>(job)];
+      };
+      // Validity: the union of prefixes must be pred-closed — for each
+      // chain, the last completed element's predecessors must be completed
+      // (prefix-closure makes checking every completed element redundant,
+      // but elements' preds can sit in other chains, so check all).
+      bool valid = true;
+      for (int c = 0; c < w_ && valid; ++c) {
+        for (int p = 0; p < counts[static_cast<std::size_t>(c)] && valid;
+             ++p) {
+          const int j = chains_[static_cast<std::size_t>(c)]
+                               [static_cast<std::size_t>(p)];
+          for (const int pr : inst.dag().preds(j)) {
+            if (!completed(pr)) {
+              valid = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!valid) continue;
+      if (total == n) {
+        val_[static_cast<std::size_t>(code)] = 0.0;
+        continue;
+      }
+
+      // Eligible jobs: each chain's next element with all preds completed.
+      elig.clear();
+      for (int c = 0; c < w_; ++c) {
+        if (counts[static_cast<std::size_t>(c)] >=
+            static_cast<int>(chains_[static_cast<std::size_t>(c)].size())) {
+          continue;  // chain finished
+        }
+        const int j = chains_[static_cast<std::size_t>(c)][static_cast<
+            std::size_t>(counts[static_cast<std::size_t>(c)])];
+        bool ok = true;
+        for (const int pr : inst.dag().preds(j)) {
+          if (!completed(pr)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) elig.push_back(j);
+      }
+      SUU_CHECK_MSG(!elig.empty(), "valid non-final state with no eligible");
+      const int e = static_cast<int>(elig.size());
+
+      std::int64_t n_asg = 1;
+      for (int i = 0; i < m; ++i) {
+        n_asg *= e;
+        SUU_CHECK_MSG(n_asg <= opt.max_assignments_per_state,
+                      "assignment enumeration too large");
+      }
+
+      double best_val = std::numeric_limits<double>::infinity();
+      std::vector<std::int16_t> best_asg(static_cast<std::size_t>(m), -1);
+      std::fill(asg.begin(), asg.end(), 0);
+      fail.assign(static_cast<std::size_t>(e), 1.0);
+
+      // Successor encoding: completing job j increments chain(j)'s count;
+      // the code-space delta for chain c is its positional weight.
+      std::vector<std::int64_t> weight(static_cast<std::size_t>(w_), 1);
+      for (int c = w_ - 2; c >= 0; --c) {
+        weight[static_cast<std::size_t>(c)] =
+            weight[static_cast<std::size_t>(c + 1)] *
+            radix_[static_cast<std::size_t>(c + 1)];
+      }
+
+      for (std::int64_t a = 0; a < n_asg; ++a) {
+        std::fill(fail.begin(), fail.end(), 1.0);
+        for (int i = 0; i < m; ++i) {
+          fail[static_cast<std::size_t>(asg[static_cast<std::size_t>(i)])] *=
+              inst.q(i, elig[static_cast<std::size_t>(
+                         asg[static_cast<std::size_t>(i)])]);
+        }
+        // Success-subset expectation (as in ExactSolver).
+        std::vector<int> sto;
+        std::int64_t sure_delta = 0;
+        for (int k = 0; k < e; ++k) {
+          if (fail[static_cast<std::size_t>(k)] <= 0.0) {
+            sure_delta += weight[static_cast<std::size_t>(
+                chain_of_[static_cast<std::size_t>(
+                    elig[static_cast<std::size_t>(k)])])];
+          } else {
+            sto.push_back(k);
+          }
+        }
+        const int s = static_cast<int>(sto.size());
+        const std::uint32_t t_count = 1u << s;
+        std::vector<double> prob(t_count);
+        std::vector<std::int64_t> delta(t_count);
+        double p0 = 1.0;
+        for (const int k : sto) p0 *= fail[static_cast<std::size_t>(k)];
+        prob[0] = p0;
+        delta[0] = sure_delta;
+        std::vector<double> ratio(static_cast<std::size_t>(s));
+        std::vector<std::int64_t> dw(static_cast<std::size_t>(s));
+        for (int b = 0; b < s; ++b) {
+          const int k = sto[static_cast<std::size_t>(b)];
+          const double f = fail[static_cast<std::size_t>(k)];
+          ratio[static_cast<std::size_t>(b)] = (1.0 - f) / f;
+          dw[static_cast<std::size_t>(b)] = weight[static_cast<std::size_t>(
+              chain_of_[static_cast<std::size_t>(
+                  elig[static_cast<std::size_t>(k)])])];
+        }
+        double expect = 0.0;
+        double selfp = 0.0;
+        for (std::uint32_t T = 0; T < t_count; ++T) {
+          if (T) {
+            const int low = std::countr_zero(T);
+            prob[T] = prob[T & (T - 1)] * ratio[static_cast<std::size_t>(low)];
+            delta[T] = delta[T & (T - 1)] + dw[static_cast<std::size_t>(low)];
+          }
+          if (delta[T] == 0) {
+            selfp += prob[T];
+          } else {
+            const double v = val_[static_cast<std::size_t>(code + delta[T])];
+            expect += prob[T] * v;
+          }
+        }
+        double v;
+        if (selfp >= 1.0 - 1e-15 || !std::isfinite(expect)) {
+          v = std::numeric_limits<double>::infinity();
+        } else {
+          v = (1.0 + expect) / (1.0 - selfp);
+        }
+        if (v < best_val) {
+          best_val = v;
+          for (int i = 0; i < m; ++i) {
+            best_asg[static_cast<std::size_t>(i)] =
+                static_cast<std::int16_t>(elig[static_cast<std::size_t>(
+                    asg[static_cast<std::size_t>(i)])]);
+          }
+        }
+        for (int i = 0; i < m; ++i) {
+          if (++asg[static_cast<std::size_t>(i)] < e) break;
+          asg[static_cast<std::size_t>(i)] = 0;
+        }
+      }
+
+      SUU_CHECK_MSG(std::isfinite(best_val), "no progress from state");
+      val_[static_cast<std::size_t>(code)] = best_val;
+      std::copy(best_asg.begin(), best_asg.end(),
+                best_.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(code) *
+                        static_cast<std::size_t>(m)));
+    }
+  }
+}
+
+double WidthExactSolver::expected_makespan() const {
+  return val_[0];  // zero completed everywhere
+}
+
+std::vector<int> WidthExactSolver::best_assignment(
+    const std::vector<char>& completed) const {
+  const int m = inst_->num_machines();
+  std::vector<int> counts(static_cast<std::size_t>(w_), 0);
+  for (int c = 0; c < w_; ++c) {
+    for (const int j : chains_[static_cast<std::size_t>(c)]) {
+      if (!completed[static_cast<std::size_t>(j)]) break;
+      ++counts[static_cast<std::size_t>(c)];
+    }
+  }
+  const std::int64_t code = encode(counts);
+  std::vector<int> a(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        best_[static_cast<std::size_t>(code) * static_cast<std::size_t>(m) +
+              static_cast<std::size_t>(i)];
+  }
+  return a;
+}
+
+WidthOptPolicy::WidthOptPolicy(
+    std::shared_ptr<const WidthExactSolver> solver)
+    : solver_(std::move(solver)) {
+  SUU_CHECK(solver_ != nullptr);
+}
+
+sched::Assignment WidthOptPolicy::decide(const sim::ExecState& state) {
+  const core::Instance& inst = state.instance();
+  std::vector<char> completed(static_cast<std::size_t>(inst.num_jobs()), 0);
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    completed[static_cast<std::size_t>(j)] = state.completed(j) ? 1 : 0;
+  }
+  return solver_->best_assignment(completed);
+}
+
+}  // namespace suu::algos

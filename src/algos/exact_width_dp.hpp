@@ -1,0 +1,79 @@
+// Width-parameterized exact optimum — the Malewicz [12] regime.
+//
+// The subset-lattice solver (exact_dp.hpp) is exponential in n. Malewicz
+// showed SUU is polynomial when the machine count AND the dag width are
+// constant; this solver realizes that: decompose the poset into
+// w = width(G) chains (Dilworth, chains/dilworth.hpp); every reachable
+// "completed" set is a downset and therefore intersects each chain in a
+// prefix, so states are per-chain progress tuples (c_1, ..., c_w) — at most
+// prod (|P_i|+1) <= (n/w + 1)^w of them instead of 2^n. Value iteration and
+// assignment enumeration then proceed exactly as in the subset DP.
+//
+// For width-2 chains of total length 24 this is ~169 states versus 16.7M
+// subsets. Agreement with the subset DP is tested on every family both can
+// handle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sim/engine.hpp"
+
+namespace suu::algos {
+
+class WidthExactSolver {
+ public:
+  struct Options {
+    /// Refuse instances whose state space exceeds this.
+    std::int64_t max_states = 4'000'000;
+    /// Refuse per-state assignment enumerations beyond this.
+    std::int64_t max_assignments_per_state = 1 << 22;
+  };
+
+  explicit WidthExactSolver(const core::Instance& inst)
+      : WidthExactSolver(inst, Options{}) {}
+  WidthExactSolver(const core::Instance& inst, Options opt);
+
+  /// E[T_OPT] of the instance.
+  double expected_makespan() const;
+
+  int width() const noexcept { return w_; }
+  std::int64_t num_states() const noexcept {
+    return static_cast<std::int64_t>(val_.size());
+  }
+
+  /// Optimal machine->job assignment for the state described by the set of
+  /// completed jobs (must be a valid downset).
+  std::vector<int> best_assignment(const std::vector<char>& completed) const;
+
+  const std::vector<std::vector<int>>& chains() const noexcept {
+    return chains_;
+  }
+
+ private:
+  std::int64_t encode(const std::vector<int>& counts) const;
+
+  const core::Instance* inst_;
+  int w_ = 0;
+  std::vector<std::vector<int>> chains_;
+  std::vector<int> radix_;          // |P_i| + 1 per chain
+  std::vector<int> chain_of_;       // job -> chain index
+  std::vector<int> pos_in_chain_;   // job -> position
+  std::vector<double> val_;         // by encoded tuple; inf = unreachable
+  std::vector<std::int16_t> best_;  // [state * m + i] -> job id
+};
+
+/// Plays the width solver's optimal policy.
+class WidthOptPolicy : public sim::Policy {
+ public:
+  explicit WidthOptPolicy(std::shared_ptr<const WidthExactSolver> solver);
+  std::string name() const override { return "width-exact-opt"; }
+  sched::Assignment decide(const sim::ExecState& state) override;
+
+ private:
+  std::shared_ptr<const WidthExactSolver> solver_;
+};
+
+}  // namespace suu::algos

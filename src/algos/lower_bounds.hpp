@@ -1,0 +1,38 @@
+// Lower bounds on E[T_OPT] used as the denominator of every measured
+// approximation ratio.
+//
+// Lemma 1 / Appendix D: E[T_OPT] >= (1/2) * t_LP1(J, 1/2) — the optimum must
+// deliver 1/2 a unit of log mass to every job whose hidden r_j exceeds 1/2,
+// and averaging over the uniformly random subset U of such jobs gives the
+// bound. The derivation never uses independence, so it applies verbatim to
+// chain and forest instances.
+//
+// Lemma 5 (via [11, Lemma 4.2]): the fractional LP2 optimum is O(E[T_OPT]);
+// we use t_LP2 / 2 and record the constant in EXPERIMENTS.md. For forests we
+// evaluate LP2 on the chain decomposition (dropping cross-block edges only
+// relaxes the program, so it stays a valid bound).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "rounding/lp1.hpp"
+
+namespace suu::algos {
+
+struct LowerBound {
+  double lp1_half = 0.0;  ///< t_LP1(J, 1/2) / 2 (certified fractional LB)
+  double lp2_half = 0.0;  ///< t_LP2 / 2 when chains are given, else 0
+  double value = 1.0;     ///< max(1, lp1_half, lp2_half)
+};
+
+/// Lemma 1 bound (valid for any precedence structure).
+LowerBound lower_bound_independent(const core::Instance& inst,
+                                   const rounding::Lp1Options& opt = {});
+
+/// Lemma 1 + Lemma 5 bounds for an instance with the given disjoint chains.
+LowerBound lower_bound_chains(const core::Instance& inst,
+                              const std::vector<std::vector<int>>& chains,
+                              const rounding::Lp1Options& opt = {});
+
+}  // namespace suu::algos

@@ -1,0 +1,156 @@
+#include "algos/suu_i.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace suu::algos {
+
+int sem_round_bound(int n, int m) {
+  const double mn = std::max(2, std::min(n, m));
+  const double loglog = std::log2(std::max(1.0, std::log2(mn)));
+  return static_cast<int>(std::ceil(loglog - 1e-12)) + 3;
+}
+
+ObliviousReplayPolicy::ObliviousReplayPolicy(sched::ObliviousSchedule schedule,
+                                             bool cyclic)
+    : schedule_(std::move(schedule)), cyclic_(cyclic) {
+  SUU_CHECK_MSG(schedule_.length() > 0, "cannot replay an empty schedule");
+}
+
+sched::Assignment ObliviousReplayPolicy::decide(const sim::ExecState& state) {
+  if (pos_ >= schedule_.length()) {
+    if (!cyclic_) {
+      return sched::Assignment(
+          static_cast<std::size_t>(state.instance().num_machines()),
+          sched::kIdle);
+    }
+    pos_ = 0;
+  }
+  return schedule_.step(pos_++);
+}
+
+SuuIOblPolicy::SuuIOblPolicy(rounding::Lp1Options opt) : opt_(opt) {}
+
+SuuIOblPolicy::SuuIOblPolicy(
+    std::shared_ptr<const rounding::Lp1Schedule> precomputed)
+    : lp1_(std::move(precomputed)) {
+  SUU_CHECK(lp1_ != nullptr);
+}
+
+std::shared_ptr<const rounding::Lp1Schedule> SuuIOblPolicy::precompute(
+    const core::Instance& inst, const rounding::Lp1Options& opt) {
+  std::vector<int> all(inst.num_jobs());
+  for (int j = 0; j < inst.num_jobs(); ++j) all[j] = j;
+  return std::make_shared<const rounding::Lp1Schedule>(
+      rounding::build_lp1_schedule(inst, all, 0.5, opt));
+}
+
+void SuuIOblPolicy::reset(const core::Instance& inst, util::Rng rng) {
+  (void)rng;
+  if (!lp1_) lp1_ = precompute(inst, opt_);
+  SUU_CHECK_MSG(lp1_->schedule.num_machines() == inst.num_machines(),
+                "precomputed schedule does not match the instance");
+  pos_ = 0;
+}
+
+sched::Assignment SuuIOblPolicy::decide(const sim::ExecState& state) {
+  (void)state;
+  const auto len = lp1_->schedule.length();
+  SUU_CHECK(len > 0);
+  const sched::Assignment& a = lp1_->schedule.step(pos_ % len);
+  ++pos_;
+  return a;
+}
+
+SuuISemPolicy::SuuISemPolicy(Config cfg) : cfg_(std::move(cfg)) {}
+
+std::shared_ptr<const rounding::Lp1Schedule> SuuISemPolicy::precompute_round1(
+    const core::Instance& inst, const rounding::Lp1Options& opt) {
+  std::vector<int> all(inst.num_jobs());
+  for (int j = 0; j < inst.num_jobs(); ++j) all[j] = j;
+  return std::make_shared<const rounding::Lp1Schedule>(
+      rounding::build_lp1_schedule(inst, all, 0.5, opt));
+}
+
+void SuuISemPolicy::reset(const core::Instance& inst, util::Rng rng) {
+  (void)rng;
+  inst_ = &inst;
+  if (cfg_.universe.empty()) {
+    cfg_.universe.resize(static_cast<std::size_t>(inst.num_jobs()));
+    for (int j = 0; j < inst.num_jobs(); ++j) {
+      cfg_.universe[static_cast<std::size_t>(j)] = j;
+    }
+  }
+  k_bound_ = sem_round_bound(static_cast<int>(cfg_.universe.size()),
+                             inst.num_machines());
+  fallback_ = false;
+  fallback_sequential_ = false;
+  round_ = 1;
+  if (cfg_.round1 != nullptr &&
+      static_cast<int>(cfg_.universe.size()) == inst.num_jobs()) {
+    schedule_ = cfg_.round1->schedule;
+  } else {
+    schedule_ = rounding::build_lp1_schedule(inst, cfg_.universe, 0.5,
+                                             cfg_.lp1)
+                    .schedule;
+  }
+  pos_ = 0;
+}
+
+std::vector<int> SuuISemPolicy::remaining_universe(
+    const sim::ExecState& state) const {
+  std::vector<int> out;
+  for (const int j : cfg_.universe) {
+    if (!state.completed(j)) out.push_back(j);
+  }
+  return out;
+}
+
+void SuuISemPolicy::start_round(const std::vector<int>& jobs) {
+  const double target = std::ldexp(1.0, round_ - 2);  // L_k = 2^(k-2)
+  schedule_ =
+      rounding::build_lp1_schedule(*inst_, jobs, target, cfg_.lp1).schedule;
+  pos_ = 0;
+}
+
+sched::Assignment SuuISemPolicy::decide(const sim::ExecState& state) {
+  const int m = inst_->num_machines();
+
+  if (fallback_ && fallback_sequential_) {
+    // n <= m: run remaining universe jobs one at a time on all machines.
+    sched::Assignment a(static_cast<std::size_t>(m), sched::kIdle);
+    for (const int j : cfg_.universe) {
+      if (!state.completed(j) && state.eligible(j)) {
+        std::fill(a.begin(), a.end(), j);
+        break;
+      }
+    }
+    return a;
+  }
+
+  if (pos_ >= schedule_.length()) {
+    const std::vector<int> rem = remaining_universe(state);
+    if (rem.empty()) {
+      return sched::Assignment(static_cast<std::size_t>(m), sched::kIdle);
+    }
+    if (!fallback_ && round_ < k_bound_) {
+      ++round_;
+      start_round(rem);
+    } else {
+      // Round K exhausted: choose the fallback branch (Theorem 4).
+      if (!fallback_) {
+        fallback_ = true;
+        fallback_sequential_ =
+            static_cast<int>(cfg_.universe.size()) <= m;
+      }
+      if (fallback_sequential_) return decide(state);
+      pos_ = 0;  // m < n: repeat the round-K schedule
+    }
+  }
+  SUU_CHECK(schedule_.length() > 0);
+  return schedule_.step(pos_++);
+}
+
+}  // namespace suu::algos

@@ -1,0 +1,101 @@
+// The paper's independent-jobs algorithms (Section 3).
+//
+//   * SuuIOblPolicy — SUU-I-OBL: solve LP1(J, 1/2), round per Lemma 2, and
+//     repeat the resulting O(E[T_OPT])-length oblivious schedule until every
+//     job completes. Theorem 3: O(log n)-approximation.
+//
+//   * SuuISemPolicy — SUU-I-SEM: semioblivious rounds k = 1, 2, ..., K with
+//     doubling log-mass targets L_k = 2^(k-2) applied to the jobs still
+//     alive at the round boundary. K = ceil(log log min{m, n}) + 3. After
+//     round K: if n <= m run survivors one at a time on all machines,
+//     otherwise repeat the round-K schedule. Theorem 4:
+//     O(log log min{m, n})-approximation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rounding/lp1.hpp"
+#include "sim/engine.hpp"
+
+namespace suu::algos {
+
+/// K = ceil(log2 log2 min{m, n}) + 3, with min{m,n} clamped to >= 2.
+int sem_round_bound(int n, int m);
+
+/// Replays a fixed finite oblivious schedule, optionally cyclically.
+class ObliviousReplayPolicy : public sim::Policy {
+ public:
+  ObliviousReplayPolicy(sched::ObliviousSchedule schedule, bool cyclic);
+  std::string name() const override { return "oblivious-replay"; }
+  sched::Assignment decide(const sim::ExecState& state) override;
+
+ private:
+  sched::ObliviousSchedule schedule_;
+  bool cyclic_;
+  std::int64_t pos_ = 0;
+};
+
+/// SUU-I-OBL. The LP1 schedule depends only on the instance, so replications
+/// can share one precomputed schedule (pass it to the constructor).
+class SuuIOblPolicy : public sim::Policy {
+ public:
+  explicit SuuIOblPolicy(rounding::Lp1Options opt = {});
+  explicit SuuIOblPolicy(
+      std::shared_ptr<const rounding::Lp1Schedule> precomputed);
+  std::string name() const override { return "suu-i-obl"; }
+  void reset(const core::Instance& inst, util::Rng rng) override;
+  sched::Assignment decide(const sim::ExecState& state) override;
+
+  /// Build the schedule SUU-I-OBL repeats (shareable across replications).
+  static std::shared_ptr<const rounding::Lp1Schedule> precompute(
+      const core::Instance& inst, const rounding::Lp1Options& opt = {});
+
+ private:
+  rounding::Lp1Options opt_;
+  std::shared_ptr<const rounding::Lp1Schedule> lp1_;
+  std::int64_t pos_ = 0;
+};
+
+/// SUU-I-SEM. Can be restricted to a job universe (used as the long-job
+/// batch subroutine inside SUU-C); jobs outside the universe are ignored.
+class SuuISemPolicy : public sim::Policy {
+ public:
+  struct Config {
+    rounding::Lp1Options lp1;
+    /// Empty = all jobs of the instance.
+    std::vector<int> universe;
+    /// Optional precomputed round-1 schedule (only valid when universe is
+    /// all jobs); shared across replications.
+    std::shared_ptr<const rounding::Lp1Schedule> round1;
+  };
+
+  explicit SuuISemPolicy(Config cfg = {});
+  std::string name() const override { return "suu-i-sem"; }
+  void reset(const core::Instance& inst, util::Rng rng) override;
+  sched::Assignment decide(const sim::ExecState& state) override;
+
+  /// Diagnostics for the last (or in-flight) execution.
+  int rounds_used() const noexcept { return round_; }
+  bool in_fallback() const noexcept { return fallback_; }
+  int round_bound() const noexcept { return k_bound_; }
+
+  static std::shared_ptr<const rounding::Lp1Schedule> precompute_round1(
+      const core::Instance& inst, const rounding::Lp1Options& opt = {});
+
+ private:
+  std::vector<int> remaining_universe(const sim::ExecState& state) const;
+  void start_round(const std::vector<int>& jobs);
+
+  Config cfg_;
+  const core::Instance* inst_ = nullptr;
+  sched::ObliviousSchedule schedule_{1};
+  std::int64_t pos_ = 0;
+  int round_ = 0;
+  int k_bound_ = 0;
+  bool fallback_ = false;
+  bool fallback_sequential_ = false;  // n <= m branch
+};
+
+}  // namespace suu::algos

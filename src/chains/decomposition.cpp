@@ -1,0 +1,163 @@
+#include "chains/decomposition.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace suu::chains {
+
+int Decomposition::num_chains() const {
+  int c = 0;
+  for (const auto& b : blocks) c += static_cast<int>(b.size());
+  return c;
+}
+
+int Decomposition::num_jobs() const {
+  int n = 0;
+  for (const auto& b : blocks) {
+    for (const auto& ch : b) n += static_cast<int>(ch.size());
+  }
+  return n;
+}
+
+namespace {
+
+// Decompose an out-forest given as child lists. Returns blocks of chains.
+std::vector<std::vector<std::vector<int>>> heavy_path_blocks(
+    int n, const std::vector<std::vector<int>>& children,
+    const std::vector<int>& roots) {
+  // Subtree sizes via iterative post-order.
+  std::vector<int> size(n, 1);
+  std::vector<int> order;
+  order.reserve(n);
+  {
+    std::vector<int> stack(roots.begin(), roots.end());
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (const int c : children[v]) stack.push_back(c);
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      for (const int c : children[*it]) size[*it] += size[c];
+    }
+  }
+
+  // Heavy child per vertex.
+  std::vector<int> heavy(n, -1);
+  for (int v = 0; v < n; ++v) {
+    int best = -1;
+    for (const int c : children[v]) {
+      if (best < 0 || size[c] > size[best]) best = c;
+    }
+    heavy[v] = best;
+  }
+
+  // Walk heavy paths from each head (roots have light-depth 0; a light
+  // child's path sits one block deeper than its parent's path).
+  std::vector<std::vector<std::vector<int>>> blocks;
+  struct Head {
+    int v;
+    int depth;
+  };
+  std::vector<Head> heads;
+  for (const int r : roots) heads.push_back({r, 0});
+  while (!heads.empty()) {
+    const Head h = heads.back();
+    heads.pop_back();
+    std::vector<int> chain;
+    int v = h.v;
+    for (;;) {
+      chain.push_back(v);
+      for (const int c : children[v]) {
+        if (c != heavy[v]) heads.push_back({c, h.depth + 1});
+      }
+      if (heavy[v] < 0) break;
+      v = heavy[v];
+    }
+    if (static_cast<int>(blocks.size()) <= h.depth) {
+      blocks.resize(static_cast<std::size_t>(h.depth) + 1);
+    }
+    blocks[static_cast<std::size_t>(h.depth)].push_back(std::move(chain));
+  }
+  return blocks;
+}
+
+}  // namespace
+
+Decomposition decompose_forest(const core::Dag& dag) {
+  const int n = dag.num_vertices();
+  Decomposition out;
+  if (n == 0) return out;
+
+  if (dag.is_out_forest()) {
+    std::vector<std::vector<int>> children(n);
+    std::vector<int> roots;
+    for (int v = 0; v < n; ++v) {
+      for (const int s : dag.succs(v)) children[v].push_back(s);
+      if (dag.preds(v).empty()) roots.push_back(v);
+    }
+    out.blocks = heavy_path_blocks(n, children, roots);
+    return out;
+  }
+
+  SUU_CHECK_MSG(dag.is_in_forest(),
+                "decompose_forest needs an out-forest or in-forest");
+  // Reverse the graph: in the reversed out-forest, a "child" is an original
+  // predecessor. Decompose, then reverse block order and chain order so the
+  // original precedences (leaf before parent) run forward.
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> roots;
+  for (int v = 0; v < n; ++v) {
+    for (const int p : dag.preds(v)) children[v].push_back(p);
+    if (dag.succs(v).empty()) roots.push_back(v);
+  }
+  auto blocks = heavy_path_blocks(n, children, roots);
+  std::reverse(blocks.begin(), blocks.end());
+  for (auto& block : blocks) {
+    for (auto& chain : block) std::reverse(chain.begin(), chain.end());
+  }
+  out.blocks = std::move(blocks);
+  return out;
+}
+
+void validate_decomposition(const core::Dag& dag, const Decomposition& d) {
+  const int n = dag.num_vertices();
+  std::vector<int> block_of(n, -1);
+  std::vector<int> chain_of(n, -1);
+  std::vector<int> pos_of(n, -1);
+  int chain_id = 0;
+  for (int b = 0; b < d.num_blocks(); ++b) {
+    for (const auto& chain : d.blocks[static_cast<std::size_t>(b)]) {
+      SUU_CHECK_MSG(!chain.empty(), "empty chain in decomposition");
+      for (std::size_t p = 0; p < chain.size(); ++p) {
+        const int v = chain[p];
+        SUU_CHECK(v >= 0 && v < n);
+        SUU_CHECK_MSG(block_of[v] < 0, "vertex " << v << " appears twice");
+        block_of[v] = b;
+        chain_of[v] = chain_id;
+        pos_of[v] = static_cast<int>(p);
+      }
+      ++chain_id;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    SUU_CHECK_MSG(block_of[v] >= 0, "vertex " << v << " missing");
+  }
+  for (int u = 0; u < n; ++u) {
+    for (const int v : dag.succs(u)) {
+      if (chain_of[u] == chain_of[v]) {
+        SUU_CHECK_MSG(pos_of[v] == pos_of[u] + 1,
+                      "in-chain edge " << u << "->" << v
+                                       << " not consecutive");
+      } else {
+        SUU_CHECK_MSG(block_of[u] < block_of[v],
+                      "cross edge " << u << "->" << v
+                                    << " does not advance blocks");
+      }
+    }
+  }
+}
+
+}  // namespace suu::chains

@@ -1,0 +1,42 @@
+// Chain decomposition of forest precedence graphs (paper Appendix B, after
+// Kumar–Marathe–Parthasarathy–Srinivasan).
+//
+// A directed forest is decomposed into B <= floor(log2 n) + 1 blocks, each a
+// collection of vertex-disjoint chains, such that executing the blocks in
+// order respects every precedence edge: an edge either stays inside one
+// chain (consecutive positions) or crosses from an earlier block to a later
+// one. SUU-T then runs SUU-C once per block (Theorem 12).
+//
+// Construction: heavy-path decomposition. In an out-forest each vertex's
+// heavy child heads the largest subtree; heavy paths are chains, and a path
+// whose head is reached by d light edges lands in block d. Root-to-leaf
+// paths cross at most log2 n light edges, bounding the block count.
+// In-forests are decomposed on the reversed graph and emitted with both the
+// block order and each chain reversed.
+#pragma once
+
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace suu::chains {
+
+/// chains-in-precedence-order per block; blocks in execution order.
+struct Decomposition {
+  std::vector<std::vector<std::vector<int>>> blocks;
+
+  int num_blocks() const noexcept { return static_cast<int>(blocks.size()); }
+  int num_chains() const;
+  int num_jobs() const;
+};
+
+/// Decompose a forest DAG. Requires dag.is_out_forest() or
+/// dag.is_in_forest() (disjoint chains and the empty DAG qualify trivially).
+Decomposition decompose_forest(const core::Dag& dag);
+
+/// Validate the decomposition invariants against the DAG (used by tests):
+/// every vertex appears exactly once; every edge is within-chain-consecutive
+/// or strictly forward across blocks. Throws util::CheckError on violation.
+void validate_decomposition(const core::Dag& dag, const Decomposition& d);
+
+}  // namespace suu::chains

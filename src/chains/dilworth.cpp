@@ -1,0 +1,87 @@
+#include "chains/dilworth.hpp"
+
+#include <algorithm>
+
+#include "flow/max_flow.hpp"
+#include "util/check.hpp"
+
+namespace suu::chains {
+
+ChainCover min_chain_cover(const core::Dag& dag) {
+  const int n = dag.num_vertices();
+  ChainCover cover;
+  if (n == 0) return cover;
+
+  // Transitive closure via bitsets in topological order.
+  const std::vector<int> topo = dag.topo_order();
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  std::vector<std::uint64_t> reach(static_cast<std::size_t>(n) * words, 0);
+  auto row = [&](int v) { return reach.data() + static_cast<std::size_t>(v) * words; };
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int v = *it;
+    for (const int s : dag.succs(v)) {
+      std::uint64_t* rv = row(v);
+      const std::uint64_t* rs = row(s);
+      rv[static_cast<std::size_t>(s) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(s) % 64);
+      for (std::size_t w = 0; w < words; ++w) rv[w] |= rs[w];
+    }
+  }
+  auto reaches = [&](int u, int v) {
+    return (row(u)[static_cast<std::size_t>(v) / 64] >>
+            (static_cast<std::size_t>(v) % 64)) &
+           1u;
+  };
+
+  // Bipartite matching over comparable pairs (u matched to an immediate
+  // chain-successor v iff u reaches v).
+  flow::MaxFlow net(2 + 2 * n);
+  const int src = 0;
+  const int sink = 1;
+  auto left = [&](int v) { return 2 + v; };
+  auto right = [&](int v) { return 2 + n + v; };
+  for (int v = 0; v < n; ++v) {
+    net.add_edge(src, left(v), 1);
+    net.add_edge(right(v), sink, 1);
+  }
+  std::vector<std::vector<std::pair<int, int>>> pair_edges(
+      static_cast<std::size_t>(n));  // u -> (v, edge id)
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && reaches(u, v)) {
+        pair_edges[static_cast<std::size_t>(u)].emplace_back(
+            v, net.add_edge(left(u), right(v), 1));
+      }
+    }
+  }
+  const auto matching = net.solve(src, sink);
+  cover.width = n - static_cast<int>(matching);
+
+  // Stitch chains: next[u] = matched v.
+  std::vector<int> next(static_cast<std::size_t>(n), -1);
+  std::vector<char> has_prev(static_cast<std::size_t>(n), 0);
+  for (int u = 0; u < n; ++u) {
+    for (const auto& [v, id] : pair_edges[static_cast<std::size_t>(u)]) {
+      if (net.flow_on(id) > 0) {
+        next[static_cast<std::size_t>(u)] = v;
+        has_prev[static_cast<std::size_t>(v)] = 1;
+        break;
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (has_prev[static_cast<std::size_t>(v)]) continue;
+    std::vector<int> chain;
+    for (int cur = v; cur >= 0; cur = next[static_cast<std::size_t>(cur)]) {
+      chain.push_back(cur);
+    }
+    cover.chains.push_back(std::move(chain));
+  }
+  SUU_CHECK_MSG(static_cast<int>(cover.chains.size()) == cover.width,
+                "Dilworth bookkeeping mismatch");
+  return cover;
+}
+
+int dag_width(const core::Dag& dag) { return min_chain_cover(dag).width; }
+
+}  // namespace suu::chains

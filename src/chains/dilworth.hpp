@@ -1,0 +1,38 @@
+// Poset width and minimum chain covers (Dilworth's theorem).
+//
+// Malewicz [12] proves SUU is polynomial-time solvable when both the
+// machine count and the WIDTH of the precedence dag (the largest antichain)
+// are constant, and NP-hard otherwise; the width-parameterized exact solver
+// in algos/exact_width_dp.hpp needs a minimum chain cover of the poset.
+//
+// By Dilworth's theorem, width = minimum number of chains covering the
+// poset, computed here via König/Fulkerson: build the bipartite
+// comparability graph over the transitive closure, find a maximum matching
+// (max-flow substrate), and stitch matched pairs into chains:
+//     min cover size = n - max matching.
+//
+// Chains returned are chains of the POSET (every pair comparable via
+// reachability), not necessarily paths of the dag.
+#pragma once
+
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace suu::chains {
+
+struct ChainCover {
+  /// Vertex-disjoint poset chains covering every vertex, each listed in
+  /// precedence order.
+  std::vector<std::vector<int>> chains;
+  /// Poset width (== chains.size() by Dilworth).
+  int width = 0;
+};
+
+/// Reachability-closure chain cover. O(n^2 * n/64) closure + one matching.
+ChainCover min_chain_cover(const core::Dag& dag);
+
+/// Width of the precedence poset (largest antichain).
+int dag_width(const core::Dag& dag);
+
+}  // namespace suu::chains

@@ -1,0 +1,110 @@
+#include "core/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace suu::core {
+
+Dag::Dag(int n) {
+  SUU_CHECK(n >= 0);
+  preds_.resize(n);
+  succs_.resize(n);
+}
+
+void Dag::add_edge(int u, int v) {
+  SUU_CHECK(u >= 0 && u < num_vertices());
+  SUU_CHECK(v >= 0 && v < num_vertices());
+  SUU_CHECK_MSG(u != v, "self-loop " << u);
+  SUU_CHECK_MSG(std::find(succs_[u].begin(), succs_[u].end(), v) ==
+                    succs_[u].end(),
+                "duplicate edge " << u << "->" << v);
+  succs_[u].push_back(v);
+  preds_[v].push_back(u);
+  ++n_edges_;
+}
+
+const std::vector<int>& Dag::preds(int v) const {
+  SUU_CHECK(v >= 0 && v < num_vertices());
+  return preds_[v];
+}
+
+const std::vector<int>& Dag::succs(int v) const {
+  SUU_CHECK(v >= 0 && v < num_vertices());
+  return succs_[v];
+}
+
+bool Dag::is_chains() const {
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (preds_[v].size() > 1 || succs_[v].size() > 1) return false;
+  }
+  return true;
+}
+
+bool Dag::is_out_forest() const {
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (preds_[v].size() > 1) return false;
+  }
+  return true;
+}
+
+bool Dag::is_in_forest() const {
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (succs_[v].size() > 1) return false;
+  }
+  return true;
+}
+
+std::vector<int> Dag::topo_order() const {
+  std::vector<int> indeg(num_vertices());
+  for (int v = 0; v < num_vertices(); ++v) {
+    indeg[v] = static_cast<int>(preds_[v].size());
+  }
+  std::queue<int> q;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (indeg[v] == 0) q.push(v);
+  }
+  std::vector<int> order;
+  order.reserve(num_vertices());
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (int w : succs_[u]) {
+      if (--indeg[w] == 0) q.push(w);
+    }
+  }
+  SUU_CHECK_MSG(static_cast<int>(order.size()) == num_vertices(),
+                "precedence graph contains a cycle");
+  return order;
+}
+
+std::vector<std::vector<int>> Dag::chains() const {
+  SUU_CHECK_MSG(is_chains(), "dag is not a disjoint union of chains");
+  std::vector<std::vector<int>> result;
+  std::vector<char> seen(num_vertices(), 0);
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (!preds_[v].empty() || seen[v]) continue;
+    std::vector<int> chain;
+    int cur = v;
+    for (;;) {
+      chain.push_back(cur);
+      seen[cur] = 1;
+      if (succs_[cur].empty()) break;
+      cur = succs_[cur][0];
+    }
+    result.push_back(std::move(chain));
+  }
+  return result;
+}
+
+std::vector<int> Dag::roots() const {
+  std::vector<int> r;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (preds_[v].empty()) r.push_back(v);
+  }
+  return r;
+}
+
+}  // namespace suu::core

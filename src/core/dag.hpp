@@ -1,0 +1,58 @@
+// Precedence DAGs for SUU instances.
+//
+// Vertices are jobs; an edge (u, v) means u must complete before v becomes
+// eligible. The paper's algorithms treat three structural classes
+// specially: the empty DAG (SUU-I), disjoint chains (SUU-C) and directed
+// forests (SUU-T); the recognizers below drive that dispatch.
+#pragma once
+
+#include <vector>
+
+namespace suu::core {
+
+class Dag {
+ public:
+  /// DAG with n vertices and no edges.
+  explicit Dag(int n);
+
+  int num_vertices() const noexcept { return static_cast<int>(preds_.size()); }
+  int num_edges() const noexcept { return n_edges_; }
+
+  /// Add the precedence edge u -> v (u before v). Duplicate edges rejected.
+  void add_edge(int u, int v);
+
+  const std::vector<int>& preds(int v) const;
+  const std::vector<int>& succs(int v) const;
+
+  bool is_empty() const noexcept { return n_edges_ == 0; }
+
+  /// True when every vertex has at most one predecessor and at most one
+  /// successor (a disjoint union of chains; isolated vertices count as
+  /// length-1 chains).
+  bool is_chains() const;
+
+  /// True when every vertex has at most one predecessor (disjoint out-trees).
+  bool is_out_forest() const;
+  /// True when every vertex has at most one successor (disjoint in-trees).
+  bool is_in_forest() const;
+
+  /// Topological order; throws util::CheckError when the graph has a cycle.
+  std::vector<int> topo_order() const;
+
+  /// Throws util::CheckError when the graph has a cycle.
+  void validate_acyclic() const { (void)topo_order(); }
+
+  /// Decompose into chains; requires is_chains(). Every vertex appears in
+  /// exactly one chain, listed in precedence order.
+  std::vector<std::vector<int>> chains() const;
+
+  /// Vertices with no predecessor.
+  std::vector<int> roots() const;
+
+ private:
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+  int n_edges_ = 0;
+};
+
+}  // namespace suu::core

@@ -1,0 +1,164 @@
+#include "core/generators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace suu::core {
+
+MachineModel MachineModel::uniform(double lo, double hi) {
+  MachineModel m;
+  m.kind = Kind::Uniform;
+  m.q_lo = lo;
+  m.q_hi = hi;
+  return m;
+}
+
+MachineModel MachineModel::classes() {
+  MachineModel m;
+  m.kind = Kind::Classes;
+  return m;
+}
+
+MachineModel MachineModel::sparse(double frac, double lo, double hi) {
+  MachineModel m;
+  m.kind = Kind::Sparse;
+  m.capable_frac = frac;
+  m.q_lo = lo;
+  m.q_hi = hi;
+  return m;
+}
+
+MachineModel MachineModel::identical(double q) {
+  MachineModel m;
+  m.kind = Kind::Identical;
+  m.q_ident = q;
+  return m;
+}
+
+std::vector<double> gen_q(int n, int m, const MachineModel& model,
+                          util::Rng& rng) {
+  SUU_CHECK(n >= 1 && m >= 1);
+  std::vector<double> q(static_cast<std::size_t>(n) * m, 1.0);
+  switch (model.kind) {
+    case MachineModel::Kind::Uniform: {
+      for (auto& v : q) v = rng.uniform_real(model.q_lo, model.q_hi);
+      break;
+    }
+    case MachineModel::Kind::Classes: {
+      const int n_fast = std::max(
+          1, static_cast<int>(model.frac_fast * static_cast<double>(m)));
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < m; ++i) {
+          const bool fast = i < n_fast;
+          q[static_cast<std::size_t>(j) * m + i] =
+              fast ? rng.uniform_real(model.fast_lo, model.fast_hi)
+                   : rng.uniform_real(model.slow_lo, model.slow_hi);
+        }
+      }
+      break;
+    }
+    case MachineModel::Kind::Sparse: {
+      for (int j = 0; j < n; ++j) {
+        bool any = false;
+        for (int i = 0; i < m; ++i) {
+          if (rng.bernoulli(model.capable_frac)) {
+            q[static_cast<std::size_t>(j) * m + i] =
+                rng.uniform_real(model.q_lo, model.q_hi);
+            any = true;
+          }
+        }
+        if (!any) {
+          // Guarantee the paper's WLOG assumption: some machine can run j.
+          const int i = static_cast<int>(rng.uniform_below(m));
+          q[static_cast<std::size_t>(j) * m + i] =
+              rng.uniform_real(model.q_lo, model.q_hi);
+        }
+      }
+      break;
+    }
+    case MachineModel::Kind::Identical: {
+      std::fill(q.begin(), q.end(), model.q_ident);
+      break;
+    }
+  }
+  return q;
+}
+
+Instance make_independent(int n, int m, const MachineModel& model,
+                          util::Rng& rng) {
+  return Instance::independent(n, m, gen_q(n, m, model, rng));
+}
+
+Dag make_chain_dag(const std::vector<int>& lengths) {
+  int n = 0;
+  for (int len : lengths) {
+    SUU_CHECK(len >= 1);
+    n += len;
+  }
+  Dag dag(n);
+  int base = 0;
+  for (int len : lengths) {
+    for (int k = 1; k < len; ++k) dag.add_edge(base + k - 1, base + k);
+    base += len;
+  }
+  return dag;
+}
+
+Instance make_chains(int n_chains, int len_lo, int len_hi, int m,
+                     const MachineModel& model, util::Rng& rng) {
+  SUU_CHECK(n_chains >= 1 && len_lo >= 1 && len_hi >= len_lo);
+  std::vector<int> lengths(n_chains);
+  int n = 0;
+  for (auto& len : lengths) {
+    len = static_cast<int>(rng.uniform_int(len_lo, len_hi));
+    n += len;
+  }
+  return Instance(n, m, gen_q(n, m, model, rng), make_chain_dag(lengths));
+}
+
+namespace {
+
+Dag random_out_forest_dag(int n, double root_prob, int max_children,
+                          util::Rng& rng) {
+  SUU_CHECK(n >= 1 && max_children >= 1);
+  Dag dag(n);
+  std::vector<int> child_count(n, 0);
+  for (int v = 1; v < n; ++v) {
+    if (rng.bernoulli(root_prob)) continue;  // new root
+    // Pick a random earlier vertex with spare child capacity; fall back to
+    // a root if none is found quickly.
+    int parent = -1;
+    for (int tries = 0; tries < 8; ++tries) {
+      const int cand = static_cast<int>(rng.uniform_below(v));
+      if (child_count[cand] < max_children) {
+        parent = cand;
+        break;
+      }
+    }
+    if (parent < 0) continue;
+    dag.add_edge(parent, v);
+    ++child_count[parent];
+  }
+  return dag;
+}
+
+}  // namespace
+
+Instance make_out_forest(int n, int m, double root_prob, int max_children,
+                         const MachineModel& model, util::Rng& rng) {
+  Dag dag = random_out_forest_dag(n, root_prob, max_children, rng);
+  return Instance(n, m, gen_q(n, m, model, rng), std::move(dag));
+}
+
+Instance make_in_forest(int n, int m, double root_prob, int max_children,
+                        const MachineModel& model, util::Rng& rng) {
+  const Dag out = random_out_forest_dag(n, root_prob, max_children, rng);
+  Dag in(n);
+  for (int v = 0; v < n; ++v) {
+    for (int w : out.succs(v)) in.add_edge(w, v);  // reverse every edge
+  }
+  return Instance(n, m, gen_q(n, m, model, rng), std::move(in));
+}
+
+}  // namespace suu::core

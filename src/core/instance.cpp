@@ -1,0 +1,52 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace suu::core {
+
+Instance::Instance(int n, int m, std::vector<double> q, Dag dag)
+    : n_(n), m_(m), q_(std::move(q)), dag_(std::move(dag)) {
+  SUU_CHECK(n >= 1 && m >= 1);
+  SUU_CHECK_MSG(q_.size() == static_cast<std::size_t>(n) * m,
+                "q matrix has wrong size");
+  SUU_CHECK_MSG(dag_.num_vertices() == n, "dag size != number of jobs");
+  dag_.validate_acyclic();
+
+  ell_.resize(q_.size());
+  for (int j = 0; j < n_; ++j) {
+    bool has_capable = false;
+    for (int i = 0; i < m_; ++i) {
+      const double qij = q_[static_cast<std::size_t>(j) * m_ + i];
+      SUU_CHECK_MSG(qij >= 0.0 && qij <= 1.0,
+                    "q(" << i << "," << j << ") = " << qij
+                         << " outside [0,1]");
+      if (qij < 1.0) has_capable = true;
+      double e = (qij <= 0.0) ? kMaxEll : -std::log2(qij);
+      e = std::clamp(e, 0.0, kMaxEll);
+      ell_[static_cast<std::size_t>(j) * m_ + i] = e;
+    }
+    SUU_CHECK_MSG(has_capable,
+                  "job " << j << " has no machine with q < 1 (paper WLOG)");
+  }
+}
+
+Instance Instance::independent(int n, int m, std::vector<double> q) {
+  return Instance(n, m, std::move(q), Dag(n));
+}
+
+double Instance::total_ell(int job) const {
+  double s = 0.0;
+  for (int i = 0; i < m_; ++i) s += ell(i, job);
+  return s;
+}
+
+double Instance::max_ell(int job) const {
+  double s = 0.0;
+  for (int i = 0; i < m_; ++i) s = std::max(s, ell(i, job));
+  return s;
+}
+
+}  // namespace suu::core

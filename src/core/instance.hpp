@@ -1,0 +1,68 @@
+// The SUU problem instance: (J, M, {q_ij}, G).
+//
+// q(i, j) is the probability that job j does NOT complete when machine i
+// runs it for one unit step (paper §2). The log failure
+// ell(i, j) = -log2 q(i, j) is the "work" interpretation used by the SUU*
+// reformulation (Appendix A): a job completes once its accrued log mass
+// exceeds -log2 r_j for a hidden uniform draw r_j.
+//
+// Numerics: q == 0 (a machine that always succeeds) would make ell infinite;
+// we clamp ell at kMaxEll = 64, i.e. treat failure probabilities below
+// 2^-64 as 2^-64. Doubles cannot draw r_j below ~2^-53, so a clamped
+// machine still completes its job in one step under both semantics.
+#pragma once
+
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace suu::core {
+
+class Instance {
+ public:
+  /// Log-failure clamp: ell values are capped at 64 bits.
+  static constexpr double kMaxEll = 64.0;
+
+  /// q is row-major by job: q[j * m + i] is q_{ij}.
+  /// Requirements (validated): |q| == n*m, every q in [0,1], every job has
+  /// a machine with q < 1, dag has n vertices and is acyclic.
+  Instance(int n, int m, std::vector<double> q, Dag dag);
+
+  /// Convenience: instance with no precedence constraints (SUU-I).
+  static Instance independent(int n, int m, std::vector<double> q);
+
+  int num_jobs() const noexcept { return n_; }
+  int num_machines() const noexcept { return m_; }
+
+  /// Failure probability of job j on machine i for one step.
+  double q(int machine, int job) const noexcept {
+    return q_[static_cast<std::size_t>(job) * m_ + machine];
+  }
+  /// Log failure ell_{ij} = -log2 q_{ij}, clamped to [0, kMaxEll].
+  double ell(int machine, int job) const noexcept {
+    return ell_[static_cast<std::size_t>(job) * m_ + machine];
+  }
+  /// Truncated log failure min(ell_{ij}, cap) used by the LP relaxations.
+  double ell_capped(int machine, int job, double cap) const noexcept {
+    const double e = ell(machine, job);
+    return e < cap ? e : cap;
+  }
+
+  /// Sum of ell over all machines for one job (the best-case per-step mass
+  /// when every machine gangs up on it).
+  double total_ell(int job) const;
+  /// Largest single-machine ell for a job.
+  double max_ell(int job) const;
+
+  const Dag& dag() const noexcept { return dag_; }
+  bool is_independent() const noexcept { return dag_.is_empty(); }
+
+ private:
+  int n_;
+  int m_;
+  std::vector<double> q_;
+  std::vector<double> ell_;
+  Dag dag_;
+};
+
+}  // namespace suu::core

@@ -1,0 +1,114 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace suu::core {
+namespace {
+
+constexpr const char* kMagic = "suu-instance";
+constexpr const char* kVersion = "v1";
+
+// Skip comment lines and return the next token.
+std::string next_token(std::istream& is) {
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    return tok;
+  }
+  SUU_CHECK_MSG(false, "unexpected end of instance stream");
+  return {};
+}
+
+double next_double(std::istream& is) {
+  const std::string tok = next_token(is);
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  SUU_CHECK_MSG(pos == tok.size() && pos > 0, "bad number '" << tok << "'");
+  return v;
+}
+
+long next_long(std::istream& is) {
+  const std::string tok = next_token(is);
+  std::size_t pos = 0;
+  long v = 0;
+  try {
+    v = std::stol(tok, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  SUU_CHECK_MSG(pos == tok.size() && pos > 0, "bad integer '" << tok << "'");
+  return v;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& inst) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << inst.num_jobs() << ' ' << inst.num_machines() << '\n';
+  os << std::setprecision(17);
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    for (int i = 0; i < inst.num_machines(); ++i) {
+      os << (i ? " " : "") << inst.q(i, j);
+    }
+    os << '\n';
+  }
+  os << inst.dag().num_edges() << '\n';
+  for (int u = 0; u < inst.num_jobs(); ++u) {
+    for (const int v : inst.dag().succs(u)) {
+      os << u << ' ' << v << '\n';
+    }
+  }
+}
+
+Instance read_instance(std::istream& is) {
+  SUU_CHECK_MSG(next_token(is) == kMagic, "not an suu-instance stream");
+  SUU_CHECK_MSG(next_token(is) == kVersion, "unsupported version");
+  const long n = next_long(is);
+  const long m = next_long(is);
+  SUU_CHECK_MSG(n >= 1 && m >= 1 && n < (1L << 24) && m < (1L << 24),
+                "implausible dimensions " << n << "x" << m);
+  std::vector<double> q(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(m));
+  for (auto& v : q) v = next_double(is);
+  const long edges = next_long(is);
+  SUU_CHECK_MSG(edges >= 0, "negative edge count");
+  Dag dag(static_cast<int>(n));
+  for (long e = 0; e < edges; ++e) {
+    const long u = next_long(is);
+    const long v = next_long(is);
+    dag.add_edge(static_cast<int>(u), static_cast<int>(v));
+  }
+  return Instance(static_cast<int>(n), static_cast<int>(m), std::move(q),
+                  std::move(dag));
+}
+
+void save_instance(const std::string& path, const Instance& inst) {
+  std::ofstream os(path);
+  SUU_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_instance(os, inst);
+  SUU_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream is(path);
+  SUU_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_instance(is);
+}
+
+}  // namespace suu::core

@@ -1,0 +1,27 @@
+// Plain-text serialization for SUU instances.
+//
+// Format (whitespace-separated, '#' comments allowed at line starts):
+//
+//   suu-instance v1
+//   <n> <m>
+//   <n rows of m failure probabilities q_ij, row-major by job>
+//   <edge count>
+//   <edge count rows of "u v"> (u precedes v)
+//
+// Round-trips exactly at 17 significant digits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace suu::core {
+
+void write_instance(std::ostream& os, const Instance& inst);
+Instance read_instance(std::istream& is);
+
+void save_instance(const std::string& path, const Instance& inst);
+Instance load_instance(const std::string& path);
+
+}  // namespace suu::core

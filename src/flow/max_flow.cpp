@@ -1,0 +1,113 @@
+#include "flow/max_flow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace suu::flow {
+
+MaxFlow::MaxFlow(int n) {
+  SUU_CHECK(n >= 0);
+  adj_.resize(n);
+  head_.resize(n, 0);
+}
+
+int MaxFlow::add_node() {
+  adj_.emplace_back();
+  head_.push_back(0);
+  return num_nodes() - 1;
+}
+
+int MaxFlow::add_edge(int u, int v, Cap cap) {
+  SUU_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  SUU_CHECK_MSG(cap >= 0, "negative capacity");
+  SUU_CHECK_MSG(u != v, "self-loops are not supported");
+  const int iu = static_cast<int>(adj_[u].size());
+  const int iv = static_cast<int>(adj_[v].size());
+  adj_[u].push_back(Edge{v, cap, iv});
+  adj_[v].push_back(Edge{u, 0, iu});
+  edge_ref_.emplace_back(u, iu);
+  orig_cap_.push_back(cap);
+  return static_cast<int>(edge_ref_.size()) - 1;
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  level_.assign(num_nodes(), -1);
+  std::queue<int> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const Edge& e : adj_[u]) {
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+MaxFlow::Cap MaxFlow::dfs(int u, int t, Cap limit) {
+  if (u == t) return limit;
+  for (int& i = iter_[u]; i < static_cast<int>(adj_[u].size()); ++i) {
+    Edge& e = adj_[u][i];
+    if (e.cap <= 0 || level_[e.to] != level_[u] + 1) continue;
+    const Cap d = dfs(e.to, t, std::min(limit, e.cap));
+    if (d > 0) {
+      e.cap -= d;
+      adj_[e.to][e.rev].cap += d;
+      return d;
+    }
+  }
+  return 0;
+}
+
+MaxFlow::Cap MaxFlow::solve(int s, int t) {
+  SUU_CHECK(s >= 0 && s < num_nodes() && t >= 0 && t < num_nodes());
+  SUU_CHECK(s != t);
+  Cap total = 0;
+  while (bfs(s, t)) {
+    iter_.assign(num_nodes(), 0);
+    for (;;) {
+      const Cap f = dfs(s, t, kInf);
+      if (f == 0) break;
+      total += f;
+    }
+  }
+  return total;
+}
+
+MaxFlow::Cap MaxFlow::flow_on(int id) const {
+  SUU_CHECK(id >= 0 && id < static_cast<int>(edge_ref_.size()));
+  const auto [u, i] = edge_ref_[id];
+  return orig_cap_[id] - adj_[u][i].cap;
+}
+
+MaxFlow::Cap MaxFlow::capacity_of(int id) const {
+  SUU_CHECK(id >= 0 && id < static_cast<int>(edge_ref_.size()));
+  return orig_cap_[id];
+}
+
+std::vector<char> MaxFlow::min_cut_side(int s) const {
+  SUU_CHECK(s >= 0 && s < num_nodes());
+  std::vector<char> side(num_nodes(), 0);
+  std::queue<int> q;
+  side[s] = 1;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const Edge& e : adj_[u]) {
+      if (e.cap > 0 && !side[e.to]) {
+        side[e.to] = 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace suu::flow

@@ -1,0 +1,60 @@
+// Integral max-flow (Dinic's algorithm).
+//
+// The rounding steps of Lemma 2 and Lemma 6 build a bipartite-ish network
+// (source -> job-group nodes -> machine nodes -> sink) with integral
+// capacities; Ford–Fulkerson integrality then turns the fractional LP
+// solution into the integral assignment the schedules execute. This module
+// provides the flow substrate plus min-cut extraction for verification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace suu::flow {
+
+class MaxFlow {
+ public:
+  using Cap = std::int64_t;
+  /// Effectively-infinite capacity for uncapacitated edges.
+  static constexpr Cap kInf = INT64_C(1) << 60;
+
+  explicit MaxFlow(int n = 0);
+
+  int num_nodes() const noexcept { return static_cast<int>(head_.size()); }
+  int add_node();
+
+  /// Directed edge from `u` to `v` with capacity `cap >= 0`.
+  /// Returns an edge id usable with flow_on()/capacity_of().
+  int add_edge(int u, int v, Cap cap);
+
+  /// Compute the maximum s-t flow. May be called once per instance.
+  Cap solve(int s, int t);
+
+  /// Flow pushed across edge `id` (nonnegative; reverse flow shows on the
+  /// paired residual edge internally).
+  Cap flow_on(int id) const;
+  Cap capacity_of(int id) const;
+
+  /// After solve(): nodes reachable from s in the residual graph
+  /// (the s-side of a minimum cut).
+  std::vector<char> min_cut_side(int s) const;
+
+ private:
+  struct Edge {
+    int to;
+    Cap cap;  // residual capacity
+    int rev;  // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs(int s, int t);
+  Cap dfs(int u, int t, Cap limit);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> head_;   // also tracks node count
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  std::vector<std::pair<int, int>> edge_ref_;  // id -> (node, index)
+  std::vector<Cap> orig_cap_;
+};
+
+}  // namespace suu::flow

@@ -1,0 +1,106 @@
+#include "lp/fw_cover.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace suu::lp {
+
+FwSolution solve_fw_cover(const CoverSystem& sys, const FwOptions& opt) {
+  const int n_jobs = static_cast<int>(sys.cover.size());
+  SUU_CHECK(static_cast<int>(sys.demand.size()) == n_jobs);
+  SUU_CHECK(sys.n_machines > 0);
+
+  FwSolution sol;
+  sol.x.resize(n_jobs);
+  if (n_jobs == 0) return sol;
+
+  // Initial point: each job covered entirely by its highest-rate machine.
+  std::vector<double> load(sys.n_machines, 0.0);
+  for (int j = 0; j < n_jobs; ++j) {
+    const auto& cov = sys.cover[j];
+    SUU_CHECK_MSG(!cov.empty(), "job " << j << " has no capable machine");
+    SUU_CHECK(sys.demand[j] > 0);
+    int best = 0;
+    for (int k = 1; k < static_cast<int>(cov.size()); ++k) {
+      if (cov[k].second > cov[best].second) best = k;
+    }
+    sol.x[j].assign(cov.size(), 0.0);
+    SUU_CHECK(cov[best].second > 0);
+    sol.x[j][best] = sys.demand[j] / cov[best].second;
+    load[cov[best].first] += sol.x[j][best];
+  }
+
+  std::vector<double> u(sys.n_machines);      // softmax weights
+  std::vector<double> yload(sys.n_machines);  // loads of the oracle point
+  std::vector<int> pick(n_jobs);
+
+  double best_lb = 0.0;
+  for (int iter = 0; iter < opt.max_iters; ++iter) {
+    ++sol.iterations;
+    const double t_cur = *std::max_element(load.begin(), load.end());
+    if (t_cur <= 0) break;
+
+    // Softmax weights with temperature tied to the current value, so the
+    // smoothing error stays a constant fraction of t_cur.
+    const double eta =
+        std::log(static_cast<double>(sys.n_machines) + 2.0) * 8.0 / t_cur;
+    double wsum = 0.0;
+    for (int i = 0; i < sys.n_machines; ++i) {
+      u[i] = std::exp(eta * (load[i] - t_cur));  // shift for stability
+      wsum += u[i];
+    }
+    for (auto& w : u) w /= wsum;
+
+    // Linear oracle: each job moves all demand to its cheapest machine
+    // under prices u. Also yields the certified lower bound.
+    std::fill(yload.begin(), yload.end(), 0.0);
+    double lb = 0.0;
+    for (int j = 0; j < n_jobs; ++j) {
+      const auto& cov = sys.cover[j];
+      int best = -1;
+      double best_price = std::numeric_limits<double>::infinity();
+      for (int k = 0; k < static_cast<int>(cov.size()); ++k) {
+        const double price = u[cov[k].first] / cov[k].second;
+        if (price < best_price) {
+          best_price = price;
+          best = k;
+        }
+      }
+      pick[j] = best;
+      lb += sys.demand[j] * best_price;
+      yload[cov[best].first] += sys.demand[j] / cov[best].second;
+    }
+    best_lb = std::max(best_lb, lb);
+
+    if (t_cur - best_lb <= opt.rel_gap * t_cur) break;
+
+    // Frank–Wolfe step toward the oracle point.
+    const double sigma = 2.0 / (static_cast<double>(iter) + 3.0);
+    for (int j = 0; j < n_jobs; ++j) {
+      auto& xj = sol.x[j];
+      for (auto& v : xj) v *= (1.0 - sigma);
+      const auto& cov = sys.cover[j];
+      xj[pick[j]] += sigma * sys.demand[j] / cov[pick[j]].second;
+    }
+    for (int i = 0; i < sys.n_machines; ++i) {
+      load[i] = (1.0 - sigma) * load[i] + sigma * yload[i];
+    }
+  }
+
+  // Recompute the exact loads from x (drift-free) and report.
+  std::fill(load.begin(), load.end(), 0.0);
+  for (int j = 0; j < n_jobs; ++j) {
+    const auto& cov = sys.cover[j];
+    for (int k = 0; k < static_cast<int>(cov.size()); ++k) {
+      load[cov[k].first] += sol.x[j][k];
+    }
+  }
+  sol.t = *std::max_element(load.begin(), load.end());
+  sol.lower_bound = best_lb;
+  return sol;
+}
+
+}  // namespace suu::lp

@@ -1,0 +1,51 @@
+// General linear-program description consumed by the simplex solver.
+//
+// All variables are implicitly nonnegative (x >= 0); every LP the paper
+// uses (LP1, LP2, Lawler–Labetoulle) has this form.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace suu::lp {
+
+enum class Rel { Le, Ge, Eq };
+
+/// One linear constraint: sum of coeff*x over `terms` REL rhs.
+struct Row {
+  std::vector<std::pair<int, double>> terms;  ///< (variable index, coefficient)
+  Rel rel = Rel::Le;
+  double rhs = 0.0;
+};
+
+/// minimize c·x subject to rows, x >= 0.
+struct Problem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars; minimized
+  std::vector<Row> rows;
+
+  /// Create a fresh variable with the given objective coefficient;
+  /// returns its index.
+  int add_var(double obj_coeff);
+  /// Append a constraint (terms may reference any existing variable).
+  void add_row(Row row);
+};
+
+enum class Status { Optimal, Infeasible, Unbounded, IterLimit };
+
+std::string to_string(Status s);
+
+struct Solution {
+  Status status = Status::IterLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< size num_vars when status == Optimal
+  int iterations = 0;
+};
+
+/// Check primal feasibility of a candidate point within tolerance `tol`
+/// (row violation and negativity measured absolutely).
+/// Returns the maximum violation found (0 when feasible).
+double max_violation(const Problem& p, const std::vector<double>& x);
+
+}  // namespace suu::lp

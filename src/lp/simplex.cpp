@@ -1,0 +1,324 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace suu::lp {
+namespace {
+
+// Dense tableau:
+//   body_[r] = current B^{-1} A row (length n_total), rhs_[r] = B^{-1} b.
+//   cost_[j] = reduced cost of column j for the active objective,
+//   cost_obj_ = current (negated) objective value.
+class Tableau {
+ public:
+  Tableau(const Problem& p, double tol) : tol_(tol) {
+    const int m = static_cast<int>(p.rows.size());
+    n_orig_ = p.num_vars;
+
+    // Count extra columns: one slack/surplus per inequality, one artificial
+    // per Ge/Eq row (after rhs-sign normalization).
+    // First normalize rows so rhs >= 0.
+    struct NRow {
+      std::vector<double> a;  // dense over original vars
+      Rel rel;
+      double rhs;
+    };
+    std::vector<NRow> nrows(m);
+    for (int r = 0; r < m; ++r) {
+      const Row& row = p.rows[r];
+      NRow nr;
+      nr.a.assign(n_orig_, 0.0);
+      for (const auto& [v, c] : row.terms) nr.a[v] += c;
+      nr.rel = row.rel;
+      nr.rhs = row.rhs;
+      if (nr.rhs < 0) {
+        for (auto& c : nr.a) c = -c;
+        nr.rhs = -nr.rhs;
+        if (nr.rel == Rel::Le) {
+          nr.rel = Rel::Ge;
+        } else if (nr.rel == Rel::Ge) {
+          nr.rel = Rel::Le;
+        }
+      }
+      nrows[r] = std::move(nr);
+    }
+
+    int n_slack = 0, n_art = 0;
+    for (const auto& nr : nrows) {
+      if (nr.rel != Rel::Eq) ++n_slack;
+      if (nr.rel != Rel::Le) ++n_art;
+    }
+    n_total_ = n_orig_ + n_slack + n_art;
+    art_begin_ = n_orig_ + n_slack;
+
+    body_.assign(m, std::vector<double>(n_total_, 0.0));
+    rhs_.assign(m, 0.0);
+    basis_.assign(m, -1);
+
+    int slack_next = n_orig_;
+    int art_next = art_begin_;
+    for (int r = 0; r < m; ++r) {
+      const NRow& nr = nrows[r];
+      for (int j = 0; j < n_orig_; ++j) body_[r][j] = nr.a[j];
+      rhs_[r] = nr.rhs;
+      if (nr.rel == Rel::Le) {
+        body_[r][slack_next] = 1.0;
+        basis_[r] = slack_next++;
+      } else if (nr.rel == Rel::Ge) {
+        body_[r][slack_next] = -1.0;
+        ++slack_next;
+        body_[r][art_next] = 1.0;
+        basis_[r] = art_next++;
+      } else {  // Eq
+        body_[r][art_next] = 1.0;
+        basis_[r] = art_next++;
+      }
+    }
+  }
+
+  int rows() const { return static_cast<int>(body_.size()); }
+  int cols() const { return n_total_; }
+  int n_orig() const { return n_orig_; }
+  int art_begin() const { return art_begin_; }
+  const std::vector<int>& basis() const { return basis_; }
+
+  // Install reduced costs for objective `c` (dense over all n_total_ columns,
+  // zero-extended) given the current basis.
+  void load_objective(const std::vector<double>& c) {
+    cost_.assign(n_total_, 0.0);
+    for (int j = 0; j < n_total_ && j < static_cast<int>(c.size()); ++j) {
+      cost_[j] = c[j];
+    }
+    cost_obj_ = 0.0;
+    // Subtract c_B * (row) from cost for every basic column.
+    for (int r = 0; r < rows(); ++r) {
+      const int b = basis_[r];
+      const double cb =
+          (b < static_cast<int>(c.size())) ? c[b] : 0.0;
+      if (cb == 0.0) continue;
+      for (int j = 0; j < n_total_; ++j) cost_[j] -= cb * body_[r][j];
+      cost_obj_ -= cb * rhs_[r];
+    }
+  }
+
+  double objective() const { return -cost_obj_; }
+
+  // One simplex iteration for the loaded objective. `allowed(j)` filters the
+  // entering column. Returns: 0 = optimal, 1 = pivoted, 2 = unbounded.
+  template <typename Allowed>
+  int iterate(bool bland, Allowed&& allowed) {
+    // Entering column.
+    int enter = -1;
+    if (bland) {
+      for (int j = 0; j < n_total_; ++j) {
+        if (allowed(j) && cost_[j] < -tol_) {
+          enter = j;
+          break;
+        }
+      }
+    } else {
+      double best = -tol_;
+      for (int j = 0; j < n_total_; ++j) {
+        if (allowed(j) && cost_[j] < best) {
+          best = cost_[j];
+          enter = j;
+        }
+      }
+    }
+    if (enter < 0) return 0;
+
+    // Ratio test.
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < rows(); ++r) {
+      const double a = body_[r][enter];
+      if (a > tol_) {
+        const double ratio = rhs_[r] / a;
+        if (ratio < best_ratio - tol_ ||
+            (ratio < best_ratio + tol_ &&
+             (leave < 0 || basis_[r] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave < 0) return 2;
+
+    pivot(leave, enter);
+    return 1;
+  }
+
+  void pivot(int r, int enter) {
+    const double piv = body_[r][enter];
+    SUU_ASSERT(std::fabs(piv) > 0);
+    const double inv = 1.0 / piv;
+    for (int j = 0; j < n_total_; ++j) body_[r][j] *= inv;
+    rhs_[r] *= inv;
+    body_[r][enter] = 1.0;  // kill roundoff
+    for (int rr = 0; rr < rows(); ++rr) {
+      if (rr == r) continue;
+      const double f = body_[rr][enter];
+      if (f == 0.0) continue;
+      for (int j = 0; j < n_total_; ++j) body_[rr][j] -= f * body_[r][j];
+      body_[rr][enter] = 0.0;
+      rhs_[rr] -= f * rhs_[r];
+      if (rhs_[rr] < 0 && rhs_[rr] > -tol_) rhs_[rr] = 0.0;
+    }
+    const double fc = cost_[enter];
+    if (fc != 0.0) {
+      for (int j = 0; j < n_total_; ++j) cost_[j] -= fc * body_[r][j];
+      cost_[enter] = 0.0;
+      cost_obj_ -= fc * rhs_[r];
+    }
+    basis_[r] = enter;
+  }
+
+  // After phase 1: pivot artificial variables out of the basis where
+  // possible; rows whose artificial cannot leave are redundant (all
+  // non-artificial coefficients ~ 0) and harmless since their rhs is ~0.
+  void expel_artificials() {
+    for (int r = 0; r < rows(); ++r) {
+      if (basis_[r] < art_begin_) continue;
+      int enter = -1;
+      for (int j = 0; j < art_begin_; ++j) {
+        if (std::fabs(body_[r][j]) > tol_ * 10) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter >= 0) pivot(r, enter);
+    }
+  }
+
+  std::vector<double> extract(int n_vars) const {
+    std::vector<double> x(n_vars, 0.0);
+    for (int r = 0; r < rows(); ++r) {
+      if (basis_[r] < n_vars) x[basis_[r]] = std::max(0.0, rhs_[r]);
+    }
+    return x;
+  }
+
+ private:
+  double tol_;
+  int n_orig_ = 0;
+  int n_total_ = 0;
+  int art_begin_ = 0;
+  std::vector<std::vector<double>> body_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;
+  double cost_obj_ = 0.0;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
+  Solution sol;
+  if (p.num_vars == 0) {
+    // Trivially optimal iff every row is satisfied by x = {}.
+    sol.x.clear();
+    sol.objective = 0.0;
+    sol.status = Status::Optimal;
+    for (const auto& row : p.rows) {
+      const bool ok = (row.rel == Rel::Le && row.rhs >= -opt.tol) ||
+                      (row.rel == Rel::Ge && row.rhs <= opt.tol) ||
+                      (row.rel == Rel::Eq && std::fabs(row.rhs) <= opt.tol);
+      if (!ok) sol.status = Status::Infeasible;
+    }
+    return sol;
+  }
+
+  Tableau tab(p, opt.tol);
+  const int m = tab.rows();
+  const int n = tab.cols();
+  const int iter_cap =
+      opt.max_iters > 0 ? opt.max_iters : 200 * (m + n) + 20000;
+  // Switch to Bland's rule when no strict objective progress for a while.
+  const int stall_cap = 4 * (m + n) + 64;
+
+  int iters = 0;
+
+  auto run_phase = [&](auto&& allowed) -> int {
+    double last_obj = tab.objective();
+    int stall = 0;
+    bool bland = false;
+    while (iters < iter_cap) {
+      ++iters;
+      const int res = tab.iterate(bland, allowed);
+      if (res != 1) return res;
+      const double obj = tab.objective();
+      if (obj < last_obj - opt.tol) {
+        stall = 0;
+        bland = false;
+        last_obj = obj;
+      } else if (++stall > stall_cap) {
+        bland = true;
+      }
+    }
+    return 3;  // iteration limit
+  };
+
+  // ---- Phase 1: minimize the sum of artificials.
+  if (tab.art_begin() < n) {
+    std::vector<double> phase1(n, 0.0);
+    for (int j = tab.art_begin(); j < n; ++j) phase1[j] = 1.0;
+    tab.load_objective(phase1);
+    const int res = run_phase([](int) { return true; });
+    if (res == 3) {
+      sol.status = Status::IterLimit;
+      sol.iterations = iters;
+      return sol;
+    }
+    SUU_CHECK_MSG(res != 2, "phase-1 LP cannot be unbounded");
+    // Feasible iff all artificials ended at ~0.
+    const double p1 = tab.objective();
+    const double feas_tol = opt.tol * (1.0 + std::fabs(p1)) * 100;
+    if (p1 > feas_tol + 1e-7) {
+      sol.status = Status::Infeasible;
+      sol.iterations = iters;
+      return sol;
+    }
+    tab.expel_artificials();
+  }
+
+  // ---- Phase 2: original objective; artificial columns are locked out.
+  std::vector<double> phase2(n, 0.0);
+  for (int j = 0; j < p.num_vars; ++j) phase2[j] = p.objective[j];
+  tab.load_objective(phase2);
+  const int art_begin = tab.art_begin();
+  const auto& basis = tab.basis();
+  (void)basis;
+  const int res = run_phase([art_begin](int j) { return j < art_begin; });
+  sol.iterations = iters;
+  if (res == 3) {
+    sol.status = Status::IterLimit;
+    return sol;
+  }
+  if (res == 2) {
+    sol.status = Status::Unbounded;
+    return sol;
+  }
+
+  sol.status = Status::Optimal;
+  sol.x = tab.extract(p.num_vars);
+  double obj = 0.0;
+  for (int j = 0; j < p.num_vars; ++j) obj += p.objective[j] * sol.x[j];
+  sol.objective = obj;
+
+  if (opt.verify) {
+    // Guard against numerical drift: the point must nearly satisfy the rows.
+    double scale = 1.0;
+    for (const auto& row : p.rows) scale = std::max(scale, std::fabs(row.rhs));
+    const double viol = max_violation(p, sol.x);
+    SUU_CHECK_MSG(viol <= 1e-5 * scale,
+                  "simplex result violates constraints by " << viol);
+  }
+  return sol;
+}
+
+}  // namespace suu::lp

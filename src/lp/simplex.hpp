@@ -1,0 +1,25 @@
+// Dense two-phase primal simplex.
+//
+// This is the exact LP substrate behind the paper's relaxations: LP1
+// (Section 3), LP2 (Section 4) and the Lawler–Labetoulle makespan LP
+// (Appendix C). It is a tableau implementation with Dantzig pricing and a
+// Bland's-rule fallback for degeneracy, intended for the dense, moderately
+// sized programs those relaxations produce. For large SUU-I instances the
+// Frank–Wolfe solver in lp/fw_cover.hpp takes over (see DESIGN.md §5).
+#pragma once
+
+#include "lp/problem.hpp"
+
+namespace suu::lp {
+
+struct SimplexOptions {
+  double tol = 1e-9;        ///< pivot / feasibility tolerance
+  int max_iters = 0;        ///< 0 = automatic (scales with problem size)
+  bool verify = true;       ///< re-check feasibility of the result
+};
+
+/// Solve `min c·x, rows, x >= 0`. On Status::Optimal the returned point is
+/// primal feasible within options.tol * scale and basic-optimal.
+Solution solve_simplex(const Problem& p, const SimplexOptions& opt = {});
+
+}  // namespace suu::lp

@@ -1,0 +1,283 @@
+#include "rounding/lp1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "flow/max_flow.hpp"
+#include "lp/fw_cover.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+
+namespace suu::rounding {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+void check_jobs(const core::Instance& inst, const std::vector<int>& jobs) {
+  SUU_CHECK_MSG(!jobs.empty(), "LP1 needs a non-empty job set");
+  std::vector<char> seen(inst.num_jobs(), 0);
+  for (const int j : jobs) {
+    SUU_CHECK(j >= 0 && j < inst.num_jobs());
+    SUU_CHECK_MSG(!seen[j], "duplicate job in J'");
+    seen[j] = 1;
+  }
+}
+
+Lp1Fractional solve_with_simplex(const core::Instance& inst,
+                                 const std::vector<int>& jobs, double L) {
+  lp::Problem p;
+  const int t_var = p.add_var(1.0);  // minimize t
+  // Variables only for capable (ell' > 0) pairs.
+  std::vector<std::vector<std::pair<int, int>>> var_of(jobs.size());
+  std::vector<lp::Row> load_rows(inst.num_machines());
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const int j = jobs[idx];
+    lp::Row cover;
+    cover.rel = lp::Rel::Ge;
+    cover.rhs = 1.0;  // normalized by L
+    for (int i = 0; i < inst.num_machines(); ++i) {
+      const double e = inst.ell_capped(i, j, L);
+      if (e <= kEps) continue;
+      const int v = p.add_var(0.0);
+      var_of[idx].emplace_back(i, v);
+      cover.terms.emplace_back(v, e / L);
+      load_rows[i].terms.emplace_back(v, 1.0);
+    }
+    SUU_CHECK_MSG(!cover.terms.empty(),
+                  "job " << j << " has no capable machine");
+    p.add_row(std::move(cover));
+  }
+  for (int i = 0; i < inst.num_machines(); ++i) {
+    auto& row = load_rows[i];
+    if (row.terms.empty()) continue;
+    row.terms.emplace_back(t_var, -1.0);
+    row.rel = lp::Rel::Le;
+    row.rhs = 0.0;
+    p.add_row(std::move(row));
+  }
+
+  const lp::Solution sol = lp::solve_simplex(p);
+  SUU_CHECK_MSG(sol.status == lp::Status::Optimal,
+                "LP1 solve failed: " << lp::to_string(sol.status));
+
+  Lp1Fractional frac;
+  frac.t = sol.x[t_var];
+  frac.lower_bound = frac.t;
+  frac.x.resize(jobs.size());
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    for (const auto& [i, v] : var_of[idx]) {
+      const double val = sol.x[v];
+      if (val > kEps) frac.x[idx].emplace_back(i, val);
+    }
+  }
+  return frac;
+}
+
+Lp1Fractional solve_with_fw(const core::Instance& inst,
+                            const std::vector<int>& jobs, double L) {
+  lp::CoverSystem sys;
+  sys.n_machines = inst.num_machines();
+  sys.cover.resize(jobs.size());
+  sys.demand.assign(jobs.size(), L);
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const int j = jobs[idx];
+    for (int i = 0; i < inst.num_machines(); ++i) {
+      const double e = inst.ell_capped(i, j, L);
+      if (e > kEps) sys.cover[idx].emplace_back(i, e);
+    }
+    SUU_CHECK_MSG(!sys.cover[idx].empty(),
+                  "job " << j << " has no capable machine");
+  }
+  const lp::FwSolution fw = lp::solve_fw_cover(sys);
+
+  Lp1Fractional frac;
+  frac.t = fw.t;
+  frac.lower_bound = fw.lower_bound;
+  frac.x.resize(jobs.size());
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    for (std::size_t k = 0; k < sys.cover[idx].size(); ++k) {
+      const double val = fw.x[idx][k];
+      if (val > kEps) frac.x[idx].emplace_back(sys.cover[idx][k].first, val);
+    }
+  }
+  return frac;
+}
+
+}  // namespace
+
+Lp1Fractional solve_lp1(const core::Instance& inst,
+                        const std::vector<int>& jobs, double L,
+                        const Lp1Options& opt) {
+  check_jobs(inst, jobs);
+  SUU_CHECK(L > 0);
+  const bool use_simplex =
+      opt.solver == Lp1Options::Solver::Simplex ||
+      (opt.solver == Lp1Options::Solver::Auto &&
+       static_cast<std::int64_t>(jobs.size()) * inst.num_machines() <=
+           opt.simplex_size_limit);
+  return use_simplex ? solve_with_simplex(inst, jobs, L)
+                     : solve_with_fw(inst, jobs, L);
+}
+
+sched::IntegralAssignment trim_assignment(
+    const core::Instance& inst, const std::vector<int>& jobs, double L,
+    const sched::IntegralAssignment& x) {
+  sched::IntegralAssignment out(inst.num_jobs(), inst.num_machines());
+  std::vector<char> listed(inst.num_jobs(), 0);
+  for (const int j : jobs) listed[static_cast<std::size_t>(j)] = 1;
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    if (!listed[static_cast<std::size_t>(j)]) {
+      for (const auto& [i, s] : x.steps_for(j)) out.add(i, j, s);
+      continue;
+    }
+    auto entries = x.steps_for(j);
+    std::sort(entries.begin(), entries.end(),
+              [&](const auto& a, const auto& b) {
+                return inst.ell_capped(a.first, j, L) <
+                       inst.ell_capped(b.first, j, L);
+              });
+    double mass = x.delivered_mass(inst, j, L);
+    for (auto& [i, steps] : entries) {
+      const double e = inst.ell_capped(i, j, L);
+      std::int64_t removable = steps;
+      if (e > 1e-12) {
+        removable = std::min<std::int64_t>(
+            steps,
+            static_cast<std::int64_t>(std::floor((mass - L) / e + 1e-9)));
+        removable = std::max<std::int64_t>(0, removable);
+      }
+      mass -= e * static_cast<double>(removable);
+      if (steps - removable > 0) out.add(i, j, steps - removable);
+    }
+  }
+  return out;
+}
+
+sched::IntegralAssignment round_lp1(const core::Instance& inst,
+                                    const std::vector<int>& jobs, double L,
+                                    const Lp1Fractional& frac, bool trim) {
+  check_jobs(inst, jobs);
+  SUU_CHECK(static_cast<std::size_t>(frac.x.size()) == jobs.size());
+
+  // Group machines by k = floor(log2 ell') per job; D[jk] = total fractional
+  // assignment of group (j, k).
+  struct Group {
+    std::int64_t cap = 0;  // floor(6 * D_jk)
+    int node = -1;
+    std::vector<int> edge_ids;     // flow edge per member machine
+    std::vector<int> machine_ids;  // aligned with edge_ids
+  };
+  // Per job: map from k to group.
+  std::vector<std::map<int, Group>> groups(jobs.size());
+  // First pass: accumulate D_jk.
+  std::vector<std::map<int, double>> D(jobs.size());
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const int j = jobs[idx];
+    for (const auto& [i, val] : frac.x[idx]) {
+      const double e = inst.ell_capped(i, j, L);
+      if (e <= kEps || val <= kEps) continue;
+      const int k = static_cast<int>(std::floor(std::log2(e)));
+      D[idx][k] += val;
+    }
+  }
+
+  // Build the flow network.
+  flow::MaxFlow net(2);
+  const int src = 0;
+  const int sink = 1;
+  std::vector<int> machine_node(inst.num_machines(), -1);
+  std::vector<int> machine_edge(inst.num_machines(), -1);
+  const auto machine_cap = static_cast<flow::MaxFlow::Cap>(
+      std::ceil(6.0 * frac.t - 1e-9));
+  auto get_machine_node = [&](int i) {
+    if (machine_node[i] < 0) {
+      machine_node[i] = net.add_node();
+      machine_edge[i] = net.add_edge(machine_node[i], sink,
+                                     std::max<flow::MaxFlow::Cap>(
+                                         machine_cap, 0));
+    }
+    return machine_node[i];
+  };
+
+  std::int64_t total_demand = 0;
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const int j = jobs[idx];
+    for (const auto& [k, d] : D[idx]) {
+      Group g;
+      g.cap = static_cast<std::int64_t>(std::floor(6.0 * d + 1e-9));
+      if (g.cap <= 0) continue;
+      g.node = net.add_node();
+      net.add_edge(src, g.node, g.cap);
+      total_demand += g.cap;
+      // Edge to every machine in this group (paper: any i with matching k),
+      // not just those with positive fractional mass.
+      for (int i = 0; i < inst.num_machines(); ++i) {
+        const double e = inst.ell_capped(i, j, L);
+        if (e <= kEps) continue;
+        if (static_cast<int>(std::floor(std::log2(e))) != k) continue;
+        const int edge =
+            net.add_edge(g.node, get_machine_node(i), flow::MaxFlow::kInf);
+        g.edge_ids.push_back(edge);
+        g.machine_ids.push_back(i);
+      }
+      groups[idx].emplace(k, std::move(g));
+    }
+  }
+
+  const auto pushed = net.solve(src, sink);
+  SUU_CHECK_MSG(pushed == total_demand,
+                "Lemma 2 flow did not saturate: " << pushed << " of "
+                                                  << total_demand);
+
+  sched::IntegralAssignment x(inst.num_jobs(), inst.num_machines());
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const int j = jobs[idx];
+    for (const auto& [k, g] : groups[idx]) {
+      (void)k;
+      for (std::size_t e = 0; e < g.edge_ids.size(); ++e) {
+        const auto f = net.flow_on(g.edge_ids[e]);
+        if (f > 0) x.add(g.machine_ids[e], j, f);
+      }
+    }
+  }
+
+  // Numerical safety net: the theory guarantees mass >= L; if float error
+  // starved a job, top it up on its best machine (documented in DESIGN.md).
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const int j = jobs[idx];
+    double mass = x.delivered_mass(inst, j, L);
+    if (mass >= L - 1e-7) continue;
+    int best = -1;
+    double best_e = 0.0;
+    for (int i = 0; i < inst.num_machines(); ++i) {
+      const double e = inst.ell_capped(i, j, L);
+      if (e > best_e) {
+        best_e = e;
+        best = i;
+      }
+    }
+    SUU_CHECK(best >= 0);
+    const auto extra =
+        static_cast<std::int64_t>(std::ceil((L - mass) / best_e));
+    x.add(best, j, extra);
+  }
+  return trim ? trim_assignment(inst, jobs, L, x) : x;
+}
+
+Lp1Schedule build_lp1_schedule(const core::Instance& inst,
+                               const std::vector<int>& jobs, double L,
+                               const Lp1Options& opt) {
+  Lp1Schedule out{sched::IntegralAssignment(inst.num_jobs(),
+                                            inst.num_machines()),
+                  sched::ObliviousSchedule(inst.num_machines()), 0.0, 0.0};
+  const Lp1Fractional frac = solve_lp1(inst, jobs, L, opt);
+  out.t_fractional = frac.t;
+  out.lower_bound = frac.lower_bound;
+  out.assignment = round_lp1(inst, jobs, L, frac);
+  out.schedule = sched::ObliviousSchedule::from_assignment(out.assignment);
+  return out;
+}
+
+}  // namespace suu::rounding

@@ -1,0 +1,105 @@
+#include "sched/assignment.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace suu::sched {
+
+IntegralAssignment::IntegralAssignment(int n_jobs, int n_machines)
+    : n_(n_jobs), m_(n_machines), by_job_(n_jobs), load_(n_machines, 0) {
+  SUU_CHECK(n_jobs >= 0 && n_machines >= 1);
+}
+
+void IntegralAssignment::add(int machine, int job, std::int64_t steps) {
+  SUU_CHECK(machine >= 0 && machine < m_);
+  SUU_CHECK(job >= 0 && job < n_);
+  SUU_CHECK_MSG(steps >= 0, "negative step count");
+  if (steps == 0) return;
+  auto& vec = by_job_[job];
+  for (auto& [mi, s] : vec) {
+    if (mi == machine) {
+      s += steps;
+      load_[machine] += steps;
+      return;
+    }
+  }
+  vec.emplace_back(machine, steps);
+  load_[machine] += steps;
+}
+
+const std::vector<std::pair<int, std::int64_t>>& IntegralAssignment::steps_for(
+    int job) const {
+  SUU_CHECK(job >= 0 && job < n_);
+  return by_job_[job];
+}
+
+std::int64_t IntegralAssignment::load(int machine) const {
+  SUU_CHECK(machine >= 0 && machine < m_);
+  return load_[machine];
+}
+
+std::int64_t IntegralAssignment::max_load() const {
+  return load_.empty() ? 0 : *std::max_element(load_.begin(), load_.end());
+}
+
+std::int64_t IntegralAssignment::job_length(int job) const {
+  std::int64_t d = 0;
+  for (const auto& [mi, s] : steps_for(job)) d = std::max(d, s);
+  return d;
+}
+
+double IntegralAssignment::delivered_mass(const core::Instance& inst, int job,
+                                          double cap) const {
+  double mass = 0.0;
+  for (const auto& [mi, s] : steps_for(job)) {
+    const double e =
+        cap > 0.0 ? inst.ell_capped(mi, job, cap) : inst.ell(mi, job);
+    mass += e * static_cast<double>(s);
+  }
+  return mass;
+}
+
+ObliviousSchedule::ObliviousSchedule(int n_machines) : m_(n_machines) {
+  SUU_CHECK(n_machines >= 1);
+}
+
+const Assignment& ObliviousSchedule::step(std::int64_t t) const {
+  SUU_CHECK(t >= 0 && t < length());
+  return steps_[static_cast<std::size_t>(t)];
+}
+
+void ObliviousSchedule::append(Assignment a) {
+  SUU_CHECK_MSG(static_cast<int>(a.size()) == m_,
+                "assignment size != machine count");
+  steps_.push_back(std::move(a));
+}
+
+ObliviousSchedule ObliviousSchedule::from_assignment(
+    const IntegralAssignment& x) {
+  ObliviousSchedule sched(x.num_machines());
+  const std::int64_t len = x.max_load();
+  if (len == 0) return sched;
+
+  // Per-machine timelines, filled job by job.
+  std::vector<std::vector<int>> timeline(
+      x.num_machines(), std::vector<int>(static_cast<std::size_t>(len), kIdle));
+  std::vector<std::int64_t> pos(x.num_machines(), 0);
+  for (int j = 0; j < x.num_jobs(); ++j) {
+    for (const auto& [mi, s] : x.steps_for(j)) {
+      for (std::int64_t k = 0; k < s; ++k) {
+        timeline[mi][static_cast<std::size_t>(pos[mi]++)] = j;
+      }
+    }
+  }
+  for (std::int64_t t = 0; t < len; ++t) {
+    Assignment a(x.num_machines(), kIdle);
+    for (int i = 0; i < x.num_machines(); ++i) {
+      a[i] = timeline[i][static_cast<std::size_t>(t)];
+    }
+    sched.append(std::move(a));
+  }
+  return sched;
+}
+
+}  // namespace suu::sched

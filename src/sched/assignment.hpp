@@ -1,0 +1,83 @@
+// Integral machine->job assignments and finite oblivious schedules.
+//
+// The LP rounding pipelines (Lemma 2, Lemma 6) produce an IntegralAssignment
+// {x_ij}: machine i is to spend x_ij unit steps on job j. The paper's
+// natural schedule construction ("consider each machine, run its jobs in
+// arbitrary order") turns that into a finite ObliviousSchedule whose length
+// is the maximum machine load.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace suu::sched {
+
+/// Sentinel job id meaning "machine idles this step".
+inline constexpr int kIdle = -1;
+
+/// One timestep's machine->job mapping: assignment[i] is a job id or kIdle.
+using Assignment = std::vector<int>;
+
+/// Sparse integral steps-per-(machine, job) matrix.
+class IntegralAssignment {
+ public:
+  IntegralAssignment(int n_jobs, int n_machines);
+
+  int num_jobs() const noexcept { return n_; }
+  int num_machines() const noexcept { return m_; }
+
+  /// Add `steps` more unit steps of machine `i` on job `j`.
+  void add(int machine, int job, std::int64_t steps);
+
+  /// Pairs (machine, steps) with steps > 0 for one job.
+  const std::vector<std::pair<int, std::int64_t>>& steps_for(int job) const;
+
+  /// Total steps assigned to machine i across all jobs (the paper's "load").
+  std::int64_t load(int machine) const;
+  std::int64_t max_load() const;
+
+  /// The paper's job length d_j = max_i x_ij.
+  std::int64_t job_length(int job) const;
+
+  /// Log mass sum_i ell_{ij} * x_ij delivered to `job` (optionally with the
+  /// LP's truncation ell' = min(ell, cap); cap <= 0 means no truncation).
+  double delivered_mass(const core::Instance& inst, int job,
+                        double cap = 0.0) const;
+
+ private:
+  int n_;
+  int m_;
+  std::vector<std::vector<std::pair<int, std::int64_t>>> by_job_;
+  std::vector<std::int64_t> load_;
+};
+
+/// A finite oblivious schedule: an explicit machine->job table per step.
+class ObliviousSchedule {
+ public:
+  explicit ObliviousSchedule(int n_machines);
+
+  int num_machines() const noexcept { return m_; }
+  std::int64_t length() const noexcept {
+    return static_cast<std::int64_t>(steps_.size());
+  }
+  bool empty() const noexcept { return steps_.empty(); }
+
+  /// Assignment executed at (0-based) step t.
+  const Assignment& step(std::int64_t t) const;
+
+  void append(Assignment a);
+
+  /// Paper construction: per machine, concatenate each job's x_ij steps in
+  /// job order; machines idle once their own load is exhausted. Length =
+  /// max machine load.
+  static ObliviousSchedule from_assignment(const IntegralAssignment& x);
+
+ private:
+  int m_;
+  std::vector<Assignment> steps_;
+};
+
+}  // namespace suu::sched

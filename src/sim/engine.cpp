@@ -1,0 +1,212 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/trace.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace suu::sim {
+
+ExecState::ExecState(const core::Instance& inst)
+    : inst_(&inst),
+      completed_(inst.num_jobs(), 0),
+      blocked_preds_(inst.num_jobs(), 0),
+      n_remaining_(inst.num_jobs()) {
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    blocked_preds_[j] = static_cast<int>(inst.dag().preds(j).size());
+  }
+}
+
+std::vector<int> ExecState::remaining_jobs() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n_remaining_));
+  for (int j = 0; j < inst_->num_jobs(); ++j) {
+    if (!completed_[j]) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<int> ExecState::eligible_jobs() const {
+  std::vector<int> out;
+  for (int j = 0; j < inst_->num_jobs(); ++j) {
+    if (eligible(j)) out.push_back(j);
+  }
+  return out;
+}
+
+namespace {
+
+struct JobWork {
+  double ell_sum = 0.0;   // Deferred: mass this step
+  double q_prod = 1.0;    // CoinFlips: failure probability this step
+  bool touched = false;
+};
+
+}  // namespace
+
+ExecResult execute(const core::Instance& inst, Policy& policy,
+                   const ExecConfig& cfg) {
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+
+  util::Rng master(cfg.seed);
+  util::Rng engine_rng = master.child(0);
+  policy.reset(inst, master.child(1));
+
+  ExecState state(inst);
+  ExecResult result;
+  result.completion_time.assign(n, -1);
+
+  // Deferred thresholds: job j completes once mass_j >= -log2 r_j.
+  std::vector<double> threshold(n, 0.0);
+  std::vector<double> mass(n, 0.0);
+  if (cfg.semantics == Semantics::Deferred) {
+    for (int j = 0; j < n; ++j) {
+      threshold[j] = -std::log2(engine_rng.uniform01_open());
+    }
+  }
+
+  std::vector<JobWork> work(n);
+  std::vector<int> touched;
+  touched.reserve(static_cast<std::size_t>(m));
+
+  if (cfg.trace != nullptr) {
+    cfg.trace->n = n;
+    cfg.trace->m = m;
+    cfg.trace->steps.clear();
+    cfg.trace->finished = false;
+  }
+
+  while (state.n_remaining_ > 0) {
+    if (state.t_ >= cfg.step_cap) {
+      result.capped = true;
+      result.makespan = state.t_;
+      return result;
+    }
+
+    sched::Assignment a = policy.decide(state);
+    SUU_CHECK_MSG(static_cast<int>(a.size()) == m,
+                  "policy returned assignment of size "
+                      << a.size() << ", expected " << m);
+
+    // Gather per-job work for this step.
+    for (int i = 0; i < m; ++i) {
+      const int j = a[i];
+      if (j == sched::kIdle) continue;
+      SUU_CHECK_MSG(j >= 0 && j < n, "policy assigned unknown job " << j);
+      if (state.completed_[j]) continue;  // allowed; counts as idle
+      if (state.blocked_preds_[j] != 0) {
+        SUU_CHECK_MSG(!cfg.strict_eligibility,
+                      "policy assigned ineligible job " << j << " at step "
+                                                        << state.t_);
+        continue;  // non-strict: no effect
+      }
+      JobWork& w = work[j];
+      if (!w.touched) {
+        w.touched = true;
+        w.ell_sum = 0.0;
+        w.q_prod = 1.0;
+        touched.push_back(j);
+      }
+      w.ell_sum += inst.ell(i, j);
+      w.q_prod *= inst.q(i, j);
+    }
+
+    // Resolve completions.
+    StepRecord* rec = nullptr;
+    if (cfg.trace != nullptr) {
+      cfg.trace->steps.push_back(StepRecord{a, {}});
+      rec = &cfg.trace->steps.back();
+    }
+    for (const int j : touched) {
+      JobWork& w = work[j];
+      w.touched = false;
+      bool done = false;
+      if (cfg.semantics == Semantics::Deferred) {
+        mass[j] += w.ell_sum;
+        done = mass[j] >= threshold[j];
+      } else {
+        done = !engine_rng.bernoulli(w.q_prod);
+      }
+      if (done) {
+        state.completed_[j] = 1;
+        --state.n_remaining_;
+        result.completion_time[j] = state.t_ + 1;
+        for (const int s : inst.dag().succs(j)) --state.blocked_preds_[s];
+        if (rec != nullptr) rec->completions.push_back(j);
+      }
+    }
+    touched.clear();
+    ++state.t_;
+  }
+
+  result.makespan = state.t_;
+  if (cfg.trace != nullptr) cfg.trace->finished = true;
+  return result;
+}
+
+namespace {
+
+template <typename PerRep>
+void run_replications(const core::Instance& inst, const PolicyFactory& factory,
+                      const EstimateOptions& opt, PerRep&& per_rep) {
+  SUU_CHECK(opt.replications >= 1);
+  util::Rng master(opt.seed);
+  auto one = [&](std::size_t r) {
+    ExecConfig cfg;
+    cfg.semantics = opt.semantics;
+    cfg.seed = master.child(r + 1).next();
+    cfg.step_cap = opt.step_cap;
+    cfg.strict_eligibility = opt.strict_eligibility;
+    auto policy = factory();
+    SUU_CHECK(policy != nullptr);
+    const ExecResult res = execute(inst, *policy, cfg);
+    SUU_CHECK_MSG(!res.capped, "replication " << r << " hit the step cap ("
+                                              << opt.step_cap << ")");
+    per_rep(r, res);
+  };
+  if (opt.threads == 1) {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(opt.replications);
+         ++r) {
+      one(r);
+    }
+  } else if (opt.threads == 0) {
+    util::default_pool().parallel_for(
+        static_cast<std::size_t>(opt.replications), one);
+  } else {
+    util::ThreadPool pool(opt.threads);
+    pool.parallel_for(static_cast<std::size_t>(opt.replications), one);
+  }
+}
+
+}  // namespace
+
+util::Estimate estimate_makespan(const core::Instance& inst,
+                                 const PolicyFactory& factory,
+                                 const EstimateOptions& opt) {
+  std::vector<double> makespans(static_cast<std::size_t>(opt.replications));
+  run_replications(inst, factory, opt,
+                   [&](std::size_t r, const ExecResult& res) {
+                     makespans[r] = static_cast<double>(res.makespan);
+                   });
+  util::OnlineStats stats;
+  for (const double v : makespans) stats.add(v);
+  return util::make_estimate(stats);
+}
+
+util::Sampler sample_makespan(const core::Instance& inst,
+                              const PolicyFactory& factory,
+                              const EstimateOptions& opt) {
+  std::vector<double> makespans(static_cast<std::size_t>(opt.replications));
+  run_replications(inst, factory, opt,
+                   [&](std::size_t r, const ExecResult& res) {
+                     makespans[r] = static_cast<double>(res.makespan);
+                   });
+  util::Sampler s;
+  for (const double v : makespans) s.add(v);
+  return s;
+}
+
+}  // namespace suu::sim

@@ -1,0 +1,123 @@
+// Discrete-time execution engine for SUU schedules.
+//
+// Implements both formulations the paper proves equivalent (Theorem 10):
+//   * CoinFlips — the original SUU semantics: each step, a job assigned to
+//     machine set S fails with probability prod_{i in S} q_ij.
+//   * Deferred — the SUU* semantics: draw r_j ~ U(0,1) up front; the job
+//     completes when its accrued log mass reaches -log2 r_j.
+// Schedules (policies) observe only completion history, never r_j, so the
+// two semantics induce identical distributions; tests verify this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sched/assignment.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace suu::sim {
+
+enum class Semantics { CoinFlips, Deferred };
+
+struct Trace;
+
+struct ExecConfig {
+  Semantics semantics = Semantics::CoinFlips;
+  std::uint64_t seed = 1;
+  /// Hard step cap; executions that exceed it return capped = true.
+  std::int64_t step_cap = 10'000'000;
+  /// When true, assigning a machine to a job whose predecessors have not all
+  /// completed is a contract violation (throws). When false such
+  /// assignments are treated as idle, matching the paper's convention that
+  /// a schedule "may map a machine to a job that has already completed".
+  bool strict_eligibility = false;
+  /// Optional: record the full execution (see sim/trace.hpp). Not owned.
+  Trace* trace = nullptr;
+};
+
+class Policy;
+struct ExecResult;
+
+/// Execution state visible to policies.
+class ExecState {
+ public:
+  ExecState(const core::Instance& inst);
+
+  const core::Instance& instance() const noexcept { return *inst_; }
+  std::int64_t now() const noexcept { return t_; }
+  bool completed(int job) const { return completed_[job] != 0; }
+  /// Eligible = not completed and all predecessors completed.
+  bool eligible(int job) const {
+    return !completed_[job] && blocked_preds_[job] == 0;
+  }
+  int num_remaining() const noexcept { return n_remaining_; }
+  /// Jobs not yet completed (order unspecified but deterministic).
+  std::vector<int> remaining_jobs() const;
+  /// Eligible jobs only.
+  std::vector<int> eligible_jobs() const;
+
+ private:
+  friend ExecResult execute(const core::Instance& inst, Policy& policy,
+                            const ExecConfig& cfg);
+  const core::Instance* inst_;
+  std::int64_t t_ = 0;
+  std::vector<char> completed_;
+  std::vector<int> blocked_preds_;
+  int n_remaining_;
+};
+
+/// A schedule in the paper's sense: decides a machine->job assignment from
+/// the observable history. Policies receive a private RNG at reset for
+/// their internal randomness (random delays, tie breaking) — distinct from
+/// the engine's job-outcome randomness.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string name() const = 0;
+  virtual void reset(const core::Instance& inst, util::Rng rng) {
+    (void)inst;
+    (void)rng;
+  }
+  /// Called once per timestep; must return an assignment of size m with
+  /// entries in {kIdle} ∪ [0, n).
+  virtual sched::Assignment decide(const ExecState& state) = 0;
+};
+
+struct ExecResult {
+  std::int64_t makespan = 0;  ///< steps until the last completion
+  bool capped = false;        ///< step_cap hit before all jobs finished
+  std::vector<std::int64_t> completion_time;  ///< per job; -1 if unfinished
+};
+
+/// Run one execution of `policy` on `inst`.
+ExecResult execute(const core::Instance& inst, Policy& policy,
+                   const ExecConfig& cfg);
+
+using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
+
+struct EstimateOptions {
+  int replications = 400;
+  std::uint64_t seed = 1;
+  Semantics semantics = Semantics::CoinFlips;
+  std::int64_t step_cap = 10'000'000;
+  bool strict_eligibility = false;
+  unsigned threads = 0;  ///< 0 = default pool
+};
+
+/// Monte-Carlo estimate of E[T_policy]. Deterministic for a fixed seed
+/// regardless of thread count. Throws if any replication hits the step cap.
+util::Estimate estimate_makespan(const core::Instance& inst,
+                                 const PolicyFactory& factory,
+                                 const EstimateOptions& opt);
+
+/// Full makespan samples (for quantiles / tail plots).
+util::Sampler sample_makespan(const core::Instance& inst,
+                              const PolicyFactory& factory,
+                              const EstimateOptions& opt);
+
+}  // namespace suu::sim

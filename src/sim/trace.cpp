@@ -1,0 +1,163 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace suu::sim {
+
+void validate_trace(const core::Instance& inst, const Trace& trace,
+                    const TraceCheckOptions& opt) {
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+  SUU_CHECK_MSG(trace.n == n && trace.m == m,
+                "trace dimensions do not match the instance");
+
+  std::vector<char> completed(static_cast<std::size_t>(n), 0);
+  std::vector<int> blocked(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    blocked[static_cast<std::size_t>(j)] =
+        static_cast<int>(inst.dag().preds(j).size());
+  }
+
+  for (std::int64_t t = 0; t < trace.length(); ++t) {
+    const StepRecord& rec = trace.steps[static_cast<std::size_t>(t)];
+    // (V1) shape.
+    SUU_CHECK_MSG(static_cast<int>(rec.assignment.size()) == m,
+                  "step " << t << ": assignment size "
+                          << rec.assignment.size());
+    std::vector<char> has_capable(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < m; ++i) {
+      const int j = rec.assignment[static_cast<std::size_t>(i)];
+      if (j == sched::kIdle) continue;
+      SUU_CHECK_MSG(j >= 0 && j < n, "step " << t << ": bad job id " << j);
+      if (completed[static_cast<std::size_t>(j)]) continue;  // idle-equiv
+      if (blocked[static_cast<std::size_t>(j)] != 0) {
+        SUU_CHECK_MSG(!opt.forbid_blocked_assignments,
+                      "step " << t << ": machine " << i
+                              << " assigned to blocked job " << j);
+        continue;
+      }
+      if (inst.q(i, j) < 1.0) has_capable[static_cast<std::size_t>(j)] = 1;
+    }
+    // (V2) + (V3): completions.
+    for (const int j : rec.completions) {
+      SUU_CHECK_MSG(j >= 0 && j < n, "step " << t << ": bad completion " << j);
+      SUU_CHECK_MSG(!completed[static_cast<std::size_t>(j)],
+                    "step " << t << ": job " << j << " completed twice");
+      SUU_CHECK_MSG(blocked[static_cast<std::size_t>(j)] == 0,
+                    "step " << t << ": job " << j
+                            << " completed before its predecessors");
+      SUU_CHECK_MSG(has_capable[static_cast<std::size_t>(j)],
+                    "step " << t << ": job " << j
+                            << " completed without a capable machine");
+    }
+    for (const int j : rec.completions) {
+      completed[static_cast<std::size_t>(j)] = 1;
+      for (const int s : inst.dag().succs(j)) {
+        --blocked[static_cast<std::size_t>(s)];
+      }
+    }
+  }
+
+  if (opt.require_finished) {
+    SUU_CHECK_MSG(trace.finished, "trace did not finish");
+    for (int j = 0; j < n; ++j) {
+      SUU_CHECK_MSG(completed[static_cast<std::size_t>(j)],
+                    "job " << j << " never completed");
+    }
+  }
+}
+
+TraceStats trace_stats(const core::Instance& inst, const Trace& trace) {
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+  TraceStats st;
+  st.work_per_job.assign(static_cast<std::size_t>(n), 0);
+  st.mass_per_job.assign(static_cast<std::size_t>(n), 0.0);
+  st.busy_per_machine.assign(static_cast<std::size_t>(m), 0);
+  st.total_machine_steps = trace.length() * m;
+
+  std::vector<char> completed(static_cast<std::size_t>(n), 0);
+  std::vector<int> blocked(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    blocked[static_cast<std::size_t>(j)] =
+        static_cast<int>(inst.dag().preds(j).size());
+  }
+
+  for (const StepRecord& rec : trace.steps) {
+    for (int i = 0; i < m; ++i) {
+      const int j = rec.assignment[static_cast<std::size_t>(i)];
+      if (j == sched::kIdle) continue;
+      if (completed[static_cast<std::size_t>(j)] ||
+          blocked[static_cast<std::size_t>(j)] != 0) {
+        ++st.wasted_steps;
+        continue;
+      }
+      ++st.work_per_job[static_cast<std::size_t>(j)];
+      st.mass_per_job[static_cast<std::size_t>(j)] += inst.ell(i, j);
+      ++st.busy_per_machine[static_cast<std::size_t>(i)];
+    }
+    for (const int j : rec.completions) {
+      completed[static_cast<std::size_t>(j)] = 1;
+      for (const int s : inst.dag().succs(j)) {
+        --blocked[static_cast<std::size_t>(s)];
+      }
+    }
+  }
+  return st;
+}
+
+void render_gantt(std::ostream& os, const core::Instance& inst,
+                  const Trace& trace, int max_cols) {
+  SUU_CHECK(max_cols >= 1);
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+  const auto cols = static_cast<int>(
+      std::min<std::int64_t>(trace.length(), max_cols));
+
+  auto job_char = [n](int j) {
+    static const char* kAlphabet =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    (void)n;
+    return kAlphabet[j % 62];
+  };
+
+  // Replay eligibility to classify wasted steps.
+  std::vector<char> completed(static_cast<std::size_t>(n), 0);
+  std::vector<int> blocked(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    blocked[static_cast<std::size_t>(j)] =
+        static_cast<int>(inst.dag().preds(j).size());
+  }
+  std::vector<std::string> rows(static_cast<std::size_t>(m));
+  for (int t = 0; t < cols; ++t) {
+    const StepRecord& rec = trace.steps[static_cast<std::size_t>(t)];
+    for (int i = 0; i < m; ++i) {
+      const int j = rec.assignment[static_cast<std::size_t>(i)];
+      char c = '.';
+      if (j != sched::kIdle) {
+        c = (completed[static_cast<std::size_t>(j)] ||
+             blocked[static_cast<std::size_t>(j)] != 0)
+                ? 'x'
+                : job_char(j);
+      }
+      rows[static_cast<std::size_t>(i)].push_back(c);
+    }
+    for (const int j : rec.completions) {
+      completed[static_cast<std::size_t>(j)] = 1;
+      for (const int s : inst.dag().succs(j)) {
+        --blocked[static_cast<std::size_t>(s)];
+      }
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    os << "m" << i << " |" << rows[static_cast<std::size_t>(i)];
+    if (trace.length() > cols) os << "...";
+    os << '\n';
+  }
+  os << "    ('.' idle, 'x' wasted step; " << trace.length()
+     << " steps total)\n";
+}
+
+}  // namespace suu::sim

@@ -1,0 +1,86 @@
+// Execution traces and invariant validators.
+//
+// When ExecConfig.trace is set, the engine records, per timestep, the raw
+// assignment the policy returned and the set of jobs that completed at the
+// end of the step. Validators replay the trace against the instance and
+// check the execution invariants that every schedule in the paper's model
+// must satisfy:
+//
+//   (V1) shape        — one assignment per step, each of size m, job ids in
+//                       {kIdle} ∪ [0, n).
+//   (V2) completion   — a job completes at most once, only while it had at
+//                       least one assigned machine with q < 1 that step,
+//                       and only when eligible.
+//   (V3) precedence   — completions respect the DAG (a job never finishes
+//                       before all its predecessors).
+//   (V4) termination  — every job completes exactly once in a finished
+//                       trace.
+//   (V5) blocked work — optionally, no machine is ever assigned to a job
+//                       whose predecessors are incomplete (the engine
+//                       treats such work as idle; precedence-aware
+//                       schedules like SUU-C must never emit it).
+//
+// Traces also support accounting queries used by property tests (delivered
+// log mass per job, machine busy-steps, idle fraction).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sched/assignment.hpp"
+
+namespace suu::sim {
+
+struct StepRecord {
+  sched::Assignment assignment;   ///< raw policy output for this step
+  std::vector<int> completions;   ///< jobs that completed at step end
+};
+
+struct Trace {
+  int n = 0;
+  int m = 0;
+  std::vector<StepRecord> steps;
+  bool finished = false;  ///< all jobs completed within the cap
+
+  std::int64_t length() const noexcept {
+    return static_cast<std::int64_t>(steps.size());
+  }
+};
+
+struct TraceCheckOptions {
+  /// Enforce (V5): fail on any machine-step assigned to a blocked job.
+  bool forbid_blocked_assignments = false;
+  /// Enforce (V4): require every job to have completed.
+  bool require_finished = true;
+};
+
+/// Throws util::CheckError with a descriptive message on the first violated
+/// invariant.
+void validate_trace(const core::Instance& inst, const Trace& trace,
+                    const TraceCheckOptions& opt = {});
+
+/// Statistics derived from a trace.
+struct TraceStats {
+  /// Effective (eligible, uncompleted) machine-steps worked per job.
+  std::vector<std::int64_t> work_per_job;
+  /// Truncation-free log mass delivered per job over its lifetime.
+  std::vector<double> mass_per_job;
+  /// Busy (effective) steps per machine.
+  std::vector<std::int64_t> busy_per_machine;
+  /// Machine-steps assigned to completed or blocked jobs (wasted).
+  std::int64_t wasted_steps = 0;
+  std::int64_t total_machine_steps = 0;  ///< length * m
+};
+
+TraceStats trace_stats(const core::Instance& inst, const Trace& trace);
+
+/// Render the trace as an ASCII Gantt chart (one row per machine, one
+/// column per step, letters/digits cycling through job ids, '.' = idle,
+/// 'x' = wasted step on a completed/blocked job). Traces longer than
+/// max_cols are downsampled by showing the first max_cols steps.
+void render_gantt(std::ostream& os, const core::Instance& inst,
+                  const Trace& trace, int max_cols = 100);
+
+}  // namespace suu::sim

@@ -1,0 +1,162 @@
+#include "stoch/bvn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace suu::stoch {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Kuhn's augmenting-path bipartite matching over positive entries.
+class Matcher {
+ public:
+  explicit Matcher(const std::vector<std::vector<double>>& a)
+      : a_(a), n_(static_cast<int>(a.size())), match_col_(n_, -1) {}
+
+  // Returns true and fills row->col matching when a perfect matching on
+  // entries > kEps exists.
+  bool solve(std::vector<int>& row_to_col) {
+    std::fill(match_col_.begin(), match_col_.end(), -1);
+    for (int r = 0; r < n_; ++r) {
+      visited_.assign(static_cast<std::size_t>(n_), 0);
+      if (!augment(r)) return false;
+    }
+    row_to_col.assign(static_cast<std::size_t>(n_), -1);
+    for (int c = 0; c < n_; ++c) {
+      if (match_col_[static_cast<std::size_t>(c)] >= 0) {
+        row_to_col[static_cast<std::size_t>(
+            match_col_[static_cast<std::size_t>(c)])] = c;
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool augment(int r) {
+    for (int c = 0; c < n_; ++c) {
+      if (a_[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] <=
+              kEps ||
+          visited_[static_cast<std::size_t>(c)]) {
+        continue;
+      }
+      visited_[static_cast<std::size_t>(c)] = 1;
+      if (match_col_[static_cast<std::size_t>(c)] < 0 ||
+          augment(match_col_[static_cast<std::size_t>(c)])) {
+        match_col_[static_cast<std::size_t>(c)] = r;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<std::vector<double>>& a_;
+  int n_;
+  std::vector<int> match_col_;
+  std::vector<char> visited_;
+};
+
+}  // namespace
+
+std::vector<Slice> decompose_preemptive(int m, int n,
+                                        const std::vector<double>& x,
+                                        double C) {
+  SUU_CHECK(m >= 1 && n >= 1);
+  SUU_CHECK(x.size() == static_cast<std::size_t>(m) * n);
+  SUU_CHECK(C >= 0);
+
+  std::vector<double> row_sum(m, 0.0), col_sum(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double v = x[static_cast<std::size_t>(i) * n + j];
+      SUU_CHECK_MSG(v >= -kEps, "negative time entry");
+      row_sum[i] += std::max(0.0, v);
+      col_sum[j] += std::max(0.0, v);
+    }
+  }
+  for (const double r : row_sum) {
+    SUU_CHECK_MSG(r <= C + 1e-6 * (1 + C), "row sum exceeds C");
+  }
+  for (const double c : col_sum) {
+    SUU_CHECK_MSG(c <= C + 1e-6 * (1 + C), "col sum exceeds C");
+  }
+  if (C <= kEps) return {};
+
+  // Padded square matrix of size N = m + n with all row/col sums == C.
+  const int N = m + n;
+  std::vector<std::vector<double>> a(
+      static_cast<std::size_t>(N),
+      std::vector<double>(static_cast<std::size_t>(N), 0.0));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::max(0.0, x[static_cast<std::size_t>(i) * n + j]);
+    }
+    a[static_cast<std::size_t>(i)][static_cast<std::size_t>(n + i)] =
+        std::max(0.0, C - row_sum[i]);  // machine idle -> dummy job i
+  }
+  for (int j = 0; j < n; ++j) {
+    a[static_cast<std::size_t>(m + j)][static_cast<std::size_t>(j)] =
+        std::max(0.0, C - col_sum[j]);  // job waiting -> dummy machine j
+  }
+  // Dummy (machine m+j) x (dummy job n+i) block: row j needs col_sum[j]
+  // more, column i needs row_sum[i] more; total masses match, fill by
+  // northwest corner.
+  {
+    std::vector<double> need_row(col_sum);  // per dummy machine j
+    std::vector<double> need_col(row_sum);  // per dummy job i
+    int j = 0, i = 0;
+    while (j < n && i < m) {
+      if (need_row[j] <= kEps) {
+        ++j;
+        continue;
+      }
+      if (need_col[i] <= kEps) {
+        ++i;
+        continue;
+      }
+      const double v = std::min(need_row[j], need_col[i]);
+      a[static_cast<std::size_t>(m + j)][static_cast<std::size_t>(n + i)] += v;
+      need_row[j] -= v;
+      need_col[i] -= v;
+    }
+  }
+
+  std::vector<Slice> slices;
+  Matcher matcher(a);
+  double remaining = C;
+  std::vector<int> row_to_col;
+  // Each slice zeroes at least one entry, so at most N^2 iterations.
+  for (int iter = 0; iter < N * N + 4 && remaining > kEps * (1 + C); ++iter) {
+    if (!matcher.solve(row_to_col)) break;  // numerical exhaustion
+    // Slice duration: the smallest matched entry (but not more than the
+    // remaining horizon).
+    double delta = remaining;
+    for (int r = 0; r < N; ++r) {
+      delta = std::min(
+          delta, a[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+                     row_to_col[static_cast<std::size_t>(r)])]);
+    }
+    if (delta <= kEps) break;
+    Slice s;
+    s.duration = delta;
+    s.job_of_machine.assign(static_cast<std::size_t>(m), -1);
+    for (int r = 0; r < N; ++r) {
+      const int c = row_to_col[static_cast<std::size_t>(r)];
+      a[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] -= delta;
+      if (r < m && c < n) {
+        s.job_of_machine[static_cast<std::size_t>(r)] = c;
+      }
+    }
+    remaining -= delta;
+    slices.push_back(std::move(s));
+  }
+  SUU_CHECK_MSG(remaining <= 1e-6 * (1 + C),
+                "BvN decomposition left " << remaining << " of " << C);
+  return slices;
+}
+
+}  // namespace suu::stoch

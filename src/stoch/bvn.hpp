@@ -1,0 +1,34 @@
+// Birkhoff–von Neumann decomposition for preemptive open-shop timetables.
+//
+// Given a nonnegative time matrix x (machines x jobs) whose row sums and
+// column sums are at most C, produce a preemptive schedule of length
+// exactly max-row/col-sum-padded C: a sequence of slices, each a partial
+// matching of machines to jobs with a duration, such that machine i works
+// job j for exactly x_ij time in total and no job ever runs on two machines
+// simultaneously. This is the constructive half of Lawler–Labetoulle [8].
+//
+// Construction: pad x to an (m+n) x (n+m) matrix with every row and column
+// summing to C (dummy jobs absorb machine idle time, dummy machines absorb
+// job waiting time, and a northwest-corner transportation fill balances the
+// dummy block); then repeatedly extract perfect matchings on the positive
+// entries (Birkhoff's theorem guarantees one exists) and subtract.
+#pragma once
+
+#include <vector>
+
+namespace suu::stoch {
+
+/// One schedule slice: for `duration` time units, machine i works
+/// job_of_machine[i] (-1 = idle).
+struct Slice {
+  double duration = 0.0;
+  std::vector<int> job_of_machine;
+};
+
+/// Decompose x (row-major [machine][job], m rows, n cols) with row/col sums
+/// <= C into at most (m+n)^2 slices of total duration C.
+std::vector<Slice> decompose_preemptive(int m, int n,
+                                        const std::vector<double>& x,
+                                        double C);
+
+}  // namespace suu::stoch

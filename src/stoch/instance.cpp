@@ -1,0 +1,36 @@
+#include "stoch/instance.hpp"
+
+#include "util/check.hpp"
+
+namespace suu::stoch {
+
+StochInstance::StochInstance(int n, int m, std::vector<double> lambda,
+                             std::vector<double> speeds)
+    : n_(n), m_(m), lambda_(std::move(lambda)), speeds_(std::move(speeds)) {
+  SUU_CHECK(n >= 1 && m >= 1);
+  SUU_CHECK(lambda_.size() == static_cast<std::size_t>(n));
+  SUU_CHECK(speeds_.size() == static_cast<std::size_t>(n) * m);
+  for (int j = 0; j < n_; ++j) {
+    SUU_CHECK_MSG(lambda_[j] > 0, "lambda must be positive");
+    bool any = false;
+    for (int i = 0; i < m_; ++i) {
+      SUU_CHECK_MSG(speed(i, j) >= 0, "negative speed");
+      if (speed(i, j) > 0) any = true;
+    }
+    SUU_CHECK_MSG(any, "job " << j << " has no machine with positive speed");
+  }
+}
+
+int StochInstance::fastest_machine(int job) const {
+  int best = 0;
+  for (int i = 1; i < m_; ++i) {
+    if (speed(i, job) > speed(best, job)) best = i;
+  }
+  return best;
+}
+
+double StochInstance::max_speed(int job) const {
+  return speed(fastest_machine(job), job);
+}
+
+}  // namespace suu::stoch

@@ -1,0 +1,39 @@
+// Stochastic scheduling instances (paper Appendix C).
+//
+// STOCH-I: jobs with exponentially distributed lengths p_j ~ Exp(lambda_j)
+// (only the rate lambda_j is known) on unrelated machines with speeds
+// v_ij >= 0. Machine i working on job j for time t contributes t * v_ij
+// units of work; j completes when accumulated work reaches p_j. Unlike SUU,
+// time is continuous and a job may not run on two machines simultaneously.
+#pragma once
+
+#include <vector>
+
+namespace suu::stoch {
+
+class StochInstance {
+ public:
+  /// speeds is row-major by job: speeds[j * m + i] = v_ij.
+  /// Every lambda must be positive and every job must have a machine with
+  /// positive speed.
+  StochInstance(int n, int m, std::vector<double> lambda,
+                std::vector<double> speeds);
+
+  int num_jobs() const noexcept { return n_; }
+  int num_machines() const noexcept { return m_; }
+  double lambda(int job) const noexcept { return lambda_[job]; }
+  double speed(int machine, int job) const noexcept {
+    return speeds_[static_cast<std::size_t>(job) * m_ + machine];
+  }
+  /// Fastest machine for a job and its speed.
+  int fastest_machine(int job) const;
+  double max_speed(int job) const;
+
+ private:
+  int n_;
+  int m_;
+  std::vector<double> lambda_;
+  std::vector<double> speeds_;
+};
+
+}  // namespace suu::stoch

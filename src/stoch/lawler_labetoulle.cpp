@@ -1,0 +1,72 @@
+#include "stoch/lawler_labetoulle.hpp"
+
+#include <algorithm>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+
+namespace suu::stoch {
+
+PreemptiveSchedule solve_rpmtn(const StochInstance& inst,
+                               const std::vector<int>& jobs,
+                               const std::vector<double>& p) {
+  const int m = inst.num_machines();
+  const int k = static_cast<int>(jobs.size());
+  SUU_CHECK_MSG(k >= 1, "empty job set");
+  SUU_CHECK(p.size() == jobs.size());
+
+  lp::Problem prob;
+  const int c_var = prob.add_var(1.0);
+  std::vector<std::vector<std::pair<int, int>>> var_of(jobs.size());
+  std::vector<lp::Row> machine_rows(m);
+  for (int idx = 0; idx < k; ++idx) {
+    const int j = jobs[static_cast<std::size_t>(idx)];
+    SUU_CHECK(p[static_cast<std::size_t>(idx)] >= 0);
+    lp::Row workr;
+    workr.rel = lp::Rel::Ge;
+    workr.rhs = p[static_cast<std::size_t>(idx)];
+    lp::Row job_par;
+    job_par.rel = lp::Rel::Le;
+    job_par.rhs = 0.0;
+    for (int i = 0; i < m; ++i) {
+      const double v = inst.speed(i, j);
+      if (v <= 0) continue;
+      const int var = prob.add_var(0.0);
+      var_of[static_cast<std::size_t>(idx)].emplace_back(i, var);
+      workr.terms.emplace_back(var, v);
+      job_par.terms.emplace_back(var, 1.0);
+      machine_rows[i].terms.emplace_back(var, 1.0);
+    }
+    SUU_CHECK(!workr.terms.empty());
+    prob.add_row(std::move(workr));
+    job_par.terms.emplace_back(c_var, -1.0);
+    prob.add_row(std::move(job_par));
+  }
+  for (int i = 0; i < m; ++i) {
+    auto& row = machine_rows[i];
+    if (row.terms.empty()) continue;
+    row.terms.emplace_back(c_var, -1.0);
+    row.rel = lp::Rel::Le;
+    row.rhs = 0.0;
+    prob.add_row(std::move(row));
+  }
+
+  const lp::Solution sol = lp::solve_simplex(prob);
+  SUU_CHECK_MSG(sol.status == lp::Status::Optimal,
+                "R|pmtn|Cmax LP failed: " << lp::to_string(sol.status));
+
+  PreemptiveSchedule out;
+  out.makespan = sol.x[c_var];
+  out.x.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(k), 0.0);
+  for (int idx = 0; idx < k; ++idx) {
+    for (const auto& [i, var] : var_of[static_cast<std::size_t>(idx)]) {
+      out.x[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(idx)] = std::max(0.0, sol.x[var]);
+    }
+  }
+  out.slices = decompose_preemptive(m, k, out.x, out.makespan);
+  return out;
+}
+
+}  // namespace suu::stoch

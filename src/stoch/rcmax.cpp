@@ -1,0 +1,69 @@
+#include "stoch/rcmax.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace suu::stoch {
+
+NonpreemptiveSchedule greedy_rcmax(const StochInstance& inst,
+                                   const std::vector<int>& jobs,
+                                   const std::vector<double>& p) {
+  const int m = inst.num_machines();
+  const int k = static_cast<int>(jobs.size());
+  SUU_CHECK(k >= 1);
+  SUU_CHECK(p.size() == jobs.size());
+
+  // Best-machine time per job (also feeds the lower bound).
+  std::vector<double> best_time(static_cast<std::size_t>(k));
+  double lb = 0.0;
+  double total_best_work = 0.0;
+  for (int idx = 0; idx < k; ++idx) {
+    const int j = jobs[static_cast<std::size_t>(idx)];
+    SUU_CHECK(p[static_cast<std::size_t>(idx)] >= 0);
+    best_time[static_cast<std::size_t>(idx)] =
+        p[static_cast<std::size_t>(idx)] / inst.max_speed(j);
+    lb = std::max(lb, best_time[static_cast<std::size_t>(idx)]);
+    total_best_work += best_time[static_cast<std::size_t>(idx)];
+  }
+  lb = std::max(lb, total_best_work / static_cast<double>(m));
+
+  // LPT order on best-machine times.
+  std::vector<int> order(static_cast<std::size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return best_time[static_cast<std::size_t>(a)] >
+           best_time[static_cast<std::size_t>(b)];
+  });
+
+  NonpreemptiveSchedule out;
+  out.queue.resize(static_cast<std::size_t>(m));
+  out.machine_of.assign(static_cast<std::size_t>(k), -1);
+  std::vector<double> load(static_cast<std::size_t>(m), 0.0);
+  for (const int idx : order) {
+    const int j = jobs[static_cast<std::size_t>(idx)];
+    int best = -1;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const double v = inst.speed(i, j);
+      if (v <= 0) continue;
+      const double finish = load[static_cast<std::size_t>(i)] +
+                            p[static_cast<std::size_t>(idx)] / v;
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = i;
+      }
+    }
+    SUU_CHECK_MSG(best >= 0, "job " << j << " runs on no machine");
+    out.queue[static_cast<std::size_t>(best)].push_back(idx);
+    out.machine_of[static_cast<std::size_t>(idx)] = best;
+    load[static_cast<std::size_t>(best)] = best_finish;
+  }
+  out.makespan = *std::max_element(load.begin(), load.end());
+  out.lower_bound = lb;
+  return out;
+}
+
+}  // namespace suu::stoch

@@ -1,0 +1,36 @@
+// Nonpreemptive unrelated-machines makespan (R||Cmax) — the substrate for
+// the paper's R|restart, p_j~stoch|E[Cmax] variant (Appendix C: "The only
+// necessary change ... is to substitute the kth round with the
+// corresponding solution to R||Cmax, in lieu of R|pmtn|Cmax").
+//
+// R||Cmax is NP-hard; the paper's variant only needs an O(1)-approximation,
+// for which we use LPT-ordered earliest-completion-time list scheduling —
+// sort jobs by their best-machine processing time descending and place each
+// on the machine that finishes it soonest. We expose the achieved makespan
+// alongside a trivial lower bound (max over jobs of min_i p_ij, and total
+// work / m on any machine subset) so tests can assert the gap.
+#pragma once
+
+#include <vector>
+
+#include "stoch/instance.hpp"
+
+namespace suu::stoch {
+
+struct NonpreemptiveSchedule {
+  double makespan = 0.0;
+  /// queue[i] = ordered indices (into the `jobs` argument) machine i runs.
+  std::vector<std::vector<int>> queue;
+  /// machine chosen for each job index.
+  std::vector<int> machine_of;
+  /// simple certified lower bound on the optimal R||Cmax makespan.
+  double lower_bound = 0.0;
+};
+
+/// Greedy LPT/ECT list schedule for the jobs with processing requirements
+/// p (time on machine i is p[idx] / speed(i, job)).
+NonpreemptiveSchedule greedy_rcmax(const StochInstance& inst,
+                                   const std::vector<int>& jobs,
+                                   const std::vector<double>& p);
+
+}  // namespace suu::stoch

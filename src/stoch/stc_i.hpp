@@ -1,0 +1,63 @@
+// STC-I (paper Appendix C): O(log log n)-approximation for
+// R|pmtn, p_j ~ exp|E[Cmax] on unrelated machines.
+//
+// K = ceil(log log n) + 3 rounds. Round k solves the deterministic
+// R|pmtn|Cmax instance that sets every remaining job's length to
+// 2^(k-2)/lambda_j (so any job whose hidden p_j is at most that completes),
+// using the Lawler–Labetoulle substrate. Survivors of round K run
+// sequentially, each on its fastest machine. The simulator executes the
+// slice schedules in continuous time against hidden p_j ~ Exp(lambda_j)
+// draws and reports exact completion times.
+//
+// For ratio measurements we also compute the per-realization offline
+// optimum: the LL makespan with the true p_j revealed — a valid lower bound
+// on any policy since R|pmtn|Cmax is solved exactly by the LP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stoch/instance.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace suu::stoch {
+
+struct StcIResult {
+  double makespan = 0.0;
+  double offline_opt = 0.0;  ///< LL optimum for the realized p_j
+  int rounds_used = 0;
+  bool sequential_tail = false;  ///< survivors remained after round K
+};
+
+/// K = ceil(log2 log2 n) + 3 (n clamped to >= 2).
+int stc_round_bound(int n);
+
+/// One execution with hidden lengths drawn from `rng`.
+StcIResult run_stc_i(const StochInstance& inst, util::Rng& rng);
+
+/// The R|restart| variant (Appendix C, "Other results"): each round builds
+/// a NONpreemptive greedy R||Cmax schedule with the deterministic targets
+/// 2^(k-2)/lambda_j; a job that overruns its allotment is abandoned and
+/// restarted from scratch in the next round (possibly elsewhere) — no
+/// cross-machine or cross-round progress is retained. Survivors of round K
+/// run to completion on their fastest machine.
+StcIResult run_stc_r(const StochInstance& inst, util::Rng& rng);
+
+/// Baseline: draw p_j, run every job on its fastest machine sequentially.
+double run_sequential_fastest(const StochInstance& inst, util::Rng& rng);
+
+struct StochEstimate {
+  util::Estimate stc_i;       ///< E[T_STC-I]
+  util::Estimate stc_r;       ///< E[T] of the restart variant (same draws)
+  util::Estimate offline;     ///< E[offline OPT] (lower bound on E[T_OPT])
+  util::Estimate sequential;  ///< E[T] of the sequential baseline
+  double mean_rounds = 0.0;
+  double tail_fraction = 0.0;  ///< fraction of runs needing the tail
+};
+
+/// Monte-Carlo comparison across `replications` (deterministic per seed).
+StochEstimate estimate_stoch(const StochInstance& inst, int replications,
+                             std::uint64_t seed, unsigned threads = 0);
+
+}  // namespace suu::stoch

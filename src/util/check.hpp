@@ -1,0 +1,50 @@
+// Lightweight invariant checking used throughout libsuu.
+//
+// SUU_CHECK is always on: it guards API contracts and cheap invariants whose
+// violation indicates a caller bug (throws suu::util::CheckError).
+// SUU_ASSERT compiles away in NDEBUG builds and guards internal invariants
+// that are expensive to test.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace suu::util {
+
+/// Thrown when an SUU_CHECK contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SUU_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace suu::util
+
+#define SUU_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::suu::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SUU_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream suu_check_os_;                              \
+      suu_check_os_ << msg;                                          \
+      ::suu::util::check_failed(#expr, __FILE__, __LINE__,           \
+                                suu_check_os_.str());                \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define SUU_ASSERT(expr) ((void)0)
+#else
+#define SUU_ASSERT(expr) SUU_CHECK(expr)
+#endif

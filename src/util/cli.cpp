@@ -1,0 +1,43 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace suu::util {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_[std::string(arg)] = "1";
+    } else {
+      kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second;
+}
+
+}  // namespace suu::util

@@ -1,0 +1,26 @@
+// Minimal --key=value command-line parsing for bench and example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace suu::util {
+
+/// Parses arguments of the form --key=value or bare --flag.
+/// Unrecognized positional arguments are ignored (benchmark binaries pass
+/// google-benchmark flags through).
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace suu::util

@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace suu::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: used to expand a 64-bit seed into generator state and to mix
+// (state, stream) pairs when deriving child streams.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // xoshiro's all-zero state is a fixed point; splitmix64 cannot produce
+  // four zero outputs from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform01_open() noexcept {
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return u;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  if (n == 0) return 0;  // degenerate; callers check, but stay noexcept-safe
+  const std::uint64_t threshold = (-n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi==lo => span 1
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  return -std::log(uniform01_open()) / rate;
+}
+
+Rng Rng::child(std::uint64_t stream) const noexcept {
+  // Mix the full parent state with the stream id so distinct parents and
+  // distinct stream ids both yield unrelated children.
+  std::uint64_t x = s_[0];
+  std::uint64_t h = splitmix64(x);
+  x = s_[1] ^ (stream * 0x9E3779B97f4A7C15ULL);
+  h ^= splitmix64(x);
+  x = s_[2] + stream;
+  h += splitmix64(x);
+  x = s_[3] ^ rotl(stream, 31);
+  h ^= splitmix64(x);
+  return Rng(h);
+}
+
+}  // namespace suu::util

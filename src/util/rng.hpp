@@ -1,0 +1,65 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// libsuu never uses std::random_device or global RNG state: every stochastic
+// component receives an explicit Rng (or derives one with Rng::child), so a
+// whole experiment is reproducible from a single master seed regardless of
+// thread count or scheduling order.
+//
+// Core generator: xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+
+namespace suu::util {
+
+/// A small, fast, deterministic 64-bit PRNG (xoshiro256**).
+///
+/// Satisfies UniformRandomBitGenerator so it can also drive <random>
+/// distributions, though libsuu uses the built-in helpers below for
+/// cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a master seed. Any value (including 0) is fine.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of mantissa.
+  double uniform01() noexcept;
+
+  /// Uniform double in the open interval (0, 1); never returns 0.
+  /// (The SUU* reformulation draws r_j from the open interval.)
+  double uniform01_open() noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli trial; p outside [0,1] is clamped.
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Derive an independent child stream. Children with distinct `stream`
+  /// values (and distinct parents) produce statistically independent
+  /// sequences; the construction hashes (parent state, stream).
+  [[nodiscard]] Rng child(std::uint64_t stream) const noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace suu::util

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace suu::util {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::sem() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Estimate make_estimate(const OnlineStats& s) noexcept {
+  Estimate e;
+  e.mean = s.mean();
+  e.ci95_half = s.ci95_half();
+  e.stddev = s.stddev();
+  e.min = s.count() ? s.min() : 0.0;
+  e.max = s.count() ? s.max() : 0.0;
+  e.n = s.count();
+  return e;
+}
+
+void Sampler::merge(const Sampler& other) {
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = false;
+}
+
+double Sampler::quantile(double q) const {
+  SUU_CHECK_MSG(!xs_.empty(), "quantile of empty sample");
+  SUU_CHECK(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  if (xs_.size() == 1) return xs_[0];
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= xs_.size()) return xs_.back();
+  const double frac = pos - static_cast<double>(i);
+  return xs_[i] * (1.0 - frac) + xs_[i + 1] * frac;
+}
+
+double Sampler::mean() const {
+  SUU_CHECK_MSG(!xs_.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+}  // namespace suu::util

@@ -1,0 +1,70 @@
+// Summary statistics for Monte-Carlo estimation.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace suu::util {
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+/// Supports merging partial accumulators from worker threads.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double sem() const noexcept;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half() const noexcept { return 1.959963984540054 * sem(); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A point estimate with uncertainty, as returned by simulation runners.
+struct Estimate {
+  double mean = 0.0;
+  double ci95_half = 0.0;  ///< normal-approx 95% CI half-width
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;  ///< number of replications
+
+  double lo() const noexcept { return mean - ci95_half; }
+  double hi() const noexcept { return mean + ci95_half; }
+};
+
+/// Build an Estimate from a finished accumulator.
+Estimate make_estimate(const OnlineStats& s) noexcept;
+
+/// Sample container with quantile queries (used for whp-tail measurements).
+class Sampler {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void merge(const Sampler& other);
+  std::size_t count() const noexcept { return xs_.size(); }
+  /// Empirical q-quantile, q in [0,1]; linear interpolation between order
+  /// statistics. Requires at least one sample.
+  double quantile(double q) const;
+  double mean() const;
+  const std::vector<double>& samples() const noexcept { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace suu::util

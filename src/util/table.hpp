@@ -1,0 +1,36 @@
+// Aligned text tables for benchmark output (markdown-compatible) plus CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace suu::util {
+
+/// Collects rows of strings and prints them as an aligned markdown table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Print as an aligned, pipe-delimited (markdown) table.
+  void print(std::ostream& os) const;
+
+  /// Print as CSV (no escaping beyond quoting cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` significant decimal places.
+std::string fmt(double x, int prec = 3);
+/// Format "mean ± ci" for an estimate-like pair.
+std::string fmt_pm(double mean, double half, int prec = 3);
+
+}  // namespace suu::util

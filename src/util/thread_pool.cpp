@@ -1,0 +1,97 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace suu::util {
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (unsigned i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop requested and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& f) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const unsigned n_workers =
+      static_cast<unsigned>(std::min<std::size_t>(workers_.size(), n));
+  for (unsigned w = 0; w < n_workers; ++w) {
+    submit([next, n, &f] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        f(i);
+      }
+    });
+  }
+  wait();
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace suu::util

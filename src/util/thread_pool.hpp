@@ -1,0 +1,60 @@
+// A small fixed-size thread pool used to parallelize Monte-Carlo
+// replications and parameter sweeps.
+//
+// Determinism contract: parallel_for(n, f) calls f(i) exactly once for each
+// i in [0, n), from unspecified threads. Callers that need reproducible
+// randomness derive a per-index Rng child stream from the master seed, so
+// results are independent of thread count and interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace suu::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `n_threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; tasks may not touch the pool itself.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished. Rethrows the first
+  /// exception raised by any task (others are dropped).
+  void wait();
+
+  /// Run f(i) for all i in [0, n), distributing work across the pool and
+  /// the calling thread. Blocks until done; rethrows the first exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience: a process-wide default pool (lazily constructed).
+ThreadPool& default_pool();
+
+}  // namespace suu::util

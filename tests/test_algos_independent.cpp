@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/baselines.hpp"
+#include "algos/lower_bounds.hpp"
+#include "algos/suu_i.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace suu::algos {
+namespace {
+
+sim::EstimateOptions fast_opts(int reps, std::uint64_t seed) {
+  sim::EstimateOptions o;
+  o.replications = reps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(SemRoundBound, Values) {
+  EXPECT_EQ(sem_round_bound(2, 2), 3);    // loglog 2 = 0
+  EXPECT_EQ(sem_round_bound(4, 100), 4);  // min 4: log2=2, loglog=1
+  EXPECT_EQ(sem_round_bound(16, 16), 5);  // log2=4, loglog=2
+  EXPECT_EQ(sem_round_bound(256, 300), 6);
+  EXPECT_EQ(sem_round_bound(1, 1), 3);    // clamped
+  EXPECT_EQ(sem_round_bound(100000, 3), 4);  // min(m,n)=3
+}
+
+TEST(ObliviousReplay, CyclicWrapsAround) {
+  sched::ObliviousSchedule s(1);
+  s.append({0});
+  s.append({1});
+  ObliviousReplayPolicy p(s, /*cyclic=*/true);
+  core::Instance inst = core::Instance::independent(2, 1, {0.5, 0.5});
+  sim::ExecState st(inst);
+  EXPECT_EQ(p.decide(st)[0], 0);
+  EXPECT_EQ(p.decide(st)[0], 1);
+  EXPECT_EQ(p.decide(st)[0], 0);
+}
+
+TEST(ObliviousReplay, NonCyclicGoesIdle) {
+  sched::ObliviousSchedule s(1);
+  s.append({0});
+  ObliviousReplayPolicy p(s, /*cyclic=*/false);
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  sim::ExecState st(inst);
+  EXPECT_EQ(p.decide(st)[0], 0);
+  EXPECT_EQ(p.decide(st)[0], sched::kIdle);
+}
+
+TEST(ObliviousReplay, EmptyScheduleRejected) {
+  sched::ObliviousSchedule s(1);
+  EXPECT_THROW(ObliviousReplayPolicy(s, true), util::CheckError);
+}
+
+class CompletesAllJobs
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+// Every policy must finish every instance (the engine would throw on cap).
+TEST_P(CompletesAllJobs, AllPolicies) {
+  const auto [n, m, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  core::Instance inst = core::make_independent(
+      n, m, core::MachineModel::uniform(0.3, 0.95), rng);
+  const auto opts = fast_opts(40, 1000 + static_cast<std::uint64_t>(seed));
+
+  const std::vector<sim::PolicyFactory> factories = {
+      [] { return std::make_unique<AllOnOnePolicy>(); },
+      [] { return std::make_unique<RoundRobinPolicy>(); },
+      [] { return std::make_unique<BestMachinePolicy>(); },
+      [] { return std::make_unique<GreedyLrPolicy>(); },
+      [] { return std::make_unique<SuuIOblPolicy>(); },
+      [] { return std::make_unique<SuuISemPolicy>(); },
+  };
+  for (const auto& f : factories) {
+    const util::Estimate e = sim::estimate_makespan(inst, f, opts);
+    EXPECT_GE(e.mean, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompletesAllJobs,
+                         ::testing::Combine(::testing::Values(1, 5, 12),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Values(0, 1)));
+
+TEST(SuuIObl, PrecomputedScheduleShared) {
+  util::Rng rng(8);
+  core::Instance inst = core::make_independent(
+      6, 3, core::MachineModel::uniform(0.4, 0.9), rng);
+  auto pre = SuuIOblPolicy::precompute(inst);
+  EXPECT_GT(pre->schedule.length(), 0);
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [pre] { return std::make_unique<SuuIOblPolicy>(pre); },
+      fast_opts(60, 3));
+  EXPECT_GE(e.mean, 1.0);
+}
+
+TEST(SuuIObl, MismatchedPrecomputeRejected) {
+  util::Rng rng(8);
+  core::Instance a = core::make_independent(
+      4, 3, core::MachineModel::uniform(0.4, 0.9), rng);
+  core::Instance b = core::make_independent(
+      4, 2, core::MachineModel::uniform(0.4, 0.9), rng);
+  auto pre = SuuIOblPolicy::precompute(a);
+  SuuIOblPolicy p(pre);
+  EXPECT_THROW(p.reset(b, util::Rng(1)), util::CheckError);
+}
+
+TEST(SuuISem, RoundsNeverExceedBoundBeforeFallback) {
+  util::Rng rng(12);
+  core::Instance inst = core::make_independent(
+      10, 4, core::MachineModel::uniform(0.5, 0.98), rng);
+  SuuISemPolicy policy;
+  sim::ExecConfig cfg;
+  cfg.seed = 4;
+  const sim::ExecResult r = sim::execute(inst, policy, cfg);
+  EXPECT_FALSE(r.capped);
+  EXPECT_LE(policy.rounds_used(), policy.round_bound());
+  EXPECT_EQ(policy.round_bound(), sem_round_bound(10, 4));
+}
+
+TEST(SuuISem, UniverseRestrictsScheduling) {
+  // Jobs outside the universe must never be assigned machines.
+  util::Rng rng(13);
+  core::Instance inst = core::make_independent(
+      6, 2, core::MachineModel::uniform(0.3, 0.8), rng);
+  SuuISemPolicy::Config cfg;
+  cfg.universe = {1, 3};
+  SuuISemPolicy policy(std::move(cfg));
+  policy.reset(inst, util::Rng(9));
+  sim::ExecState st(inst);
+  for (int step = 0; step < 200; ++step) {
+    const sched::Assignment a = policy.decide(st);
+    for (const int j : a) {
+      if (j != sched::kIdle) {
+        EXPECT_TRUE(j == 1 || j == 3) << "assigned job " << j;
+      }
+    }
+  }
+}
+
+TEST(SuuISem, SequentialFallbackWhenJobsFewerThanMachines) {
+  // n = 2 <= m = 3: after K rounds the fallback runs jobs one at a time on
+  // all machines. Use nearly-hopeless probabilities so rounds fail often.
+  core::Instance inst = core::Instance::independent(
+      2, 3, {0.99, 0.99, 0.99, 0.99, 0.99, 0.99});
+  sim::EstimateOptions o = fast_opts(200, 21);
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuISemPolicy>(); }, o);
+  // Expected time once ganged: per-step success 1 - 0.99^3 ~ 0.0297 per job.
+  EXPECT_GT(e.mean, 10.0);
+}
+
+TEST(LowerBound, BelowSimulatedOptimalPolicies) {
+  // The Lemma 1 bound must lower-bound every policy's measured makespan.
+  for (int seed = 0; seed < 4; ++seed) {
+    util::Rng rng(40 + static_cast<std::uint64_t>(seed));
+    core::Instance inst = core::make_independent(
+        6, 3, core::MachineModel::uniform(0.2, 0.9), rng);
+    const LowerBound lb = lower_bound_independent(inst);
+    const util::Estimate e = sim::estimate_makespan(
+        inst, [] { return std::make_unique<SuuISemPolicy>(); },
+        fast_opts(800, 50 + static_cast<std::uint64_t>(seed)));
+    EXPECT_LE(lb.value, e.mean + 3 * e.ci95_half)
+        << "LB " << lb.value << " vs measured " << e.mean;
+    EXPECT_GE(lb.value, 1.0);
+  }
+}
+
+TEST(LowerBound, TrivialFloorIsOne) {
+  core::Instance inst = core::Instance::independent(1, 4,
+                                                    {0.0, 0.0, 0.0, 0.0});
+  const LowerBound lb = lower_bound_independent(inst);
+  EXPECT_DOUBLE_EQ(lb.value, 1.0);
+}
+
+TEST(GreedyLr, CoversEveryJobEachRound) {
+  util::Rng rng(31);
+  core::Instance inst = core::make_independent(
+      8, 3, core::MachineModel::uniform(0.4, 0.9), rng);
+  GreedyLrPolicy p(0.5);
+  p.reset(inst, util::Rng(1));
+  EXPECT_EQ(p.rounds(), 1);
+}
+
+TEST(Baselines, AllOnOneGangsEveryMachine) {
+  core::Instance inst = core::Instance::independent(2, 3,
+                                                    {0.5, 0.5, 0.5, 0.5,
+                                                     0.5, 0.5});
+  AllOnOnePolicy p;
+  sim::ExecState st(inst);
+  const sched::Assignment a = p.decide(st);
+  for (const int j : a) EXPECT_EQ(j, 0);
+}
+
+TEST(Baselines, RoundRobinSpreadsMachines) {
+  core::Instance inst = core::Instance::independent(
+      3, 3, std::vector<double>(9, 0.5));
+  RoundRobinPolicy p;
+  sim::ExecState st(inst);
+  const sched::Assignment a = p.decide(st);
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 1);
+  EXPECT_EQ(a[2], 2);
+}
+
+TEST(Baselines, BestMachineUsesHighestEll) {
+  // Machine 1 is better for job 0.
+  core::Instance inst = core::Instance::independent(1, 2, {0.9, 0.1});
+  BestMachinePolicy p;
+  p.reset(inst, util::Rng(1));
+  sim::ExecState st(inst);
+  const sched::Assignment a = p.decide(st);
+  EXPECT_EQ(a[0], sched::kIdle);
+  EXPECT_EQ(a[1], 0);
+}
+
+// The headline comparison (Theorem 3 vs Theorem 4): on the identical-
+// machines coupon-collector family, SUU-I-SEM should not lose to SUU-I-OBL,
+// whose repetition pays a log n factor.
+TEST(Headline, SemNotWorseThanOblOnCouponFamily) {
+  util::Rng rng(60);
+  core::Instance inst = core::make_independent(
+      48, 8, core::MachineModel::identical(0.7), rng);
+  auto pre = SuuIOblPolicy::precompute(inst);
+  auto pre_sem = SuuISemPolicy::precompute_round1(inst);
+  const util::Estimate obl = sim::estimate_makespan(
+      inst, [pre] { return std::make_unique<SuuIOblPolicy>(pre); },
+      fast_opts(300, 61));
+  const util::Estimate sem = sim::estimate_makespan(
+      inst,
+      [pre_sem] {
+        SuuISemPolicy::Config cfg;
+        cfg.round1 = pre_sem;
+        return std::make_unique<SuuISemPolicy>(std::move(cfg));
+      },
+      fast_opts(300, 62));
+  EXPECT_LE(sem.mean, obl.mean * 1.10 + 3 * (sem.ci95_half + obl.ci95_half));
+}
+
+}  // namespace
+}  // namespace suu::algos

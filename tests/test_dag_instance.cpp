@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/dag.hpp"
+#include "core/generators.hpp"
+#include "core/instance.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::core {
+namespace {
+
+TEST(Dag, EmptyDagProperties) {
+  Dag d(5);
+  EXPECT_EQ(d.num_vertices(), 5);
+  EXPECT_EQ(d.num_edges(), 0);
+  EXPECT_TRUE(d.is_empty());
+  EXPECT_TRUE(d.is_chains());
+  EXPECT_TRUE(d.is_out_forest());
+  EXPECT_TRUE(d.is_in_forest());
+  EXPECT_EQ(d.chains().size(), 5u);
+  EXPECT_EQ(d.roots().size(), 5u);
+}
+
+TEST(Dag, AddEdgeAndAdjacency) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_EQ(d.num_edges(), 2);
+  EXPECT_EQ(d.succs(0), std::vector<int>{1});
+  EXPECT_EQ(d.preds(2), std::vector<int>{1});
+  EXPECT_TRUE(d.preds(0).empty());
+}
+
+TEST(Dag, RejectsSelfLoopAndDuplicate) {
+  Dag d(3);
+  EXPECT_THROW(d.add_edge(1, 1), util::CheckError);
+  d.add_edge(0, 1);
+  EXPECT_THROW(d.add_edge(0, 1), util::CheckError);
+  EXPECT_THROW(d.add_edge(0, 9), util::CheckError);
+}
+
+TEST(Dag, TopoOrderRespectsEdges) {
+  Dag d(6);
+  d.add_edge(5, 0);
+  d.add_edge(5, 2);
+  d.add_edge(4, 0);
+  d.add_edge(4, 1);
+  d.add_edge(2, 3);
+  d.add_edge(3, 1);
+  const auto order = d.topo_order();
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<int> pos(6);
+  for (int k = 0; k < 6; ++k) pos[order[static_cast<std::size_t>(k)]] = k;
+  for (int v = 0; v < 6; ++v) {
+    for (const int s : d.succs(v)) EXPECT_LT(pos[v], pos[s]);
+  }
+}
+
+TEST(Dag, CycleDetected) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 0);
+  EXPECT_THROW(d.topo_order(), util::CheckError);
+  EXPECT_THROW(d.validate_acyclic(), util::CheckError);
+}
+
+TEST(Dag, ChainRecognitionAndExtraction) {
+  Dag d(6);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(3, 4);
+  EXPECT_TRUE(d.is_chains());
+  const auto chains = d.chains();
+  ASSERT_EQ(chains.size(), 3u);  // {0,1,2}, {3,4}, {5}
+  std::set<int> covered;
+  for (const auto& c : chains) {
+    for (const int v : c) covered.insert(v);
+  }
+  EXPECT_EQ(covered.size(), 6u);
+  // Find the 3-chain and check order.
+  for (const auto& c : chains) {
+    if (c.size() == 3) {
+      EXPECT_EQ(c, (std::vector<int>{0, 1, 2}));
+    }
+  }
+}
+
+TEST(Dag, BranchingIsNotChains) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  EXPECT_FALSE(d.is_chains());
+  EXPECT_TRUE(d.is_out_forest());
+  EXPECT_FALSE(d.is_in_forest());
+  EXPECT_THROW(d.chains(), util::CheckError);
+}
+
+TEST(Dag, MergingIsInForestNotOut) {
+  Dag d(3);
+  d.add_edge(0, 2);
+  d.add_edge(1, 2);
+  EXPECT_FALSE(d.is_out_forest());
+  EXPECT_TRUE(d.is_in_forest());
+}
+
+TEST(Instance, EllValuesAndClamps) {
+  // q = 0.5 -> ell = 1; q = 0.25 -> ell = 2; q = 1 -> ell = 0; q = 0 -> 64.
+  Instance inst = Instance::independent(1, 4, {0.5, 0.25, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(inst.ell(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(inst.ell(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(inst.ell(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(inst.ell(3, 0), Instance::kMaxEll);
+  EXPECT_DOUBLE_EQ(inst.total_ell(0), 67.0);
+  EXPECT_DOUBLE_EQ(inst.max_ell(0), 64.0);
+  EXPECT_DOUBLE_EQ(inst.ell_capped(1, 0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(inst.ell_capped(0, 0, 1.5), 1.0);
+}
+
+TEST(Instance, RejectsBadProbability) {
+  EXPECT_THROW(Instance::independent(1, 1, {1.5}), util::CheckError);
+  EXPECT_THROW(Instance::independent(1, 1, {-0.1}), util::CheckError);
+}
+
+TEST(Instance, RejectsJobWithNoCapableMachine) {
+  EXPECT_THROW(Instance::independent(1, 2, {1.0, 1.0}), util::CheckError);
+}
+
+TEST(Instance, RejectsWrongSizes) {
+  EXPECT_THROW(Instance::independent(2, 2, {0.5, 0.5, 0.5}),
+               util::CheckError);
+  EXPECT_THROW(Instance(2, 1, {0.5, 0.5}, Dag(3)), util::CheckError);
+}
+
+TEST(Instance, RejectsCyclicDag) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  d.add_edge(1, 0);
+  EXPECT_THROW(Instance(2, 1, {0.5, 0.5}, std::move(d)), util::CheckError);
+}
+
+TEST(Instance, QAccessorLayout) {
+  // Row-major by job: q[j*m + i].
+  Instance inst = Instance::independent(2, 2, {0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(inst.q(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(inst.q(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(inst.q(0, 1), 0.3);
+  EXPECT_DOUBLE_EQ(inst.q(1, 1), 0.4);
+}
+
+TEST(Generators, UniformInRange) {
+  util::Rng rng(1);
+  const auto model = MachineModel::uniform(0.2, 0.8);
+  Instance inst = make_independent(10, 5, model, rng);
+  for (int j = 0; j < 10; ++j) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_GE(inst.q(i, j), 0.2);
+      EXPECT_LT(inst.q(i, j), 0.8);
+    }
+  }
+}
+
+TEST(Generators, IdenticalModel) {
+  util::Rng rng(2);
+  Instance inst = make_independent(4, 3, MachineModel::identical(0.5), rng);
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(inst.q(i, j), 0.5);
+  }
+}
+
+TEST(Generators, ClassesHasFastAndSlow) {
+  util::Rng rng(3);
+  Instance inst = make_independent(8, 10, MachineModel::classes(), rng);
+  // Machine 0 and 1 are "fast" (frac 0.2 of 10); the rest slow.
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_LE(inst.q(0, j), 0.3);
+    EXPECT_GE(inst.q(5, j), 0.7);
+  }
+}
+
+TEST(Generators, SparseGuaranteesCapableMachine) {
+  util::Rng rng(4);
+  Instance inst =
+      make_independent(30, 4, MachineModel::sparse(0.05, 0.3, 0.6), rng);
+  for (int j = 0; j < 30; ++j) {
+    double best = 1.0;
+    for (int i = 0; i < 4; ++i) best = std::min(best, inst.q(i, j));
+    EXPECT_LT(best, 1.0) << "job " << j;
+  }
+}
+
+TEST(Generators, ChainDagShape) {
+  const Dag d = make_chain_dag({3, 1, 2});
+  EXPECT_EQ(d.num_vertices(), 6);
+  EXPECT_TRUE(d.is_chains());
+  const auto chains = d.chains();
+  ASSERT_EQ(chains.size(), 3u);
+  EXPECT_EQ(chains[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(chains[1], (std::vector<int>{3}));
+  EXPECT_EQ(chains[2], (std::vector<int>{4, 5}));
+}
+
+TEST(Generators, MakeChainsInstance) {
+  util::Rng rng(5);
+  Instance inst =
+      make_chains(4, 2, 5, 3, MachineModel::uniform(0.3, 0.9), rng);
+  EXPECT_TRUE(inst.dag().is_chains());
+  const auto chains = inst.dag().chains();
+  EXPECT_EQ(chains.size(), 4u);
+  for (const auto& c : chains) {
+    EXPECT_GE(c.size(), 2u);
+    EXPECT_LE(c.size(), 5u);
+  }
+}
+
+class ForestGenerator : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestGenerator, OutForestValid) {
+  util::Rng rng(600 + GetParam());
+  Instance inst = make_out_forest(40, 4, 0.2, 3,
+                                  MachineModel::uniform(0.3, 0.9), rng);
+  EXPECT_TRUE(inst.dag().is_out_forest());
+  inst.dag().validate_acyclic();
+  for (int v = 0; v < 40; ++v) {
+    EXPECT_LE(inst.dag().succs(v).size(), 3u);
+  }
+}
+
+TEST_P(ForestGenerator, InForestValid) {
+  util::Rng rng(700 + GetParam());
+  Instance inst =
+      make_in_forest(40, 4, 0.2, 3, MachineModel::uniform(0.3, 0.9), rng);
+  EXPECT_TRUE(inst.dag().is_in_forest());
+  inst.dag().validate_acyclic();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ForestGenerator, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace suu::core

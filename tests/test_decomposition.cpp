@@ -1,0 +1,146 @@
+#include "chains/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::chains {
+namespace {
+
+TEST(Decomposition, EmptyDagIsOneBlockOfSingletons) {
+  core::Dag d(5);
+  const Decomposition dec = decompose_forest(d);
+  EXPECT_EQ(dec.num_blocks(), 1);
+  EXPECT_EQ(dec.num_chains(), 5);
+  EXPECT_EQ(dec.num_jobs(), 5);
+  validate_decomposition(d, dec);
+}
+
+TEST(Decomposition, SingleChainIsOneBlock) {
+  const core::Dag d = core::make_chain_dag({6});
+  const Decomposition dec = decompose_forest(d);
+  EXPECT_EQ(dec.num_blocks(), 1);
+  EXPECT_EQ(dec.num_chains(), 1);
+  EXPECT_EQ(dec.blocks[0][0], (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  validate_decomposition(d, dec);
+}
+
+TEST(Decomposition, OutStar) {
+  // Root 0 with children 1..4: heavy path takes one child; the others are
+  // singleton chains in block 1.
+  core::Dag d(5);
+  for (int v = 1; v < 5; ++v) d.add_edge(0, v);
+  const Decomposition dec = decompose_forest(d);
+  EXPECT_EQ(dec.num_blocks(), 2);
+  validate_decomposition(d, dec);
+  EXPECT_EQ(dec.num_jobs(), 5);
+}
+
+TEST(Decomposition, InStar) {
+  // Leaves 1..4 all precede root 0 (in-tree).
+  core::Dag d(5);
+  for (int v = 1; v < 5; ++v) d.add_edge(v, 0);
+  ASSERT_TRUE(d.is_in_forest());
+  const Decomposition dec = decompose_forest(d);
+  validate_decomposition(d, dec);
+  EXPECT_EQ(dec.num_jobs(), 5);
+}
+
+TEST(Decomposition, CompleteBinaryTreeBlockBound) {
+  // Perfect binary out-tree with 2^k - 1 nodes: block count <= k.
+  const int levels = 5;
+  const int n = (1 << levels) - 1;
+  core::Dag d(n);
+  for (int v = 1; v < n; ++v) d.add_edge((v - 1) / 2, v);
+  const Decomposition dec = decompose_forest(d);
+  validate_decomposition(d, dec);
+  EXPECT_LE(dec.num_blocks(),
+            static_cast<int>(std::floor(std::log2(n))) + 1);
+}
+
+TEST(Decomposition, CaterpillarTree) {
+  // Spine 0-1-2-3 with a leaf hanging off each spine node.
+  core::Dag d(8);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  d.add_edge(0, 4);
+  d.add_edge(1, 5);
+  d.add_edge(2, 6);
+  d.add_edge(3, 7);
+  const Decomposition dec = decompose_forest(d);
+  validate_decomposition(d, dec);
+  // Heavy path follows the spine and absorbs the last leaf (0-1-2-3-7);
+  // the other three leaves are block-1 singletons.
+  EXPECT_EQ(dec.num_blocks(), 2);
+  EXPECT_EQ(dec.blocks[0].size(), 1u);
+  EXPECT_EQ(dec.blocks[0][0], (std::vector<int>{0, 1, 2, 3, 7}));
+  EXPECT_EQ(dec.blocks[1].size(), 3u);
+}
+
+TEST(Decomposition, RejectsNonForest) {
+  core::Dag d(4);
+  d.add_edge(0, 2);
+  d.add_edge(1, 2);  // two preds
+  d.add_edge(2, 3);
+  d.add_edge(0, 3);  // also two preds; not in-forest either (0 has 2 succs)
+  EXPECT_THROW(decompose_forest(d), util::CheckError);
+}
+
+TEST(ValidateDecomposition, CatchesMissingVertex) {
+  core::Dag d(2);
+  Decomposition dec;
+  dec.blocks = {{{0}}};
+  EXPECT_THROW(validate_decomposition(d, dec), util::CheckError);
+}
+
+TEST(ValidateDecomposition, CatchesBackwardEdge) {
+  core::Dag d(2);
+  d.add_edge(0, 1);
+  Decomposition dec;
+  dec.blocks = {{{1}}, {{0}}};
+  EXPECT_THROW(validate_decomposition(d, dec), util::CheckError);
+}
+
+TEST(ValidateDecomposition, CatchesNonConsecutiveChainEdge) {
+  core::Dag d(3);
+  d.add_edge(0, 2);
+  Decomposition dec;
+  dec.blocks = {{{0, 1, 2}}};  // 0->2 not consecutive in the chain
+  EXPECT_THROW(validate_decomposition(d, dec), util::CheckError);
+}
+
+class RandomForests : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomForests, OutForestInvariantsAndLogBound) {
+  util::Rng rng(2000 + GetParam());
+  const int n = 10 + static_cast<int>(rng.uniform_below(120));
+  core::Instance inst = core::make_out_forest(
+      n, 2, 0.1, 4, core::MachineModel::uniform(0.3, 0.9), rng);
+  const Decomposition dec = decompose_forest(inst.dag());
+  validate_decomposition(inst.dag(), dec);
+  EXPECT_EQ(dec.num_jobs(), n);
+  EXPECT_LE(dec.num_blocks(),
+            static_cast<int>(std::floor(std::log2(n))) + 1);
+}
+
+TEST_P(RandomForests, InForestInvariantsAndLogBound) {
+  util::Rng rng(3000 + GetParam());
+  const int n = 10 + static_cast<int>(rng.uniform_below(120));
+  core::Instance inst = core::make_in_forest(
+      n, 2, 0.1, 4, core::MachineModel::uniform(0.3, 0.9), rng);
+  const Decomposition dec = decompose_forest(inst.dag());
+  validate_decomposition(inst.dag(), dec);
+  EXPECT_EQ(dec.num_jobs(), n);
+  EXPECT_LE(dec.num_blocks(),
+            static_cast<int>(std::floor(std::log2(n))) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomForests, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace suu::chains

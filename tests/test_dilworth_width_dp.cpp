@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "algos/exact_dp.hpp"
+#include "algos/exact_width_dp.hpp"
+#include "chains/dilworth.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu {
+namespace {
+
+// ---- Dilworth / min chain cover ----
+
+TEST(Dilworth, EmptyDagWidthIsN) {
+  core::Dag d(5);
+  const chains::ChainCover c = chains::min_chain_cover(d);
+  EXPECT_EQ(c.width, 5);
+  EXPECT_EQ(c.chains.size(), 5u);
+}
+
+TEST(Dilworth, SingleChainWidthOne) {
+  const core::Dag d = core::make_chain_dag({6});
+  EXPECT_EQ(chains::dag_width(d), 1);
+}
+
+TEST(Dilworth, DisjointChains) {
+  const core::Dag d = core::make_chain_dag({3, 2, 4});
+  const chains::ChainCover c = chains::min_chain_cover(d);
+  EXPECT_EQ(c.width, 3);
+}
+
+TEST(Dilworth, DiamondWidthTwo) {
+  // 0 -> {1, 2} -> 3: the antichain {1, 2} has size 2.
+  core::Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  EXPECT_EQ(chains::dag_width(d), 2);
+}
+
+TEST(Dilworth, TransitiveClosureMatters) {
+  // Path 0 -> 1 -> 2 plus shortcut 0 -> 2: still width 1 (total order).
+  core::Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(0, 2);
+  EXPECT_EQ(chains::dag_width(d), 1);
+}
+
+TEST(Dilworth, StarWidth) {
+  core::Dag d(5);
+  for (int v = 1; v < 5; ++v) d.add_edge(0, v);
+  EXPECT_EQ(chains::dag_width(d), 4);  // the four leaves
+}
+
+TEST(Dilworth, ChainsArePosetChainsAndCover) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    core::Instance inst = core::make_out_forest(
+        14, 2, 0.2, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+    const chains::ChainCover c = chains::min_chain_cover(inst.dag());
+    std::vector<int> seen(14, 0);
+    // Reachability for verification.
+    const auto reaches = [&](int u, int v) {
+      std::vector<int> stack{u};
+      std::vector<char> vis(14, 0);
+      while (!stack.empty()) {
+        const int x = stack.back();
+        stack.pop_back();
+        if (x == v) return true;
+        for (const int s : inst.dag().succs(x)) {
+          if (!vis[static_cast<std::size_t>(s)]) {
+            vis[static_cast<std::size_t>(s)] = 1;
+            stack.push_back(s);
+          }
+        }
+      }
+      return false;
+    };
+    for (const auto& chain : c.chains) {
+      for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+        EXPECT_TRUE(reaches(chain[k], chain[k + 1]))
+            << chain[k] << " !-> " << chain[k + 1];
+      }
+      for (const int v : chain) ++seen[static_cast<std::size_t>(v)];
+    }
+    for (const int s : seen) EXPECT_EQ(s, 1);
+  }
+}
+
+// ---- Width-parameterized exact DP ----
+
+TEST(WidthDp, SingleJobGeometric) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  algos::WidthExactSolver solver(inst);
+  EXPECT_EQ(solver.width(), 1);
+  EXPECT_NEAR(solver.expected_makespan(), 2.0, 1e-9);
+}
+
+TEST(WidthDp, ChainSequentialClosedForm) {
+  core::Instance inst(3, 1, {0.5, 0.5, 0.5}, core::make_chain_dag({3}));
+  algos::WidthExactSolver solver(inst);
+  EXPECT_EQ(solver.width(), 1);
+  EXPECT_NEAR(solver.expected_makespan(), 6.0, 1e-9);
+  EXPECT_EQ(solver.num_states(), 4);
+}
+
+class WidthDpAgreesWithSubsetDp : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthDpAgreesWithSubsetDp, OnRandomSmallDags) {
+  util::Rng rng(6000 + GetParam());
+  const int kind = GetParam() % 3;
+  core::Instance inst =
+      kind == 0 ? core::make_independent(
+                      5, 2, core::MachineModel::uniform(0.2, 0.9), rng)
+      : kind == 1 ? core::make_chains(
+                        2, 2, 3, 2, core::MachineModel::uniform(0.2, 0.9),
+                        rng)
+                  : core::make_out_forest(
+                        6, 2, 0.3, 2,
+                        core::MachineModel::uniform(0.2, 0.9), rng);
+  if (inst.num_jobs() > 8) GTEST_SKIP();
+  const algos::ExactSolver subset(inst);
+  const algos::WidthExactSolver width(inst);
+  EXPECT_NEAR(width.expected_makespan(), subset.expected_makespan(), 1e-7)
+      << "kind " << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WidthDpAgreesWithSubsetDp,
+                         ::testing::Range(0, 12));
+
+TEST(WidthDp, ScalesToLongChainsWhereSubsetDpCannot) {
+  // 2 chains of length 10 => n = 20 jobs (2^20 subsets would be heavy;
+  // width DP has 11 * 11 = 121 states).
+  util::Rng rng(7);
+  const auto q = core::gen_q(20, 2, core::MachineModel::uniform(0.3, 0.8),
+                             rng);
+  core::Instance inst(20, 2, q, core::make_chain_dag({10, 10}));
+  algos::WidthExactSolver solver(inst);
+  EXPECT_EQ(solver.width(), 2);
+  EXPECT_EQ(solver.num_states(), 121);
+  EXPECT_GT(solver.expected_makespan(), 10.0);  // >= 10 sequential steps
+  EXPECT_LT(solver.expected_makespan(), 200.0);
+}
+
+TEST(WidthDp, OptimalPolicyMatchesValueBySimulation) {
+  util::Rng rng(9);
+  const auto q = core::gen_q(8, 2, core::MachineModel::uniform(0.3, 0.85),
+                             rng);
+  core::Instance inst(8, 2, q, core::make_chain_dag({4, 4}));
+  auto solver = std::make_shared<const algos::WidthExactSolver>(inst);
+  sim::EstimateOptions opt;
+  opt.replications = 20000;
+  opt.seed = 3;
+  opt.strict_eligibility = true;
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [solver] { return std::make_unique<algos::WidthOptPolicy>(
+                solver); },
+      opt);
+  EXPECT_NEAR(e.mean, solver->expected_makespan(), 5 * e.ci95_half + 0.05);
+}
+
+TEST(WidthDp, StateGuardRejectsHugeWidth) {
+  // Width 20 independent jobs: 2^20 states exceeds a tiny cap.
+  util::Rng rng(11);
+  core::Instance inst = core::make_independent(
+      20, 2, core::MachineModel::uniform(0.3, 0.9), rng);
+  algos::WidthExactSolver::Options opt;
+  opt.max_states = 1000;
+  EXPECT_THROW(algos::WidthExactSolver(inst, opt), util::CheckError);
+}
+
+TEST(WidthDp, WidthOptNeverWorseThanChainBaselines) {
+  util::Rng rng(13);
+  const auto q = core::gen_q(10, 2, core::MachineModel::uniform(0.3, 0.9),
+                             rng);
+  core::Instance inst(10, 2, q, core::make_chain_dag({5, 5}));
+  auto solver = std::make_shared<const algos::WidthExactSolver>(inst);
+  sim::EstimateOptions opt;
+  opt.replications = 4000;
+  opt.seed = 5;
+  const util::Estimate opt_e = sim::estimate_makespan(
+      inst, [solver] { return std::make_unique<algos::WidthOptPolicy>(
+                solver); },
+      opt);
+  EXPECT_NEAR(opt_e.mean, solver->expected_makespan(),
+              5 * opt_e.ci95_half + 0.1);
+}
+
+}  // namespace
+}  // namespace suu

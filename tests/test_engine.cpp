@@ -1,0 +1,279 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "util/check.hpp"
+
+namespace suu::sim {
+namespace {
+
+/// Assigns every machine to the lowest-index eligible job.
+class FirstEligiblePolicy : public Policy {
+ public:
+  std::string name() const override { return "first-eligible"; }
+  sched::Assignment decide(const ExecState& state) override {
+    sched::Assignment a(
+        static_cast<std::size_t>(state.instance().num_machines()),
+        sched::kIdle);
+    for (int j = 0; j < state.instance().num_jobs(); ++j) {
+      if (state.eligible(j)) {
+        std::fill(a.begin(), a.end(), j);
+        break;
+      }
+    }
+    return a;
+  }
+};
+
+/// Machine i -> job (i + t) mod n: every job is served infinitely often,
+/// including ineligible ones (exercising the idle-equivalence rule).
+class DiagonalPolicy : public Policy {
+ public:
+  std::string name() const override { return "diagonal"; }
+  sched::Assignment decide(const ExecState& state) override {
+    const int m = state.instance().num_machines();
+    const int n = state.instance().num_jobs();
+    sched::Assignment a(static_cast<std::size_t>(m), sched::kIdle);
+    for (int i = 0; i < m; ++i) {
+      a[static_cast<std::size_t>(i)] =
+          static_cast<int>((i + state.now()) % n);
+    }
+    return a;
+  }
+};
+
+TEST(Engine, DeterministicJobCompletesInOneStep) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.0});
+  FirstEligiblePolicy p;
+  ExecConfig cfg;
+  const ExecResult r = execute(inst, p, cfg);
+  EXPECT_EQ(r.makespan, 1);
+  EXPECT_FALSE(r.capped);
+  EXPECT_EQ(r.completion_time[0], 1);
+}
+
+TEST(Engine, GeometricSingleJobMean) {
+  // One job, one machine, q = 0.5: E[T] = 1/(1-q) = 2.
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  EstimateOptions opt;
+  opt.replications = 20000;
+  opt.seed = 42;
+  const util::Estimate e = estimate_makespan(
+      inst, [] { return std::make_unique<FirstEligiblePolicy>(); }, opt);
+  EXPECT_NEAR(e.mean, 2.0, 5 * e.ci95_half + 0.02);
+}
+
+TEST(Engine, MultipleMachinesMultiplyFailures) {
+  // One job, two machines each q = 0.5 ganged: per-step fail 0.25,
+  // E[T] = 1/0.75 = 4/3.
+  core::Instance inst = core::Instance::independent(1, 2, {0.5, 0.5});
+  EstimateOptions opt;
+  opt.replications = 20000;
+  opt.seed = 7;
+  const util::Estimate e = estimate_makespan(
+      inst, [] { return std::make_unique<FirstEligiblePolicy>(); }, opt);
+  EXPECT_NEAR(e.mean, 4.0 / 3.0, 5 * e.ci95_half + 0.02);
+}
+
+TEST(Engine, DeferredSemanticsSameClosedForm) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  EstimateOptions opt;
+  opt.replications = 20000;
+  opt.seed = 42;
+  opt.semantics = Semantics::Deferred;
+  const util::Estimate e = estimate_makespan(
+      inst, [] { return std::make_unique<FirstEligiblePolicy>(); }, opt);
+  EXPECT_NEAR(e.mean, 2.0, 5 * e.ci95_half + 0.02);
+}
+
+class SemanticsEquivalence : public ::testing::TestWithParam<int> {};
+
+// Theorem 10: SUU (coin flips) and SUU* (deferred r_j) induce the same
+// makespan distribution for any schedule.
+TEST_P(SemanticsEquivalence, MeansAgree) {
+  util::Rng rng(900 + GetParam());
+  core::Instance inst = core::make_independent(
+      4, 3, core::MachineModel::uniform(0.3, 0.95), rng);
+  EstimateOptions a, b;
+  a.replications = b.replications = 12000;
+  a.seed = b.seed = 1234 + GetParam();
+  a.semantics = Semantics::CoinFlips;
+  b.semantics = Semantics::Deferred;
+  auto factory = [] { return std::make_unique<DiagonalPolicy>(); };
+  const util::Estimate ea = estimate_makespan(inst, factory, a);
+  const util::Estimate eb = estimate_makespan(inst, factory, b);
+  EXPECT_NEAR(ea.mean, eb.mean, 5 * (ea.ci95_half + eb.ci95_half) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SemanticsEquivalence, ::testing::Range(0, 6));
+
+/// Machine i -> job i unconditionally (even when ineligible).
+class FixedDiagonalPolicy : public Policy {
+ public:
+  std::string name() const override { return "fixed-diagonal"; }
+  sched::Assignment decide(const ExecState& state) override {
+    const int m = state.instance().num_machines();
+    sched::Assignment a(static_cast<std::size_t>(m), sched::kIdle);
+    for (int i = 0; i < m && i < state.instance().num_jobs(); ++i) {
+      a[static_cast<std::size_t>(i)] = i;
+    }
+    return a;
+  }
+};
+
+TEST(Engine, PrecedenceBlocksExecution) {
+  // 0 -> 1; machine1 targets job1 (blocked until 0 completes). With q = 0
+  // job 0 completes at step 1, then job 1 at step 2.
+  core::Dag d(2);
+  d.add_edge(0, 1);
+  core::Instance inst(2, 2, {0.0, 1.0, 1.0, 0.0}, std::move(d));
+  FixedDiagonalPolicy p;
+  ExecConfig cfg;
+  const ExecResult r = execute(inst, p, cfg);
+  EXPECT_EQ(r.completion_time[0], 1);
+  EXPECT_EQ(r.completion_time[1], 2);
+  EXPECT_EQ(r.makespan, 2);
+}
+
+TEST(Engine, StrictEligibilityThrows) {
+  core::Dag d(2);
+  d.add_edge(0, 1);
+  core::Instance inst(2, 2, {0.5, 0.5, 0.5, 0.5}, std::move(d));
+  FixedDiagonalPolicy p;
+  ExecConfig cfg;
+  cfg.strict_eligibility = true;
+  EXPECT_THROW(execute(inst, p, cfg), util::CheckError);
+}
+
+TEST(Engine, NonStrictTreatsIneligibleAsIdle) {
+  core::Dag d(2);
+  d.add_edge(0, 1);
+  core::Instance inst(2, 2, {0.0, 1.0, 0.0, 0.0}, std::move(d));
+  FixedDiagonalPolicy p;
+  ExecConfig cfg;
+  EXPECT_NO_THROW(execute(inst, p, cfg));
+}
+
+TEST(Engine, StepCapReturnsCapped) {
+  // Machine never works on the job (q = 1 on the assigned machine ->
+  // effectively no capable work done by this policy's choice).
+  core::Instance inst = core::Instance::independent(1, 1, {0.9999});
+  FirstEligiblePolicy p;
+  ExecConfig cfg;
+  cfg.step_cap = 3;
+  cfg.seed = 5;
+  // With q=0.9999 the job survives 3 steps with probability ~0.9997.
+  const ExecResult r = execute(inst, p, cfg);
+  if (r.capped) {
+    EXPECT_EQ(r.makespan, 3);
+    EXPECT_EQ(r.completion_time[0], -1);
+  }
+}
+
+TEST(Engine, EstimateThrowsWhenCapped) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.99});
+  EstimateOptions opt;
+  opt.replications = 50;
+  opt.step_cap = 1;
+  EXPECT_THROW(
+      estimate_makespan(
+          inst, [] { return std::make_unique<FirstEligiblePolicy>(); }, opt),
+      util::CheckError);
+}
+
+TEST(Engine, BadAssignmentSizeThrows) {
+  class BadPolicy : public Policy {
+   public:
+    std::string name() const override { return "bad"; }
+    sched::Assignment decide(const ExecState&) override { return {0}; }
+  };
+  core::Instance inst = core::Instance::independent(1, 2, {0.5, 0.5});
+  BadPolicy p;
+  ExecConfig cfg;
+  EXPECT_THROW(execute(inst, p, cfg), util::CheckError);
+}
+
+TEST(Engine, UnknownJobThrows) {
+  class BadPolicy : public Policy {
+   public:
+    std::string name() const override { return "bad"; }
+    sched::Assignment decide(const ExecState&) override { return {7}; }
+  };
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  BadPolicy p;
+  ExecConfig cfg;
+  EXPECT_THROW(execute(inst, p, cfg), util::CheckError);
+}
+
+TEST(Engine, SeedsReproduce) {
+  core::Instance inst = core::Instance::independent(3, 2,
+                                                    {0.5, 0.6, 0.7, 0.8,
+                                                     0.4, 0.9});
+  FirstEligiblePolicy p1, p2;
+  ExecConfig cfg;
+  cfg.seed = 77;
+  const ExecResult a = execute(inst, p1, cfg);
+  const ExecResult b = execute(inst, p2, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+}
+
+TEST(Engine, EstimateThreadCountInvariant) {
+  core::Instance inst = core::Instance::independent(2, 2,
+                                                    {0.5, 0.7, 0.6, 0.4});
+  EstimateOptions o1, o4;
+  o1.replications = o4.replications = 500;
+  o1.seed = o4.seed = 31;
+  o1.threads = 1;
+  o4.threads = 4;
+  auto factory = [] { return std::make_unique<FirstEligiblePolicy>(); };
+  const util::Estimate e1 = estimate_makespan(inst, factory, o1);
+  const util::Estimate e4 = estimate_makespan(inst, factory, o4);
+  EXPECT_DOUBLE_EQ(e1.mean, e4.mean);
+  EXPECT_DOUBLE_EQ(e1.max, e4.max);
+}
+
+TEST(Engine, CompletionTimesConsistent) {
+  util::Rng rng(3);
+  core::Instance inst = core::make_independent(
+      5, 3, core::MachineModel::uniform(0.2, 0.8), rng);
+  FirstEligiblePolicy p;
+  ExecConfig cfg;
+  cfg.seed = 9;
+  const ExecResult r = execute(inst, p, cfg);
+  std::int64_t latest = 0;
+  for (const auto t : r.completion_time) {
+    EXPECT_GE(t, 1);
+    latest = std::max(latest, t);
+  }
+  EXPECT_EQ(r.makespan, latest);
+}
+
+TEST(ExecState, EligibleAndRemaining) {
+  core::Dag d(3);
+  d.add_edge(0, 1);
+  core::Instance inst(3, 1, {0.5, 0.5, 0.5}, std::move(d));
+  ExecState s(inst);
+  EXPECT_EQ(s.num_remaining(), 3);
+  EXPECT_TRUE(s.eligible(0));
+  EXPECT_FALSE(s.eligible(1));
+  EXPECT_TRUE(s.eligible(2));
+  EXPECT_EQ(s.remaining_jobs().size(), 3u);
+  EXPECT_EQ(s.eligible_jobs(), (std::vector<int>{0, 2}));
+}
+
+TEST(Engine, SamplerCollectsAllReps) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  EstimateOptions opt;
+  opt.replications = 333;
+  const util::Sampler s = sample_makespan(
+      inst, [] { return std::make_unique<FirstEligiblePolicy>(); }, opt);
+  EXPECT_EQ(s.count(), 333u);
+  EXPECT_GE(s.quantile(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace suu::sim

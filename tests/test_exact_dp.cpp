@@ -1,0 +1,177 @@
+#include "algos/exact_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/baselines.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace suu::algos {
+namespace {
+
+TEST(ExactDp, SingleJobSingleMachineGeometric) {
+  // E[T] = 1 / (1 - q).
+  for (const double q : {0.0, 0.25, 0.5, 0.9}) {
+    core::Instance inst = core::Instance::independent(1, 1, {q});
+    ExactSolver solver(inst);
+    EXPECT_NEAR(solver.expected_makespan(), 1.0 / (1.0 - q), 1e-9) << q;
+  }
+}
+
+TEST(ExactDp, SingleJobTwoMachinesGang) {
+  // Optimal is to gang both machines: fail prob q1*q2 per step.
+  core::Instance inst = core::Instance::independent(1, 2, {0.5, 0.4});
+  ExactSolver solver(inst);
+  EXPECT_NEAR(solver.expected_makespan(), 1.0 / (1.0 - 0.2), 1e-9);
+  const auto a = solver.best_assignment(0b1);
+  EXPECT_EQ(a, (std::vector<int>{0, 0}));
+}
+
+TEST(ExactDp, TwoIndependentJobsOneMachineClosedForm) {
+  // Identical q: work on either; by memorylessness
+  // E = E[geo(p)] + E[geo(p)] with p = 1-q, since one machine can only
+  // serve one job at a time: E = 2/(1-q).
+  const double q = 0.5;
+  core::Instance inst = core::Instance::independent(2, 1, {q, q});
+  ExactSolver solver(inst);
+  EXPECT_NEAR(solver.expected_makespan(), 2.0 / (1.0 - q), 1e-9);
+}
+
+TEST(ExactDp, TwoJobsTwoIdenticalMachinesBeatsSequential) {
+  const double q = 0.5;
+  core::Instance inst =
+      core::Instance::independent(2, 2, {q, q, q, q});
+  ExactSolver solver(inst);
+  // Parallel (one machine each) gives E[max of two geometrics] ~ 2.667;
+  // sequential gang would pay E = 2 * 1/(1-q^2) ~ 2.667 too. Optimal plays
+  // parallel-then-gang: strictly better than either pure strategy... at
+  // least never worse.
+  EXPECT_LE(solver.expected_makespan(), 8.0 / 3.0 + 1e-9);
+  EXPECT_GE(solver.expected_makespan(), 2.0);  // needs >= 2 expected steps
+}
+
+TEST(ExactDp, ChainForcesSequential) {
+  // 0 -> 1, one machine, q = 0.5 each: E = 2 + 2 = 4.
+  core::Instance inst(2, 1, {0.5, 0.5}, core::make_chain_dag({2}));
+  ExactSolver solver(inst);
+  EXPECT_NEAR(solver.expected_makespan(), 4.0, 1e-9);
+}
+
+TEST(ExactDp, PrecedenceValueAtLeastIndependent) {
+  util::Rng rng(5);
+  const auto q = core::gen_q(4, 2, core::MachineModel::uniform(0.3, 0.8),
+                             rng);
+  core::Instance chained(4, 2, q, core::make_chain_dag({4}));
+  core::Instance indep = core::Instance::independent(4, 2, q);
+  ExactSolver sc(chained), si(indep);
+  EXPECT_GE(sc.expected_makespan(), si.expected_makespan() - 1e-9);
+}
+
+TEST(ExactDp, AddingMachineNeverHurts) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto q2 =
+        core::gen_q(3, 2, core::MachineModel::uniform(0.2, 0.9), rng);
+    // Third machine: copy of machine 0.
+    std::vector<double> q3;
+    for (int j = 0; j < 3; ++j) {
+      q3.push_back(q2[static_cast<std::size_t>(j) * 2]);
+      q3.push_back(q2[static_cast<std::size_t>(j) * 2 + 1]);
+      q3.push_back(q2[static_cast<std::size_t>(j) * 2]);
+    }
+    ExactSolver a(core::Instance::independent(3, 2, q2));
+    ExactSolver b(core::Instance::independent(3, 3, q3));
+    EXPECT_LE(b.expected_makespan(), a.expected_makespan() + 1e-9);
+  }
+}
+
+TEST(ExactDp, ValueMonotoneInRemainingSet) {
+  util::Rng rng(7);
+  core::Instance inst = core::make_independent(
+      4, 2, core::MachineModel::uniform(0.3, 0.9), rng);
+  ExactSolver solver(inst);
+  // Removing a job from the remaining set cannot increase the value.
+  for (std::uint32_t mask = 1; mask < 16; ++mask) {
+    for (int j = 0; j < 4; ++j) {
+      if (!((mask >> j) & 1u)) continue;
+      const std::uint32_t sub = mask & ~(1u << j);
+      EXPECT_LE(solver.value(sub), solver.value(mask) + 1e-9);
+    }
+  }
+}
+
+TEST(ExactDp, OptimalPolicySimulationMatchesValue) {
+  util::Rng rng(8);
+  core::Instance inst = core::make_independent(
+      4, 2, core::MachineModel::uniform(0.3, 0.85), rng);
+  auto solver = std::make_shared<const ExactSolver>(inst);
+  sim::EstimateOptions o;
+  o.replications = 30000;
+  o.seed = 17;
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [solver] { return std::make_unique<ExactOptPolicy>(solver); }, o);
+  EXPECT_NEAR(e.mean, solver->expected_makespan(), 5 * e.ci95_half + 0.02);
+}
+
+TEST(ExactDp, NoPolicyBeatsOptimal) {
+  util::Rng rng(9);
+  core::Instance inst = core::make_independent(
+      5, 2, core::MachineModel::uniform(0.2, 0.9), rng);
+  ExactSolver solver(inst);
+  sim::EstimateOptions o;
+  o.replications = 6000;
+  o.seed = 23;
+  for (const sim::PolicyFactory& f : std::vector<sim::PolicyFactory>{
+           [] { return std::make_unique<AllOnOnePolicy>(); },
+           [] { return std::make_unique<RoundRobinPolicy>(); },
+           [] { return std::make_unique<BestMachinePolicy>(); }}) {
+    const util::Estimate e = sim::estimate_makespan(inst, f, o);
+    EXPECT_GE(e.mean + 5 * e.ci95_half, solver.expected_makespan());
+  }
+}
+
+TEST(ExactDp, DeferredSemanticsAgreesWithValue) {
+  // Cross-check Theorem 10 against the exact optimum.
+  util::Rng rng(10);
+  core::Instance inst = core::make_independent(
+      3, 2, core::MachineModel::uniform(0.3, 0.8), rng);
+  auto solver = std::make_shared<const ExactSolver>(inst);
+  sim::EstimateOptions o;
+  o.replications = 30000;
+  o.seed = 29;
+  o.semantics = sim::Semantics::Deferred;
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [solver] { return std::make_unique<ExactOptPolicy>(solver); }, o);
+  EXPECT_NEAR(e.mean, solver->expected_makespan(), 5 * e.ci95_half + 0.02);
+}
+
+TEST(ExactDp, GuardsRejectLargeInstances) {
+  util::Rng rng(11);
+  core::Instance inst = core::make_independent(
+      6, 2, core::MachineModel::uniform(0.3, 0.8), rng);
+  ExactSolver::Options opt;
+  opt.max_jobs = 4;
+  EXPECT_THROW(ExactSolver(inst, opt), util::CheckError);
+}
+
+TEST(ExactDp, SureSuccessMachinesHandled) {
+  // q = 0: two jobs, one perfect machine. E = 2 steps exactly.
+  core::Instance inst = core::Instance::independent(2, 1, {0.0, 0.0});
+  ExactSolver solver(inst);
+  EXPECT_NEAR(solver.expected_makespan(), 2.0, 1e-12);
+}
+
+TEST(ExactDp, MixedSureAndStochastic) {
+  // Machine 0 perfect for job 0 (q=0), machine 1 has q=0.5 for job 1:
+  // both run in parallel: E = E[max(1, Geo(0.5))] = 2.
+  core::Instance inst =
+      core::Instance::independent(2, 2, {0.0, 1.0, 1.0, 0.5});
+  ExactSolver solver(inst);
+  EXPECT_NEAR(solver.expected_makespan(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace suu::algos

@@ -1,0 +1,221 @@
+#include "flow/max_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::flow {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow g(2);
+  const int e = g.add_edge(0, 1, 5);
+  EXPECT_EQ(g.solve(0, 1), 5);
+  EXPECT_EQ(g.flow_on(e), 5);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  MaxFlow g(3);
+  g.add_edge(0, 1, 7);
+  g.add_edge(1, 2, 3);
+  EXPECT_EQ(g.solve(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelEdgesAdd) {
+  MaxFlow g(2);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 1, 3);
+  EXPECT_EQ(g.solve(0, 1), 5);
+}
+
+TEST(MaxFlow, ClassicCLRSNetwork) {
+  // CLRS figure 26.1: max flow 23.
+  MaxFlow g(6);
+  g.add_edge(0, 1, 16);
+  g.add_edge(0, 2, 13);
+  g.add_edge(1, 2, 10);
+  g.add_edge(2, 1, 4);
+  g.add_edge(1, 3, 12);
+  g.add_edge(3, 2, 9);
+  g.add_edge(2, 4, 14);
+  g.add_edge(4, 3, 7);
+  g.add_edge(3, 5, 20);
+  g.add_edge(4, 5, 4);
+  EXPECT_EQ(g.solve(0, 5), 23);
+}
+
+TEST(MaxFlow, DisconnectedZeroFlow) {
+  MaxFlow g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(2, 3, 5);
+  EXPECT_EQ(g.solve(0, 3), 0);
+}
+
+TEST(MaxFlow, InfiniteCapacityEdges) {
+  MaxFlow g(3);
+  g.add_edge(0, 1, MaxFlow::kInf);
+  g.add_edge(1, 2, 9);
+  EXPECT_EQ(g.solve(0, 2), 9);
+}
+
+TEST(MaxFlow, FlowConservationAndCapacity) {
+  util::Rng rng(3);
+  MaxFlow g(8);
+  struct E {
+    int u, v, id;
+    MaxFlow::Cap cap;
+  };
+  std::vector<E> edges;
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      if (u == v || !rng.bernoulli(0.4)) continue;
+      const auto cap = static_cast<MaxFlow::Cap>(rng.uniform_below(10));
+      edges.push_back({u, v, g.add_edge(u, v, cap), cap});
+    }
+  }
+  g.solve(0, 7);
+  std::vector<MaxFlow::Cap> net(8, 0);
+  for (const E& e : edges) {
+    const auto f = g.flow_on(e.id);
+    EXPECT_GE(f, 0);
+    EXPECT_LE(f, e.cap);
+    net[e.u] -= f;
+    net[e.v] += f;
+  }
+  for (int v = 1; v < 7; ++v) EXPECT_EQ(net[v], 0) << "node " << v;
+}
+
+TEST(MaxFlow, MinCutMatchesFlowValue) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6 + static_cast<int>(rng.uniform_below(5));
+    MaxFlow g(n);
+    struct E {
+      int u, v, id;
+      MaxFlow::Cap cap;
+    };
+    std::vector<E> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u == v || !rng.bernoulli(0.5)) continue;
+        const auto cap = static_cast<MaxFlow::Cap>(rng.uniform_below(8));
+        edges.push_back({u, v, g.add_edge(u, v, cap), cap});
+      }
+    }
+    const auto flow = g.solve(0, n - 1);
+    const auto side = g.min_cut_side(0);
+    EXPECT_TRUE(side[0]);
+    EXPECT_FALSE(side[static_cast<std::size_t>(n - 1)]);
+    MaxFlow::Cap cut = 0;
+    for (const E& e : edges) {
+      if (side[static_cast<std::size_t>(e.u)] &&
+          !side[static_cast<std::size_t>(e.v)]) {
+        cut += e.cap;
+      }
+    }
+    EXPECT_EQ(flow, cut) << "max-flow must equal min-cut";
+  }
+}
+
+TEST(MaxFlow, BipartiteMatchingViaFlow) {
+  // 3x3 bipartite with a perfect matching.
+  MaxFlow g(8);  // 0 src, 1..3 left, 4..6 right, 7 sink
+  for (int l = 1; l <= 3; ++l) g.add_edge(0, l, 1);
+  for (int r = 4; r <= 6; ++r) g.add_edge(r, 7, 1);
+  g.add_edge(1, 4, 1);
+  g.add_edge(1, 5, 1);
+  g.add_edge(2, 4, 1);
+  g.add_edge(3, 6, 1);
+  EXPECT_EQ(g.solve(0, 7), 3);
+}
+
+TEST(MaxFlow, AddNodeDynamically) {
+  MaxFlow g(2);
+  const int mid = g.add_node();
+  g.add_edge(0, mid, 4);
+  g.add_edge(mid, 1, 6);
+  EXPECT_EQ(g.solve(0, 1), 4);
+}
+
+TEST(MaxFlow, RejectsBadEdges) {
+  MaxFlow g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1), util::CheckError);
+  EXPECT_THROW(g.add_edge(0, 5, 1), util::CheckError);
+  EXPECT_THROW(g.add_edge(0, 1, -2), util::CheckError);
+}
+
+TEST(MaxFlow, RejectsSameSourceSink) {
+  MaxFlow g(2);
+  EXPECT_THROW(g.solve(1, 1), util::CheckError);
+}
+
+// Reference implementation (Edmonds-Karp style BFS augmentation) for
+// randomized differential testing.
+MaxFlow::Cap slow_max_flow(int n,
+                           const std::vector<std::array<int, 3>>& edges,
+                           int s, int t) {
+  std::vector<std::vector<MaxFlow::Cap>> cap(
+      static_cast<std::size_t>(n),
+      std::vector<MaxFlow::Cap>(static_cast<std::size_t>(n), 0));
+  for (const auto& e : edges) {
+    cap[static_cast<std::size_t>(e[0])][static_cast<std::size_t>(e[1])] +=
+        e[2];
+  }
+  MaxFlow::Cap total = 0;
+  for (;;) {
+    std::vector<int> parent(static_cast<std::size_t>(n), -1);
+    parent[static_cast<std::size_t>(s)] = s;
+    std::vector<int> queue{s};
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const int u = queue[qi];
+      for (int v = 0; v < n; ++v) {
+        if (parent[static_cast<std::size_t>(v)] < 0 &&
+            cap[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] >
+                0) {
+          parent[static_cast<std::size_t>(v)] = u;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (parent[static_cast<std::size_t>(t)] < 0) break;
+    MaxFlow::Cap aug = MaxFlow::kInf;
+    for (int v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+      const int u = parent[static_cast<std::size_t>(v)];
+      aug = std::min(
+          aug, cap[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)]);
+    }
+    for (int v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+      const int u = parent[static_cast<std::size_t>(v)];
+      cap[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] -= aug;
+      cap[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] += aug;
+    }
+    total += aug;
+  }
+  return total;
+}
+
+class FlowDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowDifferential, MatchesReferenceImplementation) {
+  util::Rng rng(500 + GetParam());
+  const int n = 4 + static_cast<int>(rng.uniform_below(8));
+  MaxFlow g(n);
+  std::vector<std::array<int, 3>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v || !rng.bernoulli(0.45)) continue;
+      const int cap = static_cast<int>(rng.uniform_below(12));
+      g.add_edge(u, v, cap);
+      edges.push_back({u, v, cap});
+    }
+  }
+  EXPECT_EQ(g.solve(0, n - 1), slow_max_flow(n, edges, 0, n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlowDifferential, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace suu::flow

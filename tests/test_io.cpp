@@ -1,0 +1,112 @@
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::core {
+namespace {
+
+void expect_same(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  ASSERT_EQ(a.num_machines(), b.num_machines());
+  for (int j = 0; j < a.num_jobs(); ++j) {
+    for (int i = 0; i < a.num_machines(); ++i) {
+      EXPECT_DOUBLE_EQ(a.q(i, j), b.q(i, j)) << i << "," << j;
+    }
+  }
+  ASSERT_EQ(a.dag().num_edges(), b.dag().num_edges());
+  for (int v = 0; v < a.num_jobs(); ++v) {
+    EXPECT_EQ(a.dag().succs(v), b.dag().succs(v));
+  }
+}
+
+TEST(InstanceIo, RoundTripIndependent) {
+  util::Rng rng(1);
+  const Instance inst =
+      make_independent(7, 4, MachineModel::uniform(0.2, 0.95), rng);
+  std::stringstream ss;
+  write_instance(ss, inst);
+  const Instance back = read_instance(ss);
+  expect_same(inst, back);
+}
+
+TEST(InstanceIo, RoundTripChains) {
+  util::Rng rng(2);
+  const Instance inst =
+      make_chains(3, 2, 4, 3, MachineModel::uniform(0.3, 0.9), rng);
+  std::stringstream ss;
+  write_instance(ss, inst);
+  expect_same(inst, read_instance(ss));
+}
+
+TEST(InstanceIo, RoundTripForest) {
+  util::Rng rng(3);
+  const Instance inst =
+      make_out_forest(12, 2, 0.2, 3, MachineModel::uniform(0.3, 0.9), rng);
+  std::stringstream ss;
+  write_instance(ss, inst);
+  expect_same(inst, read_instance(ss));
+}
+
+TEST(InstanceIo, ExactProbabilityBits) {
+  // 17 significant digits round-trip doubles exactly.
+  const Instance inst = Instance::independent(
+      1, 2, {0.12345678901234567, 1.0 / 3.0});
+  std::stringstream ss;
+  write_instance(ss, inst);
+  const Instance back = read_instance(ss);
+  EXPECT_EQ(inst.q(0, 0), back.q(0, 0));
+  EXPECT_EQ(inst.q(1, 0), back.q(1, 0));
+}
+
+TEST(InstanceIo, CommentsSkipped) {
+  std::stringstream ss;
+  ss << "# a comment\nsuu-instance v1\n# another\n1 1\n0.5\n0\n";
+  const Instance inst = read_instance(ss);
+  EXPECT_EQ(inst.num_jobs(), 1);
+  EXPECT_DOUBLE_EQ(inst.q(0, 0), 0.5);
+}
+
+TEST(InstanceIo, RejectsGarbage) {
+  std::stringstream a("not-an-instance 1 1");
+  EXPECT_THROW(read_instance(a), util::CheckError);
+  std::stringstream b("suu-instance v99\n1 1\n0.5\n0\n");
+  EXPECT_THROW(read_instance(b), util::CheckError);
+  std::stringstream c("suu-instance v1\n1 1\nabc\n0\n");
+  EXPECT_THROW(read_instance(c), util::CheckError);
+  std::stringstream d("suu-instance v1\n2 1\n0.5\n");  // truncated
+  EXPECT_THROW(read_instance(d), util::CheckError);
+}
+
+TEST(InstanceIo, RejectsInvalidInstanceContent) {
+  // Probability out of range caught by Instance validation.
+  std::stringstream ss("suu-instance v1\n1 1\n1.5\n0\n");
+  EXPECT_THROW(read_instance(ss), util::CheckError);
+  // Cyclic dag.
+  std::stringstream cyc("suu-instance v1\n2 1\n0.5\n0.5\n2\n0 1\n1 0\n");
+  EXPECT_THROW(read_instance(cyc), util::CheckError);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  util::Rng rng(4);
+  const Instance inst =
+      make_independent(5, 3, MachineModel::sparse(0.5, 0.3, 0.9), rng);
+  const std::string path = "/tmp/suu_io_test_instance.txt";
+  save_instance(path, inst);
+  const Instance back = load_instance(path);
+  expect_same(inst, back);
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIo, MissingFileThrows) {
+  EXPECT_THROW(load_instance("/nonexistent/dir/x.txt"), util::CheckError);
+}
+
+}  // namespace
+}  // namespace suu::core

@@ -1,0 +1,103 @@
+// Empirical verification of the paper's Lemma 8: for independent geometric
+// repetition counts y_j (Pr[y_j = k] = 2^-k) with weights
+// 1 <= d_j <= W / log eta and W >= sum_j 2 d_j, the weighted sum
+// sum_j y_j d_j is O(cW) with probability at least 1 - eta^-c.
+//
+// This is the concentration device behind the SUU-C load/length analysis
+// (each chain job's assignment is repeated a geometric number of times).
+// We simulate the exact setup and check (a) the mean matches E[y] = 2, and
+// (b) the whp tail: P(sum > c' * W) decays below the lemma's envelope for a
+// concrete constant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace suu {
+namespace {
+
+/// Geometric with support {1, 2, ...} and Pr[k] = (1/2)^k.
+int geometric_half(util::Rng& rng) {
+  int k = 1;
+  while (rng.bernoulli(0.5)) ++k;
+  return k;
+}
+
+TEST(Lemma8, GeometricSamplerHasMeanTwo) {
+  util::Rng rng(1);
+  util::OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(geometric_half(rng));
+  EXPECT_NEAR(s.mean(), 2.0, 0.02);
+}
+
+class Lemma8Tail : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma8Tail, WeightedGeometricSumConcentrates) {
+  util::Rng rng(100 + GetParam());
+  const double eta = 64.0;  // "n + m" in the SUU-C application
+  const int n_jobs = 20 + static_cast<int>(rng.uniform_below(60));
+
+  // Weights obeying the lemma's preconditions.
+  std::vector<double> d(static_cast<std::size_t>(n_jobs));
+  double sum_d = 0;
+  for (auto& w : d) {
+    w = 1.0 + rng.uniform01() * 4.0;
+    sum_d += w;
+  }
+  const double W = std::max(2.0 * sum_d, std::log2(eta) * 5.0);
+  for (const double w : d) {
+    ASSERT_LE(w, W / std::log2(eta) + 1e-9) << "precondition d <= W/log eta";
+  }
+
+  // Empirical tail of sum y_j d_j.
+  const int trials = 4000;
+  int exceed_3w = 0, exceed_6w = 0;
+  util::OnlineStats sums;
+  for (int t = 0; t < trials; ++t) {
+    double s = 0;
+    for (const double w : d) {
+      s += w * static_cast<double>(geometric_half(rng));
+    }
+    sums.add(s);
+    if (s > 3.0 * W) ++exceed_3w;
+    if (s > 6.0 * W) ++exceed_6w;
+  }
+
+  // Mean: E[sum] = 2 sum_d <= W.
+  EXPECT_LE(sums.mean(), W * 1.05);
+  // Tail: the lemma promises P(sum > O(cW)) <= eta^-c; empirically the
+  // 3W tail should be rare and the 6W tail essentially absent.
+  EXPECT_LE(static_cast<double>(exceed_3w) / trials, 0.02);
+  EXPECT_LE(static_cast<double>(exceed_6w) / trials, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma8Tail, ::testing::Range(0, 6));
+
+TEST(Lemma8, HeavyWeightsViolatePreconditionAndSpread) {
+  // Contrast: one dominant weight (d ~ W) breaks the d <= W/log eta
+  // precondition, and the sum's relative spread is visibly larger —
+  // demonstrating why SUU-C must segregate long jobs (the gamma cutoff).
+  util::Rng rng(7);
+  const int trials = 4000;
+
+  auto relative_sd = [&](bool heavy) {
+    util::OnlineStats s;
+    for (int t = 0; t < trials; ++t) {
+      double sum = 0;
+      if (heavy) {
+        sum += 32.0 * geometric_half(rng);  // one long job dominates
+      } else {
+        for (int j = 0; j < 32; ++j) sum += geometric_half(rng);
+      }
+      s.add(sum);
+    }
+    return s.stddev() / s.mean();
+  };
+
+  EXPECT_GT(relative_sd(true), 2.0 * relative_sd(false));
+}
+
+}  // namespace
+}  // namespace suu

@@ -1,0 +1,142 @@
+// System-wide property battery: invariants that must hold for EVERY
+// schedule in the model, checked across the full policy roster and
+// workload families.
+//
+//   (P1) Determinism   — same master seed => bit-identical execution, for
+//                        every policy (including the randomized ones —
+//                        their randomness derives from the seed).
+//   (P2) Semantics     — CoinFlips and Deferred (Theorem 10) agree in
+//                        expectation for every policy class.
+//   (P3) Dominance     — the exact optimum lower-bounds every policy; the
+//                        Lemma 1 LB lower-bounds the exact optimum.
+//   (P4) Monotonicity  — making every machine strictly better (q' <= q)
+//                        cannot hurt the exact optimum.
+//   (P5) Scale floor   — E[T] >= n / m for unit jobs (each completion
+//                        consumes at least one machine-step).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/baselines.hpp"
+#include "algos/exact_dp.hpp"
+#include "algos/lower_bounds.hpp"
+#include "algos/suu_i.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace suu {
+namespace {
+
+std::vector<std::pair<std::string, sim::PolicyFactory>> policy_roster() {
+  return {
+      {"all-on-one", [] { return std::make_unique<algos::AllOnOnePolicy>(); }},
+      {"round-robin",
+       [] { return std::make_unique<algos::RoundRobinPolicy>(); }},
+      {"best-machine",
+       [] { return std::make_unique<algos::BestMachinePolicy>(); }},
+      {"adaptive-greedy",
+       [] { return std::make_unique<algos::AdaptiveGreedyPolicy>(); }},
+      {"greedy-lr", [] { return std::make_unique<algos::GreedyLrPolicy>(); }},
+      {"suu-i-obl", [] { return std::make_unique<algos::SuuIOblPolicy>(); }},
+      {"suu-i-sem", [] { return std::make_unique<algos::SuuISemPolicy>(); }},
+  };
+}
+
+class PolicyProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyProperties, DeterminismPerSeed) {
+  util::Rng rng(4200 + GetParam());
+  core::Instance inst = core::make_independent(
+      6, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  for (const auto& [name, factory] : policy_roster()) {
+    sim::ExecConfig cfg;
+    cfg.seed = 17 + static_cast<std::uint64_t>(GetParam());
+    auto p1 = factory();
+    auto p2 = factory();
+    const sim::ExecResult a = sim::execute(inst, *p1, cfg);
+    const sim::ExecResult b = sim::execute(inst, *p2, cfg);
+    EXPECT_EQ(a.makespan, b.makespan) << name;
+    EXPECT_EQ(a.completion_time, b.completion_time) << name;
+  }
+}
+
+TEST_P(PolicyProperties, SemanticsAgreeInExpectation) {
+  util::Rng rng(4300 + GetParam());
+  core::Instance inst = core::make_independent(
+      5, 2, core::MachineModel::uniform(0.4, 0.9), rng);
+  for (const auto& [name, factory] : policy_roster()) {
+    sim::EstimateOptions a, b;
+    a.replications = b.replications = 4000;
+    a.seed = b.seed = 23 + static_cast<std::uint64_t>(GetParam());
+    a.semantics = sim::Semantics::CoinFlips;
+    b.semantics = sim::Semantics::Deferred;
+    const util::Estimate ea = sim::estimate_makespan(inst, factory, a);
+    const util::Estimate eb = sim::estimate_makespan(inst, factory, b);
+    EXPECT_NEAR(ea.mean, eb.mean,
+                5 * (ea.ci95_half + eb.ci95_half) + 0.05)
+        << name;
+  }
+}
+
+TEST_P(PolicyProperties, ExactOptimumDominatesEveryPolicy) {
+  util::Rng rng(4400 + GetParam());
+  core::Instance inst = core::make_independent(
+      5, 2, core::MachineModel::uniform(0.2, 0.9), rng);
+  const algos::ExactSolver solver(inst);
+  const algos::LowerBound lb = algos::lower_bound_independent(inst);
+  EXPECT_LE(lb.value, solver.expected_makespan() + 1e-9);
+  for (const auto& [name, factory] : policy_roster()) {
+    sim::EstimateOptions o;
+    o.replications = 3000;
+    o.seed = 31 + static_cast<std::uint64_t>(GetParam());
+    const util::Estimate e = sim::estimate_makespan(inst, factory, o);
+    EXPECT_GE(e.mean + 5 * e.ci95_half, solver.expected_makespan()) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PolicyProperties, ::testing::Range(0, 4));
+
+TEST(GlobalProperties, BetterMachinesNeverHurtOptimal) {
+  util::Rng rng(4500);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto q = core::gen_q(4, 2, core::MachineModel::uniform(0.3, 0.95), rng);
+    auto q_better = q;
+    for (auto& v : q_better) v *= 0.8;  // strictly lower failure everywhere
+    const algos::ExactSolver base(core::Instance::independent(4, 2, q));
+    const algos::ExactSolver better(
+        core::Instance::independent(4, 2, q_better));
+    EXPECT_LE(better.expected_makespan(), base.expected_makespan() + 1e-9);
+  }
+}
+
+TEST(GlobalProperties, MakespanFloorNOverM) {
+  // Unit jobs: every completion consumes >= 1 machine-step, so E[T] >= n/m.
+  util::Rng rng(4600);
+  core::Instance inst = core::make_independent(
+      12, 3, core::MachineModel::uniform(0.0, 0.2), rng);
+  for (const auto& [name, factory] : policy_roster()) {
+    sim::EstimateOptions o;
+    o.replications = 300;
+    o.seed = 7;
+    const util::Estimate e = sim::estimate_makespan(inst, factory, o);
+    EXPECT_GE(e.mean + 1e-9, 12.0 / 3.0) << name;
+  }
+}
+
+TEST(GlobalProperties, HarderTargetsNeverLowerLp1Value) {
+  util::Rng rng(4700);
+  core::Instance inst = core::make_independent(
+      8, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  std::vector<int> jobs(8);
+  for (int j = 0; j < 8; ++j) jobs[static_cast<std::size_t>(j)] = j;
+  double prev = 0.0;
+  for (const double L : {0.5, 1.0, 2.0, 4.0}) {
+    const double t = rounding::solve_lp1(inst, jobs, L).t;
+    EXPECT_GE(t, prev - 1e-9) << "L=" << L;
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace suu

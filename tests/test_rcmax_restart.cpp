@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "stoch/rcmax.hpp"
+#include "stoch/stc_i.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::stoch {
+namespace {
+
+TEST(GreedyRcmax, SingleJobUsesFastestMachine) {
+  const StochInstance inst(1, 3, {1.0}, {1.0, 4.0, 2.0});
+  const NonpreemptiveSchedule s = greedy_rcmax(inst, {0}, {8.0});
+  EXPECT_EQ(s.machine_of[0], 1);
+  EXPECT_NEAR(s.makespan, 2.0, 1e-12);
+  EXPECT_NEAR(s.lower_bound, 2.0, 1e-12);
+}
+
+TEST(GreedyRcmax, BalancesIdenticalMachines) {
+  // 4 unit jobs, 2 unit-speed machines: greedy splits 2/2, makespan 2.
+  const StochInstance inst(4, 2, {1, 1, 1, 1},
+                           {1, 1, 1, 1, 1, 1, 1, 1});
+  const NonpreemptiveSchedule s =
+      greedy_rcmax(inst, {0, 1, 2, 3}, {1, 1, 1, 1});
+  EXPECT_NEAR(s.makespan, 2.0, 1e-12);
+}
+
+TEST(GreedyRcmax, RespectsZeroSpeedMachines) {
+  const StochInstance inst(2, 2, {1, 1}, {0.0, 1.0, 1.0, 0.0});
+  const NonpreemptiveSchedule s = greedy_rcmax(inst, {0, 1}, {3.0, 5.0});
+  EXPECT_EQ(s.machine_of[0], 1);  // job 0 only runs on machine 1
+  EXPECT_EQ(s.machine_of[1], 0);
+  EXPECT_NEAR(s.makespan, 5.0, 1e-12);
+}
+
+TEST(GreedyRcmax, NeverBelowLowerBound) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 3 + static_cast<int>(rng.uniform_below(8));
+    const int m = 2 + static_cast<int>(rng.uniform_below(3));
+    std::vector<double> lambda(static_cast<std::size_t>(n), 1.0);
+    std::vector<double> v(static_cast<std::size_t>(n) * m);
+    for (auto& s : v) s = 0.2 + rng.uniform01();
+    const StochInstance inst(n, m, lambda, v);
+    std::vector<int> jobs;
+    std::vector<double> p;
+    for (int j = 0; j < n; ++j) {
+      jobs.push_back(j);
+      p.push_back(0.5 + rng.uniform01() * 3);
+    }
+    const NonpreemptiveSchedule s = greedy_rcmax(inst, jobs, p);
+    EXPECT_GE(s.makespan, s.lower_bound - 1e-9);
+    // Greedy ECT on unrelated machines: sanity multiplicative gap bound.
+    EXPECT_LE(s.makespan, 4.0 * s.lower_bound + 1e-9);
+  }
+}
+
+TEST(GreedyRcmax, QueueConsistentWithMachineOf) {
+  util::Rng rng(11);
+  const StochInstance inst(5, 2, {1, 1, 1, 1, 1},
+                           {1, 2, 2, 1, 1, 1, 2, 1, 1, 2});
+  const NonpreemptiveSchedule s =
+      greedy_rcmax(inst, {0, 1, 2, 3, 4}, {1, 2, 1, 2, 1});
+  int placed = 0;
+  for (int i = 0; i < 2; ++i) {
+    for (const int idx : s.queue[static_cast<std::size_t>(i)]) {
+      EXPECT_EQ(s.machine_of[static_cast<std::size_t>(idx)], i);
+      ++placed;
+    }
+  }
+  EXPECT_EQ(placed, 5);
+}
+
+TEST(StcR, CompletesAndBoundsOffline) {
+  util::Rng master(21);
+  std::vector<double> lambda = {1.0, 0.5, 2.0, 1.5};
+  std::vector<double> v = {1, 0.5, 0.8, 1.2, 0.3, 1.0, 1.0, 0.7};
+  const StochInstance inst(4, 2, lambda, v);
+  util::OnlineStats ratio;
+  for (int r = 0; r < 200; ++r) {
+    util::Rng rng = master.child(static_cast<std::uint64_t>(r));
+    const StcIResult res = run_stc_r(inst, rng);
+    EXPECT_GT(res.makespan, 0.0);
+    EXPECT_GE(res.makespan, res.offline_opt - 1e-9)
+        << "no policy beats the offline optimum";
+    ratio.add(res.makespan / res.offline_opt);
+  }
+  EXPECT_LT(ratio.mean(), 6.0);
+}
+
+TEST(StcR, RestartNeverBeatsPreemptiveOnAverage) {
+  // Restart discards progress, so with identical draws E[T_STC-R] should
+  // not be (statistically) better than E[T_STC-I] beyond noise.
+  util::Rng rng(31);
+  std::vector<double> lambda(8, 1.0);
+  std::vector<double> v(16);
+  for (auto& s : v) s = 0.3 + rng.uniform01();
+  const StochInstance inst(8, 2, lambda, v);
+  const StochEstimate est = estimate_stoch(inst, 400, 5);
+  EXPECT_GE(est.stc_r.mean,
+            est.stc_i.mean - 3 * (est.stc_r.ci95_half + est.stc_i.ci95_half));
+}
+
+TEST(StcR, DeterministicPerSeed) {
+  std::vector<double> lambda = {1.0, 2.0};
+  std::vector<double> v = {1.0, 0.5, 0.5, 1.0};
+  const StochInstance inst(2, 2, lambda, v);
+  util::Rng a(77), b(77);
+  const StcIResult ra = run_stc_r(inst, a);
+  const StcIResult rb = run_stc_r(inst, b);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.rounds_used, rb.rounds_used);
+}
+
+TEST(StcR, RoundsBounded) {
+  util::Rng master(41);
+  std::vector<double> lambda(6, 1.0);
+  std::vector<double> v(12, 1.0);
+  const StochInstance inst(6, 2, lambda, v);
+  for (int r = 0; r < 100; ++r) {
+    util::Rng rng = master.child(static_cast<std::uint64_t>(r));
+    const StcIResult res = run_stc_r(inst, rng);
+    EXPECT_LE(res.rounds_used, stc_round_bound(6));
+  }
+}
+
+}  // namespace
+}  // namespace suu::stoch

@@ -1,0 +1,180 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace suu::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r(0);
+  EXPECT_NE(r.next(), 0u);  // overwhelmingly likely and deterministic
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01OpenNeverZero) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(r.uniform01_open(), 0.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng r(11);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform01();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformBelowBounds) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformBelowUnbiased) {
+  // Chi-square-ish sanity: each residue of 10 should get ~10%.
+  Rng r(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMean) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.exponential(0.1), 0.0);
+}
+
+TEST(Rng, ChildStreamsIndependent) {
+  Rng parent(21);
+  Rng c0 = parent.child(0);
+  Rng c1 = parent.child(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c0.next() == c1.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ChildDeterministic) {
+  Rng p1(21), p2(21);
+  Rng a = p1.child(5);
+  Rng b = p2.child(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ChildDoesNotPerturbParent) {
+  Rng p1(33), p2(33);
+  (void)p1.child(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p1.next(), p2.next());
+}
+
+TEST(Rng, ChildrenOfDistinctParentsDiffer) {
+  Rng a = Rng(1).child(0);
+  Rng b = Rng(2).child(0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng r(1);
+  EXPECT_GE(r(), Rng::min());
+}
+
+}  // namespace
+}  // namespace suu::util

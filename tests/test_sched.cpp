@@ -1,0 +1,119 @@
+#include "sched/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::sched {
+namespace {
+
+TEST(IntegralAssignment, AddAndQuery) {
+  IntegralAssignment x(3, 2);
+  x.add(0, 1, 4);
+  x.add(1, 1, 2);
+  x.add(0, 2, 3);
+  EXPECT_EQ(x.load(0), 7);
+  EXPECT_EQ(x.load(1), 2);
+  EXPECT_EQ(x.max_load(), 7);
+  EXPECT_EQ(x.job_length(1), 4);
+  EXPECT_EQ(x.job_length(0), 0);
+  EXPECT_EQ(x.steps_for(1).size(), 2u);
+}
+
+TEST(IntegralAssignment, AddAccumulatesSameMachine) {
+  IntegralAssignment x(1, 1);
+  x.add(0, 0, 2);
+  x.add(0, 0, 3);
+  EXPECT_EQ(x.steps_for(0).size(), 1u);
+  EXPECT_EQ(x.job_length(0), 5);
+}
+
+TEST(IntegralAssignment, ZeroStepsIgnored) {
+  IntegralAssignment x(1, 1);
+  x.add(0, 0, 0);
+  EXPECT_TRUE(x.steps_for(0).empty());
+  EXPECT_THROW(x.add(0, 0, -1), util::CheckError);
+}
+
+TEST(IntegralAssignment, DeliveredMass) {
+  // q = 0.5 -> ell = 1; q = 0.25 -> ell = 2.
+  core::Instance inst = core::Instance::independent(1, 2, {0.5, 0.25});
+  IntegralAssignment x(1, 2);
+  x.add(0, 0, 3);
+  x.add(1, 0, 1);
+  EXPECT_DOUBLE_EQ(x.delivered_mass(inst, 0), 5.0);
+  EXPECT_DOUBLE_EQ(x.delivered_mass(inst, 0, 1.5), 3.0 + 1.5);
+}
+
+TEST(ObliviousSchedule, FromAssignmentLengthIsMaxLoad) {
+  IntegralAssignment x(3, 2);
+  x.add(0, 0, 2);
+  x.add(0, 1, 1);
+  x.add(1, 2, 1);
+  const ObliviousSchedule s = ObliviousSchedule::from_assignment(x);
+  EXPECT_EQ(s.length(), 3);
+  EXPECT_EQ(s.num_machines(), 2);
+}
+
+TEST(ObliviousSchedule, FromAssignmentDeliversExactSteps) {
+  util::Rng rng(5);
+  core::Instance inst = core::make_independent(
+      6, 4, core::MachineModel::uniform(0.3, 0.9), rng);
+  IntegralAssignment x(6, 4);
+  for (int j = 0; j < 6; ++j) {
+    for (int i = 0; i < 4; ++i) {
+      x.add(i, j, static_cast<std::int64_t>(rng.uniform_below(4)));
+    }
+  }
+  const ObliviousSchedule s = ObliviousSchedule::from_assignment(x);
+  // Count per (machine, job) steps in the replayed schedule.
+  std::vector<std::vector<std::int64_t>> counts(
+      4, std::vector<std::int64_t>(6, 0));
+  for (std::int64_t t = 0; t < s.length(); ++t) {
+    const Assignment& a = s.step(t);
+    for (int i = 0; i < 4; ++i) {
+      if (a[static_cast<std::size_t>(i)] != kIdle) {
+        ++counts[static_cast<std::size_t>(i)]
+                [static_cast<std::size_t>(a[static_cast<std::size_t>(i)])];
+      }
+    }
+  }
+  for (int j = 0; j < 6; ++j) {
+    std::vector<std::int64_t> expect(4, 0);
+    for (const auto& [i, steps] : x.steps_for(j)) {
+      expect[static_cast<std::size_t>(i)] = steps;
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(i)]
+                      [static_cast<std::size_t>(j)],
+                expect[static_cast<std::size_t>(i)])
+          << "machine " << i << " job " << j;
+    }
+  }
+}
+
+TEST(ObliviousSchedule, EmptyAssignment) {
+  IntegralAssignment x(2, 3);
+  const ObliviousSchedule s = ObliviousSchedule::from_assignment(x);
+  EXPECT_EQ(s.length(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ObliviousSchedule, AppendValidatesWidth) {
+  ObliviousSchedule s(2);
+  s.append({0, kIdle});
+  EXPECT_EQ(s.length(), 1);
+  EXPECT_THROW(s.append({0}), util::CheckError);
+}
+
+TEST(ObliviousSchedule, StepBoundsChecked) {
+  ObliviousSchedule s(1);
+  s.append({0});
+  EXPECT_THROW(s.step(1), util::CheckError);
+  EXPECT_THROW(s.step(-1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace suu::sched

@@ -1,0 +1,225 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace suu::lp {
+namespace {
+
+Row row(std::vector<std::pair<int, double>> terms, Rel rel, double rhs) {
+  Row r;
+  r.terms = std::move(terms);
+  r.rel = rel;
+  r.rhs = rhs;
+  return r;
+}
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => opt 36 at (2, 6).
+  Problem p;
+  const int x = p.add_var(-3.0);  // minimize the negation
+  const int y = p.add_var(-5.0);
+  p.add_row(row({{x, 1}}, Rel::Le, 4));
+  p.add_row(row({{y, 2}}, Rel::Le, 12));
+  p.add_row(row({{x, 3}, {y, 2}}, Rel::Le, 18));
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, GeConstraintsNeedPhase1) {
+  // min x + y s.t. x + y >= 2, x >= 0.5  => opt 2.
+  Problem p;
+  const int x = p.add_var(1.0);
+  const int y = p.add_var(1.0);
+  p.add_row(row({{x, 1}, {y, 1}}, Rel::Ge, 2));
+  p.add_row(row({{x, 1}}, Rel::Ge, 0.5));
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+  EXPECT_GE(s.x[x], 0.5 - 1e-9);
+}
+
+TEST(Simplex, EqualityRows) {
+  // min 2x + 3y s.t. x + y = 4, x - y = 0 => x = y = 2, obj 10.
+  Problem p;
+  const int x = p.add_var(2.0);
+  const int y = p.add_var(3.0);
+  p.add_row(row({{x, 1}, {y, 1}}, Rel::Eq, 4));
+  p.add_row(row({{x, 1}, {y, -1}}, Rel::Eq, 0));
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-8);
+  EXPECT_NEAR(s.objective, 10.0, 1e-8);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Problem p;
+  const int x = p.add_var(1.0);
+  p.add_row(row({{x, 1}}, Rel::Le, 1));
+  p.add_row(row({{x, 1}}, Rel::Ge, 2));
+  EXPECT_EQ(solve_simplex(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, InfeasibleByNonnegativity) {
+  Problem p;
+  const int x = p.add_var(0.0);
+  p.add_row(row({{x, 1}}, Rel::Le, -3));  // x <= -3 impossible for x >= 0
+  EXPECT_EQ(solve_simplex(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Problem p;
+  const int x = p.add_var(-1.0);  // maximize x
+  const int y = p.add_var(0.0);
+  p.add_row(row({{x, 1}, {y, -1}}, Rel::Le, 1));  // x <= 1 + y, y free to grow
+  EXPECT_EQ(solve_simplex(p).status, Status::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -2  (i.e. x >= 2).
+  Problem p;
+  const int x = p.add_var(1.0);
+  p.add_row(row({{x, -1}}, Rel::Le, -2));
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: several redundant constraints through the origin.
+  Problem p;
+  const int x = p.add_var(-1.0);
+  const int y = p.add_var(-1.0);
+  p.add_row(row({{x, 1}, {y, 1}}, Rel::Le, 1));
+  p.add_row(row({{x, 2}, {y, 2}}, Rel::Le, 2));
+  p.add_row(row({{x, 1}}, Rel::Le, 1));
+  p.add_row(row({{y, 1}}, Rel::Le, 1));
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-8);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  Problem p;
+  const int x = p.add_var(1.0);
+  const int y = p.add_var(1.0);
+  p.add_row(row({{x, 1}, {y, 1}}, Rel::Eq, 2));
+  p.add_row(row({{x, 2}, {y, 2}}, Rel::Eq, 4));  // same plane
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, ZeroVariableProblem) {
+  Problem p;
+  const Solution s = solve_simplex(p);
+  EXPECT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, ZeroVariableInfeasible) {
+  Problem p;
+  Row r;
+  r.rel = Rel::Ge;
+  r.rhs = 1.0;
+  p.rows.push_back(r);  // 0 >= 1
+  EXPECT_EQ(solve_simplex(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, DuplicateTermsAreSummed) {
+  // x + x <= 4  =>  x <= 2 effectively; maximize x.
+  Problem p;
+  const int x = p.add_var(-1.0);
+  p.add_row(row({{x, 1}, {x, 1}}, Rel::Le, 4));
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+}
+
+TEST(MaxViolation, DetectsEachRelation) {
+  Problem p;
+  const int x = p.add_var(0.0);
+  p.add_row(row({{x, 1}}, Rel::Le, 1));
+  p.add_row(row({{x, 1}}, Rel::Ge, 0.5));
+  p.add_row(row({{x, 1}}, Rel::Eq, 0.75));
+  EXPECT_NEAR(max_violation(p, {0.75}), 0.0, 1e-12);
+  EXPECT_NEAR(max_violation(p, {2.0}), 1.25, 1e-12);
+  EXPECT_NEAR(max_violation(p, {0.0}), 0.75, 1e-12);
+}
+
+// ---- Property sweep: random feasible-by-construction covering LPs, checked
+// against brute force over a grid of feasible candidates.
+
+class SimplexRandomLp1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLp1, OptimalIsFeasibleAndNoGridPointBeatsIt) {
+  util::Rng rng(1000 + GetParam());
+  const int n_jobs = 1 + static_cast<int>(rng.uniform_below(4));
+  const int n_machines = 1 + static_cast<int>(rng.uniform_below(3));
+
+  // LP1-shaped: min t, sum_i a_ij x_ij >= 1 per job, sum_j x_ij <= t.
+  Problem p;
+  const int t = p.add_var(1.0);
+  std::vector<std::vector<int>> var(n_jobs);
+  std::vector<std::vector<double>> a(n_jobs);
+  std::vector<Row> loads(n_machines);
+  for (int j = 0; j < n_jobs; ++j) {
+    Row cover;
+    cover.rel = Rel::Ge;
+    cover.rhs = 1.0;
+    for (int i = 0; i < n_machines; ++i) {
+      const double aij = 0.1 + rng.uniform01();
+      const int v = p.add_var(0.0);
+      var[j].push_back(v);
+      a[j].push_back(aij);
+      cover.terms.emplace_back(v, aij);
+      loads[i].terms.emplace_back(v, 1.0);
+    }
+    p.add_row(std::move(cover));
+  }
+  for (int i = 0; i < n_machines; ++i) {
+    loads[i].terms.emplace_back(t, -1.0);
+    loads[i].rel = Rel::Le;
+    loads[i].rhs = 0.0;
+    p.add_row(std::move(loads[i]));
+  }
+
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_LE(max_violation(p, s.x), 1e-6);
+
+  // No random feasible candidate may do better.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(p.num_vars), 0.0);
+    std::vector<double> load(n_machines, 0.0);
+    for (int j = 0; j < n_jobs; ++j) {
+      // Cover job j by splitting demand across machines at random.
+      double need = 1.0;
+      while (need > 1e-12) {
+        const int i = static_cast<int>(rng.uniform_below(n_machines));
+        const double frac = rng.uniform01();
+        const double mass = std::min(need, frac);
+        const double dx = mass / a[j][static_cast<std::size_t>(i)];
+        x[static_cast<std::size_t>(var[j][static_cast<std::size_t>(i)])] += dx;
+        load[i] += dx;
+        need -= mass;
+      }
+    }
+    double tmax = 0;
+    for (const double l : load) tmax = std::max(tmax, l);
+    EXPECT_GE(tmax, s.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandomLp1, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace suu::lp

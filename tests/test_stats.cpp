@@ -1,0 +1,151 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::util {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, MatchesNaiveFormulas) {
+  const double xs[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  OnlineStats s;
+  double sum = 0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / 5.0;
+  double m2 = 0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), m2 / 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(m2 / 4.0), 1e-12);
+  EXPECT_NEAR(s.sem(), std::sqrt(m2 / 4.0 / 5.0), 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(5);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(OnlineStats, Ci95Coverage) {
+  // ~95% of CIs built from normal-ish samples should cover the true mean.
+  Rng rng(77);
+  int covered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    OnlineStats s;
+    for (int i = 0; i < 200; ++i) s.add(rng.uniform01());
+    const Estimate e = make_estimate(s);
+    if (e.lo() <= 0.5 && 0.5 <= e.hi()) ++covered;
+  }
+  EXPECT_GE(covered, trials * 85 / 100);
+}
+
+TEST(Estimate, Fields) {
+  OnlineStats s;
+  s.add(2.0);
+  s.add(4.0);
+  const Estimate e = make_estimate(s);
+  EXPECT_EQ(e.n, 2u);
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  EXPECT_DOUBLE_EQ(e.min, 2.0);
+  EXPECT_DOUBLE_EQ(e.max, 4.0);
+  EXPECT_GT(e.ci95_half, 0.0);
+}
+
+TEST(Sampler, QuantileBasics) {
+  Sampler s;
+  for (int i = 10; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+  EXPECT_NEAR(s.quantile(0.5), 5.5, 1e-12);
+}
+
+TEST(Sampler, QuantileSingle) {
+  Sampler s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.3), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 3.0);
+}
+
+TEST(Sampler, EmptyQuantileThrows) {
+  Sampler s;
+  EXPECT_THROW(s.quantile(0.5), CheckError);
+  EXPECT_THROW(s.mean(), CheckError);
+}
+
+TEST(Sampler, OutOfRangeQuantileThrows) {
+  Sampler s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), CheckError);
+  EXPECT_THROW(s.quantile(1.1), CheckError);
+}
+
+TEST(Sampler, MergeAndMean) {
+  Sampler a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Sampler, AddAfterQuantileStillSorted) {
+  Sampler s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace suu::util

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stoch/bvn.hpp"
+#include "stoch/instance.hpp"
+#include "stoch/lawler_labetoulle.hpp"
+#include "stoch/stc_i.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::stoch {
+namespace {
+
+StochInstance random_instance(util::Rng& rng, int n, int m) {
+  std::vector<double> lambda(static_cast<std::size_t>(n));
+  std::vector<double> v(static_cast<std::size_t>(n) * m);
+  for (auto& l : lambda) l = 0.5 + rng.uniform01() * 2.0;
+  for (auto& s : v) s = rng.bernoulli(0.8) ? 0.2 + rng.uniform01() : 0.0;
+  // Guarantee a positive speed per job.
+  for (int j = 0; j < n; ++j) {
+    bool any = false;
+    for (int i = 0; i < m; ++i) {
+      if (v[static_cast<std::size_t>(j) * m + i] > 0) any = true;
+    }
+    if (!any) v[static_cast<std::size_t>(j) * m] = 1.0;
+  }
+  return StochInstance(n, m, std::move(lambda), std::move(v));
+}
+
+TEST(StochInstance, Validation) {
+  EXPECT_THROW(StochInstance(1, 1, {0.0}, {1.0}), util::CheckError);
+  EXPECT_THROW(StochInstance(1, 1, {1.0}, {0.0}), util::CheckError);
+  EXPECT_THROW(StochInstance(1, 1, {1.0}, {-1.0}), util::CheckError);
+  const StochInstance ok(1, 2, {1.0}, {0.0, 2.0});
+  EXPECT_EQ(ok.fastest_machine(0), 1);
+  EXPECT_DOUBLE_EQ(ok.max_speed(0), 2.0);
+}
+
+TEST(Bvn, IdentityMatrix) {
+  // 2 machines, 2 jobs, x = diag(3, 3), C = 3: a single slice suffices.
+  const std::vector<double> x = {3.0, 0.0, 0.0, 3.0};
+  const auto slices = decompose_preemptive(2, 2, x, 3.0);
+  double total = 0;
+  for (const auto& s : slices) total += s.duration;
+  EXPECT_NEAR(total, 3.0, 1e-9);
+}
+
+TEST(Bvn, ZeroHorizon) {
+  EXPECT_TRUE(decompose_preemptive(1, 1, {0.0}, 0.0).empty());
+}
+
+TEST(Bvn, RejectsOverloadedRows) {
+  EXPECT_THROW(decompose_preemptive(1, 2, {2.0, 2.0}, 3.0),
+               util::CheckError);
+}
+
+void check_decomposition_properties(int m, int n,
+                                    const std::vector<double>& x, double C) {
+  const auto slices = decompose_preemptive(m, n, x, C);
+  // 1. Total duration C; 2. no job on two machines in a slice (by
+  // construction of job_of_machine we check duplicates); 3. delivered time
+  // per (i, j) == x exactly.
+  std::vector<double> delivered(static_cast<std::size_t>(m) *
+                                    static_cast<std::size_t>(n),
+                                0.0);
+  double total = 0;
+  for (const auto& s : slices) {
+    EXPECT_GT(s.duration, 0.0);
+    total += s.duration;
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < m; ++i) {
+      const int j = s.job_of_machine[static_cast<std::size_t>(i)];
+      if (j < 0) continue;
+      EXPECT_FALSE(used[static_cast<std::size_t>(j)])
+          << "job " << j << " on two machines";
+      used[static_cast<std::size_t>(j)] = 1;
+      delivered[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(j)] += s.duration;
+    }
+  }
+  EXPECT_NEAR(total, C, 1e-6 * (1 + C));
+  for (std::size_t k = 0; k < delivered.size(); ++k) {
+    EXPECT_NEAR(delivered[k], x[k], 1e-6 * (1 + C)) << "entry " << k;
+  }
+}
+
+class BvnRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BvnRandom, ExactRealization) {
+  util::Rng rng(4000 + GetParam());
+  const int m = 1 + static_cast<int>(rng.uniform_below(4));
+  const int n = 1 + static_cast<int>(rng.uniform_below(5));
+  std::vector<double> x(static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(n),
+                        0.0);
+  for (auto& v : x) v = rng.bernoulli(0.7) ? rng.uniform01() * 3 : 0.0;
+  double C = 0;
+  for (int i = 0; i < m; ++i) {
+    double r = 0;
+    for (int j = 0; j < n; ++j) {
+      r += x[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)];
+    }
+    C = std::max(C, r);
+  }
+  for (int j = 0; j < n; ++j) {
+    double c = 0;
+    for (int i = 0; i < m; ++i) {
+      c += x[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)];
+    }
+    C = std::max(C, c);
+  }
+  C += 0.1;  // strict slack
+  check_decomposition_properties(m, n, x, C);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BvnRandom, ::testing::Range(0, 15));
+
+TEST(LawlerLabetoulle, SingleJobClosedForm) {
+  // p = 6, speeds {2, 3}: no-parallelism makes C* = p / vmax = 2.
+  const StochInstance inst(1, 2, {1.0}, {2.0, 3.0});
+  const PreemptiveSchedule s = solve_rpmtn(inst, {0}, {6.0});
+  EXPECT_NEAR(s.makespan, 2.0, 1e-6);
+}
+
+TEST(LawlerLabetoulle, TwoJobsShareTwoMachines) {
+  // Symmetric: 2 jobs, 2 unit-speed machines, p = 4 each: C* = 4.
+  const StochInstance inst(2, 2, {1.0, 1.0}, {1.0, 1.0, 1.0, 1.0});
+  const PreemptiveSchedule s = solve_rpmtn(inst, {0, 1}, {4.0, 4.0});
+  EXPECT_NEAR(s.makespan, 4.0, 1e-6);
+}
+
+TEST(LawlerLabetoulle, PreemptionBeatsNonpreemptive) {
+  // Jobs prefer different machines; LP splits work across machines.
+  const StochInstance inst(2, 2, {1.0, 1.0}, {2.0, 1.0, 2.0, 1.0});
+  // Both jobs fast on machine 0. p = 4 each. Nonpreemptive on machine 0:
+  // 4; LL can use machine 1 in parallel: C < 4.
+  const PreemptiveSchedule s = solve_rpmtn(inst, {0, 1}, {4.0, 4.0});
+  EXPECT_LT(s.makespan, 4.0 - 0.1);
+  EXPECT_GE(s.makespan, 2.0 - 1e-6);  // total work 8, total speed <= 4...
+}
+
+TEST(LawlerLabetoulle, SlicesRealizeWork) {
+  util::Rng rng(31);
+  const StochInstance inst = random_instance(rng, 4, 3);
+  std::vector<double> p = {1.0, 2.0, 0.5, 1.5};
+  const PreemptiveSchedule s = solve_rpmtn(inst, {0, 1, 2, 3}, p);
+  // Work delivered per job must reach p_j.
+  std::vector<double> work(4, 0.0);
+  for (const auto& slice : s.slices) {
+    for (int i = 0; i < 3; ++i) {
+      const int idx = slice.job_of_machine[static_cast<std::size_t>(i)];
+      if (idx >= 0) {
+        work[static_cast<std::size_t>(idx)] +=
+            slice.duration * inst.speed(i, idx >= 0 ? idx : 0);
+      }
+    }
+  }
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_GE(work[static_cast<std::size_t>(j)],
+              p[static_cast<std::size_t>(j)] - 1e-5)
+        << "job " << j;
+  }
+}
+
+TEST(StcRoundBound, Values) {
+  EXPECT_EQ(stc_round_bound(2), 3);
+  EXPECT_EQ(stc_round_bound(4), 4);
+  EXPECT_EQ(stc_round_bound(16), 5);
+  EXPECT_EQ(stc_round_bound(1), 3);
+}
+
+TEST(StcI, SingleJobBasicallyOptimal) {
+  // One job: STC-I should track the offline optimum within its constant.
+  const StochInstance inst(1, 2, {1.0}, {1.0, 2.0});
+  const StochEstimate est = estimate_stoch(inst, 2000, 77);
+  EXPECT_GT(est.offline.mean, 0.0);
+  EXPECT_LT(est.stc_i.mean / est.offline.mean, 4.0);
+}
+
+TEST(StcI, CompletesAndBeatsSequentialAtScale) {
+  util::Rng rng(41);
+  const StochInstance inst = random_instance(rng, 10, 4);
+  const StochEstimate est = estimate_stoch(inst, 300, 43);
+  EXPECT_GT(est.stc_i.mean, 0.0);
+  // With 4 machines, parallelizing should beat the sequential baseline.
+  EXPECT_LT(est.stc_i.mean, est.sequential.mean);
+  // Offline optimum is a valid lower bound.
+  EXPECT_LE(est.offline.mean, est.stc_i.mean + 1e-9);
+  EXPECT_LE(est.mean_rounds, stc_round_bound(10));
+}
+
+TEST(StcI, RatioBoundedOnRandomFamilies) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 3; ++trial) {
+    const StochInstance inst = random_instance(rng, 6, 3);
+    const StochEstimate est = estimate_stoch(inst, 300, 100 + trial);
+    const double ratio = est.stc_i.mean / est.offline.mean;
+    EXPECT_LT(ratio, 6.0) << "trial " << trial;
+    EXPECT_GE(ratio, 1.0 - 0.05);
+  }
+}
+
+TEST(StcI, DeterministicPerSeed) {
+  util::Rng rng(53);
+  const StochInstance inst = random_instance(rng, 5, 2);
+  const StochEstimate a = estimate_stoch(inst, 50, 9, 1);
+  const StochEstimate b = estimate_stoch(inst, 50, 9, 4);
+  EXPECT_DOUBLE_EQ(a.stc_i.mean, b.stc_i.mean);
+  EXPECT_DOUBLE_EQ(a.offline.mean, b.offline.mean);
+}
+
+TEST(StcI, TailFractionSmall) {
+  util::Rng rng(59);
+  const StochInstance inst = random_instance(rng, 8, 3);
+  const StochEstimate est = estimate_stoch(inst, 400, 13);
+  // Theorem 13: survivors past round K occur with probability <= 1/n.
+  EXPECT_LE(est.tail_fraction, 0.35);
+}
+
+}  // namespace
+}  // namespace suu::stoch

@@ -1,0 +1,175 @@
+#include "algos/suu_c.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/lower_bounds.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace suu::algos {
+namespace {
+
+sim::EstimateOptions strict_opts(int reps, std::uint64_t seed) {
+  sim::EstimateOptions o;
+  o.replications = reps;
+  o.seed = seed;
+  o.strict_eligibility = true;  // SUU-C must never schedule ahead of a chain
+  return o;
+}
+
+TEST(SuuC, CompletesSingleChain) {
+  core::Instance inst(3, 2, {0.5, 0.6, 0.4, 0.7, 0.5, 0.5},
+                      core::make_chain_dag({3}));
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuCPolicy>(); },
+      strict_opts(100, 1));
+  EXPECT_GE(e.mean, 3.0);  // three sequential jobs need >= 3 steps
+}
+
+class SuuCFamilies
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(SuuCFamilies, CompletesUnderStrictEligibility) {
+  const auto [n_chains, m, seed, delays] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 131 + 7);
+  core::Instance inst = core::make_chains(
+      n_chains, 1, 6, m, core::MachineModel::uniform(0.3, 0.95), rng);
+  const bool d = delays;
+  const util::Estimate e = sim::estimate_makespan(
+      inst,
+      [d] {
+        SuuCPolicy::Config cfg;
+        cfg.random_delays = d;
+        return std::make_unique<SuuCPolicy>(std::move(cfg));
+      },
+      strict_opts(25, 100 + static_cast<std::uint64_t>(seed)));
+  EXPECT_GE(e.mean, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SuuCFamilies,
+                         ::testing::Combine(::testing::Values(1, 3, 6),
+                                            ::testing::Values(2, 4),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Bool()));
+
+TEST(SuuC, WorksOnIndependentJobsAsSingletonChains) {
+  util::Rng rng(5);
+  core::Instance inst = core::make_independent(
+      5, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuCPolicy>(); },
+      strict_opts(50, 6));
+  EXPECT_GE(e.mean, 1.0);
+}
+
+TEST(SuuC, ExplicitChainsRestrictUniverse) {
+  // Give SUU-C only the first chain; it must never assign the second.
+  core::Instance inst(4, 2, {0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+                      core::make_chain_dag({2, 2}));
+  SuuCPolicy::Config cfg;
+  cfg.chains = {{0, 1}};
+  SuuCPolicy policy(std::move(cfg));
+  policy.reset(inst, util::Rng(3));
+  sim::ExecState st(inst);
+  for (int step = 0; step < 300; ++step) {
+    const sched::Assignment a = policy.decide(st);
+    for (const int j : a) {
+      if (j != sched::kIdle) EXPECT_LE(j, 1);
+    }
+  }
+}
+
+TEST(SuuC, DiagnosticsPopulated) {
+  util::Rng rng(9);
+  core::Instance inst = core::make_chains(
+      4, 2, 4, 3, core::MachineModel::uniform(0.4, 0.9), rng);
+  SuuCPolicy policy;
+  sim::ExecConfig cfg;
+  cfg.seed = 11;
+  cfg.strict_eligibility = true;
+  const sim::ExecResult r = sim::execute(inst, policy, cfg);
+  EXPECT_FALSE(r.capped);
+  EXPECT_GT(policy.supersteps(), 0);
+  EXPECT_GE(policy.gamma(), 1);
+  EXPECT_GE(policy.max_congestion(), 1);
+  EXPECT_FALSE(policy.fell_back());
+}
+
+TEST(SuuC, GridRoundingStillCompletes) {
+  util::Rng rng(13);
+  core::Instance inst = core::make_chains(
+      3, 2, 4, 2, core::MachineModel::uniform(0.4, 0.9), rng);
+  const util::Estimate e = sim::estimate_makespan(
+      inst,
+      [] {
+        SuuCPolicy::Config cfg;
+        cfg.grid_rounding = true;
+        return std::make_unique<SuuCPolicy>(std::move(cfg));
+      },
+      strict_opts(40, 14));
+  EXPECT_GE(e.mean, 1.0);
+}
+
+TEST(SuuC, LongJobsTriggerBatches) {
+  // One very hard job (tiny ell) inside a chain of easy jobs forces
+  // d_j >> gamma, exercising the pause + SUU-I-SEM batch path.
+  std::vector<double> q;
+  const int n = 6, m = 2;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      q.push_back(j == 2 ? 0.999 : 0.3);  // job 2 nearly always fails
+    }
+  }
+  core::Instance inst(n, m, std::move(q), core::make_chain_dag({n}));
+  SuuCPolicy policy;
+  sim::ExecConfig cfg;
+  cfg.seed = 21;
+  cfg.strict_eligibility = true;
+  const sim::ExecResult r = sim::execute(inst, policy, cfg);
+  EXPECT_FALSE(r.capped);
+  EXPECT_GE(policy.batches_run(), 1) << "hard job should be batched";
+}
+
+TEST(SuuC, RandomDelaysReduceCongestionOnManyChains) {
+  // Many identical chains all wanting the same machines: without delays the
+  // first superstep has congestion ~ n_chains; with delays it drops.
+  util::Rng rng(17);
+  const int n_chains = 24;
+  core::Instance inst = core::make_chains(
+      n_chains, 2, 2, 4, core::MachineModel::identical(0.5), rng);
+
+  auto max_congestion = [&](bool delays, std::uint64_t seed) {
+    SuuCPolicy::Config cfg;
+    cfg.random_delays = delays;
+    SuuCPolicy policy(std::move(cfg));
+    sim::ExecConfig ec;
+    ec.seed = seed;
+    ec.strict_eligibility = true;
+    const sim::ExecResult r = sim::execute(inst, policy, ec);
+    SUU_CHECK(!r.capped);
+    return policy.max_congestion();
+  };
+
+  double with = 0, without = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    with += max_congestion(true, 100 + s);
+    without += max_congestion(false, 100 + s);
+  }
+  EXPECT_LT(with, without) << "delays should lower peak congestion";
+}
+
+TEST(SuuC, LowerBoundBelowMeasured) {
+  util::Rng rng(23);
+  core::Instance inst = core::make_chains(
+      3, 2, 4, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  const LowerBound lb = lower_bound_chains(inst, inst.dag().chains());
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuCPolicy>(); },
+      strict_opts(300, 24));
+  EXPECT_LE(lb.value, e.mean + 3 * e.ci95_half);
+  EXPECT_GT(lb.lp2_half, 0.0);
+}
+
+}  // namespace
+}  // namespace suu::algos

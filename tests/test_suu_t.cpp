@@ -1,0 +1,90 @@
+#include "algos/suu_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace suu::algos {
+namespace {
+
+sim::EstimateOptions strict_opts(int reps, std::uint64_t seed) {
+  sim::EstimateOptions o;
+  o.replications = reps;
+  o.seed = seed;
+  o.strict_eligibility = true;
+  return o;
+}
+
+TEST(SuuT, CompletesOutStar) {
+  core::Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(0, 3);
+  core::Instance inst(4, 2, std::vector<double>(8, 0.5), std::move(d));
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuTPolicy>(); },
+      strict_opts(60, 1));
+  EXPECT_GE(e.mean, 2.0);  // root then leaves
+}
+
+TEST(SuuT, CompletesInStar) {
+  core::Dag d(4);
+  d.add_edge(1, 0);
+  d.add_edge(2, 0);
+  d.add_edge(3, 0);
+  core::Instance inst(4, 2, std::vector<double>(8, 0.5), std::move(d));
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuTPolicy>(); },
+      strict_opts(60, 2));
+  EXPECT_GE(e.mean, 2.0);
+}
+
+class SuuTFamilies : public ::testing::TestWithParam<std::tuple<int, bool>> {
+};
+
+TEST_P(SuuTFamilies, CompletesRandomForestsStrictly) {
+  const auto [seed, out] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 37 + 5);
+  core::Instance inst =
+      out ? core::make_out_forest(18, 3, 0.15, 3,
+                                  core::MachineModel::uniform(0.3, 0.9), rng)
+          : core::make_in_forest(18, 3, 0.15, 3,
+                                 core::MachineModel::uniform(0.3, 0.9), rng);
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuTPolicy>(); },
+      strict_opts(20, 500 + static_cast<std::uint64_t>(seed)));
+  EXPECT_GE(e.mean, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SuuTFamilies,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Bool()));
+
+TEST(SuuT, BlockCountMatchesDecomposition) {
+  util::Rng rng(11);
+  core::Instance inst = core::make_out_forest(
+      30, 2, 0.1, 3, core::MachineModel::uniform(0.4, 0.9), rng);
+  SuuTPolicy policy;
+  sim::ExecConfig cfg;
+  cfg.seed = 3;
+  cfg.strict_eligibility = true;
+  const sim::ExecResult r = sim::execute(inst, policy, cfg);
+  EXPECT_FALSE(r.capped);
+  const auto dec = chains::decompose_forest(inst.dag());
+  EXPECT_EQ(policy.num_blocks(), dec.num_blocks());
+  EXPECT_EQ(policy.current_block(), dec.num_blocks() - 1);
+}
+
+TEST(SuuT, HandlesPlainChainsToo) {
+  util::Rng rng(13);
+  core::Instance inst = core::make_chains(
+      3, 2, 3, 2, core::MachineModel::uniform(0.4, 0.9), rng);
+  const util::Estimate e = sim::estimate_makespan(
+      inst, [] { return std::make_unique<SuuTPolicy>(); },
+      strict_opts(30, 7));
+  EXPECT_GE(e.mean, 1.0);
+}
+
+}  // namespace
+}  // namespace suu::algos

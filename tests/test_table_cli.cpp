@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace suu::util {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowSizeMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"k", "v"});
+  t.add_row({"x,y", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\",2"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pm(1.5, 0.25, 2), "1.50 ± 0.25");
+}
+
+TEST(Args, ParsesKeyValue) {
+  const char* argv[] = {"prog", "--n=32", "--rho=1.5", "--tag=hello",
+                        "--flag"};
+  Args args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 0), 32);
+  EXPECT_DOUBLE_EQ(args.get_double("rho", 0.0), 1.5);
+  EXPECT_EQ(args.get_string("tag", ""), "hello");
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("absent"));
+}
+
+TEST(Args, Defaults) {
+  const char* argv[] = {"prog"};
+  Args args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("s", "d"), "d");
+}
+
+TEST(Args, IgnoresPositional) {
+  const char* argv[] = {"prog", "positional", "-x", "--ok=1"};
+  Args args(4, const_cast<char**>(argv));
+  EXPECT_TRUE(args.has("ok"));
+}
+
+TEST(Check, MacroThrowsWithMessage) {
+  try {
+    SUU_CHECK_MSG(false, "ctx " << 42);
+    FAIL();
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckNoThrow) {
+  EXPECT_NO_THROW(SUU_CHECK(1 + 1 == 2));
+}
+
+}  // namespace
+}  // namespace suu::util

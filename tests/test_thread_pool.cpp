@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace suu::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoTasks) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZero) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForSingle) {
+  ThreadPool pool(2);
+  int x = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++x; });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadPool, SingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(10, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order.size(), 10u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Pool must stay usable afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromParallelFor) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 50) {
+                                     throw std::runtime_error("mid");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SeededWorkIsThreadCountInvariant) {
+  // The determinism contract: per-index child streams give identical
+  // results no matter how many workers execute the loop.
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    Rng master(99);
+    std::vector<double> out(64);
+    pool.parallel_for(64, [&](std::size_t i) {
+      Rng r = master.child(i);
+      out[i] = r.uniform01();
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ThreadPool, DefaultPoolUsable) {
+  std::atomic<int> c{0};
+  default_pool().parallel_for(32, [&](std::size_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 32);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ManyWaves) {
+  ThreadPool pool(4);
+  std::atomic<int> c{0};
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int i = 0; i < 16; ++i) pool.submit([&c] { c.fetch_add(1); });
+    pool.wait();
+  }
+  EXPECT_EQ(c.load(), 320);
+}
+
+}  // namespace
+}  // namespace suu::util

@@ -1,0 +1,255 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algos/baselines.hpp"
+#include "algos/suu_c.hpp"
+#include "algos/suu_i.hpp"
+#include "algos/suu_t.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace suu::sim {
+namespace {
+
+class FirstEligiblePolicy : public Policy {
+ public:
+  std::string name() const override { return "first-eligible"; }
+  sched::Assignment decide(const ExecState& state) override {
+    sched::Assignment a(
+        static_cast<std::size_t>(state.instance().num_machines()),
+        sched::kIdle);
+    for (int j = 0; j < state.instance().num_jobs(); ++j) {
+      if (state.eligible(j)) {
+        std::fill(a.begin(), a.end(), j);
+        break;
+      }
+    }
+    return a;
+  }
+};
+
+TEST(Trace, RecordsStepsAndCompletions) {
+  core::Instance inst = core::Instance::independent(2, 1, {0.0, 0.0});
+  FirstEligiblePolicy p;
+  Trace trace;
+  ExecConfig cfg;
+  cfg.trace = &trace;
+  const ExecResult r = execute(inst, p, cfg);
+  EXPECT_EQ(r.makespan, 2);
+  EXPECT_TRUE(trace.finished);
+  ASSERT_EQ(trace.length(), 2);
+  EXPECT_EQ(trace.steps[0].completions, (std::vector<int>{0}));
+  EXPECT_EQ(trace.steps[1].completions, (std::vector<int>{1}));
+  EXPECT_NO_THROW(validate_trace(inst, trace));
+}
+
+TEST(Trace, ValidatorAcceptsRealExecutions) {
+  util::Rng rng(3);
+  core::Instance inst = core::make_independent(
+      6, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  FirstEligiblePolicy p;
+  Trace trace;
+  ExecConfig cfg;
+  cfg.trace = &trace;
+  cfg.seed = 5;
+  execute(inst, p, cfg);
+  EXPECT_NO_THROW(validate_trace(inst, trace));
+}
+
+TEST(Trace, ValidatorCatchesDoubleCompletion) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  Trace trace;
+  trace.n = 1;
+  trace.m = 1;
+  trace.finished = true;
+  trace.steps.push_back({{0}, {0}});
+  trace.steps.push_back({{0}, {0}});  // completes again
+  EXPECT_THROW(validate_trace(inst, trace), util::CheckError);
+}
+
+TEST(Trace, ValidatorCatchesCompletionWithoutWork) {
+  core::Instance inst = core::Instance::independent(2, 1, {0.5, 0.5});
+  Trace trace;
+  trace.n = 2;
+  trace.m = 1;
+  trace.finished = true;
+  trace.steps.push_back({{0}, {1}});  // job 1 completes but machine ran 0
+  trace.steps.push_back({{0}, {0}});
+  EXPECT_THROW(validate_trace(inst, trace), util::CheckError);
+}
+
+TEST(Trace, ValidatorCatchesPrecedenceViolation) {
+  core::Instance inst(2, 1, {0.5, 0.5}, core::make_chain_dag({2}));
+  Trace trace;
+  trace.n = 2;
+  trace.m = 1;
+  trace.finished = true;
+  trace.steps.push_back({{1}, {1}});  // job 1 before its predecessor
+  trace.steps.push_back({{0}, {0}});
+  EXPECT_THROW(validate_trace(inst, trace), util::CheckError);
+}
+
+TEST(Trace, ValidatorCatchesUnfinished) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  Trace trace;
+  trace.n = 1;
+  trace.m = 1;
+  trace.finished = false;
+  TraceCheckOptions opt;
+  EXPECT_THROW(validate_trace(inst, trace, opt), util::CheckError);
+  opt.require_finished = false;
+  EXPECT_NO_THROW(validate_trace(inst, trace, opt));
+}
+
+TEST(Trace, BlockedAssignmentFlaggedWhenForbidden) {
+  core::Instance inst(2, 1, {0.0, 0.5}, core::make_chain_dag({2}));
+  Trace trace;
+  trace.n = 2;
+  trace.m = 1;
+  trace.finished = false;
+  trace.steps.push_back({{1}, {}});  // machine aimed at the blocked job
+  TraceCheckOptions opt;
+  opt.require_finished = false;
+  EXPECT_NO_THROW(validate_trace(inst, trace, opt));
+  opt.forbid_blocked_assignments = true;
+  EXPECT_THROW(validate_trace(inst, trace, opt), util::CheckError);
+}
+
+TEST(TraceStats, CountsWorkAndWaste) {
+  core::Instance inst = core::Instance::independent(2, 2,
+                                                    {0.0, 1.0, 1.0, 0.0});
+  Trace trace;
+  trace.n = 2;
+  trace.m = 2;
+  trace.finished = true;
+  // Step 0: m0 -> j0 (completes), m1 -> j1 (completes).
+  trace.steps.push_back({{0, 1}, {0, 1}});
+  const TraceStats st = trace_stats(inst, trace);
+  EXPECT_EQ(st.work_per_job[0], 1);
+  EXPECT_EQ(st.work_per_job[1], 1);
+  EXPECT_EQ(st.wasted_steps, 0);
+  EXPECT_EQ(st.total_machine_steps, 2);
+  EXPECT_DOUBLE_EQ(st.mass_per_job[0], core::Instance::kMaxEll);
+}
+
+TEST(TraceStats, WasteCountsCompletedTargets) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.0});
+  Trace trace;
+  trace.n = 1;
+  trace.m = 1;
+  trace.finished = true;
+  trace.steps.push_back({{0}, {0}});
+  trace.steps.push_back({{0}, {}});  // works a completed job
+  const TraceStats st = trace_stats(inst, trace);
+  EXPECT_EQ(st.wasted_steps, 1);
+}
+
+TEST(Gantt, RendersMachinesStepsAndMarkers) {
+  core::Instance inst(2, 2, {0.0, 1.0, 1.0, 0.0},
+                      core::make_chain_dag({2}));
+  Trace trace;
+  trace.n = 2;
+  trace.m = 2;
+  trace.finished = true;
+  // Step 0: m0 works job0 (completes), m1 aims at blocked job1 -> 'x'.
+  trace.steps.push_back({{0, 1}, {0}});
+  // Step 1: m0 idle, m1 works job1 (completes).
+  trace.steps.push_back({{sched::kIdle, 1}, {1}});
+  std::ostringstream os;
+  render_gantt(os, inst, trace);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("m0 |a."), std::string::npos) << s;
+  EXPECT_NE(s.find("m1 |xb"), std::string::npos) << s;
+  EXPECT_NE(s.find("2 steps total"), std::string::npos);
+}
+
+TEST(Gantt, TruncatesLongTraces) {
+  core::Instance inst = core::Instance::independent(1, 1, {0.5});
+  Trace trace;
+  trace.n = 1;
+  trace.m = 1;
+  trace.finished = true;
+  for (int t = 0; t < 50; ++t) trace.steps.push_back({{0}, {}});
+  trace.steps.push_back({{0}, {0}});
+  std::ostringstream os;
+  render_gantt(os, inst, trace, 10);
+  EXPECT_NE(os.str().find("..."), std::string::npos);
+  EXPECT_NE(os.str().find("51 steps total"), std::string::npos);
+}
+
+// ---- The cross-product property suite: every policy on every family
+// produces a valid trace, and the paper-grade policies also satisfy the
+// stronger no-blocked-work invariant.
+
+struct PolicyCase {
+  std::string name;
+  bool precedence_aware;  // must satisfy (V5)
+};
+
+class AllPoliciesProduceValidTraces
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AllPoliciesProduceValidTraces, OnChainsAndForests) {
+  const auto [seed, family] = GetParam();
+  util::Rng rng(7000 + static_cast<std::uint64_t>(seed) * 13 +
+                static_cast<std::uint64_t>(family));
+  core::Instance inst =
+      family == 0
+          ? core::make_independent(8, 3,
+                                   core::MachineModel::uniform(0.3, 0.9),
+                                   rng)
+          : family == 1
+                ? core::make_chains(3, 2, 4, 3,
+                                    core::MachineModel::uniform(0.3, 0.9),
+                                    rng)
+                : core::make_out_forest(
+                      10, 3, 0.2, 3,
+                      core::MachineModel::uniform(0.3, 0.9), rng);
+
+  std::vector<std::pair<std::unique_ptr<Policy>, bool>> policies;
+  policies.emplace_back(std::make_unique<algos::AllOnOnePolicy>(), true);
+  policies.emplace_back(std::make_unique<algos::RoundRobinPolicy>(), true);
+  policies.emplace_back(std::make_unique<algos::BestMachinePolicy>(), true);
+  policies.emplace_back(std::make_unique<algos::AdaptiveGreedyPolicy>(),
+                        true);
+  if (family == 1) {
+    policies.emplace_back(std::make_unique<algos::SuuCPolicy>(), true);
+  }
+  if (family >= 1) {
+    policies.emplace_back(std::make_unique<algos::SuuTPolicy>(), true);
+  }
+  if (family == 0) {
+    policies.emplace_back(std::make_unique<algos::SuuISemPolicy>(), true);
+    policies.emplace_back(std::make_unique<algos::SuuIOblPolicy>(), true);
+    policies.emplace_back(std::make_unique<algos::GreedyLrPolicy>(), true);
+  }
+
+  for (auto& [policy, aware] : policies) {
+    Trace trace;
+    ExecConfig cfg;
+    cfg.trace = &trace;
+    cfg.seed = 900 + static_cast<std::uint64_t>(seed);
+    const ExecResult r = execute(inst, *policy, cfg);
+    ASSERT_FALSE(r.capped) << policy->name();
+    TraceCheckOptions opt;
+    opt.forbid_blocked_assignments = aware;
+    EXPECT_NO_THROW(validate_trace(inst, trace, opt)) << policy->name();
+    // Every completed job must have accrued positive mass.
+    const TraceStats st = trace_stats(inst, trace);
+    for (int j = 0; j < inst.num_jobs(); ++j) {
+      EXPECT_GT(st.mass_per_job[static_cast<std::size_t>(j)], 0.0)
+          << policy->name() << " job " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllPoliciesProduceValidTraces,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace suu::sim
