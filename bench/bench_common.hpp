@@ -1,15 +1,21 @@
 // Shared helpers for the table/figure reproduction harnesses.
+//
+// All Monte-Carlo measurement goes through suu::api (SolverRegistry +
+// ExperimentRunner); this header only carries the CLI conventions and the
+// normalization helpers the tables share.
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "algos/lower_bounds.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
 #include "core/generators.hpp"
-#include "sim/engine.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -21,27 +27,47 @@ inline double lg(double x) { return std::max(1.0, std::log2(x)); }
 /// log2 log2 clamped below at 1.
 inline double lglg(double x) { return std::max(1.0, std::log2(lg(x))); }
 
-struct MeasuredRatio {
-  double ratio = 0.0;      ///< E[T] / LB
-  double ci = 0.0;         ///< 95% CI half-width of the ratio
-  double makespan = 0.0;   ///< E[T]
-};
+/// Shared flags of every harness binary: --reps, --seed, --threads
+/// (replication fan-out; 0 = default pool), --json (emit machine-readable
+/// rows after each table) and --solvers (list the registry and exit).
+struct Harness {
+  util::Args args;
+  int reps;
+  std::uint64_t seed;
+  unsigned threads;
+  bool json;
 
-inline MeasuredRatio measure(const core::Instance& inst,
-                             const sim::PolicyFactory& factory, double lb,
-                             int reps, std::uint64_t seed,
-                             bool strict = false) {
-  sim::EstimateOptions opt;
-  opt.replications = reps;
-  opt.seed = seed;
-  opt.strict_eligibility = strict;
-  const util::Estimate e = sim::estimate_makespan(inst, factory, opt);
-  MeasuredRatio r;
-  r.makespan = e.mean;
-  r.ratio = e.mean / lb;
-  r.ci = e.ci95_half / lb;
-  return r;
-}
+  Harness(int argc, char** argv, int default_reps, std::uint64_t default_seed)
+      : args(argc, argv),
+        reps(static_cast<int>(args.get_int("reps", default_reps))),
+        seed(static_cast<std::uint64_t>(
+            args.get_int("seed", static_cast<std::int64_t>(default_seed)))),
+        threads(static_cast<unsigned>(std::max<std::int64_t>(
+            0, args.get_int("threads", 0)))),
+        json(args.has("json")) {
+    if (args.has("solvers")) {
+      const api::SolverRegistry& reg = api::SolverRegistry::global();
+      for (const std::string& name : reg.names()) {
+        std::cout << name << " — " << reg.summary(name) << "\n";
+      }
+      std::exit(0);
+    }
+  }
+
+  /// Runner defaults seeded from the flags; tweak fields as needed.
+  api::ExperimentRunner::Options runner_options() const {
+    api::ExperimentRunner::Options opt;
+    opt.seed = seed;
+    opt.replications = reps;
+    opt.threads = threads;
+    return opt;
+  }
+
+  /// Emit the runner's unified JSON rows when --json was passed.
+  void maybe_json(const api::ExperimentRunner& runner) const {
+    if (json) runner.print_json(std::cout);
+  }
+};
 
 inline void print_header(const std::string& title, const std::string& what) {
   std::cout << "\n=== " << title << " ===\n" << what << "\n\n";

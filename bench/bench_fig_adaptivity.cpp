@@ -13,16 +13,12 @@
 // SUU-I-SEM, larger gamma keeps more in the congestion-prone chain phase.
 #include "bench_common.hpp"
 
-#include "algos/baselines.hpp"
 #include "algos/suu_c.hpp"
-#include "algos/suu_i.hpp"
 
 using namespace suu;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 150));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 10));
+  const bench::Harness h(argc, argv, /*reps=*/150, /*seed=*/10);
 
   bench::print_header(
       "F-ADAPT: conclusion conjectures — adaptivity and greed",
@@ -30,39 +26,34 @@ int main(int argc, char** argv) {
       "(identical(0.7), m=8).\nRight (below): SUU-C gamma_factor ablation "
       "on a chain family with one hard job per chain.");
 
-  util::Table t1({"n", "adaptive-greedy", "suu-i-sem", "suu-i-obl"});
-  for (const int n : {8, 16, 32, 64, 128, 256}) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(n));
-    core::Instance inst = core::make_independent(
-        n, 8, core::MachineModel::identical(0.7), rng);
-    rounding::Lp1Options lp1;
-    lp1.simplex_size_limit = 600;
-    const algos::LowerBound lb = algos::lower_bound_independent(inst, lp1);
-    auto pre_obl = algos::SuuIOblPolicy::precompute(inst, lp1);
-    auto pre_sem = algos::SuuISemPolicy::precompute_round1(inst, lp1);
+  api::SolverOptions fast;
+  fast.lp1.simplex_size_limit = 600;
 
-    const auto ag = bench::measure(
-        inst,
-        [] { return std::make_unique<algos::AdaptiveGreedyPolicy>(); },
-        lb.value, reps, seed + 1);
-    const auto sem = bench::measure(
-        inst,
-        [pre_sem, lp1] {
-          algos::SuuISemPolicy::Config cfg;
-          cfg.lp1 = lp1;
-          cfg.round1 = pre_sem;
-          return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
-        },
-        lb.value, reps, seed + 2);
-    const auto obl = bench::measure(
-        inst,
-        [pre_obl] { return std::make_unique<algos::SuuIOblPolicy>(pre_obl); },
-        lb.value, reps, seed + 3);
-    t1.add_row({std::to_string(n), util::fmt_pm(ag.ratio, ag.ci, 2),
-                util::fmt_pm(sem.ratio, sem.ci, 2),
-                util::fmt_pm(obl.ratio, obl.ci, 2)});
+  const std::vector<int> sizes = {8, 16, 32, 64, 128, 256};
+  api::ExperimentRunner growth(h.runner_options());
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Instance>>>
+      instances;
+  for (const int n : sizes) {
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(n));
+    instances.emplace_back(
+        "n=" + std::to_string(n),
+        std::make_shared<const core::Instance>(core::make_independent(
+            n, 8, core::MachineModel::identical(0.7), rng)));
+  }
+  growth.add_grid(instances, {"adaptive-greedy", "suu-i-sem", "suu-i-obl"},
+                  fast, /*auto_lower_bound=*/true);
+  const auto& gres = growth.run();
+  util::Table t1({"n", "adaptive-greedy", "suu-i-sem", "suu-i-obl"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    t1.add_row({std::to_string(sizes[i]),
+                util::fmt_pm(gres[3 * i].ratio, gres[3 * i].ratio_ci, 2),
+                util::fmt_pm(gres[3 * i + 1].ratio, gres[3 * i + 1].ratio_ci,
+                             2),
+                util::fmt_pm(gres[3 * i + 2].ratio, gres[3 * i + 2].ratio_ci,
+                             2)});
   }
   t1.print(std::cout);
+  h.maybe_json(growth);
 
   std::cout << "\nSUU-C gamma_factor ablation (chains with one hard job "
                "each; ratio = E[T]/LB):\n\n";
@@ -77,37 +68,48 @@ int main(int argc, char** argv) {
       }
     }
   }
-  core::Instance inst(n_chains * len, m, std::move(q),
-                      core::make_chain_dag(
-                          std::vector<int>(n_chains, len)));
-  const auto chains = inst.dag().chains();
-  const algos::LowerBound lb = algos::lower_bound_chains(inst, chains);
-  auto lp2 = algos::SuuCPolicy::precompute(inst, chains);
+  auto inst = std::make_shared<const core::Instance>(
+      n_chains * len, m, std::move(q),
+      core::make_chain_dag(std::vector<int>(n_chains, len)));
+  const double lb = api::lower_bound_auto(*inst).value;
 
-  util::Table t2({"gamma_factor", "E[T]/LB", "mean batches",
-                  "mean supersteps"});
-  for (const double gf : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    util::OnlineStats ratio, batches, supersteps;
-    for (int r = 0; r < reps; ++r) {
-      algos::SuuCPolicy::Config cfg;
-      cfg.lp2 = lp2;
-      cfg.gamma_factor = gf;
-      algos::SuuCPolicy policy(std::move(cfg));
-      sim::ExecConfig ec;
-      ec.seed = util::Rng(seed + 77).child(
-          static_cast<std::uint64_t>(r)).next();
-      ec.strict_eligibility = true;
-      const sim::ExecResult res = sim::execute(inst, policy, ec);
-      if (res.capped) continue;
-      ratio.add(static_cast<double>(res.makespan) / lb.value);
-      batches.add(policy.batches_run());
-      supersteps.add(static_cast<double>(policy.supersteps()));
-    }
-    t2.add_row({util::fmt(gf, 2),
-                util::fmt_pm(ratio.mean(), ratio.ci95_half(), 2),
-                util::fmt(batches.mean(), 2),
-                util::fmt(supersteps.mean(), 1)});
+  const std::vector<double> gammas = {0.25, 0.5, 1.0, 2.0, 4.0};
+  api::ExperimentRunner ablation(h.runner_options());
+  ablation.options().seed = h.seed + 77;
+  ablation.options().strict_eligibility = true;
+  ablation.options().skip_capped = true;
+  for (const double gf : gammas) {
+    api::Cell cell;
+    cell.instance_label = "gamma_factor=" + util::fmt(gf, 2);
+    cell.instance = inst;
+    cell.solver = "suu-c";
+    cell.solver_opt.gamma_factor = gf;
+    cell.lower_bound = lb;
+    cell.metrics = {
+        {"batches",
+         [](const sim::Policy& p, const sim::ExecResult&) {
+           return static_cast<double>(
+               dynamic_cast<const algos::SuuCPolicy&>(p).batches_run());
+         }},
+        {"supersteps",
+         [](const sim::Policy& p, const sim::ExecResult&) {
+           return static_cast<double>(
+               dynamic_cast<const algos::SuuCPolicy&>(p).supersteps());
+         }}};
+    ablation.add(std::move(cell));
+  }
+  const auto& ares = ablation.run();
+
+  util::Table t2(
+      {"gamma_factor", "E[T]/LB", "mean batches", "mean supersteps"});
+  for (std::size_t i = 0; i < gammas.size(); ++i) {
+    const api::CellResult& r = ares[i];
+    t2.add_row({util::fmt(gammas[i], 2),
+                util::fmt_pm(r.ratio, r.ratio_ci, 2),
+                util::fmt(r.metric("batches").mean(), 2),
+                util::fmt(r.metric("supersteps").mean(), 1)});
   }
   t2.print(std::cout);
+  h.maybe_json(ablation);
   return 0;
 }

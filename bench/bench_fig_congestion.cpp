@@ -12,9 +12,7 @@
 using namespace suu;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int runs = static_cast<int>(args.get_int("runs", 40));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const bench::Harness h(argc, argv, /*reps=*/40, /*seed=*/7);
 
   bench::print_header(
       "F-CONG: Theorem 7 random-delay congestion reduction",
@@ -23,45 +21,52 @@ int main(int argc, char** argv) {
       "congestion should track the reference; undelayed grows ~linearly "
       "with the chain count.");
 
+  const std::vector<int> chain_counts = {8, 16, 32, 64};
+  const int m = 4;
+
+  api::ExperimentRunner runner(h.runner_options());
+  runner.options().replications =
+      static_cast<int>(h.args.get_int("runs", h.reps));
+  runner.options().strict_eligibility = true;
+  runner.options().skip_capped = true;
+
+  const api::Metric peak{
+      "peak congestion", [](const sim::Policy& p, const sim::ExecResult&) {
+        return static_cast<double>(
+            dynamic_cast<const algos::SuuCPolicy&>(p).max_congestion());
+      }};
+
+  for (const int n_chains : chain_counts) {
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(n_chains));
+    auto inst = std::make_shared<const core::Instance>(core::make_chains(
+        n_chains, 2, 3, m, core::MachineModel::identical(0.5), rng));
+    for (const bool delays : {false, true}) {
+      api::Cell cell;
+      cell.instance_label = std::to_string(n_chains) + " chains";
+      cell.instance = inst;
+      cell.solver = "suu-c";
+      cell.solver_opt.random_delays = delays;
+      cell.metrics = {peak};
+      runner.add(std::move(cell));
+    }
+  }
+  const auto& res = runner.run();
+
   util::Table table({"chains", "n", "m", "no-delay mean", "no-delay p95",
                      "delay mean", "delay p95", "log/loglog ref"});
-  for (const int n_chains : {8, 16, 32, 64}) {
-    const int m = 4;
-    util::Rng rng(seed + static_cast<std::uint64_t>(n_chains));
-    core::Instance inst = core::make_chains(
-        n_chains, 2, 3, m, core::MachineModel::identical(0.5), rng);
-    const auto chains = inst.dag().chains();
-    auto lp2 = algos::SuuCPolicy::precompute(inst, chains);
-
-    auto collect = [&](bool delays) {
-      util::Sampler peak;
-      for (int r = 0; r < runs; ++r) {
-        algos::SuuCPolicy::Config cfg;
-        cfg.lp2 = lp2;
-        cfg.random_delays = delays;
-        algos::SuuCPolicy policy(std::move(cfg));
-        sim::ExecConfig ec;
-        ec.seed =
-            util::Rng(seed + (delays ? 1 : 2)).child(
-                static_cast<std::uint64_t>(r)).next();
-        ec.strict_eligibility = true;
-        const sim::ExecResult res = sim::execute(inst, policy, ec);
-        if (!res.capped) peak.add(policy.max_congestion());
-      }
-      return peak;
-    };
-
-    const util::Sampler without = collect(false);
-    const util::Sampler with = collect(true);
-    const double nm = inst.num_jobs() + m;
-    table.add_row({std::to_string(n_chains),
-                   std::to_string(inst.num_jobs()), std::to_string(m),
-                   util::fmt(without.mean(), 1),
-                   util::fmt(without.quantile(0.95), 0),
-                   util::fmt(with.mean(), 1),
-                   util::fmt(with.quantile(0.95), 0),
+  for (std::size_t i = 0; i < chain_counts.size(); ++i) {
+    const api::CellResult& without = res[2 * i];
+    const api::CellResult& with = res[2 * i + 1];
+    const util::Sampler& off = without.metric("peak congestion");
+    const util::Sampler& on = with.metric("peak congestion");
+    const double nm = without.n + m;
+    table.add_row({std::to_string(chain_counts[i]),
+                   std::to_string(without.n), std::to_string(m),
+                   util::fmt(off.mean(), 1), util::fmt(off.quantile(0.95), 0),
+                   util::fmt(on.mean(), 1), util::fmt(on.quantile(0.95), 0),
                    util::fmt(bench::lg(nm) / bench::lglg(nm), 1)});
   }
   table.print(std::cout);
+  h.maybe_json(runner);
   return 0;
 }

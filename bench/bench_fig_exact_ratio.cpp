@@ -7,18 +7,14 @@
 // unless P = NP, so ratios > 1 are expected even for the best policies.
 #include "bench_common.hpp"
 
-#include "algos/baselines.hpp"
 #include "algos/exact_dp.hpp"
 #include "algos/exact_width_dp.hpp"
-#include "algos/suu_c.hpp"
-#include "algos/suu_i.hpp"
+#include "algos/lower_bounds.hpp"
 
 using namespace suu;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 3000));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
+  const bench::Harness h(argc, argv, /*reps=*/3000, /*seed=*/8);
 
   bench::print_header(
       "F-OPT: measured E[T]/E[T_OPT] with the exact subset-DP optimum",
@@ -26,8 +22,6 @@ int main(int argc, char** argv) {
       "bound is —\nthe denominator used by the scaling benches inflates "
       "every ratio by roughly its inverse.");
 
-  util::Table table({"family", "n", "m", "LB/OPT", "exact-opt", "sem", "obl",
-                     "greedy", "round-robin", "all-on-one"});
   struct Case {
     std::string family;
     int n, m;
@@ -41,90 +35,127 @@ int main(int argc, char** argv) {
       {"classes", 6, 3, core::MachineModel::classes()},
       {"sparse", 7, 3, core::MachineModel::sparse(0.5, 0.3, 0.9)},
   };
+  const std::vector<std::string> kSolvers = {"suu-i-sem", "suu-i-obl",
+                                             "greedy-lr", "round-robin",
+                                             "all-on-one"};
+
+  api::ExperimentRunner runner(h.runner_options());
+  std::vector<double> lb_over_opt;
   for (const auto& c : cases) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(c.n * 17 + c.m));
-    core::Instance inst = core::make_independent(c.n, c.m, c.model, rng);
-    auto solver = std::make_shared<const algos::ExactSolver>(inst);
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(c.n * 17 + c.m));
+    auto inst = std::make_shared<const core::Instance>(
+        core::make_independent(c.n, c.m, c.model, rng));
+    // The solver doubles as the denominator source, so it is built here
+    // and shared with the exact-opt cell through a factory override (the
+    // registry's "exact-dp" entry would run the DP a second time).
+    auto solver = std::make_shared<const algos::ExactSolver>(*inst);
     const double opt_value = solver->expected_makespan();
-    const algos::LowerBound lb = algos::lower_bound_independent(inst);
+    lb_over_opt.push_back(algos::lower_bound_independent(*inst).value /
+                          opt_value);
 
-    auto ratio = [&](const sim::PolicyFactory& f,
-                     std::uint64_t s) {
-      const auto r = bench::measure(inst, f, opt_value, reps, s);
-      return util::fmt(r.ratio, 2);
+    api::Cell exact;
+    exact.instance_label = c.family + " n=" + std::to_string(c.n);
+    exact.instance = inst;
+    exact.factory = [solver] {
+      return std::make_unique<algos::ExactOptPolicy>(solver);
     };
-    auto pre_obl = algos::SuuIOblPolicy::precompute(inst);
-    auto pre_sem = algos::SuuISemPolicy::precompute_round1(inst);
+    exact.factory_label = "exact-opt";
+    exact.lower_bound = opt_value;
+    runner.add(std::move(exact));
 
-    table.add_row(
-        {c.family, std::to_string(c.n), std::to_string(c.m),
-         util::fmt(lb.value / opt_value, 2),
-         ratio([solver] { return std::make_unique<algos::ExactOptPolicy>(
-                   solver); }, seed + 1),
-         ratio([pre_sem] {
-           algos::SuuISemPolicy::Config cfg;
-           cfg.round1 = pre_sem;
-           return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
-         }, seed + 2),
-         ratio([pre_obl] {
-           return std::make_unique<algos::SuuIOblPolicy>(pre_obl);
-         }, seed + 3),
-         ratio([] { return std::make_unique<algos::GreedyLrPolicy>(); },
-               seed + 4),
-         ratio([] { return std::make_unique<algos::RoundRobinPolicy>(); },
-               seed + 5),
-         ratio([] { return std::make_unique<algos::AllOnOnePolicy>(); },
-               seed + 6)});
+    for (const std::string& solver_name : kSolvers) {
+      api::Cell cell;
+      cell.instance_label = c.family + " n=" + std::to_string(c.n);
+      cell.instance = inst;
+      cell.solver = solver_name;
+      cell.lower_bound = opt_value;
+      runner.add(std::move(cell));
+    }
+  }
+  const auto& res = runner.run();
+
+  util::Table table({"family", "n", "m", "LB/OPT", "exact-opt", "sem", "obl",
+                     "greedy", "round-robin", "all-on-one"});
+  const std::size_t stride = 1 + kSolvers.size();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::vector<std::string> row = {cases[i].family,
+                                    std::to_string(cases[i].n),
+                                    std::to_string(cases[i].m),
+                                    util::fmt(lb_over_opt[i], 2)};
+    for (std::size_t k = 0; k < stride; ++k) {
+      row.push_back(util::fmt(res[stride * i + k].ratio, 2));
+    }
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
   std::cout << "\n(The exact-opt column should sit at 1.00 within noise — "
                "it replays the DP's optimal policy.)\n";
+  h.maybe_json(runner);
 
   // ---- Chains against the WIDTH-parameterized exact optimum (Malewicz
   // regime): low width lets the exact DP reach n = 20+ jobs, giving true
   // SUU-C ratios instead of LP-bound ratios.
   std::cout << "\nChain instances vs the width-DP exact optimum:\n\n";
-  util::Table t2({"chains x len", "n", "m", "width", "states",
-                  "width-opt", "suu-c", "round-robin"});
   struct ChainCase {
     int n_chains, len, m;
   };
-  for (const ChainCase cc :
-       std::vector<ChainCase>{{2, 6, 2}, {2, 10, 2}, {3, 6, 3}}) {
-    util::Rng rng(seed + 400 + static_cast<std::uint64_t>(cc.n_chains * 10 +
-                                                          cc.len));
+  const std::vector<ChainCase> chain_cases = {{2, 6, 2}, {2, 10, 2},
+                                              {3, 6, 3}};
+
+  api::ExperimentRunner chain_runner(h.runner_options());
+  chain_runner.options().replications = std::max(1, h.reps / 4);
+  chain_runner.options().strict_eligibility = true;
+  std::vector<std::pair<int, std::int64_t>> dims;  // width, states
+  for (const ChainCase cc : chain_cases) {
+    util::Rng rng(h.seed + 400 +
+                  static_cast<std::uint64_t>(cc.n_chains * 10 + cc.len));
     const int n = cc.n_chains * cc.len;
-    const auto q = core::gen_q(n, cc.m,
-                               core::MachineModel::uniform(0.25, 0.9), rng);
-    core::Instance inst(
-        n, cc.m, q,
+    auto inst = std::make_shared<const core::Instance>(
+        n, cc.m,
+        core::gen_q(n, cc.m, core::MachineModel::uniform(0.25, 0.9), rng),
         core::make_chain_dag(std::vector<int>(
             static_cast<std::size_t>(cc.n_chains), cc.len)));
-    auto solver = std::make_shared<const algos::WidthExactSolver>(inst);
+    auto solver = std::make_shared<const algos::WidthExactSolver>(*inst);
     const double opt_value = solver->expected_makespan();
-    auto lp2 = algos::SuuCPolicy::precompute(inst, inst.dag().chains());
+    dims.emplace_back(solver->width(), solver->num_states());
 
-    auto ratio = [&](const sim::PolicyFactory& f, std::uint64_t s) {
-      const auto r =
-          bench::measure(inst, f, opt_value, reps / 4, s, /*strict=*/true);
-      return util::fmt(r.ratio, 2);
+    const std::string label =
+        std::to_string(cc.n_chains) + "x" + std::to_string(cc.len);
+    api::Cell exact;
+    exact.instance_label = label;
+    exact.instance = inst;
+    exact.factory = [solver] {
+      return std::make_unique<algos::WidthOptPolicy>(solver);
     };
-    t2.add_row(
-        {std::to_string(cc.n_chains) + "x" + std::to_string(cc.len),
-         std::to_string(n), std::to_string(cc.m),
-         std::to_string(solver->width()),
-         std::to_string(solver->num_states()),
-         ratio([solver] { return std::make_unique<algos::WidthOptPolicy>(
-                   solver); },
-               seed + 11),
-         ratio([lp2] {
-           algos::SuuCPolicy::Config cfg;
-           cfg.lp2 = lp2;
-           return std::make_unique<algos::SuuCPolicy>(std::move(cfg));
-         }, seed + 12),
-         ratio([] { return std::make_unique<algos::RoundRobinPolicy>(); },
-               seed + 13)});
+    exact.factory_label = "width-opt";
+    exact.lower_bound = opt_value;
+    chain_runner.add(std::move(exact));
+    for (const std::string& solver_name :
+         {std::string("suu-c"), std::string("round-robin")}) {
+      api::Cell cell;
+      cell.instance_label = label;
+      cell.instance = inst;
+      cell.solver = solver_name;
+      cell.lower_bound = opt_value;
+      chain_runner.add(std::move(cell));
+    }
+  }
+  const auto& cres = chain_runner.run();
+
+  util::Table t2({"chains x len", "n", "m", "width", "states", "width-opt",
+                  "suu-c", "round-robin"});
+  for (std::size_t i = 0; i < chain_cases.size(); ++i) {
+    t2.add_row({std::to_string(chain_cases[i].n_chains) + "x" +
+                    std::to_string(chain_cases[i].len),
+                std::to_string(cres[3 * i].n),
+                std::to_string(chain_cases[i].m),
+                std::to_string(dims[i].first),
+                std::to_string(dims[i].second),
+                util::fmt(cres[3 * i].ratio, 2),
+                util::fmt(cres[3 * i + 1].ratio, 2),
+                util::fmt(cres[3 * i + 2].ratio, 2)});
   }
   t2.print(std::cout);
+  h.maybe_json(chain_runner);
   return 0;
 }

@@ -23,8 +23,10 @@ std::vector<int> all_jobs(const core::Instance& inst) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));
+  // Deterministic LP/rounding evaluations — no Monte-Carlo cells, so only
+  // the shared CLI conventions of the api-based harnesses are used here.
+  const bench::Harness h(argc, argv, /*reps=*/1, /*seed=*/6);
+  const std::uint64_t seed = h.seed;
 
   bench::print_header(
       "F-LP: Lemma 2 / Lemma 6 rounding quality + ablations",

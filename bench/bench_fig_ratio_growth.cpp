@@ -10,17 +10,14 @@
 // positive delta in the obl column; the sem deltas should shrink toward 0.
 #include "bench_common.hpp"
 
-#include "algos/baselines.hpp"
 #include "algos/suu_i.hpp"
 
 using namespace suu;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 150));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
-  const int m = static_cast<int>(args.get_int("m", 8));
-  const double q = args.get_double("q", 0.7);
+  const bench::Harness h(argc, argv, /*reps=*/150, /*seed=*/4);
+  const int m = static_cast<int>(h.args.get_int("m", 8));
+  const double q = h.args.get_double("q", 0.7);
 
   bench::print_header(
       "F-RATIO: ratio growth, Thm 3 (log n) vs Thm 4 (log log n)",
@@ -28,43 +25,40 @@ int main(int argc, char** argv) {
       "increase per doubling of n.\nExpect near-constant positive obl "
       "deltas (log growth) and shrinking sem deltas.");
 
+  api::SolverOptions fast;
+  fast.lp1.simplex_size_limit = 600;
+
+  const std::vector<int> sizes = {8, 16, 32, 64, 128, 256, 512};
+  api::ExperimentRunner runner(h.runner_options());
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Instance>>>
+      instances;
+  for (const int n : sizes) {
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(n));
+    instances.emplace_back(
+        "n=" + std::to_string(n),
+        std::make_shared<const core::Instance>(core::make_independent(
+            n, m, core::MachineModel::identical(q), rng)));
+  }
+  runner.add_grid(instances, {"suu-i-obl", "suu-i-sem"}, fast,
+                  /*auto_lower_bound=*/true);
+  const auto& res = runner.run();
+
   util::Table table({"n", "obl ratio", "obl delta", "sem ratio", "sem delta",
                      "sem rounds bound K"});
   double prev_obl = 0.0, prev_sem = 0.0;
-  bool first = true;
-  for (const int n : {8, 16, 32, 64, 128, 256, 512}) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(n));
-    core::Instance inst =
-        core::make_independent(n, m, core::MachineModel::identical(q), rng);
-    rounding::Lp1Options lp1;
-    lp1.simplex_size_limit = 600;
-    const algos::LowerBound lb = algos::lower_bound_independent(inst, lp1);
-
-    auto pre_obl = algos::SuuIOblPolicy::precompute(inst, lp1);
-    auto pre_sem = algos::SuuISemPolicy::precompute_round1(inst, lp1);
-    const auto obl = bench::measure(
-        inst,
-        [pre_obl] { return std::make_unique<algos::SuuIOblPolicy>(pre_obl); },
-        lb.value, reps, seed + 1);
-    const auto sem = bench::measure(
-        inst,
-        [pre_sem, lp1] {
-          algos::SuuISemPolicy::Config cfg;
-          cfg.lp1 = lp1;
-          cfg.round1 = pre_sem;
-          return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
-        },
-        lb.value, reps, seed + 2);
-
-    table.add_row({std::to_string(n), util::fmt_pm(obl.ratio, obl.ci, 2),
-                   first ? "-" : util::fmt(obl.ratio - prev_obl, 2),
-                   util::fmt_pm(sem.ratio, sem.ci, 2),
-                   first ? "-" : util::fmt(sem.ratio - prev_sem, 2),
-                   std::to_string(algos::sem_round_bound(n, m))});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const api::CellResult& obl = res[2 * i];
+    const api::CellResult& sem = res[2 * i + 1];
+    table.add_row({std::to_string(sizes[i]),
+                   util::fmt_pm(obl.ratio, obl.ratio_ci, 2),
+                   i == 0 ? "-" : util::fmt(obl.ratio - prev_obl, 2),
+                   util::fmt_pm(sem.ratio, sem.ratio_ci, 2),
+                   i == 0 ? "-" : util::fmt(sem.ratio - prev_sem, 2),
+                   std::to_string(algos::sem_round_bound(sizes[i], m))});
     prev_obl = obl.ratio;
     prev_sem = sem.ratio;
-    first = false;
   }
   table.print(std::cout);
+  h.maybe_json(runner);
   return 0;
 }

@@ -12,9 +12,7 @@
 using namespace suu;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int runs = static_cast<int>(args.get_int("runs", 300));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  const bench::Harness h(argc, argv, /*reps=*/300, /*seed=*/5);
 
   bench::print_header(
       "F-ROUNDS: SUU-I-SEM round usage vs the K bound (Thm 4)",
@@ -22,8 +20,6 @@ int main(int argc, char** argv) {
       "fallback = fraction of runs\nthat exhausted K rounds (paper bounds "
       "the conditional cost; expect rare).");
 
-  util::Table table({"family", "n", "m", "K", "mean rounds", "p95 rounds",
-                     "max", "fallback%"});
   struct Case {
     std::string family;
     int n, m;
@@ -37,34 +33,52 @@ int main(int argc, char** argv) {
       {"sparse", 48, 12, core::MachineModel::sparse(0.3, 0.3, 0.9)},
       {"n<=m gang", 6, 12, core::MachineModel::uniform(0.6, 0.99)},
   };
-  for (const auto& c : cases) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(c.n * 31 + c.m));
-    core::Instance inst = core::make_independent(c.n, c.m, c.model, rng);
-    rounding::Lp1Options lp1;
-    lp1.simplex_size_limit = 600;
-    auto pre = algos::SuuISemPolicy::precompute_round1(inst, lp1);
 
-    util::Sampler rounds;
-    int fallbacks = 0;
-    for (int r = 0; r < runs; ++r) {
-      algos::SuuISemPolicy::Config cfg;
-      cfg.lp1 = lp1;
-      cfg.round1 = pre;
-      algos::SuuISemPolicy policy(std::move(cfg));
-      sim::ExecConfig ec;
-      ec.seed = util::Rng(seed).child(static_cast<std::uint64_t>(r)).next();
-      const sim::ExecResult res = sim::execute(inst, policy, ec);
-      if (res.capped) continue;
-      rounds.add(policy.rounds_used());
-      fallbacks += policy.in_fallback() ? 1 : 0;
-    }
-    table.add_row({c.family, std::to_string(c.n), std::to_string(c.m),
-                   std::to_string(algos::sem_round_bound(c.n, c.m)),
+  api::SolverOptions fast;
+  fast.lp1.simplex_size_limit = 600;
+
+  api::ExperimentRunner runner(h.runner_options());
+  runner.options().replications =
+      static_cast<int>(h.args.get_int("runs", h.reps));
+  runner.options().skip_capped = true;
+  for (const auto& c : cases) {
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(c.n * 31 + c.m));
+    auto inst = std::make_shared<const core::Instance>(
+        core::make_independent(c.n, c.m, c.model, rng));
+    api::Cell cell;
+    cell.instance_label = c.family;
+    cell.instance = inst;
+    cell.solver = "suu-i-sem";
+    cell.solver_opt = fast;
+    cell.metrics = {
+        {"rounds",
+         [](const sim::Policy& p, const sim::ExecResult&) {
+           return static_cast<double>(
+               dynamic_cast<const algos::SuuISemPolicy&>(p).rounds_used());
+         }},
+        {"fallback",
+         [](const sim::Policy& p, const sim::ExecResult&) {
+           return dynamic_cast<const algos::SuuISemPolicy&>(p).in_fallback()
+                      ? 1.0
+                      : 0.0;
+         }}};
+    runner.add(std::move(cell));
+  }
+  const auto& res = runner.run();
+
+  util::Table table({"family", "n", "m", "K", "mean rounds", "p95 rounds",
+                     "max", "fallback%"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const api::CellResult& r = res[i];
+    const util::Sampler& rounds = r.metric("rounds");
+    table.add_row({cases[i].family, std::to_string(r.n), std::to_string(r.m),
+                   std::to_string(algos::sem_round_bound(r.n, r.m)),
                    util::fmt(rounds.mean(), 2),
                    util::fmt(rounds.quantile(0.95), 0),
                    util::fmt(rounds.quantile(1.0), 0),
-                   util::fmt(100.0 * fallbacks / runs, 1)});
+                   util::fmt(100.0 * r.metric("fallback").mean(), 1)});
   }
   table.print(std::cout);
+  h.maybe_json(runner);
   return 0;
 }

@@ -33,9 +33,12 @@ stoch::StochInstance make_cluster(util::Rng& rng, int n, int m) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 150));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
+  // The stochastic substrate has its own batched runner
+  // (stoch::estimate_stoch, continuous time, not the discrete engine), so
+  // only the shared CLI conventions come from the api-based harness.
+  const bench::Harness h(argc, argv, /*reps=*/150, /*seed=*/9);
+  const int reps = h.reps;
+  const std::uint64_t seed = h.seed;
 
   bench::print_header(
       "F-STOCH: STC-I (Thm 13) on R|pmtn, p~exp|E[Cmax]",

@@ -5,6 +5,8 @@
 
 #include "algos/exact_dp.hpp"
 #include "algos/suu_i.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
 #include "core/generators.hpp"
 #include "flow/max_flow.hpp"
 #include "lp/fw_cover.hpp"
@@ -133,6 +135,27 @@ void BM_ExactDp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactDp)->Arg(4)->Arg(6)->Arg(8);
+
+// Cost of one registry prepare (the deterministic LP solve + rounding the
+// api layer shares across replications) vs the per-policy mint afterwards.
+void BM_RegistryPrepare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 8, 19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(api::solve_auto(inst));
+  }
+}
+BENCHMARK(BM_RegistryPrepare)->Arg(16)->Arg(64);
+
+void BM_RegistryMintPolicy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 8, 20);
+  const api::PreparedSolver solver = api::solve_auto(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.factory());
+  }
+}
+BENCHMARK(BM_RegistryMintPolicy)->Arg(16)->Arg(64);
 
 void BM_BvnDecompose(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

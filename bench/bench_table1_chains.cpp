@@ -8,63 +8,56 @@
 // baselines waste machine-steps.
 #include "bench_common.hpp"
 
-#include "algos/baselines.hpp"
-#include "algos/suu_c.hpp"
-
 using namespace suu;
 
 namespace {
 
-void run_family(const std::string& family, const core::MachineModel& model,
-                int reps, std::uint64_t seed) {
+const std::vector<std::string> kSolvers = {"round-robin", "best-machine",
+                                           "suu-c"};
+
+void run_family(const bench::Harness& h, const std::string& family,
+                const core::MachineModel& model) {
   struct Size {
     int n_chains, len_lo, len_hi, m;
   };
   const std::vector<Size> sizes = {
       {3, 2, 4, 3}, {6, 2, 5, 4}, {10, 3, 6, 6}, {16, 3, 7, 8}};
 
+  api::ExperimentRunner runner(h.runner_options());
+  runner.options().strict_eligibility = true;
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Instance>>>
+      instances;
+  for (const auto& sz : sizes) {
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(sz.n_chains));
+    instances.emplace_back(
+        std::to_string(sz.n_chains) + " chains",
+        std::make_shared<const core::Instance>(core::make_chains(
+            sz.n_chains, sz.len_lo, sz.len_hi, sz.m, model, rng)));
+  }
+  runner.add_grid(instances, kSolvers, {}, /*auto_lower_bound=*/true);
+  const auto& res = runner.run();
+
   util::Table table({"family", "n", "m", "round-robin", "best-machine",
                      "suu-c", "suu-c/log(n+m)"});
-  for (const auto& sz : sizes) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(sz.n_chains));
-    core::Instance inst = core::make_chains(sz.n_chains, sz.len_lo,
-                                            sz.len_hi, sz.m, model, rng);
-    const int n = inst.num_jobs();
-    const auto chains = inst.dag().chains();
-    const algos::LowerBound lb = algos::lower_bound_chains(inst, chains);
-    auto lp2 = algos::SuuCPolicy::precompute(inst, chains);
-
-    const auto rr = bench::measure(
-        inst, [] { return std::make_unique<algos::RoundRobinPolicy>(); },
-        lb.value, reps, seed + 1, /*strict=*/true);
-    const auto bm = bench::measure(
-        inst, [] { return std::make_unique<algos::BestMachinePolicy>(); },
-        lb.value, reps, seed + 2, /*strict=*/true);
-    const auto sc = bench::measure(
-        inst,
-        [lp2] {
-          algos::SuuCPolicy::Config cfg;
-          cfg.lp2 = lp2;
-          return std::make_unique<algos::SuuCPolicy>(std::move(cfg));
-        },
-        lb.value, reps, seed + 3, /*strict=*/true);
-
-    table.add_row({family, std::to_string(n), std::to_string(sz.m),
-                   util::fmt_pm(rr.ratio, rr.ci, 2),
-                   util::fmt_pm(bm.ratio, bm.ci, 2),
-                   util::fmt_pm(sc.ratio, sc.ci, 2),
-                   util::fmt(sc.ratio / bench::lg(n + sz.m), 2)});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const api::CellResult& rr = res[3 * i];
+    const api::CellResult& bm = res[3 * i + 1];
+    const api::CellResult& sc = res[3 * i + 2];
+    table.add_row({family, std::to_string(rr.n), std::to_string(rr.m),
+                   util::fmt_pm(rr.ratio, rr.ratio_ci, 2),
+                   util::fmt_pm(bm.ratio, bm.ratio_ci, 2),
+                   util::fmt_pm(sc.ratio, sc.ratio_ci, 2),
+                   util::fmt(sc.ratio / bench::lg(sc.n + sc.m), 2)});
   }
   table.print(std::cout);
   std::cout << "\n";
+  h.maybe_json(runner);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 60));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
+  const bench::Harness h(argc, argv, /*reps=*/60, /*seed=*/2);
 
   bench::print_header(
       "T1-C: Table 1 row 'Disjoint chains'",
@@ -72,9 +65,12 @@ int main(int argc, char** argv) {
       "loglog min{m,n}) (Thm 9).\nRatios are E[T]/LB with LB = max(Lemma 1, "
       "LP2/2 per Lemma 5). The suu-c/log(n+m) column should stay bounded.");
 
-  run_family("uniform(0.3,0.95)", core::MachineModel::uniform(0.3, 0.95),
-             reps, seed);
-  run_family("sparse(40%)", core::MachineModel::sparse(0.4, 0.2, 0.9), reps,
-             seed + 50);
+  run_family(h, "uniform(0.3,0.95)", core::MachineModel::uniform(0.3, 0.95));
+  {
+    bench::Harness shifted = h;
+    shifted.seed += 50;
+    run_family(shifted, "sparse(40%)",
+               core::MachineModel::sparse(0.4, 0.2, 0.9));
+  }
   return 0;
 }

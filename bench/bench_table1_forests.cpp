@@ -6,16 +6,12 @@
 // decomposition uses at most floor(log2 n)+1 blocks.
 #include "bench_common.hpp"
 
-#include "algos/baselines.hpp"
-#include "algos/suu_t.hpp"
 #include "chains/decomposition.hpp"
 
 using namespace suu;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 40));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const bench::Harness h(argc, argv, /*reps=*/40, /*seed=*/3);
 
   bench::print_header(
       "T1-F: Table 1 row 'Directed forests'",
@@ -23,54 +19,56 @@ int main(int argc, char** argv) {
       "E[T]/LB;\nblocks column must respect floor(log2 n)+1; the normalized "
       "column should stay bounded.");
 
-  util::Table table({"kind", "n", "m", "blocks", "log-bound", "round-robin",
-                     "suu-t", "suu-t/(log n log(n+m))"});
   struct Size {
     int n, m;
     bool out;
   };
-  for (const Size sz : std::vector<Size>{{12, 3, true},
-                                         {24, 4, true},
-                                         {48, 6, true},
-                                         {24, 4, false},
-                                         {48, 6, false}}) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(sz.n) +
+  const std::vector<Size> sizes = {
+      {12, 3, true}, {24, 4, true}, {48, 6, true}, {24, 4, false},
+      {48, 6, false}};
+
+  api::ExperimentRunner runner(h.runner_options());
+  runner.options().strict_eligibility = true;
+  std::vector<int> block_counts;
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Instance>>>
+      instances;
+  for (const Size sz : sizes) {
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(sz.n) +
                   (sz.out ? 0 : 1000));
-    core::Instance inst =
+    auto inst = std::make_shared<const core::Instance>(
         sz.out ? core::make_out_forest(sz.n, sz.m, 0.15, 3,
                                        core::MachineModel::uniform(0.3, 0.9),
                                        rng)
                : core::make_in_forest(sz.n, sz.m, 0.15, 3,
                                       core::MachineModel::uniform(0.3, 0.9),
-                                      rng);
-    auto cache = algos::SuuTPolicy::precompute(inst);
-    std::vector<std::vector<int>> all_chains;
-    for (const auto& b : cache->decomp.blocks) {
-      all_chains.insert(all_chains.end(), b.begin(), b.end());
-    }
-    const algos::LowerBound lb = algos::lower_bound_chains(inst, all_chains);
+                                      rng));
+    block_counts.push_back(
+        chains::decompose_forest(inst->dag()).num_blocks());
+    instances.emplace_back(std::string(sz.out ? "out" : "in") + "-forest n=" +
+                               std::to_string(sz.n),
+                           std::move(inst));
+  }
+  // "auto" resolves to suu-t on forests.
+  runner.add_grid(instances, {"round-robin", "auto"}, {},
+                  /*auto_lower_bound=*/true);
+  const auto& res = runner.run();
 
-    const auto rr = bench::measure(
-        inst, [] { return std::make_unique<algos::RoundRobinPolicy>(); },
-        lb.value, reps, seed + 1, /*strict=*/true);
-    const auto st = bench::measure(
-        inst,
-        [cache] {
-          return std::make_unique<algos::SuuTPolicy>(
-              algos::SuuCPolicy::Config{}, cache);
-        },
-        lb.value, reps, seed + 2, /*strict=*/true);
-
+  util::Table table({"kind", "n", "m", "blocks", "log-bound", "round-robin",
+                     "suu-t", "suu-t/(log n log(n+m))"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Size sz = sizes[i];
+    const api::CellResult& rr = res[2 * i];
+    const api::CellResult& st = res[2 * i + 1];
     const double norm = bench::lg(sz.n) * bench::lg(sz.n + sz.m);
-    table.add_row({sz.out ? "out-forest" : "in-forest",
-                   std::to_string(sz.n), std::to_string(sz.m),
-                   std::to_string(cache->decomp.num_blocks()),
-                   std::to_string(static_cast<int>(
-                       std::floor(std::log2(sz.n))) + 1),
-                   util::fmt_pm(rr.ratio, rr.ci, 2),
-                   util::fmt_pm(st.ratio, st.ci, 2),
+    table.add_row({sz.out ? "out-forest" : "in-forest", std::to_string(sz.n),
+                   std::to_string(sz.m), std::to_string(block_counts[i]),
+                   std::to_string(
+                       static_cast<int>(std::floor(std::log2(sz.n))) + 1),
+                   util::fmt_pm(rr.ratio, rr.ratio_ci, 2),
+                   util::fmt_pm(st.ratio, st.ratio_ci, 2),
                    util::fmt(st.ratio / norm, 3)});
   }
   table.print(std::cout);
+  h.maybe_json(runner);
   return 0;
 }

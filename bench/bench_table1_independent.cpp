@@ -10,65 +10,59 @@
 // ratio/loglog(min{m,n}) make the fit visible.
 #include "bench_common.hpp"
 
-#include "algos/baselines.hpp"
-#include "algos/suu_i.hpp"
-
 using namespace suu;
 
 namespace {
 
-void run_family(const std::string& family, const core::MachineModel& model,
-                const std::vector<int>& sizes, int m, int reps,
-                std::uint64_t seed) {
-  util::Table table({"family", "n", "m", "greedy-lr", "suu-i-obl",
-                     "suu-i-sem", "obl/log(n)", "sem/loglog(mn)"});
+const std::vector<std::string> kSolvers = {"greedy-lr", "suu-i-obl",
+                                           "suu-i-sem"};
+
+api::SolverOptions fast_lp1() {
+  api::SolverOptions opt;
+  opt.lp1.simplex_size_limit = 600;  // Frank–Wolfe beyond (fast at scale)
+  return opt;
+}
+
+void run_family(const bench::Harness& h, const std::string& family,
+                const core::MachineModel& model, const std::vector<int>& sizes,
+                int m) {
+  api::ExperimentRunner runner(h.runner_options());
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Instance>>>
+      instances;
   for (const int n : sizes) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(n));
-    core::Instance inst = core::make_independent(n, m, model, rng);
+    util::Rng rng(h.seed + static_cast<std::uint64_t>(n));
+    instances.emplace_back("n=" + std::to_string(n),
+                           std::make_shared<const core::Instance>(
+                               core::make_independent(n, m, model, rng)));
+  }
+  runner.add_grid(instances, kSolvers, fast_lp1(), /*auto_lower_bound=*/true);
+  const auto& res = runner.run();
 
-    rounding::Lp1Options lp1;
-    lp1.simplex_size_limit = 600;  // Frank–Wolfe beyond (fast at scale)
-    const algos::LowerBound lb = algos::lower_bound_independent(inst, lp1);
-
-    auto pre_obl = algos::SuuIOblPolicy::precompute(inst, lp1);
-    auto pre_sem = algos::SuuISemPolicy::precompute_round1(inst, lp1);
-
-    const auto greedy = bench::measure(
-        inst, [] { return std::make_unique<algos::GreedyLrPolicy>(); },
-        lb.value, reps, seed + 1);
-    const auto obl = bench::measure(
-        inst,
-        [pre_obl] { return std::make_unique<algos::SuuIOblPolicy>(pre_obl); },
-        lb.value, reps, seed + 2);
-    const auto sem = bench::measure(
-        inst,
-        [pre_sem, lp1] {
-          algos::SuuISemPolicy::Config cfg;
-          cfg.lp1 = lp1;
-          cfg.round1 = pre_sem;
-          return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
-        },
-        lb.value, reps, seed + 3);
-
+  util::Table table({"family", "n", "m", "greedy-lr", "suu-i-obl", "suu-i-sem",
+                     "obl/log(n)", "sem/loglog(mn)"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const int n = sizes[i];
+    const api::CellResult& greedy = res[3 * i];
+    const api::CellResult& obl = res[3 * i + 1];
+    const api::CellResult& sem = res[3 * i + 2];
     table.add_row(
         {family, std::to_string(n), std::to_string(m),
-         util::fmt_pm(greedy.ratio, greedy.ci, 2),
-         util::fmt_pm(obl.ratio, obl.ci, 2),
-         util::fmt_pm(sem.ratio, sem.ci, 2),
+         util::fmt_pm(greedy.ratio, greedy.ratio_ci, 2),
+         util::fmt_pm(obl.ratio, obl.ratio_ci, 2),
+         util::fmt_pm(sem.ratio, sem.ratio_ci, 2),
          util::fmt(obl.ratio / bench::lg(n), 2),
          util::fmt(sem.ratio / bench::lglg(std::min(n, m)), 2)});
   }
   table.print(std::cout);
   std::cout << "\n";
+  h.maybe_json(runner);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 120));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const int m = static_cast<int>(args.get_int("m", 8));
+  const bench::Harness h(argc, argv, /*reps=*/120, /*seed=*/1);
+  const int m = static_cast<int>(h.args.get_int("m", 8));
 
   bench::print_header(
       "T1-I: Table 1 row 'Independent'",
@@ -76,36 +70,43 @@ int main(int argc, char** argv) {
       "E[T]/LB with LB from Lemma 1;\nexpect the obl column to grow with "
       "log n on the identical family while sem stays near-flat.");
 
-  run_family("identical(q=0.7)", core::MachineModel::identical(0.7),
-             {8, 16, 32, 64, 128, 256}, m, reps, seed);
-  run_family("uniform(0.3,0.95)", core::MachineModel::uniform(0.3, 0.95),
-             {8, 16, 32, 64, 128, 256}, m, reps, seed + 100);
+  const std::vector<int> sizes = {8, 16, 32, 64, 128, 256};
+  run_family(h, "identical(q=0.7)", core::MachineModel::identical(0.7), sizes,
+             m);
+  {
+    bench::Harness shifted = h;
+    shifted.seed += 100;
+    run_family(shifted, "uniform(0.3,0.95)",
+               core::MachineModel::uniform(0.3, 0.95), sizes, m);
+  }
 
   // Growing m with n fixed: the min{m,n} in Theorem 4's bound.
-  util::Table table({"family", "n", "m", "suu-i-sem ratio",
-                     "sem/loglog(min)"});
-  for (const int mm : {2, 4, 8, 16, 32}) {
-    const int n = 64;
-    util::Rng rng(seed + 500 + static_cast<std::uint64_t>(mm));
-    core::Instance inst = core::make_independent(
-        n, mm, core::MachineModel::uniform(0.3, 0.95), rng);
-    rounding::Lp1Options lp1;
-    lp1.simplex_size_limit = 600;
-    const algos::LowerBound lb = algos::lower_bound_independent(inst, lp1);
-    auto pre = algos::SuuISemPolicy::precompute_round1(inst, lp1);
-    const auto sem = bench::measure(
-        inst,
-        [pre, lp1] {
-          algos::SuuISemPolicy::Config cfg;
-          cfg.lp1 = lp1;
-          cfg.round1 = pre;
-          return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
-        },
-        lb.value, reps, seed + 4);
+  api::ExperimentRunner runner(h.runner_options());
+  runner.options().seed = h.seed + 500;
+  const std::vector<int> ms = {2, 4, 8, 16, 32};
+  const int n = 64;
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Instance>>>
+      grown;
+  for (const int mm : ms) {
+    util::Rng rng(h.seed + 500 + static_cast<std::uint64_t>(mm));
+    grown.emplace_back(
+        "m=" + std::to_string(mm),
+        std::make_shared<const core::Instance>(core::make_independent(
+            n, mm, core::MachineModel::uniform(0.3, 0.95), rng)));
+  }
+  runner.add_grid(grown, {"suu-i-sem"}, fast_lp1(),
+                  /*auto_lower_bound=*/true);
+  const auto& res = runner.run();
+  util::Table table(
+      {"family", "n", "m", "suu-i-sem ratio", "sem/loglog(min)"});
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const api::CellResult& sem = res[i];
     table.add_row({"uniform, growing m", std::to_string(n),
-                   std::to_string(mm), util::fmt_pm(sem.ratio, sem.ci, 2),
-                   util::fmt(sem.ratio / bench::lglg(std::min(n, mm)), 2)});
+                   std::to_string(ms[i]),
+                   util::fmt_pm(sem.ratio, sem.ratio_ci, 2),
+                   util::fmt(sem.ratio / bench::lglg(std::min(n, ms[i])), 2)});
   }
   table.print(std::cout);
+  h.maybe_json(runner);
   return 0;
 }

@@ -1,18 +1,17 @@
 // Scientific-workflow DAG (paper Appendix B): a random out-forest of tasks
 // — think generated sub-analyses fanning out from seed tasks — scheduled
 // with SUU-T: heavy-path decomposition into O(log n) blocks of disjoint
-// chains, each run with SUU-C.
+// chains, each run with SUU-C. The registry's "auto" dispatch recognizes
+// the forest and routes to suu-t.
 //
 //   ./dag_workflow [--tasks=40] [--machines=4] [--reps=60]
 #include <iostream>
 #include <memory>
 
-#include "algos/baselines.hpp"
-#include "algos/lower_bounds.hpp"
-#include "algos/suu_t.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
 #include "chains/decomposition.hpp"
 #include "core/generators.hpp"
-#include "sim/engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -24,11 +23,11 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps", 60));
 
   util::Rng rng(31);
-  core::Instance inst = core::make_out_forest(
-      n, m, 0.12, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  auto inst = std::make_shared<const core::Instance>(core::make_out_forest(
+      n, m, 0.12, 3, core::MachineModel::uniform(0.3, 0.9), rng));
 
-  const chains::Decomposition dec = chains::decompose_forest(inst.dag());
-  std::cout << "Workflow: " << n << " tasks, " << inst.dag().num_edges()
+  const chains::Decomposition dec = chains::decompose_forest(inst->dag());
+  std::cout << "Workflow: " << n << " tasks, " << inst->dag().num_edges()
             << " dependencies, " << m << " machines\n";
   std::cout << "Heavy-path decomposition: " << dec.num_blocks()
             << " blocks (bound: floor(log2 n)+1), " << dec.num_chains()
@@ -38,34 +37,27 @@ int main(int argc, char** argv) {
               << dec.blocks[static_cast<std::size_t>(b)].size()
               << " chains\n";
   }
-  std::cout << "\n";
+  std::cout << "Registry dispatch: auto -> "
+            << api::SolverRegistry::dispatch(*inst) << "\n\n";
 
-  sim::EstimateOptions opt;
-  opt.replications = reps;
+  api::ExperimentRunner::Options opt;
   opt.seed = 3;
+  opt.replications = reps;
   opt.strict_eligibility = true;
-
-  const algos::LowerBound lb = algos::lower_bound_chains(
-      inst, [&] {
-        std::vector<std::vector<int>> all;
-        for (const auto& block : dec.blocks) {
-          all.insert(all.end(), block.begin(), block.end());
-        }
-        return all;
-      }());
-
-  util::Table table({"schedule", "E[makespan]", "vs LB"});
-  auto row = [&](const std::string& name, const sim::PolicyFactory& f) {
-    const util::Estimate e = sim::estimate_makespan(inst, f, opt);
-    table.add_row({name, util::fmt_pm(e.mean, e.ci95_half, 1),
-                   util::fmt(e.mean / lb.value, 2)});
-  };
-  row("suu-t (block-wise SUU-C)",
-      [] { return std::make_unique<algos::SuuTPolicy>(); });
-  row("round-robin over eligible",
-      [] { return std::make_unique<algos::RoundRobinPolicy>(); });
-  row("all-on-one (trivial O(n))",
-      [] { return std::make_unique<algos::AllOnOnePolicy>(); });
-  table.print(std::cout);
+  api::ExperimentRunner runner(opt);
+  const double lb = api::lower_bound_auto(*inst).value;
+  for (const std::string& solver :
+       {std::string("auto"), std::string("round-robin"),
+        std::string("all-on-one")}) {
+    api::Cell cell;
+    cell.instance_label = "workflow";
+    cell.instance = inst;
+    cell.solver = solver;
+    cell.lower_bound = lb;
+    runner.add(std::move(cell));
+  }
+  runner.run();
+  runner.table().print(std::cout);
+  if (args.has("json")) runner.print_json(std::cout);
   return 0;
 }

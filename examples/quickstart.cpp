@@ -1,14 +1,14 @@
 // Quickstart: build an SUU instance, schedule it with the paper's
-// O(log log)-approximation (SUU-I-SEM), and compare the measured expected
-// makespan against the LP lower bound and a naive baseline.
+// O(log log)-approximation via the solver registry (suu::api picks
+// SUU-I-SEM for an independent-jobs instance), and compare the measured
+// expected makespan against the LP lower bound and naive baselines.
 //
-//   ./quickstart [--n=12] [--m=4] [--reps=400] [--seed=1]
+//   ./quickstart [--n=12] [--m=4] [--reps=400] [--seed=1] [--json] [--gantt]
 #include <iostream>
 #include <memory>
 
-#include "algos/baselines.hpp"
-#include "algos/lower_bounds.hpp"
-#include "algos/suu_i.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
 #include "core/generators.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -26,51 +26,47 @@ int main(int argc, char** argv) {
   // 1. An instance: n unit jobs, m unrelated machines, q_ij = probability
   //    that machine i FAILS to finish job j in one step.
   util::Rng rng(seed);
-  core::Instance inst =
-      core::make_independent(n, m, core::MachineModel::uniform(0.3, 0.95),
-                             rng);
+  auto inst = std::make_shared<const core::Instance>(core::make_independent(
+      n, m, core::MachineModel::uniform(0.3, 0.95), rng));
   std::cout << "SUU instance: " << n << " independent jobs on " << m
             << " machines\n\n";
 
   // 2. The Lemma 1 lower bound on E[T_OPT].
-  const algos::LowerBound lb = algos::lower_bound_independent(inst);
+  const algos::LowerBound lb = api::lower_bound_auto(*inst);
   std::cout << "Lower bound on E[T_OPT] (Lemma 1): " << util::fmt(lb.value)
             << " steps\n\n";
 
-  // 3. Monte-Carlo estimates of the expected makespan.
-  sim::EstimateOptions opt;
-  opt.replications = reps;
+  // 3. Monte-Carlo estimates of the expected makespan, through the
+  //    registry: "auto" resolves to suu-i-sem on an empty dag.
+  api::ExperimentRunner::Options opt;
   opt.seed = seed + 1;
-
-  util::Table table({"schedule", "E[makespan]", "ratio vs LB"});
-  auto row = [&](const std::string& name, const sim::PolicyFactory& f) {
-    const util::Estimate e = sim::estimate_makespan(inst, f, opt);
-    table.add_row({name, util::fmt_pm(e.mean, e.ci95_half, 2),
-                   util::fmt(e.mean / lb.value, 2)});
-  };
-  auto round1 = algos::SuuISemPolicy::precompute_round1(inst);
-  row("suu-i-sem (this paper)", [round1] {
-    algos::SuuISemPolicy::Config cfg;
-    cfg.round1 = round1;
-    return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
-  });
-  row("round-robin baseline",
-      [] { return std::make_unique<algos::RoundRobinPolicy>(); });
-  row("all-on-one (trivial O(n))",
-      [] { return std::make_unique<algos::AllOnOnePolicy>(); });
-
-  table.print(std::cout);
+  opt.replications = reps;
+  api::ExperimentRunner runner(opt);
+  for (const std::string& solver :
+       {std::string("auto"), std::string("round-robin"),
+        std::string("all-on-one")}) {
+    api::Cell cell;
+    cell.instance_label = "quickstart";
+    cell.instance = inst;
+    cell.solver = solver;
+    cell.lower_bound = lb.value;
+    runner.add(std::move(cell));
+  }
+  runner.run();
+  runner.table().print(std::cout);
+  if (args.has("json")) runner.print_json(std::cout);
 
   if (args.has("gantt")) {
-    // One sample execution of SUU-I-SEM, rendered as a Gantt chart.
-    std::cout << "\nSample execution (suu-i-sem):\n";
-    algos::SuuISemPolicy policy;
+    // One sample execution of the auto-dispatched policy, as a Gantt chart.
+    const api::PreparedSolver solver = api::solve_auto(*inst);
+    std::cout << "\nSample execution (" << solver.name << "):\n";
+    auto policy = solver.factory();
     sim::Trace trace;
     sim::ExecConfig cfg;
     cfg.seed = seed + 2;
     cfg.trace = &trace;
-    sim::execute(inst, policy, cfg);
-    sim::render_gantt(std::cout, inst, trace);
+    sim::execute(*inst, *policy, cfg);
+    sim::render_gantt(std::cout, *inst, trace);
   }
 
   std::cout << "\nDone. Try --n=64 --m=8 to see the gap widen, or --gantt "

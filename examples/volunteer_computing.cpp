@@ -10,11 +10,9 @@
 #include <iostream>
 #include <memory>
 
-#include "algos/baselines.hpp"
-#include "algos/lower_bounds.hpp"
-#include "algos/suu_i.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
 #include "core/generators.hpp"
-#include "sim/engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -28,42 +26,48 @@ int main(int argc, char** argv) {
   // A volunteer pool: 20% reliable hosts (fail 5-30% of steps), the rest
   // flaky (fail 70-98%).
   util::Rng rng(2026);
-  core::Instance inst =
-      core::make_independent(units, hosts, core::MachineModel::classes(),
-                             rng);
+  auto inst = std::make_shared<const core::Instance>(core::make_independent(
+      units, hosts, core::MachineModel::classes(), rng));
 
   std::cout << "Volunteer pool: " << units << " work units, " << hosts
             << " hosts (20% reliable / 80% flaky)\n\n";
 
-  const algos::LowerBound lb = algos::lower_bound_independent(inst);
+  const algos::LowerBound lb = api::lower_bound_auto(*inst);
 
-  sim::EstimateOptions opt;
-  opt.replications = reps;
+  api::ExperimentRunner::Options opt;
   opt.seed = 7;
+  opt.replications = reps;
+  api::ExperimentRunner runner(opt);
+
+  struct Strategy {
+    std::string display;
+    std::string solver;
+  };
+  const std::vector<Strategy> strategies = {
+      {"suu-i-sem (adaptive redundancy)", "suu-i-sem"},
+      {"suu-i-obl (fixed redundancy)", "suu-i-obl"},
+      {"greedy (Lin-Rajaraman flavor)", "greedy-lr"},
+      {"best-host-only", "best-machine"},
+  };
+  for (const Strategy& s : strategies) {
+    api::Cell cell;
+    cell.instance_label = "volunteer pool";
+    cell.instance = inst;
+    cell.solver = s.solver;
+    cell.lower_bound = lb.value;
+    runner.add(std::move(cell));
+  }
+  const auto& res = runner.run();
 
   util::Table table({"strategy", "E[steps]", "vs LB", "p95"});
-  auto row = [&](const std::string& name, const sim::PolicyFactory& f) {
-    const util::Sampler s = sim::sample_makespan(inst, f, opt);
-    table.add_row({name, util::fmt(s.mean(), 1),
-                   util::fmt(s.mean() / lb.value, 2),
-                   util::fmt(s.quantile(0.95), 0)});
-  };
-
-  auto round1 = algos::SuuISemPolicy::precompute_round1(inst);
-  row("suu-i-sem (adaptive redundancy)", [round1] {
-    algos::SuuISemPolicy::Config cfg;
-    cfg.round1 = round1;
-    return std::make_unique<algos::SuuISemPolicy>(std::move(cfg));
-  });
-  auto pre = algos::SuuIOblPolicy::precompute(inst);
-  row("suu-i-obl (fixed redundancy)",
-      [pre] { return std::make_unique<algos::SuuIOblPolicy>(pre); });
-  row("greedy (Lin-Rajaraman flavor)",
-      [] { return std::make_unique<algos::GreedyLrPolicy>(); });
-  row("best-host-only",
-      [] { return std::make_unique<algos::BestMachinePolicy>(); });
-
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    table.add_row({strategies[i].display,
+                   util::fmt(res[i].makespan.mean, 1),
+                   util::fmt(res[i].ratio, 2),
+                   util::fmt(res[i].samples.quantile(0.95), 0)});
+  }
   table.print(std::cout);
+  if (args.has("json")) runner.print_json(std::cout);
   std::cout << "\nLower bound (Lemma 1): " << util::fmt(lb.value, 2)
             << " steps. Redundancy-aware schedules close most of the gap;\n"
                "pinning each unit to its best host leaves the flaky tail "

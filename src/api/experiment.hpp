@@ -1,0 +1,136 @@
+// suu::api — batched Monte-Carlo experiment execution.
+//
+// ExperimentRunner replaces the hand-rolled estimate loops the bench and
+// example binaries used to carry: a grid of {instance × solver ×
+// replication options} cells, each measured by fanning replications out
+// over util::ThreadPool and emitted as unified table / JSON rows through
+// util::Table.
+//
+// Determinism contract: cell k's replication r derives its engine seed from
+// child streams (k+1, r+1) of the master seed, and every sample lands in a
+// pre-sized slot indexed by r before sequential accumulation. Results are
+// therefore byte-identical for a fixed seed regardless of thread count, and
+// a cell's numbers do not change when other cells are added to the grid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "core/instance.hpp"
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace suu::util {
+class ThreadPool;
+}
+
+namespace suu::api {
+
+/// A named per-replication probe: reads diagnostics off the finished policy
+/// (downcast to the concrete type inside the extractor) after each
+/// non-capped execution.
+struct Metric {
+  std::string name;
+  std::function<double(const sim::Policy&, const sim::ExecResult&)> extract;
+};
+
+/// One measurement cell. Solvers are normally named (resolved through the
+/// global SolverRegistry, so precompute is shared across the cell's
+/// replications); `factory` overrides the registry for custom policies.
+struct Cell {
+  std::string instance_label;
+  std::shared_ptr<const core::Instance> instance;
+  std::string solver = "auto";
+  SolverOptions solver_opt;
+  sim::PolicyFactory factory;  ///< optional registry bypass
+  std::string factory_label;   ///< display name when `factory` is set
+  double lower_bound = 0.0;    ///< ratio denominator; <= 0 disables ratios
+  std::vector<Metric> metrics;
+  int replications = 0;  ///< 0 = runner default
+  int strict = -1;       ///< strict eligibility: -1 = runner default, else 0/1
+};
+
+struct CellResult {
+  std::string instance_label;
+  std::string solver;  ///< resolved registry name (or factory_label)
+  int n = 0;
+  int m = 0;
+  std::uint64_t seed = 0;  ///< the cell's derived seed stream id
+  int replications = 0;    ///< requested replications
+  int capped = 0;          ///< replications dropped at the step cap
+  util::Estimate makespan;  ///< over non-capped replications
+  util::Sampler samples;    ///< makespans in replication order (quantiles)
+  double lower_bound = 0.0;
+  double ratio = 0.0;     ///< makespan.mean / lower_bound (0 when no bound)
+  double ratio_ci = 0.0;  ///< makespan.ci95_half / lower_bound
+  std::vector<std::pair<std::string, util::Sampler>> metrics;
+
+  /// Samples of a named metric; throws util::CheckError when absent.
+  const util::Sampler& metric(const std::string& name) const;
+};
+
+class ExperimentRunner {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    int replications = 400;
+    sim::Semantics semantics = sim::Semantics::CoinFlips;
+    bool strict_eligibility = false;
+    /// Drop replications that hit the step cap (counted in CellResult)
+    /// instead of throwing.
+    bool skip_capped = false;
+    std::int64_t step_cap = 10'000'000;
+    unsigned threads = 0;  ///< replication fan-out; 0 = default pool, 1 = serial
+  };
+
+  ExperimentRunner() : ExperimentRunner(Options{}) {}
+  explicit ExperimentRunner(Options opt) : opt_(opt) {}
+
+  Options& options() noexcept { return opt_; }
+  const Options& options() const noexcept { return opt_; }
+
+  /// Append one cell; returns its index k. The cell's replication seeds
+  /// derive from child stream k+1 of the master seed (reported as
+  /// CellResult::seed).
+  int add(Cell cell);
+
+  /// Grid helper: one cell per (instance × solver name), instance-major.
+  /// With auto_lower_bound, lower_bound_auto(inst, opt.lp1) is computed
+  /// once per instance and attached to its cells, so ratios come for free.
+  void add_grid(
+      const std::vector<std::pair<std::string,
+                                  std::shared_ptr<const core::Instance>>>&
+          instances,
+      const std::vector<std::string>& solvers, const SolverOptions& opt = {},
+      bool auto_lower_bound = false);
+
+  /// Execute every cell in order (replications fan out in parallel) and
+  /// cache the results. May be called once per add() batch.
+  const std::vector<CellResult>& run();
+
+  const std::vector<CellResult>& results() const noexcept { return results_; }
+
+  /// Unified rows: instance, solver, n, m, reps, E[T] (± ci), ratio when a
+  /// lower bound was given, and the mean of every metric present.
+  util::Table table() const;
+  /// The same rows with mean/ci split into numeric columns, printed as
+  /// JSON lines via util::Table::print_json.
+  void print_json(std::ostream& os) const;
+
+ private:
+  CellResult run_cell(std::size_t k, const Cell& cell,
+                      util::ThreadPool* pool) const;
+
+  Options opt_;
+  std::vector<Cell> cells_;
+  std::vector<CellResult> results_;
+};
+
+}  // namespace suu::api

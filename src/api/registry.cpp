@@ -1,0 +1,227 @@
+#include "api/registry.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "algos/baselines.hpp"
+#include "algos/exact_dp.hpp"
+#include "algos/exact_width_dp.hpp"
+#include "algos/suu_c.hpp"
+#include "algos/suu_i.hpp"
+#include "algos/suu_t.hpp"
+#include "chains/decomposition.hpp"
+#include "util/check.hpp"
+
+namespace suu::api {
+namespace {
+
+algos::SuuCPolicy::Config suu_c_config(const SolverOptions& opt) {
+  algos::SuuCPolicy::Config cfg;
+  cfg.lp1 = opt.lp1;
+  cfg.random_delays = opt.random_delays;
+  cfg.grid_rounding = opt.grid_rounding;
+  cfg.gamma_factor = opt.gamma_factor;
+  cfg.fallback_factor = opt.fallback_factor;
+  return cfg;
+}
+
+template <typename P>
+sim::PolicyFactory stateless() {
+  return [] { return std::make_unique<P>(); };
+}
+
+void register_builtins(SolverRegistry& r) {
+  r.add("suu-i-sem",
+        [](const core::Instance& inst, const SolverOptions& opt) {
+          algos::SuuISemPolicy::Config cfg;
+          cfg.lp1 = opt.lp1;
+          if (opt.share_precompute) {
+            cfg.round1 = algos::SuuISemPolicy::precompute_round1(inst, opt.lp1);
+          }
+          return [cfg] {
+            return std::make_unique<algos::SuuISemPolicy>(cfg);
+          };
+        },
+        "SUU-I-SEM, semioblivious doubling rounds (Thm 4, "
+        "O(log log min{m,n}))");
+  r.add("suu-i",
+        [](const core::Instance& inst, const SolverOptions& opt) {
+          return SolverRegistry::global().prepare(inst, "suu-i-sem", opt)
+              .factory;
+        },
+        "alias for suu-i-sem");
+  r.add("suu-i-obl",
+        [](const core::Instance& inst, const SolverOptions& opt) {
+          if (opt.share_precompute) {
+            auto pre = algos::SuuIOblPolicy::precompute(inst, opt.lp1);
+            return sim::PolicyFactory([pre] {
+              return std::make_unique<algos::SuuIOblPolicy>(pre);
+            });
+          }
+          const rounding::Lp1Options lp1 = opt.lp1;
+          return sim::PolicyFactory([lp1] {
+            return std::make_unique<algos::SuuIOblPolicy>(lp1);
+          });
+        },
+        "SUU-I-OBL, repeated oblivious LP1 schedule (Thm 3, O(log n))");
+  r.add("suu-c",
+        [](const core::Instance& inst, const SolverOptions& opt) {
+          SUU_CHECK_MSG(inst.dag().is_chains(),
+                        "suu-c requires a disjoint-chains dag; use 'auto' "
+                        "or 'suu-t' for forests");
+          algos::SuuCPolicy::Config cfg = suu_c_config(opt);
+          if (opt.share_precompute) {
+            cfg.lp2 = algos::SuuCPolicy::precompute(inst, inst.dag().chains());
+          }
+          return [cfg] { return std::make_unique<algos::SuuCPolicy>(cfg); };
+        },
+        "SUU-C, adaptive pseudoschedule over rounded LP2 (Thm 9, chains)");
+  r.add("suu-t",
+        [](const core::Instance& inst, const SolverOptions& opt) {
+          SUU_CHECK_MSG(
+              inst.dag().is_out_forest() || inst.dag().is_in_forest(),
+              "suu-t requires a directed-forest dag");
+          const algos::SuuCPolicy::Config cfg = suu_c_config(opt);
+          std::shared_ptr<const algos::SuuTPolicy::BlockCache> cache;
+          if (opt.share_precompute) {
+            cache = algos::SuuTPolicy::precompute(inst);
+          }
+          return [cfg, cache] {
+            return cache ? std::make_unique<algos::SuuTPolicy>(cfg, cache)
+                         : std::make_unique<algos::SuuTPolicy>(cfg);
+          };
+        },
+        "SUU-T, heavy-path blocks of SUU-C (Thm 12, forests)");
+  r.add("exact-dp",
+        [](const core::Instance& inst, const SolverOptions&) {
+          auto solver = std::make_shared<const algos::ExactSolver>(inst);
+          return [solver] {
+            return std::make_unique<algos::ExactOptPolicy>(solver);
+          };
+        },
+        "exact optimal policy via the subset-lattice DP (tiny instances)");
+  r.add("width-dp",
+        [](const core::Instance& inst, const SolverOptions&) {
+          auto solver = std::make_shared<const algos::WidthExactSolver>(inst);
+          return [solver] {
+            return std::make_unique<algos::WidthOptPolicy>(solver);
+          };
+        },
+        "exact optimal policy via the Malewicz width-parameterized DP");
+  r.add("all-on-one",
+        [](const core::Instance&, const SolverOptions&) {
+          return stateless<algos::AllOnOnePolicy>();
+        },
+        "every machine gangs up on one eligible job (trivial O(n))");
+  r.add("round-robin",
+        [](const core::Instance&, const SolverOptions&) {
+          return stateless<algos::RoundRobinPolicy>();
+        },
+        "machines spread cyclically over eligible jobs");
+  r.add("best-machine",
+        [](const core::Instance&, const SolverOptions&) {
+          return stateless<algos::BestMachinePolicy>();
+        },
+        "each job waits for its most reliable machine");
+  r.add("adaptive-greedy",
+        [](const core::Instance&, const SolverOptions&) {
+          return stateless<algos::AdaptiveGreedyPolicy>();
+        },
+        "fully adaptive per-step submodular greedy (conclusion conjecture)");
+  r.add("greedy-lr",
+        [](const core::Instance&, const SolverOptions&) {
+          return stateless<algos::GreedyLrPolicy>();
+        },
+        "Lin-Rajaraman-flavor greedy rounds (O(log n) baseline)");
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry* reg = [] {
+    auto* r = new SolverRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void SolverRegistry::add(const std::string& name, Preparer prepare,
+                         std::string summary) {
+  SUU_CHECK_MSG(name != "auto", "'auto' is reserved for structure dispatch");
+  SUU_CHECK_MSG(!name.empty(), "solver name must be non-empty");
+  SUU_CHECK_MSG(prepare != nullptr, "solver '" << name << "' needs a preparer");
+  const bool inserted =
+      entries_.emplace(name, Entry{std::move(prepare), std::move(summary)})
+          .second;
+  SUU_CHECK_MSG(inserted, "solver '" << name << "' is already registered");
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+const std::string& SolverRegistry::summary(const std::string& name) const {
+  const auto it = entries_.find(name);
+  SUU_CHECK_MSG(it != entries_.end(), "unknown solver '" << name << "'");
+  return it->second.summary;
+}
+
+PreparedSolver SolverRegistry::prepare(const core::Instance& inst,
+                                       const std::string& name,
+                                       const SolverOptions& opt) const {
+  const std::string resolved = (name == "auto") ? dispatch(inst) : name;
+  const auto it = entries_.find(resolved);
+  if (it == entries_.end()) {
+    std::ostringstream known;
+    for (const auto& [n, entry] : entries_) known << ' ' << n;
+    SUU_CHECK_MSG(false, "unknown solver '" << resolved << "'; registered:"
+                                            << known.str());
+  }
+  return PreparedSolver{resolved, it->second.prepare(inst, opt)};
+}
+
+std::string SolverRegistry::dispatch(const core::Instance& inst) {
+  const core::Dag& dag = inst.dag();
+  if (dag.is_empty()) return "suu-i-sem";
+  if (dag.is_chains()) return "suu-c";
+  if (dag.is_out_forest() || dag.is_in_forest()) return "suu-t";
+  return "all-on-one";
+}
+
+PreparedSolver make_solver(const core::Instance& inst, const std::string& name,
+                           const SolverOptions& opt) {
+  return SolverRegistry::global().prepare(inst, name, opt);
+}
+
+PreparedSolver solve_auto(const core::Instance& inst,
+                          const SolverOptions& opt) {
+  return SolverRegistry::global().prepare(inst, "auto", opt);
+}
+
+algos::LowerBound lower_bound_auto(const core::Instance& inst,
+                                   const rounding::Lp1Options& opt) {
+  const core::Dag& dag = inst.dag();
+  if (dag.is_empty()) return algos::lower_bound_independent(inst, opt);
+  if (dag.is_chains()) {
+    return algos::lower_bound_chains(inst, dag.chains(), opt);
+  }
+  if (dag.is_out_forest() || dag.is_in_forest()) {
+    const chains::Decomposition dec = chains::decompose_forest(dag);
+    std::vector<std::vector<int>> all;
+    for (const auto& block : dec.blocks) {
+      all.insert(all.end(), block.begin(), block.end());
+    }
+    return algos::lower_bound_chains(inst, all, opt);
+  }
+  return algos::lower_bound_independent(inst, opt);
+}
+
+}  // namespace suu::api

@@ -1,0 +1,115 @@
+// suu::api — the unified solver entry point.
+//
+// Every schedule the repo implements (the paper's SUU-I/SUU-C/SUU-T
+// pipeline, the exact DPs, the baselines) is reachable by name through one
+// registry. A preparer runs the solver's deterministic per-instance work
+// exactly once — LP1/LP2 solve + rounding, heavy-path decomposition, DP
+// value iteration — and returns a sim::PolicyFactory whose policies share
+// that precomputation across Monte-Carlo replications.
+//
+// Naming scheme (see README.md "The suu::api layer"):
+//   suu-i-sem / suu-i-obl   paper Section 3 (Thm 4 / Thm 3); "suu-i" is an
+//                           alias for suu-i-sem, the headline algorithm
+//   suu-c                   paper Section 4 (Thm 9), disjoint chains
+//   suu-t                   paper Appendix B (Thm 12), directed forests
+//   exact-dp / width-dp     ground-truth optima (subset / Malewicz width DP)
+//   all-on-one, round-robin, best-machine, adaptive-greedy, greedy-lr
+//                           baselines (algos/baselines.hpp)
+//   auto                    structure dispatch on the instance's dag:
+//                           empty -> suu-i-sem, chains -> suu-c,
+//                           forest -> suu-t, general -> all-on-one (the
+//                           trivial O(n)-approximation, the only schedule
+//                           here that is valid for arbitrary precedence).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/lower_bounds.hpp"
+#include "core/instance.hpp"
+#include "rounding/lp1.hpp"
+#include "sim/engine.hpp"
+
+namespace suu::api {
+
+/// Knobs forwarded to the solver preparers. One struct for all solvers so
+/// experiment grids can sweep a knob without knowing which solver reads it.
+struct SolverOptions {
+  /// LP1 solve options (suu-i*, the SUU-C long-job batches, lower bounds).
+  rounding::Lp1Options lp1;
+  /// Run the deterministic per-instance work (LP solves, rounding, DP)
+  /// once at prepare() time and share it across replications. Off = every
+  /// policy instance recomputes, as a from-scratch run would.
+  bool share_precompute = true;
+
+  // SUU-C / SUU-T knobs (forwarded into algos::SuuCPolicy::Config):
+  bool random_delays = true;      ///< Theorem 7 ablation switch
+  bool grid_rounding = false;     ///< non-polynomial-t* trick
+  double gamma_factor = 1.0;      ///< scales gamma = t*/log2(n+m)
+  double fallback_factor = 64.0;  ///< superstep budget multiplier
+};
+
+/// A solver prepared for one instance: the resolved registry name plus a
+/// factory that mints fresh policies sharing the precomputed artifacts.
+struct PreparedSolver {
+  std::string name;
+  sim::PolicyFactory factory;
+};
+
+class SolverRegistry {
+ public:
+  using Preparer = std::function<sim::PolicyFactory(const core::Instance&,
+                                                    const SolverOptions&)>;
+
+  /// The process-wide registry, pre-populated with every builtin solver.
+  /// Mutable so downstream code can register custom policies (see
+  /// examples/mapreduce_pipeline.cpp).
+  static SolverRegistry& global();
+
+  /// Register a solver; throws util::CheckError on duplicate names and on
+  /// the reserved name "auto".
+  void add(const std::string& name, Preparer prepare, std::string summary);
+
+  bool contains(const std::string& name) const;
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+  /// One-line description; throws util::CheckError for unknown names.
+  const std::string& summary(const std::string& name) const;
+
+  /// Resolve `name` ("auto" dispatches on dag structure) and prepare the
+  /// solver for `inst`. Throws util::CheckError for unknown names.
+  PreparedSolver prepare(const core::Instance& inst, const std::string& name,
+                         const SolverOptions& opt = {}) const;
+
+  /// Structure dispatch: the registry name of the paper algorithm matching
+  /// inst.dag() (empty/chains/forest), or "all-on-one" for general dags.
+  static std::string dispatch(const core::Instance& inst);
+
+ private:
+  struct Entry {
+    Preparer prepare;
+    std::string summary;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Convenience: prepare `name` via the global registry.
+PreparedSolver make_solver(const core::Instance& inst, const std::string& name,
+                           const SolverOptions& opt = {});
+
+/// Convenience: prepare the structure-dispatched paper algorithm.
+PreparedSolver solve_auto(const core::Instance& inst,
+                          const SolverOptions& opt = {});
+
+/// Structure-dispatched lower bound on E[T_OPT] — the denominator of every
+/// measured approximation ratio. Empty dags use Lemma 1; chain dags add the
+/// Lemma 5 LP2/2 bound; forests evaluate LP2 on the heavy-path chain
+/// decomposition (dropping cross-block edges only relaxes the program);
+/// general dags fall back to Lemma 1, which never uses independence.
+algos::LowerBound lower_bound_auto(const core::Instance& inst,
+                                   const rounding::Lp1Options& opt = {});
+
+}  // namespace suu::api

@@ -16,7 +16,8 @@ namespace {
 //   cost_obj_ = current (negated) objective value.
 class Tableau {
  public:
-  Tableau(const Problem& p, double tol) : tol_(tol) {
+  Tableau(const Problem& p, double tol)
+      : tol_(tol), piv_tol_(std::max(tol, kPivotTol)) {
     const int m = static_cast<int>(p.rows.size());
     n_orig_ = p.num_vars;
 
@@ -132,12 +133,15 @@ class Tableau {
     }
     if (enter < 0) return 0;
 
-    // Ratio test.
+    // Ratio test. Entries below piv_tol_ are rejected as pivots: dividing
+    // the row by a near-zero element would swamp the tableau with roundoff.
+    // Ties break toward the lowest basis index (the Bland tie-break), which
+    // keeps degenerate ties deterministic.
     int leave = -1;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (int r = 0; r < rows(); ++r) {
       const double a = body_[r][enter];
-      if (a > tol_) {
+      if (a > piv_tol_) {
         const double ratio = rhs_[r] / a;
         if (ratio < best_ratio - tol_ ||
             (ratio < best_ratio + tol_ &&
@@ -155,7 +159,7 @@ class Tableau {
 
   void pivot(int r, int enter) {
     const double piv = body_[r][enter];
-    SUU_ASSERT(std::fabs(piv) > 0);
+    SUU_ASSERT(std::fabs(piv) > kPivotTol / 2);
     const double inv = 1.0 / piv;
     for (int j = 0; j < n_total_; ++j) body_[r][j] *= inv;
     rhs_[r] *= inv;
@@ -186,7 +190,7 @@ class Tableau {
       if (basis_[r] < art_begin_) continue;
       int enter = -1;
       for (int j = 0; j < art_begin_; ++j) {
-        if (std::fabs(body_[r][j]) > tol_ * 10) {
+        if (std::fabs(body_[r][j]) > std::max(piv_tol_, tol_ * 10)) {
           enter = j;
           break;
         }
@@ -205,6 +209,7 @@ class Tableau {
 
  private:
   double tol_;
+  double piv_tol_;
   int n_orig_ = 0;
   int n_total_ = 0;
   int art_begin_ = 0;
@@ -238,8 +243,13 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
   const int n = tab.cols();
   const int iter_cap =
       opt.max_iters > 0 ? opt.max_iters : 200 * (m + n) + 20000;
-  // Switch to Bland's rule when no strict objective progress for a while.
-  const int stall_cap = 4 * (m + n) + 64;
+  // Anti-cycling guard: degenerate LP2 instances can make Dantzig pricing
+  // revisit bases forever. After stall_cap consecutive pivots with no
+  // strict objective progress, switch to Bland's least-index rule, which
+  // cannot cycle; Dantzig pricing resumes once the objective moves again
+  // (each resumption requires strict progress, so the phase still
+  // terminates).
+  const int stall_cap = kBlandStallFactor * (m + n) + 64;
 
   int iters = 0;
 

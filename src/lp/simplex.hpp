@@ -12,8 +12,20 @@
 
 namespace suu::lp {
 
+/// Floor on the magnitude a tableau entry must have to be accepted as a
+/// pivot, regardless of how small SimplexOptions::tol is set. Dividing a
+/// row by a smaller element amplifies roundoff enough to corrupt the basis
+/// on degenerate LP2 instances.
+inline constexpr double kPivotTol = 1e-9;
+
+/// Consecutive non-improving pivots tolerated (as a multiple of m + n)
+/// before the pricing switches to Bland's rule, whose least-index selection
+/// provably cannot cycle. Dantzig pricing resumes once the objective makes
+/// strict progress again.
+inline constexpr int kBlandStallFactor = 4;
+
 struct SimplexOptions {
-  double tol = 1e-9;        ///< pivot / feasibility tolerance
+  double tol = 1e-9;        ///< feasibility / reduced-cost tolerance
   int max_iters = 0;        ///< 0 = automatic (scales with problem size)
   bool verify = true;       ///< re-check feasibility of the result
 };

@@ -12,7 +12,9 @@ Args::Args(int argc, char** argv) {
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
     if (eq == std::string_view::npos) {
-      kv_[std::string(arg)] = "1";
+      // insert_or_assign (rather than operator[] = "1") sidesteps a GCC 12
+      // -Wrestrict false positive on the inlined char* string assignment.
+      kv_.insert_or_assign(std::string(arg), std::string("1"));
     } else {
       kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
     }

@@ -63,6 +63,82 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+namespace {
+
+// Strict JSON number grammar: -?digits(.digits)?([eE][+-]?digits)?
+// (rejects "inf"/"nan"/hex, which strtod would accept).
+bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  auto digits = [&] {
+    const std::size_t start = i;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < n && s[i] == '-') ++i;
+  const std::size_t int_start = i;
+  if (!digits()) return false;
+  // JSON forbids leading zeros in the integer part ("007" is not a number).
+  if (i - int_start > 1 && s[int_start] == '0') return false;
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n;
+}
+
+void print_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  for (const auto& row : rows_) {
+    os << '{';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      print_json_string(os, headers_[c]);
+      os << ':';
+      if (is_json_number(row[c])) {
+        os << row[c];
+      } else {
+        print_json_string(os, row[c]);
+      }
+    }
+    os << "}\n";
+  }
+}
+
 std::string fmt(double x, int prec) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(prec) << x;

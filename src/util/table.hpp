@@ -23,6 +23,10 @@ class Table {
   /// Print as CSV (no escaping beyond quoting cells containing commas).
   void print_csv(std::ostream& os) const;
 
+  /// Print as JSON lines: one object per row keyed by header. Cells that
+  /// parse as plain JSON numbers are emitted unquoted.
+  void print_json(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

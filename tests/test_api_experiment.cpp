@@ -1,0 +1,205 @@
+#include "api/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "algos/suu_i.hpp"
+#include "core/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::api {
+namespace {
+
+std::shared_ptr<const core::Instance> small_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return std::make_shared<const core::Instance>(core::make_independent(
+      8, 3, core::MachineModel::uniform(0.3, 0.9), rng));
+}
+
+ExperimentRunner::Options base_options(unsigned threads) {
+  ExperimentRunner::Options opt;
+  opt.seed = 42;
+  opt.replications = 24;
+  opt.threads = threads;
+  return opt;
+}
+
+void fill(ExperimentRunner& runner) {
+  const auto inst = small_instance(5);
+  for (const std::string& solver :
+       {std::string("suu-i-sem"), std::string("round-robin"),
+        std::string("all-on-one")}) {
+    Cell cell;
+    cell.instance_label = "small";
+    cell.instance = inst;
+    cell.solver = solver;
+    cell.lower_bound = 2.0;
+    cell.metrics = {{"makespan2",
+                     [](const sim::Policy&, const sim::ExecResult& res) {
+                       return static_cast<double>(res.makespan);
+                     }}};
+    runner.add(std::move(cell));
+  }
+}
+
+std::string json_of(unsigned threads) {
+  ExperimentRunner runner(base_options(threads));
+  fill(runner);
+  runner.run();
+  std::ostringstream os;
+  runner.print_json(os);
+  return os.str();
+}
+
+TEST(ExperimentRunner, ByteIdenticalAcrossThreadCounts) {
+  const std::string serial = json_of(1);
+  const std::string pooled2 = json_of(2);
+  const std::string pooled5 = json_of(5);
+  const std::string default_pool = json_of(0);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled2);
+  EXPECT_EQ(serial, pooled5);
+  EXPECT_EQ(serial, default_pool);
+}
+
+TEST(ExperimentRunner, CellsAreSeedIndependent) {
+  // A cell's numbers depend only on its index and the master seed — adding
+  // more cells after it must not change them.
+  ExperimentRunner one(base_options(1));
+  const auto inst = small_instance(5);
+  Cell cell;
+  cell.instance_label = "small";
+  cell.instance = inst;
+  cell.solver = "round-robin";
+  one.add(cell);
+  const double lone = one.run()[0].makespan.mean;
+
+  ExperimentRunner many(base_options(1));
+  many.add(cell);
+  Cell extra = cell;
+  extra.solver = "all-on-one";
+  many.add(std::move(extra));
+  EXPECT_DOUBLE_EQ(many.run()[0].makespan.mean, lone);
+}
+
+TEST(ExperimentRunner, ResolvesAutoAndComputesRatios) {
+  ExperimentRunner runner(base_options(1));
+  const auto inst = small_instance(9);
+  Cell cell;
+  cell.instance_label = "auto-cell";
+  cell.instance = inst;
+  cell.solver = "auto";
+  cell.lower_bound = 2.0;
+  runner.add(std::move(cell));
+  const CellResult& r = runner.run()[0];
+  EXPECT_EQ(r.solver, "suu-i-sem");
+  EXPECT_EQ(r.n, 8);
+  EXPECT_EQ(r.m, 3);
+  EXPECT_GT(r.makespan.mean, 0.0);
+  EXPECT_DOUBLE_EQ(r.ratio, r.makespan.mean / 2.0);
+  EXPECT_DOUBLE_EQ(r.ratio_ci, r.makespan.ci95_half / 2.0);
+  EXPECT_EQ(static_cast<int>(r.samples.count()), r.replications);
+}
+
+TEST(ExperimentRunner, MetricsCollectPerReplication) {
+  ExperimentRunner runner(base_options(3));
+  fill(runner);
+  const auto& res = runner.run();
+  for (const CellResult& r : res) {
+    const util::Sampler& s = r.metric("makespan2");
+    ASSERT_EQ(s.count(), r.samples.count());
+    // The probe records the makespan, so the samplers must agree exactly.
+    EXPECT_DOUBLE_EQ(s.mean(), r.samples.mean());
+  }
+  EXPECT_THROW(res[0].metric("nope"), util::CheckError);
+}
+
+TEST(ExperimentRunner, FactoryOverrideBypassesRegistry) {
+  ExperimentRunner runner(base_options(1));
+  Cell cell;
+  cell.instance_label = "custom";
+  cell.instance = small_instance(11);
+  cell.factory = [] { return std::make_unique<algos::SuuISemPolicy>(); };
+  cell.factory_label = "my-policy";
+  runner.add(std::move(cell));
+  EXPECT_EQ(runner.run()[0].solver, "my-policy");
+}
+
+TEST(ExperimentRunner, StepCapThrowsUnlessSkipped) {
+  ExperimentRunner runner(base_options(1));
+  runner.options().step_cap = 1;  // nothing finishes in one step, usually
+  fill(runner);
+  EXPECT_THROW(runner.run(), util::CheckError);
+
+  ExperimentRunner skipping(base_options(1));
+  skipping.options().step_cap = 1;
+  skipping.options().skip_capped = true;
+  const auto inst = small_instance(5);
+  Cell cell;
+  cell.instance_label = "capped";
+  cell.instance = inst;
+  cell.solver = "round-robin";
+  skipping.add(std::move(cell));
+  // Either every replication luckily finishes in one step (impossible at
+  // these sizes) or the capped counter reflects the drops; if ALL
+  // replications are dropped the runner must refuse.
+  EXPECT_THROW(skipping.run(), util::CheckError);
+}
+
+TEST(ExperimentRunner, TableAndJsonContainEveryCell) {
+  ExperimentRunner runner(base_options(2));
+  fill(runner);
+  runner.run();
+  EXPECT_EQ(runner.table().rows(), 3u);
+  std::ostringstream os;
+  runner.print_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"solver\":\"suu-i-sem\""), std::string::npos);
+  EXPECT_NE(json.find("\"solver\":\"round-robin\""), std::string::npos);
+  EXPECT_NE(json.find("\"makespan2_mean\":"), std::string::npos);
+}
+
+TEST(ExperimentRunner, GridHelperBuildsCrossProduct) {
+  ExperimentRunner runner(base_options(1));
+  runner.add_grid({{"a", small_instance(1)}, {"b", small_instance(2)}},
+                  {"round-robin", "all-on-one"});
+  const auto& res = runner.run();
+  ASSERT_EQ(res.size(), 4u);
+  EXPECT_EQ(res[0].instance_label, "a");
+  EXPECT_EQ(res[0].solver, "round-robin");
+  EXPECT_EQ(res[3].instance_label, "b");
+  EXPECT_EQ(res[3].solver, "all-on-one");
+  EXPECT_EQ(res[0].lower_bound, 0.0);  // no auto bound requested
+}
+
+TEST(ExperimentRunner, GridHelperAttachesAutoLowerBounds) {
+  ExperimentRunner runner(base_options(1));
+  const auto inst = small_instance(3);
+  runner.add_grid({{"a", inst}}, {"round-robin", "all-on-one"}, {},
+                  /*auto_lower_bound=*/true);
+  const auto& res = runner.run();
+  const double expect = lower_bound_auto(*inst).value;
+  ASSERT_EQ(res.size(), 2u);
+  for (const CellResult& r : res) {
+    EXPECT_DOUBLE_EQ(r.lower_bound, expect);
+    EXPECT_DOUBLE_EQ(r.ratio, r.makespan.mean / expect);
+  }
+}
+
+TEST(ExperimentRunner, InvalidCellsRejected) {
+  ExperimentRunner runner(base_options(1));
+  Cell no_instance;
+  no_instance.solver = "round-robin";
+  EXPECT_THROW(runner.add(std::move(no_instance)), util::CheckError);
+
+  Cell no_solver;
+  no_solver.instance = small_instance(1);
+  no_solver.solver = "";
+  EXPECT_THROW(runner.add(std::move(no_solver)), util::CheckError);
+}
+
+}  // namespace
+}  // namespace suu::api

@@ -1,0 +1,169 @@
+#include "api/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/baselines.hpp"
+#include "core/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace suu::api {
+namespace {
+
+core::Instance independent_instance(int n, int m, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return core::make_independent(n, m, core::MachineModel::uniform(0.3, 0.9),
+                                rng);
+}
+
+core::Instance chain_instance(std::uint64_t seed = 2) {
+  util::Rng rng(seed);
+  return core::make_chains(3, 2, 4, 3, core::MachineModel::uniform(0.3, 0.9),
+                           rng);
+}
+
+core::Instance forest_instance(std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  return core::make_out_forest(12, 3, 0.2, 3,
+                               core::MachineModel::uniform(0.3, 0.9), rng);
+}
+
+core::Instance general_dag_instance(std::uint64_t seed = 4) {
+  // Diamond: 0 -> {1, 2} -> 3. Vertex 3 has two predecessors, so this is
+  // neither chains nor an out-forest; vertex 0 has two successors, so it is
+  // not an in-forest either.
+  const int n = 4, m = 2;
+  core::Dag dag(n);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  util::Rng rng(seed);
+  return core::Instance(n, m, core::gen_q(n, m,
+                                          core::MachineModel::uniform(0.3, 0.9),
+                                          rng),
+                        std::move(dag));
+}
+
+TEST(SolverRegistry, BuiltinsRegistered) {
+  const SolverRegistry& reg = SolverRegistry::global();
+  for (const char* name :
+       {"suu-i", "suu-i-sem", "suu-i-obl", "suu-c", "suu-t", "exact-dp",
+        "width-dp", "all-on-one", "round-robin", "best-machine",
+        "adaptive-greedy", "greedy-lr"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_FALSE(reg.summary(name).empty()) << name;
+  }
+}
+
+TEST(SolverRegistry, DispatchEmptyDagToSuuISem) {
+  const core::Instance inst = independent_instance(6, 3);
+  EXPECT_EQ(SolverRegistry::dispatch(inst), "suu-i-sem");
+  const PreparedSolver s = solve_auto(inst);
+  EXPECT_EQ(s.name, "suu-i-sem");
+  EXPECT_EQ(s.factory()->name(), "suu-i-sem");
+}
+
+TEST(SolverRegistry, DispatchChainsToSuuC) {
+  const core::Instance inst = chain_instance();
+  ASSERT_TRUE(inst.dag().is_chains());
+  EXPECT_EQ(SolverRegistry::dispatch(inst), "suu-c");
+  const PreparedSolver s = solve_auto(inst);
+  EXPECT_EQ(s.name, "suu-c");
+  EXPECT_EQ(s.factory()->name(), "suu-c");
+}
+
+TEST(SolverRegistry, DispatchForestToSuuT) {
+  const core::Instance inst = forest_instance();
+  ASSERT_TRUE(inst.dag().is_out_forest());
+  ASSERT_FALSE(inst.dag().is_chains());
+  EXPECT_EQ(SolverRegistry::dispatch(inst), "suu-t");
+  const PreparedSolver s = solve_auto(inst);
+  EXPECT_EQ(s.name, "suu-t");
+  EXPECT_EQ(s.factory()->name(), "suu-t");
+}
+
+TEST(SolverRegistry, DispatchGeneralDagToTrivialApproximation) {
+  const core::Instance inst = general_dag_instance();
+  ASSERT_FALSE(inst.dag().is_chains());
+  ASSERT_FALSE(inst.dag().is_out_forest());
+  ASSERT_FALSE(inst.dag().is_in_forest());
+  EXPECT_EQ(SolverRegistry::dispatch(inst), "all-on-one");
+  const PreparedSolver s = solve_auto(inst);
+  EXPECT_EQ(s.name, "all-on-one");
+}
+
+TEST(SolverRegistry, UnknownNameThrows) {
+  const core::Instance inst = independent_instance(4, 2);
+  EXPECT_THROW(make_solver(inst, "no-such-solver"), util::CheckError);
+  EXPECT_THROW(SolverRegistry::global().summary("no-such-solver"),
+               util::CheckError);
+}
+
+TEST(SolverRegistry, StructureMismatchThrows) {
+  const core::Instance forest = forest_instance();
+  EXPECT_THROW(make_solver(forest, "suu-c"), util::CheckError);
+  const core::Instance general = general_dag_instance();
+  EXPECT_THROW(make_solver(general, "suu-t"), util::CheckError);
+}
+
+TEST(SolverRegistry, ReservedAndDuplicateNamesRejected) {
+  SolverRegistry reg;
+  auto noop = [](const core::Instance&, const SolverOptions&) {
+    return sim::PolicyFactory(
+        [] { return std::make_unique<algos::AllOnOnePolicy>(); });
+  };
+  EXPECT_THROW(reg.add("auto", noop, ""), util::CheckError);
+  reg.add("custom", noop, "test entry");
+  EXPECT_THROW(reg.add("custom", noop, "again"), util::CheckError);
+  EXPECT_TRUE(reg.contains("custom"));
+}
+
+TEST(SolverRegistry, AliasSuuIResolvesToSem) {
+  const core::Instance inst = independent_instance(5, 2);
+  const PreparedSolver s = make_solver(inst, "suu-i");
+  EXPECT_EQ(s.factory()->name(), "suu-i-sem");
+}
+
+TEST(SolverRegistry, PreparedFactoryIsReusable) {
+  // The factory must mint independent policies: two executions from the
+  // same prepared solver may not share mutable state.
+  const core::Instance inst = independent_instance(6, 3);
+  const PreparedSolver s = solve_auto(inst);
+  sim::EstimateOptions opt;
+  opt.replications = 20;
+  opt.seed = 7;
+  opt.threads = 1;
+  const util::Estimate a = sim::estimate_makespan(inst, s.factory, opt);
+  const util::Estimate b = sim::estimate_makespan(inst, s.factory, opt);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(SolverRegistry, NamesSortedAndSummarized) {
+  const SolverRegistry& reg = SolverRegistry::global();
+  const std::vector<std::string> names = reg.names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(LowerBoundAuto, MatchesStructureSpecificBounds) {
+  const core::Instance ind = independent_instance(6, 3);
+  EXPECT_DOUBLE_EQ(lower_bound_auto(ind).value,
+                   algos::lower_bound_independent(ind).value);
+
+  const core::Instance ch = chain_instance();
+  EXPECT_DOUBLE_EQ(lower_bound_auto(ch).value,
+                   algos::lower_bound_chains(ch, ch.dag().chains()).value);
+
+  // Forests get the Lemma 5 LP2 term as well, so the bound is at least the
+  // Lemma 1 value.
+  const core::Instance f = forest_instance();
+  EXPECT_GE(lower_bound_auto(f).value,
+            algos::lower_bound_independent(f).value - 1e-9);
+}
+
+}  // namespace
+}  // namespace suu::api

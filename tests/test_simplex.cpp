@@ -107,6 +107,38 @@ TEST(Simplex, DegenerateProblemTerminates) {
   EXPECT_NEAR(s.objective, -1.0, 1e-8);
 }
 
+TEST(Simplex, BealeCycleTerminates) {
+  // Beale's classic example: Dantzig pricing with naive tie-breaking
+  // cycles forever through degenerate bases at the origin. The Bland
+  // stall guard must break the cycle and reach the optimum -1/20 at
+  // x = (1/25, 0, 1, 0).
+  Problem p;
+  const int x1 = p.add_var(-0.75);
+  const int x2 = p.add_var(150.0);
+  const int x3 = p.add_var(-0.02);
+  const int x4 = p.add_var(6.0);
+  p.add_row(row({{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, Rel::Le, 0));
+  p.add_row(row({{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, Rel::Le, 0));
+  p.add_row(row({{x3, 1}}, Rel::Le, 1));
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-8);
+  EXPECT_NEAR(s.x[x1], 0.04, 1e-8);
+  EXPECT_NEAR(s.x[x3], 1.0, 1e-8);
+}
+
+TEST(Simplex, TinyPivotsRejected) {
+  // The epsilon coefficient is below kPivotTol, so the ratio test must not
+  // pivot on it; the row is effectively x2 <= 1 for any solver that would
+  // divide by it, but treating the entry as structural zero leaves the LP
+  // unbounded rather than silently corrupting the basis.
+  Problem p;
+  const int x = p.add_var(-1.0);  // maximize x
+  p.add_row(row({{x, 1e-13}}, Rel::Le, 1));
+  const Solution s = solve_simplex(p);
+  EXPECT_EQ(s.status, Status::Unbounded);
+}
+
 TEST(Simplex, RedundantEqualityRows) {
   Problem p;
   const int x = p.add_var(1.0);

@@ -75,7 +75,9 @@ TEST(SuuC, ExplicitChainsRestrictUniverse) {
   for (int step = 0; step < 300; ++step) {
     const sched::Assignment a = policy.decide(st);
     for (const int j : a) {
-      if (j != sched::kIdle) EXPECT_LE(j, 1);
+      if (j != sched::kIdle) {
+        EXPECT_LE(j, 1);
+      }
     }
   }
 }
