@@ -28,13 +28,16 @@ inline double lg(double x) { return std::max(1.0, std::log2(x)); }
 inline double lglg(double x) { return std::max(1.0, std::log2(lg(x))); }
 
 /// Shared flags of every harness binary: --reps, --seed, --threads
-/// (replication fan-out; 0 = default pool), --json (emit machine-readable
-/// rows after each table) and --solvers (list the registry and exit).
+/// (replication fan-out; 0 = default pool), --cell-threads (cross-cell
+/// fan-out; 1 = sequential cells, 0 = hardware concurrency — output is
+/// byte-identical either way), --json (emit machine-readable rows after
+/// each table) and --solvers (list the registry and exit).
 struct Harness {
   util::Args args;
   int reps;
   std::uint64_t seed;
   unsigned threads;
+  unsigned cell_threads;
   bool json;
 
   Harness(int argc, char** argv, int default_reps, std::uint64_t default_seed)
@@ -44,6 +47,8 @@ struct Harness {
             args.get_int("seed", static_cast<std::int64_t>(default_seed)))),
         threads(static_cast<unsigned>(std::max<std::int64_t>(
             0, args.get_int("threads", 0)))),
+        cell_threads(static_cast<unsigned>(std::max<std::int64_t>(
+            0, args.get_int("cell-threads", 1)))),
         json(args.has("json")) {
     if (args.has("solvers")) {
       const api::SolverRegistry& reg = api::SolverRegistry::global();
@@ -60,6 +65,7 @@ struct Harness {
     opt.seed = seed;
     opt.replications = reps;
     opt.threads = threads;
+    opt.cell_threads = cell_threads;
     return opt;
   }
 

@@ -1,7 +1,18 @@
 // PERF — engineering microbenchmarks (google-benchmark): throughput of the
 // substrates so regressions in the solvers/engine are visible. Also the
 // exact-simplex vs Frank–Wolfe ablation in time (value gap is in F-LP).
+//
+// Unless --benchmark_out is given, results are also written to
+// BENCH_perf_micro.json (google-benchmark's JSON schema) in the working
+// directory, so every run leaves a machine-readable record of the perf
+// trajectory. Simplex benchmarks export a "pivots" counter (simplex
+// iterations per solve) alongside wall time: a pricing regression shows up
+// in pivots even when cache effects mask it in time.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "algos/exact_dp.hpp"
 #include "algos/suu_i.hpp"
@@ -39,12 +50,26 @@ void BM_SimplexLp1(benchmark::State& state) {
   const auto jobs = all_jobs(n);
   rounding::Lp1Options opt;
   opt.solver = rounding::Lp1Options::Solver::Simplex;
+  std::int64_t pivots = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rounding::solve_lp1(inst, jobs, 0.5, opt));
+    const rounding::Lp1Fractional frac =
+        rounding::solve_lp1(inst, jobs, 0.5, opt);
+    pivots += frac.simplex_iterations;
+    benchmark::DoNotOptimize(frac.t);
   }
+  state.counters["pivots"] = benchmark::Counter(
+      static_cast<double>(pivots) /
+      static_cast<double>(state.iterations()));
   state.SetComplexityN(n);
 }
-BENCHMARK(BM_SimplexLp1)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+BENCHMARK(BM_SimplexLp1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Complexity();
 
 void BM_FrankWolfeLp1(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -81,11 +106,61 @@ void BM_Lp2ChainsPipeline(benchmark::State& state) {
   core::Instance inst = core::make_chains(
       n_chains, 2, 5, 4, core::MachineModel::uniform(0.3, 0.9), rng);
   const auto chains = inst.dag().chains();
+  std::int64_t pivots = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rounding::solve_and_round_lp2(inst, chains));
+    const rounding::Lp2Result res = rounding::solve_and_round_lp2(inst, chains);
+    pivots += res.simplex_iterations;
+    benchmark::DoNotOptimize(res.t_fractional);
   }
+  state.counters["pivots"] = benchmark::Counter(
+      static_cast<double>(pivots) /
+      static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_Lp2ChainsPipeline)->Arg(4)->Arg(8)->Arg(16);
+
+// Warm vs cold LP2 re-solve: the BlockCache / perturbed-rhs pattern. Cold
+// runs two-phase from scratch each time; warm chains a WarmStart handle, so
+// after the first solve every re-solve seeds phase 2 directly from the
+// previous optimal basis (phase 1 skipped; "p1_pivots" records the phase-1
+// share actually paid per solve). Note the pivot counters exclude the
+// warm install's per-row basis eliminations (see Solution::iterations), so
+// the honest warm-vs-cold comparison is wall time, with the counters
+// showing where the priced iterations went.
+void lp2_resolve_bench(benchmark::State& state, bool warm_start) {
+  const int n_chains = static_cast<int>(state.range(0));
+  util::Rng rng(14);
+  core::Instance inst = core::make_chains(
+      n_chains, 2, 5, 4, core::MachineModel::uniform(0.3, 0.9), rng);
+  const auto chains = inst.dag().chains();
+  lp::WarmStart warm;
+  if (warm_start) {
+    // Seed the handle: the measured loop then re-solves warm throughout.
+    rounding::solve_and_round_lp2(inst, chains, &warm);
+  }
+  std::int64_t pivots = 0, p1 = 0;
+  for (auto _ : state) {
+    const rounding::Lp2Result res = rounding::solve_and_round_lp2(
+        inst, chains, warm_start ? &warm : nullptr);
+    pivots += res.simplex_iterations;
+    p1 += res.simplex_phase1_iterations;
+    benchmark::DoNotOptimize(res.t_fractional);
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["pivots"] =
+      benchmark::Counter(static_cast<double>(pivots) / iters);
+  state.counters["p1_pivots"] =
+      benchmark::Counter(static_cast<double>(p1) / iters);
+}
+
+void BM_Lp2ResolveCold(benchmark::State& state) {
+  lp2_resolve_bench(state, false);
+}
+BENCHMARK(BM_Lp2ResolveCold)->Arg(4)->Arg(16);
+
+void BM_Lp2ResolveWarm(benchmark::State& state) {
+  lp2_resolve_bench(state, true);
+}
+BENCHMARK(BM_Lp2ResolveWarm)->Arg(4)->Arg(16);
 
 void BM_Dinic(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -189,4 +264,32 @@ BENCHMARK(BM_BvnDecompose)->Arg(8)->Arg(24);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with one addition: unless the caller already chose an
+// output file, default to a JSON record (BENCH_perf_micro.json) next to the
+// console report, so perf numbers accumulate as machine-readable artifacts.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag (or --benchmark_out=...): --benchmark_out_format alone
+    // must not suppress the default output file.
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_perf_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,7 +22,8 @@ sched::Assignment AllOnOnePolicy::decide(const sim::ExecState& state) {
 sched::Assignment RoundRobinPolicy::decide(const sim::ExecState& state) {
   const int m = state.instance().num_machines();
   sched::Assignment a(m, sched::kIdle);
-  const std::vector<int> elig = state.eligible_jobs();
+  state.eligible_jobs(elig_);
+  const std::vector<int>& elig = elig_;
   if (elig.empty()) return a;
   const auto base = static_cast<std::size_t>(state.now() %
                                              static_cast<std::int64_t>(
@@ -60,11 +61,13 @@ sched::Assignment AdaptiveGreedyPolicy::decide(const sim::ExecState& state) {
   const core::Instance& inst = state.instance();
   const int m = inst.num_machines();
   sched::Assignment a(static_cast<std::size_t>(m), sched::kIdle);
-  const std::vector<int> elig = state.eligible_jobs();
+  state.eligible_jobs(elig_);
+  const std::vector<int>& elig = elig_;
   if (elig.empty()) return a;
 
   // F[j] = failure probability of job j this step given committed machines.
-  std::vector<double> fail(elig.size(), 1.0);
+  fail_.assign(elig.size(), 1.0);
+  std::vector<double>& fail = fail_;
   for (int i = 0; i < m; ++i) {
     int best = -1;
     double best_gain = 0.0;
@@ -129,7 +132,8 @@ void GreedyLrPolicy::build_round(const std::vector<int>& jobs) {
 
 sched::Assignment GreedyLrPolicy::decide(const sim::ExecState& state) {
   if (pos_ >= schedule_.length()) {
-    build_round(state.remaining_jobs());
+    state.remaining_jobs(remaining_);
+    build_round(remaining_);
   }
   SUU_CHECK(schedule_.length() > 0);
   return schedule_.step(pos_++);

@@ -33,6 +33,9 @@ class RoundRobinPolicy : public sim::Policy {
  public:
   std::string name() const override { return "round-robin"; }
   sched::Assignment decide(const sim::ExecState& state) override;
+
+ private:
+  std::vector<int> elig_;  // scratch, reused across steps
 };
 
 class BestMachinePolicy : public sim::Policy {
@@ -57,6 +60,10 @@ class AdaptiveGreedyPolicy : public sim::Policy {
  public:
   std::string name() const override { return "adaptive-greedy"; }
   sched::Assignment decide(const sim::ExecState& state) override;
+
+ private:
+  std::vector<int> elig_;     // scratch, reused across steps
+  std::vector<double> fail_;  // per-eligible-job failure prob this step
 };
 
 class GreedyLrPolicy : public sim::Policy {
@@ -79,6 +86,7 @@ class GreedyLrPolicy : public sim::Policy {
   sched::ObliviousSchedule schedule_{1};
   std::int64_t pos_ = 0;
   int rounds_ = 0;
+  std::vector<int> remaining_;  // scratch for round rebuilds
 };
 
 }  // namespace suu::algos

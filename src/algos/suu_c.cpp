@@ -11,9 +11,9 @@ SuuCPolicy::SuuCPolicy(Config cfg) : cfg_(std::move(cfg)) {}
 
 std::shared_ptr<const rounding::Lp2Result> SuuCPolicy::precompute(
     const core::Instance& inst,
-    const std::vector<std::vector<int>>& chains) {
+    const std::vector<std::vector<int>>& chains, lp::WarmStart* warm) {
   return std::make_shared<const rounding::Lp2Result>(
-      rounding::solve_and_round_lp2(inst, chains));
+      rounding::solve_and_round_lp2(inst, chains, warm));
 }
 
 void SuuCPolicy::reset(const core::Instance& inst, util::Rng rng) {

@@ -144,8 +144,38 @@ CellResult ExperimentRunner::run_cell(std::size_t k, const Cell& cell,
 }
 
 const std::vector<CellResult>& ExperimentRunner::run() {
-  // One pool for the whole grid (seeding is index-derived, so sharing a
-  // pool across cells cannot change any number); threads == 1 runs serial.
+  // Cross-cell fan-out: each worker writes only its own pre-sized slot and
+  // every cell's seeding derives from its index k, so results are
+  // byte-identical to the sequential loop at any thread count. Replications
+  // run serially inside each cell here — nesting two blocking parallel_for
+  // levels on one pool could deadlock, and cells are the coarser (better)
+  // unit of parallelism for grids.
+  // A caller-owned lp1.warm handle would be mutated by every concurrent
+  // solve — cells racing on prepare, or replication workers racing inside
+  // the policies that re-solve LP1 at decide time — an unsynchronized data
+  // race. Warm chaining is only meaningful for a sequential solve order, so
+  // it requires fully serial execution (cell_threads == 1 and threads == 1).
+  if (opt_.cell_threads != 1 || opt_.threads != 1) {
+    for (const Cell& cell : cells_) {
+      SUU_CHECK_MSG(cell.solver_opt.lp1.warm == nullptr,
+                    "cell '" << cell.instance_label
+                             << "': lp1.warm requires cell_threads == 1 and "
+                                "threads == 1 (a shared warm-start handle "
+                                "races across concurrent solves)");
+    }
+  }
+  if (opt_.cell_threads != 1) {
+    results_.clear();
+    results_.resize(cells_.size());
+    util::ThreadPool cell_pool(opt_.cell_threads);
+    cell_pool.parallel_for(cells_.size(), [&](std::size_t k) {
+      results_[k] = run_cell(k, cells_[k], nullptr);
+    });
+    return results_;
+  }
+  // Sequential cells: one replication pool for the whole grid (seeding is
+  // index-derived, so sharing a pool across cells cannot change any
+  // number); threads == 1 runs serial.
   util::ThreadPool* pool = nullptr;
   std::unique_ptr<util::ThreadPool> owned;
   if (opt_.threads == 0) {

@@ -88,6 +88,13 @@ class ExperimentRunner {
     bool skip_capped = false;
     std::int64_t step_cap = 10'000'000;
     unsigned threads = 0;  ///< replication fan-out; 0 = default pool, 1 = serial
+    /// Cross-cell fan-out: cells run concurrently on a dedicated pool of
+    /// this many threads (0 = hardware concurrency, 1 = sequential, the
+    /// default). When > 1, each cell runs its replications serially on its
+    /// worker (the two fan-outs do not nest); every result lands in a
+    /// pre-sized slot indexed by cell, and all seeding derives from the
+    /// cell index, so output is byte-identical at any thread count.
+    unsigned cell_threads = 1;
   };
 
   ExperimentRunner() : ExperimentRunner(Options{}) {}

@@ -1,0 +1,68 @@
+#include "api/precompute_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace suu::api {
+
+PrecomputeCache& PrecomputeCache::global() {
+  static PrecomputeCache* cache = new PrecomputeCache();
+  return *cache;
+}
+
+sim::PolicyFactory PrecomputeCache::get_or_prepare(
+    std::uint64_t key, const std::function<sim::PolicyFactory()>& make) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  sim::PolicyFactory made = make();  // outside the lock: may solve LPs
+  SUU_CHECK_MSG(made != nullptr, "preparer returned a null factory");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.emplace(key, made);
+  if (inserted) {
+    order_.push_back(key);
+    evict_over_capacity_locked();
+  }
+  // A racing thread may have inserted first; both computed the same
+  // deterministic value, so returning our own copy changes nothing.
+  return made;
+}
+
+void PrecomputeCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  evict_over_capacity_locked();
+}
+
+void PrecomputeCache::evict_over_capacity_locked() {
+  while (entries_.size() > capacity_ && !order_.empty()) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+void PrecomputeCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  order_.clear();
+}
+
+void PrecomputeCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+PrecomputeCache::Stats PrecomputeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.size = entries_.size();
+  return s;
+}
+
+}  // namespace suu::api

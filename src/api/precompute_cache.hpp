@@ -1,0 +1,70 @@
+// suu::api — process-wide cache of prepared solvers.
+//
+// SolverRegistry preparers run the deterministic per-instance work (LP1/LP2
+// solve + rounding, heavy-path decomposition, DP value iteration) and
+// return a factory sharing those artifacts. Across an experiment grid the
+// same instance appears in many cells — and across repeated grids in the
+// same process, many times more — so the registry memoizes prepared
+// factories here, keyed by a 64-bit hash of (instance fingerprint, resolved
+// solver name, solver options).
+//
+// Correctness rests on two repo invariants: preparers are deterministic
+// functions of (instance, options), and factories are immutable once built
+// (each mint returns a fresh policy; shared artifacts are read-only behind
+// shared_ptr/by-value configs). A cached factory is therefore
+// indistinguishable from a freshly prepared one, byte for byte, in any
+// downstream measurement.
+//
+// Thread safety: lookups and inserts take a mutex; the prepare itself runs
+// outside the lock, so concurrent cells missing on the same key may both
+// compute (same value — first insert wins) but never block each other on
+// LP solves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+
+namespace suu::api {
+
+class PrecomputeCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+  };
+
+  /// The process-wide cache consulted by SolverRegistry::prepare.
+  static PrecomputeCache& global();
+
+  /// Return the factory cached under `key`, or run `make`, cache its
+  /// result, and return it. `make` executes outside the cache lock.
+  sim::PolicyFactory get_or_prepare(
+      std::uint64_t key, const std::function<sim::PolicyFactory()>& make);
+
+  /// Entries retained before FIFO eviction kicks in (grids rarely exceed a
+  /// few dozen live keys; the cap only bounds pathological sweeps).
+  void set_capacity(std::size_t capacity);
+
+  /// Drop every entry (stats are kept; see reset_stats).
+  void clear();
+  void reset_stats();
+  Stats stats() const;
+
+ private:
+  void evict_over_capacity_locked();  // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, sim::PolicyFactory> entries_;
+  std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
+  std::size_t capacity_ = 256;
+  Stats stats_;
+};
+
+}  // namespace suu::api

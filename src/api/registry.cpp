@@ -1,6 +1,7 @@
 #include "api/registry.hpp"
 
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "algos/baselines.hpp"
@@ -9,11 +10,38 @@
 #include "algos/suu_c.hpp"
 #include "algos/suu_i.hpp"
 #include "algos/suu_t.hpp"
+#include "api/precompute_cache.hpp"
 #include "chains/decomposition.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace suu::api {
 namespace {
+
+// Cache key: every field a preparer can read must be folded in, or two
+// differently-configured cells could alias one prepared solver. The
+// static_assert is the tripwire: adding a field to SolverOptions (or
+// Lp1Options) changes the struct size and fails the build here — fold the
+// new field into the hash below, then update the expected size.
+static_assert(sizeof(SolverOptions) == sizeof(rounding::Lp1Options) +
+                                           5 * sizeof(bool) +
+                                           2 * sizeof(double) + /*padding*/ 3,
+              "SolverOptions changed: fold the new field into cache_key");
+std::uint64_t cache_key(const core::Instance& inst, const std::string& name,
+                        const SolverOptions& opt) {
+  std::uint64_t h = inst.fingerprint();
+  h = util::hash_combine(h, std::string_view(name));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.lp1.solver));
+  h = util::hash_combine(h,
+                         static_cast<std::uint64_t>(opt.lp1.simplex_size_limit));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.share_precompute));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.warm_start));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.random_delays));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.grid_rounding));
+  h = util::hash_combine(h, opt.gamma_factor);
+  h = util::hash_combine(h, opt.fallback_factor);
+  return h;
+}
 
 algos::SuuCPolicy::Config suu_c_config(const SolverOptions& opt) {
   algos::SuuCPolicy::Config cfg;
@@ -84,7 +112,7 @@ void register_builtins(SolverRegistry& r) {
           const algos::SuuCPolicy::Config cfg = suu_c_config(opt);
           std::shared_ptr<const algos::SuuTPolicy::BlockCache> cache;
           if (opt.share_precompute) {
-            cache = algos::SuuTPolicy::precompute(inst);
+            cache = algos::SuuTPolicy::precompute(inst, opt.warm_start);
           }
           return [cfg, cache] {
             return cache ? std::make_unique<algos::SuuTPolicy>(cfg, cache)
@@ -92,6 +120,9 @@ void register_builtins(SolverRegistry& r) {
           };
         },
         "SUU-T, heavy-path blocks of SUU-C (Thm 12, forests)");
+  // The exact solvers keep a pointer to the prepare-time Instance inside
+  // ExactSolver/WidthExactSolver, so their factories must not outlive it:
+  // cacheable = false keeps them out of the PrecomputeCache.
   r.add("exact-dp",
         [](const core::Instance& inst, const SolverOptions&) {
           auto solver = std::make_shared<const algos::ExactSolver>(inst);
@@ -99,7 +130,8 @@ void register_builtins(SolverRegistry& r) {
             return std::make_unique<algos::ExactOptPolicy>(solver);
           };
         },
-        "exact optimal policy via the subset-lattice DP (tiny instances)");
+        "exact optimal policy via the subset-lattice DP (tiny instances)",
+        /*cacheable=*/false);
   r.add("width-dp",
         [](const core::Instance& inst, const SolverOptions&) {
           auto solver = std::make_shared<const algos::WidthExactSolver>(inst);
@@ -107,7 +139,8 @@ void register_builtins(SolverRegistry& r) {
             return std::make_unique<algos::WidthOptPolicy>(solver);
           };
         },
-        "exact optimal policy via the Malewicz width-parameterized DP");
+        "exact optimal policy via the Malewicz width-parameterized DP",
+        /*cacheable=*/false);
   r.add("all-on-one",
         [](const core::Instance&, const SolverOptions&) {
           return stateless<algos::AllOnOnePolicy>();
@@ -147,12 +180,14 @@ SolverRegistry& SolverRegistry::global() {
 }
 
 void SolverRegistry::add(const std::string& name, Preparer prepare,
-                         std::string summary) {
+                         std::string summary, bool cacheable) {
   SUU_CHECK_MSG(name != "auto", "'auto' is reserved for structure dispatch");
   SUU_CHECK_MSG(!name.empty(), "solver name must be non-empty");
   SUU_CHECK_MSG(prepare != nullptr, "solver '" << name << "' needs a preparer");
   const bool inserted =
-      entries_.emplace(name, Entry{std::move(prepare), std::move(summary)})
+      entries_
+          .emplace(name,
+                   Entry{std::move(prepare), std::move(summary), cacheable})
           .second;
   SUU_CHECK_MSG(inserted, "solver '" << name << "' is already registered");
 }
@@ -185,7 +220,19 @@ PreparedSolver SolverRegistry::prepare(const core::Instance& inst,
     SUU_CHECK_MSG(false, "unknown solver '" << resolved << "'; registered:"
                                             << known.str());
   }
-  return PreparedSolver{resolved, it->second.prepare(inst, opt)};
+  // Caching requires the prepared artifacts to be shareable
+  // (share_precompute), free of caller-owned state (lp1.warm), and free of
+  // borrowed Instance pointers (the entry's cacheable flag).
+  const bool cacheable = it->second.cacheable && opt.share_precompute &&
+                         opt.reuse_cache && opt.lp1.warm == nullptr;
+  if (!cacheable) {
+    return PreparedSolver{resolved, it->second.prepare(inst, opt)};
+  }
+  const Preparer& preparer = it->second.prepare;
+  sim::PolicyFactory factory = PrecomputeCache::global().get_or_prepare(
+      cache_key(inst, resolved, opt),
+      [&] { return preparer(inst, opt); });
+  return PreparedSolver{resolved, std::move(factory)};
 }
 
 std::string SolverRegistry::dispatch(const core::Instance& inst) {

@@ -44,6 +44,19 @@ struct SolverOptions {
   /// once at prepare() time and share it across replications. Off = every
   /// policy instance recomputes, as a from-scratch run would.
   bool share_precompute = true;
+  /// Consult the process-wide api::PrecomputeCache (keyed by the instance
+  /// fingerprint, solver name and these options) so grid cells that share
+  /// an instance reuse one prepared solver instead of re-running the LP/DP
+  /// precompute. Only takes effect together with share_precompute, and is
+  /// bypassed when lp1.warm is set (caller-managed solver state must not
+  /// be shared through a cache).
+  bool reuse_cache = true;
+  /// Chain a simplex warm-start across SUU-T's per-block LP2 solves, so
+  /// structurally identical sibling blocks skip phase 1. Off by default:
+  /// warm-started solves may pick a different (equally optimal) LP2 vertex,
+  /// which perturbs the rounded assignment and therefore recorded
+  /// experiment bytes.
+  bool warm_start = false;
 
   // SUU-C / SUU-T knobs (forwarded into algos::SuuCPolicy::Config):
   bool random_delays = true;      ///< Theorem 7 ablation switch
@@ -70,8 +83,13 @@ class SolverRegistry {
   static SolverRegistry& global();
 
   /// Register a solver; throws util::CheckError on duplicate names and on
-  /// the reserved name "auto".
-  void add(const std::string& name, Preparer prepare, std::string summary);
+  /// the reserved name "auto". `cacheable` = false opts the solver out of
+  /// the PrecomputeCache; required when the prepared factory keeps a
+  /// pointer/reference to the Instance passed to prepare() (the cache can
+  /// outlive it — it hands the factory back for any equal-content
+  /// instance), rather than owning value/shared_ptr artifacts.
+  void add(const std::string& name, Preparer prepare, std::string summary,
+           bool cacheable = true);
 
   bool contains(const std::string& name) const;
   /// All registered names, sorted.
@@ -92,6 +110,7 @@ class SolverRegistry {
   struct Entry {
     Preparer prepare;
     std::string summary;
+    bool cacheable = true;
   };
   std::map<std::string, Entry> entries_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace suu::core {
 
@@ -31,6 +32,18 @@ Instance::Instance(int n, int m, std::vector<double> q, Dag dag)
     SUU_CHECK_MSG(has_capable,
                   "job " << j << " has no machine with q < 1 (paper WLOG)");
   }
+
+  std::uint64_t h = util::hash_mix(0x5355554921ULL);  // "SUU!"
+  h = util::hash_combine(h, static_cast<std::uint64_t>(n_));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(m_));
+  for (const double q : q_) h = util::hash_combine(h, q);
+  for (int v = 0; v < n_; ++v) {
+    for (const int u : dag_.preds(v)) {
+      h = util::hash_combine(h, (static_cast<std::uint64_t>(u) << 32) |
+                                    static_cast<std::uint32_t>(v));
+    }
+  }
+  fingerprint_ = h;
 }
 
 Instance Instance::independent(int n, int m, std::vector<double> q) {

@@ -12,6 +12,7 @@
 // machine still completes its job in one step under both semantics.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/dag.hpp"
@@ -57,12 +58,20 @@ class Instance {
   const Dag& dag() const noexcept { return dag_; }
   bool is_independent() const noexcept { return dag_.is_empty(); }
 
+  /// 64-bit content hash of (n, m, every q bit pattern, every dag edge),
+  /// computed once at construction. Two instances built from the same data
+  /// always collide; any q perturbation or edge change yields a different
+  /// value (up to hash collisions). Keys the api::PrecomputeCache so grid
+  /// cells sharing an instance reuse LP/DP artifacts.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
  private:
   int n_;
   int m_;
   std::vector<double> q_;
   std::vector<double> ell_;
   Dag dag_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace suu::core

@@ -40,7 +40,16 @@ struct Solution {
   Status status = Status::IterLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< size num_vars when status == Optimal
+  /// Simplex pivots spent (both phases). Excludes the per-row basis
+  /// eliminations of a warm-start install (those are basis factorization,
+  /// not priced iterations) — compare warm vs cold re-solves by wall time,
+  /// not by this counter alone.
   int iterations = 0;
+  int phase1_iterations = 0;  ///< pivots spent in phase 1 (0 on a warm hit)
+  /// Basic column per tableau row on Status::Optimal (the solver's internal
+  /// column numbering: originals, then slacks, then artificials). Feed it
+  /// into a WarmStart handle to seed a follow-up solve.
+  std::vector<int> basis;
 };
 
 /// Check primal feasibility of a candidate point within tolerance `tol`

@@ -10,10 +10,22 @@
 namespace suu::lp {
 namespace {
 
-// Dense tableau:
-//   body_[r] = current B^{-1} A row (length n_total), rhs_[r] = B^{-1} b.
-//   cost_[j] = reduced cost of column j for the active objective,
-//   cost_obj_ = current (negated) objective value.
+// Flat-arena tableau:
+//   arena_ is one row-major allocation of rows() * stride_ doubles;
+//   row r (the current B^{-1} A row) starts at arena_[r * stride_],
+//   rhs_[r] = B^{-1} b, cost_[j] = reduced cost of column j for the active
+//   objective, cost_obj_ = current (negated) objective value.
+//
+// Pricing keeps cand_, the exact set of improving columns (cost < -tol
+// among the first allow_limit_ columns), maintained incrementally: a pivot
+// changes reduced costs only on the nonzero support of the pivot row, so
+// only those columns can enter or leave the set. Entering-column selection
+// scans cand_ instead of all columns and compacts stale entries in place; a
+// full rescan runs only when the list is exhausted (then finding nothing
+// proves optimality). The selected column is the lexicographic minimum of
+// (reduced cost, index), which is exactly what a full Dantzig scan with
+// first-wins tie-breaking returns — so the pivot trajectory, and therefore
+// every solution byte, is identical to the full-scan solver's.
 class Tableau {
  public:
   Tableau(const Problem& p, double tol)
@@ -56,8 +68,10 @@ class Tableau {
     }
     n_total_ = n_orig_ + n_slack + n_art;
     art_begin_ = n_orig_ + n_slack;
+    stride_ = n_total_;
+    m_ = m;
 
-    body_.assign(m, std::vector<double>(n_total_, 0.0));
+    arena_.assign(static_cast<std::size_t>(m) * stride_, 0.0);
     rhs_.assign(m, 0.0);
     basis_.assign(m, -1);
 
@@ -65,32 +79,40 @@ class Tableau {
     int art_next = art_begin_;
     for (int r = 0; r < m; ++r) {
       const NRow& nr = nrows[r];
-      for (int j = 0; j < n_orig_; ++j) body_[r][j] = nr.a[j];
+      double* const row_r = row(r);
+      for (int j = 0; j < n_orig_; ++j) row_r[j] = nr.a[j];
       rhs_[r] = nr.rhs;
       if (nr.rel == Rel::Le) {
-        body_[r][slack_next] = 1.0;
+        row_r[slack_next] = 1.0;
         basis_[r] = slack_next++;
       } else if (nr.rel == Rel::Ge) {
-        body_[r][slack_next] = -1.0;
+        row_r[slack_next] = -1.0;
         ++slack_next;
-        body_[r][art_next] = 1.0;
+        row_r[art_next] = 1.0;
         basis_[r] = art_next++;
       } else {  // Eq
-        body_[r][art_next] = 1.0;
+        row_r[art_next] = 1.0;
         basis_[r] = art_next++;
       }
     }
   }
 
-  int rows() const { return static_cast<int>(body_.size()); }
+  int rows() const { return m_; }
   int cols() const { return n_total_; }
   int n_orig() const { return n_orig_; }
   int art_begin() const { return art_begin_; }
   const std::vector<int>& basis() const { return basis_; }
 
+  double* row(int r) { return arena_.data() + static_cast<std::size_t>(r) * stride_; }
+  const double* row(int r) const {
+    return arena_.data() + static_cast<std::size_t>(r) * stride_;
+  }
+
   // Install reduced costs for objective `c` (dense over all n_total_ columns,
-  // zero-extended) given the current basis.
-  void load_objective(const std::vector<double>& c) {
+  // zero-extended) given the current basis, and rebuild the candidate list
+  // for columns below `allow_limit` (phase 2 locks the artificials out by
+  // passing art_begin()).
+  void load_objective(const std::vector<double>& c, int allow_limit) {
     cost_.assign(n_total_, 0.0);
     for (int j = 0; j < n_total_ && j < static_cast<int>(c.size()); ++j) {
       cost_[j] = c[j];
@@ -102,33 +124,39 @@ class Tableau {
       const double cb =
           (b < static_cast<int>(c.size())) ? c[b] : 0.0;
       if (cb == 0.0) continue;
-      for (int j = 0; j < n_total_; ++j) cost_[j] -= cb * body_[r][j];
+      const double* const row_r = row(r);
+      for (int j = 0; j < n_total_; ++j) cost_[j] -= cb * row_r[j];
       cost_obj_ -= cb * rhs_[r];
     }
+    allow_limit_ = allow_limit;
+    rebuild_candidates();
   }
 
   double objective() const { return -cost_obj_; }
 
-  // One simplex iteration for the loaded objective. `allowed(j)` filters the
-  // entering column. Returns: 0 = optimal, 1 = pivoted, 2 = unbounded.
-  template <typename Allowed>
-  int iterate(bool bland, Allowed&& allowed) {
+  // One simplex iteration for the loaded objective. Returns: 0 = optimal,
+  // 1 = pivoted, 2 = unbounded.
+  int iterate(bool bland) {
     // Entering column.
     int enter = -1;
     if (bland) {
-      for (int j = 0; j < n_total_; ++j) {
-        if (allowed(j) && cost_[j] < -tol_) {
+      // Bland's least-index rule, full scan — preserved verbatim as the
+      // anti-cycling guard (the candidate list is bypassed, not consulted).
+      for (int j = 0; j < allow_limit_; ++j) {
+        if (cost_[j] < -tol_) {
           enter = j;
           break;
         }
       }
     } else {
-      double best = -tol_;
-      for (int j = 0; j < n_total_; ++j) {
-        if (allowed(j) && cost_[j] < best) {
-          best = cost_[j];
-          enter = j;
-        }
+      enter = price_candidates();
+      if (enter < 0) {
+        // Candidate list exhausted: fall back to one full pricing scan.
+        // The incremental maintenance is exact, so this finds a column only
+        // if floating-point drift desynchronized the list; finding none
+        // certifies optimality.
+        rebuild_candidates();
+        enter = price_candidates();
       }
     }
     if (enter < 0) return 0;
@@ -139,8 +167,9 @@ class Tableau {
     // keeps degenerate ties deterministic.
     int leave = -1;
     double best_ratio = std::numeric_limits<double>::infinity();
-    for (int r = 0; r < rows(); ++r) {
-      const double a = body_[r][enter];
+    const double* col = arena_.data() + enter;
+    for (int r = 0; r < rows(); ++r, col += stride_) {
+      const double a = *col;
       if (a > piv_tol_) {
         const double ratio = rhs_[r] / a;
         if (ratio < best_ratio - tol_ ||
@@ -158,26 +187,57 @@ class Tableau {
   }
 
   void pivot(int r, int enter) {
-    const double piv = body_[r][enter];
+    double* const pr = row(r);
+    const double piv = pr[enter];
     SUU_ASSERT(std::fabs(piv) > kPivotTol / 2);
     const double inv = 1.0 / piv;
-    for (int j = 0; j < n_total_; ++j) body_[r][j] *= inv;
+    // Scale the pivot row, collecting its nonzero support once; every
+    // elimination below touches only these columns. Structural zeros stay
+    // exactly 0.0 under row operations, so skipping them is bit-identical
+    // to the dense update.
+    support_.clear();
+    for (int j = 0; j < n_total_; ++j) {
+      const double v = pr[j];
+      if (v != 0.0) {
+        pr[j] = v * inv;
+        support_.push_back(j);
+      }
+    }
     rhs_[r] *= inv;
-    body_[r][enter] = 1.0;  // kill roundoff
+    pr[enter] = 1.0;  // kill roundoff
+    // Hybrid elimination: sparse pivot rows are applied through their
+    // support list; once the row has filled in past half the arena width
+    // the contiguous dense loop wins (it vectorizes, and subtracting
+    // f * 0.0 from the untouched columns changes no bits).
+    const bool dense_row =
+        support_.size() * 2 > static_cast<std::size_t>(n_total_);
     for (int rr = 0; rr < rows(); ++rr) {
       if (rr == r) continue;
-      const double f = body_[rr][enter];
-      if (f == 0.0) continue;
-      for (int j = 0; j < n_total_; ++j) body_[rr][j] -= f * body_[r][j];
-      body_[rr][enter] = 0.0;
+      double* const prr = row(rr);
+      const double f = prr[enter];
+      if (f == 0.0) continue;  // column support: row untouched by this pivot
+      if (dense_row) {
+        for (int j = 0; j < n_total_; ++j) prr[j] -= f * pr[j];
+      } else {
+        for (const int j : support_) prr[j] -= f * pr[j];
+      }
+      prr[enter] = 0.0;
       rhs_[rr] -= f * rhs_[r];
       if (rhs_[rr] < 0 && rhs_[rr] > -tol_) rhs_[rr] = 0.0;
     }
-    const double fc = cost_[enter];
-    if (fc != 0.0) {
-      for (int j = 0; j < n_total_; ++j) cost_[j] -= fc * body_[r][j];
-      cost_[enter] = 0.0;
-      cost_obj_ -= fc * rhs_[r];
+    if (!cost_.empty()) {
+      const double fc = cost_[enter];
+      if (fc != 0.0) {
+        if (dense_row) {
+          for (int j = 0; j < n_total_; ++j) cost_[j] -= fc * pr[j];
+        } else {
+          for (const int j : support_) cost_[j] -= fc * pr[j];
+        }
+        // Membership can only change where the pivot row is nonzero.
+        for (const int j : support_) maybe_add_candidate(j);
+        cost_[enter] = 0.0;
+        cost_obj_ -= fc * rhs_[r];
+      }
     }
     basis_[r] = enter;
   }
@@ -189,14 +249,55 @@ class Tableau {
     for (int r = 0; r < rows(); ++r) {
       if (basis_[r] < art_begin_) continue;
       int enter = -1;
+      const double* const row_r = row(r);
       for (int j = 0; j < art_begin_; ++j) {
-        if (std::fabs(body_[r][j]) > std::max(piv_tol_, tol_ * 10)) {
+        if (std::fabs(row_r[j]) > std::max(piv_tol_, tol_ * 10)) {
           enter = j;
           break;
         }
       }
       if (enter >= 0) pivot(r, enter);
     }
+  }
+
+  // Try to install a previously-optimal basis (one non-artificial column
+  // per row) by direct Gaussian pivoting, skipping phase 1. Returns false —
+  // leaving the tableau possibly corrupted, so the caller must rebuild —
+  // when the basis does not fit this program: wrong dimensions, a column
+  // with no acceptable pivot (singular), or a primal-infeasible vertex for
+  // the current rhs.
+  bool try_warm_start(const std::vector<int>& warm_basis) {
+    if (static_cast<int>(warm_basis.size()) != rows()) return false;
+    std::vector<char> used_col(static_cast<std::size_t>(n_total_), 0);
+    for (const int c : warm_basis) {
+      if (c < 0 || c >= art_begin_ || used_col[static_cast<std::size_t>(c)]) {
+        return false;
+      }
+      used_col[static_cast<std::size_t>(c)] = 1;
+    }
+    std::vector<char> placed_row(static_cast<std::size_t>(rows()), 0);
+    for (const int c : warm_basis) {
+      // Pick the largest-magnitude pivot among rows not yet claimed, for
+      // numerical stability; any valid choice yields the same basis matrix.
+      int best_r = -1;
+      double best_a = piv_tol_;
+      for (int r = 0; r < rows(); ++r) {
+        if (placed_row[static_cast<std::size_t>(r)]) continue;
+        const double a = std::fabs(row(r)[c]);
+        if (a > best_a) {
+          best_a = a;
+          best_r = r;
+        }
+      }
+      if (best_r < 0) return false;
+      pivot(best_r, c);
+      placed_row[static_cast<std::size_t>(best_r)] = 1;
+    }
+    for (int r = 0; r < rows(); ++r) {
+      if (rhs_[r] < 0 && rhs_[r] > -tol_) rhs_[r] = 0.0;
+      if (rhs_[r] < 0) return false;  // vertex infeasible for this rhs
+    }
+    return true;
   }
 
   std::vector<double> extract(int n_vars) const {
@@ -208,16 +309,65 @@ class Tableau {
   }
 
  private:
+  void rebuild_candidates() {
+    cand_.clear();
+    in_cand_.assign(static_cast<std::size_t>(n_total_), 0);
+    for (int j = 0; j < allow_limit_; ++j) {
+      if (cost_[j] < -tol_) {
+        cand_.push_back(j);
+        in_cand_[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+  }
+
+  void maybe_add_candidate(int j) {
+    if (j < allow_limit_ && cost_[j] < -tol_ &&
+        !in_cand_[static_cast<std::size_t>(j)]) {
+      cand_.push_back(j);
+      in_cand_[static_cast<std::size_t>(j)] = 1;
+    }
+  }
+
+  // Lexicographic (cost, index) minimum over the candidate list, compacting
+  // out columns whose reduced cost is no longer improving. Returns -1 when
+  // the list empties.
+  int price_candidates() {
+    int enter = -1;
+    double best = 0.0;
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < cand_.size(); ++k) {
+      const int j = cand_[k];
+      const double c = cost_[j];
+      if (!(c < -tol_)) {
+        in_cand_[static_cast<std::size_t>(j)] = 0;
+        continue;  // stale: drop
+      }
+      cand_[w++] = j;
+      if (enter < 0 || c < best || (c == best && j < enter)) {
+        best = c;
+        enter = j;
+      }
+    }
+    cand_.resize(w);
+    return enter;
+  }
+
   double tol_;
   double piv_tol_;
+  int m_ = 0;
   int n_orig_ = 0;
   int n_total_ = 0;
   int art_begin_ = 0;
-  std::vector<std::vector<double>> body_;
+  int stride_ = 0;
+  std::vector<double> arena_;  // rows() * stride_, row-major
   std::vector<double> rhs_;
   std::vector<double> cost_;
   double cost_obj_ = 0.0;
   std::vector<int> basis_;
+  int allow_limit_ = 0;
+  std::vector<int> cand_;      // improving columns (exact, lazily compacted)
+  std::vector<char> in_cand_;  // j is somewhere in cand_
+  std::vector<int> support_;   // scratch: pivot-row nonzero columns
 };
 
 }  // namespace
@@ -253,13 +403,13 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
 
   int iters = 0;
 
-  auto run_phase = [&](auto&& allowed) -> int {
+  auto run_phase = [&]() -> int {
     double last_obj = tab.objective();
     int stall = 0;
     bool bland = false;
     while (iters < iter_cap) {
       ++iters;
-      const int res = tab.iterate(bland, allowed);
+      const int res = tab.iterate(bland);
       if (res != 1) return res;
       const double obj = tab.objective();
       if (obj < last_obj - opt.tol) {
@@ -273,15 +423,33 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
     return 3;  // iteration limit
   };
 
+  // ---- Warm start: an accepted seed basis is primal feasible, so phase 1
+  // is unnecessary — artificials stay nonbasic at zero and every (possibly
+  // sign-normalized) row is satisfied at the seeded vertex.
+  bool warmed = false;
+  if (opt.warm != nullptr && !opt.warm->basis.empty()) {
+    if (tab.try_warm_start(opt.warm->basis)) {
+      warmed = true;
+      ++opt.warm->hits;
+    } else {
+      // A failed attempt may have pivoted already; rebuild from scratch.
+      tab = Tableau(p, opt.tol);
+      ++opt.warm->misses;
+    }
+  } else if (opt.warm != nullptr) {
+    ++opt.warm->misses;
+  }
+
   // ---- Phase 1: minimize the sum of artificials.
-  if (tab.art_begin() < n) {
+  if (!warmed && tab.art_begin() < n) {
     std::vector<double> phase1(n, 0.0);
     for (int j = tab.art_begin(); j < n; ++j) phase1[j] = 1.0;
-    tab.load_objective(phase1);
-    const int res = run_phase([](int) { return true; });
+    tab.load_objective(phase1, n);
+    const int res = run_phase();
     if (res == 3) {
       sol.status = Status::IterLimit;
       sol.iterations = iters;
+      sol.phase1_iterations = iters;
       return sol;
     }
     SUU_CHECK_MSG(res != 2, "phase-1 LP cannot be unbounded");
@@ -291,19 +459,18 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
     if (p1 > feas_tol + 1e-7) {
       sol.status = Status::Infeasible;
       sol.iterations = iters;
+      sol.phase1_iterations = iters;
       return sol;
     }
     tab.expel_artificials();
   }
+  sol.phase1_iterations = iters;
 
   // ---- Phase 2: original objective; artificial columns are locked out.
   std::vector<double> phase2(n, 0.0);
   for (int j = 0; j < p.num_vars; ++j) phase2[j] = p.objective[j];
-  tab.load_objective(phase2);
-  const int art_begin = tab.art_begin();
-  const auto& basis = tab.basis();
-  (void)basis;
-  const int res = run_phase([art_begin](int j) { return j < art_begin; });
+  tab.load_objective(phase2, tab.art_begin());
+  const int res = run_phase();
   sol.iterations = iters;
   if (res == 3) {
     sol.status = Status::IterLimit;
@@ -316,6 +483,8 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
 
   sol.status = Status::Optimal;
   sol.x = tab.extract(p.num_vars);
+  sol.basis = tab.basis();
+  if (opt.warm != nullptr) opt.warm->basis = sol.basis;
   double obj = 0.0;
   for (int j = 0; j < p.num_vars; ++j) obj += p.objective[j] * sol.x[j];
   sol.objective = obj;

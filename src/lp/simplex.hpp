@@ -1,12 +1,18 @@
-// Dense two-phase primal simplex.
+// Dense two-phase primal simplex over a flat row-major arena.
 //
 // This is the exact LP substrate behind the paper's relaxations: LP1
 // (Section 3), LP2 (Section 4) and the Lawler–Labetoulle makespan LP
-// (Appendix C). It is a tableau implementation with Dantzig pricing and a
-// Bland's-rule fallback for degeneracy, intended for the dense, moderately
-// sized programs those relaxations produce. For large SUU-I instances the
+// (Appendix C). The tableau lives in one contiguous allocation (stride =
+// total column count) so pivots stream over cache lines; pricing keeps an
+// incrementally-maintained candidate list of improving columns (falling
+// back to a full scan only when the list is exhausted) and eliminations
+// touch only the nonzero support of the pivot row. A Bland's-rule fallback
+// guards against degenerate cycling. For large SUU-I instances the
 // Frank–Wolfe solver in lp/fw_cover.hpp takes over (see DESIGN.md §5).
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "lp/problem.hpp"
 
@@ -24,10 +30,30 @@ inline constexpr double kPivotTol = 1e-9;
 /// strict progress again.
 inline constexpr int kBlandStallFactor = 4;
 
+/// Reusable warm-start handle. Seed it with the basis of a previous
+/// Solution (or leave it empty for a cold first solve) and pass it through
+/// SimplexOptions::warm; every successful solve writes its final basis
+/// back, so chaining the same handle across a sequence of structurally
+/// similar programs (LP2 block re-solves, perturbed-rhs re-solves) lets
+/// each follow-up skip phase 1 entirely. A seed basis that does not fit the
+/// next program (wrong dimensions, singular, or primal infeasible for the
+/// new rhs) is rejected and the solve falls back to a cold two-phase run —
+/// warm-starting never changes feasibility or optimality, only the path.
+struct WarmStart {
+  /// Basic column per tableau row, as produced in Solution::basis. Empty
+  /// means "no seed yet".
+  std::vector<int> basis;
+  // Diagnostics (cumulative over the handle's lifetime).
+  std::int64_t hits = 0;    ///< solves that skipped phase 1 via the seed
+  std::int64_t misses = 0;  ///< solves where the seed was absent/rejected
+};
+
 struct SimplexOptions {
   double tol = 1e-9;        ///< feasibility / reduced-cost tolerance
   int max_iters = 0;        ///< 0 = automatic (scales with problem size)
   bool verify = true;       ///< re-check feasibility of the result
+  /// Optional in/out warm-start handle (not owned); see WarmStart.
+  WarmStart* warm = nullptr;
 };
 
 /// Solve `min c·x, rows, x >= 0`. On Status::Optimal the returned point is

@@ -26,7 +26,8 @@ void check_jobs(const core::Instance& inst, const std::vector<int>& jobs) {
 }
 
 Lp1Fractional solve_with_simplex(const core::Instance& inst,
-                                 const std::vector<int>& jobs, double L) {
+                                 const std::vector<int>& jobs, double L,
+                                 lp::WarmStart* warm) {
   lp::Problem p;
   const int t_var = p.add_var(1.0);  // minimize t
   // Variables only for capable (ell' > 0) pairs.
@@ -58,13 +59,17 @@ Lp1Fractional solve_with_simplex(const core::Instance& inst,
     p.add_row(std::move(row));
   }
 
-  const lp::Solution sol = lp::solve_simplex(p);
+  lp::SimplexOptions sopt;
+  sopt.warm = warm;
+  const lp::Solution sol = lp::solve_simplex(p, sopt);
   SUU_CHECK_MSG(sol.status == lp::Status::Optimal,
                 "LP1 solve failed: " << lp::to_string(sol.status));
 
   Lp1Fractional frac;
   frac.t = sol.x[t_var];
   frac.lower_bound = frac.t;
+  frac.simplex_iterations = sol.iterations;
+  frac.simplex_phase1_iterations = sol.phase1_iterations;
   frac.x.resize(jobs.size());
   for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
     for (const auto& [i, v] : var_of[idx]) {
@@ -117,7 +122,7 @@ Lp1Fractional solve_lp1(const core::Instance& inst,
       (opt.solver == Lp1Options::Solver::Auto &&
        static_cast<std::int64_t>(jobs.size()) * inst.num_machines() <=
            opt.simplex_size_limit);
-  return use_simplex ? solve_with_simplex(inst, jobs, L)
+  return use_simplex ? solve_with_simplex(inst, jobs, L, opt.warm)
                      : solve_with_fw(inst, jobs, L);
 }
 

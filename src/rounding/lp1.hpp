@@ -21,6 +21,10 @@
 #include "core/instance.hpp"
 #include "sched/assignment.hpp"
 
+namespace suu::lp {
+struct WarmStart;
+}
+
 namespace suu::rounding {
 
 struct Lp1Options {
@@ -28,6 +32,10 @@ struct Lp1Options {
   Solver solver = Solver::Auto;
   /// Auto picks the simplex when |J'| * m is at most this threshold.
   int simplex_size_limit = 4000;
+  /// Optional simplex warm-start handle (not owned; ignored by
+  /// Frank–Wolfe). Chain it across structurally identical LP1 solves —
+  /// e.g. re-solves after a demand perturbation — to skip phase 1.
+  lp::WarmStart* warm = nullptr;
 };
 
 struct Lp1Fractional {
@@ -38,6 +46,10 @@ struct Lp1Fractional {
   double lower_bound = 0.0;
   /// Sparse solution: x[idx] pairs with jobs[idx]; entries (machine, value).
   std::vector<std::vector<std::pair<int, double>>> x;
+  /// Simplex pivots spent (0 for Frank–Wolfe); phase-1 share for warm/cold
+  /// accounting.
+  int simplex_iterations = 0;
+  int simplex_phase1_iterations = 0;
 };
 
 /// Solve the relaxation of LP1(J', L). `jobs` lists J' (must be non-empty,

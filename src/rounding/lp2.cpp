@@ -19,7 +19,8 @@ constexpr double kL = 1.0;  // LP2 uses a unit log-mass target
 }  // namespace
 
 Lp2Result solve_and_round_lp2(const core::Instance& inst,
-                              const std::vector<std::vector<int>>& chains) {
+                              const std::vector<std::vector<int>>& chains,
+                              lp::WarmStart* warm) {
   // ---- Collect the job set and validate the chain partition.
   std::vector<int> jobs;
   std::vector<char> seen(inst.num_jobs(), 0);
@@ -88,14 +89,18 @@ Lp2Result solve_and_round_lp2(const core::Instance& inst,
     p.add_row(std::move(len));
   }
 
-  const lp::Solution sol = lp::solve_simplex(p);
+  lp::SimplexOptions sopt;
+  sopt.warm = warm;
+  const lp::Solution sol = lp::solve_simplex(p, sopt);
   SUU_CHECK_MSG(sol.status == lp::Status::Optimal,
                 "LP2 solve failed: " << lp::to_string(sol.status));
 
   Lp2Result out{sched::IntegralAssignment(inst.num_jobs(),
                                           inst.num_machines()),
                 std::vector<std::int64_t>(inst.num_jobs(), 1),
-                sol.x[t_var]};
+                sol.x[t_var],
+                sol.iterations,
+                sol.phase1_iterations};
 
   // ---- Lemma 6 rounding: groups by floor(log2 ell'), source caps
   // floor(6 D*_jk), machine caps ceil(6 t*), group->machine edge caps

@@ -17,6 +17,10 @@
 #include "core/instance.hpp"
 #include "sched/assignment.hpp"
 
+namespace suu::lp {
+struct WarmStart;
+}
+
 namespace suu::rounding {
 
 struct Lp2Result {
@@ -26,12 +30,23 @@ struct Lp2Result {
   std::vector<std::int64_t> d;
   /// Fractional LP2 optimum (Lemma 5: a lower bound on O(E[T_OPT])).
   double t_fractional = 0.0;
+  /// Simplex pivots spent on the relaxation; phase-1 share is 0 when a
+  /// warm-start seed was accepted.
+  int simplex_iterations = 0;
+  int simplex_phase1_iterations = 0;
 };
 
 /// Solve the LP2 relaxation with the simplex and round per Lemma 6.
 /// `chains` must partition a subset of jobs into precedence-ordered chains;
 /// every job appearing in a chain gets mass >= 1.
+///
+/// `warm` (optional, not owned): simplex warm-start handle. Seeded from a
+/// structurally identical previous LP2 solve — same machine count and the
+/// same chain shape over capable pairs — the re-solve skips phase 1; a seed
+/// that does not fit is rejected and the solve runs cold. The handle is
+/// updated with this solve's final basis either way.
 Lp2Result solve_and_round_lp2(const core::Instance& inst,
-                              const std::vector<std::vector<int>>& chains);
+                              const std::vector<std::vector<int>>& chains,
+                              lp::WarmStart* warm = nullptr);
 
 }  // namespace suu::rounding

@@ -21,19 +21,29 @@ ExecState::ExecState(const core::Instance& inst)
 
 std::vector<int> ExecState::remaining_jobs() const {
   std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(n_remaining_));
-  for (int j = 0; j < inst_->num_jobs(); ++j) {
-    if (!completed_[j]) out.push_back(j);
-  }
+  remaining_jobs(out);
   return out;
 }
 
 std::vector<int> ExecState::eligible_jobs() const {
   std::vector<int> out;
+  eligible_jobs(out);
+  return out;
+}
+
+void ExecState::remaining_jobs(std::vector<int>& out) const {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n_remaining_));
+  for (int j = 0; j < inst_->num_jobs(); ++j) {
+    if (!completed_[j]) out.push_back(j);
+  }
+}
+
+void ExecState::eligible_jobs(std::vector<int>& out) const {
+  out.clear();
   for (int j = 0; j < inst_->num_jobs(); ++j) {
     if (eligible(j)) out.push_back(j);
   }
-  return out;
 }
 
 namespace {
@@ -60,9 +70,12 @@ ExecResult execute(const core::Instance& inst, Policy& policy,
   result.completion_time.assign(n, -1);
 
   // Deferred thresholds: job j completes once mass_j >= -log2 r_j.
-  std::vector<double> threshold(n, 0.0);
-  std::vector<double> mass(n, 0.0);
+  // (CoinFlips never touches these, so they stay unallocated there.)
+  std::vector<double> threshold;
+  std::vector<double> mass;
   if (cfg.semantics == Semantics::Deferred) {
+    threshold.resize(static_cast<std::size_t>(n));
+    mass.assign(static_cast<std::size_t>(n), 0.0);
     for (int j = 0; j < n; ++j) {
       threshold[j] = -std::log2(engine_rng.uniform01_open());
     }
@@ -114,10 +127,11 @@ ExecResult execute(const core::Instance& inst, Policy& policy,
       w.q_prod *= inst.q(i, j);
     }
 
-    // Resolve completions.
+    // Resolve completions. The assignment is dead after the gather above,
+    // so the trace record steals it instead of copying.
     StepRecord* rec = nullptr;
     if (cfg.trace != nullptr) {
-      cfg.trace->steps.push_back(StepRecord{a, {}});
+      cfg.trace->steps.push_back(StepRecord{std::move(a), {}});
       rec = &cfg.trace->steps.back();
     }
     for (const int j : touched) {

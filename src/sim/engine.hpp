@@ -60,6 +60,10 @@ class ExecState {
   std::vector<int> remaining_jobs() const;
   /// Eligible jobs only.
   std::vector<int> eligible_jobs() const;
+  /// Allocation-free variants for per-step policy loops: clear and refill
+  /// `out`, reusing its capacity. Same contents and order as above.
+  void remaining_jobs(std::vector<int>& out) const;
+  void eligible_jobs(std::vector<int>& out) const;
 
  private:
   friend ExecResult execute(const core::Instance& inst, Policy& policy,

@@ -1,0 +1,46 @@
+// Small deterministic 64-bit content hashing, shared by the instance
+// fingerprint (core::Instance::fingerprint) and the precompute-cache keys
+// (api::PrecomputeCache).
+//
+// The mixer is SplitMix64's finalizer: cheap, stateless, and identical on
+// every platform — cache keys and fingerprints are stable across runs,
+// machines and thread counts. These are content hashes for deduplication,
+// not cryptographic digests.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace suu::util {
+
+/// SplitMix64 finalizer: a well-mixed permutation of 64-bit values.
+constexpr std::uint64_t hash_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fold `v` into the running hash `h` (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return hash_mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Fold a double by bit pattern (so -0.0 != 0.0 and NaNs hash by payload;
+/// fingerprints distinguish exactly what the solvers would see).
+inline std::uint64_t hash_combine(std::uint64_t h, double v) noexcept {
+  return hash_combine(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Fold a string byte-wise (FNV-1a style inner loop, then mixed).
+inline std::uint64_t hash_combine(std::uint64_t h, std::string_view s) noexcept {
+  std::uint64_t f = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    f ^= static_cast<unsigned char>(c);
+    f *= 0x100000001b3ULL;
+  }
+  return hash_combine(hash_combine(h, f), static_cast<std::uint64_t>(s.size()));
+}
+
+}  // namespace suu::util

@@ -45,8 +45,10 @@ void fill(ExperimentRunner& runner) {
   }
 }
 
-std::string json_of(unsigned threads) {
-  ExperimentRunner runner(base_options(threads));
+std::string json_of(unsigned threads, unsigned cell_threads = 1) {
+  ExperimentRunner::Options opt = base_options(threads);
+  opt.cell_threads = cell_threads;
+  ExperimentRunner runner(opt);
   fill(runner);
   runner.run();
   std::ostringstream os;
@@ -63,6 +65,16 @@ TEST(ExperimentRunner, ByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial, pooled2);
   EXPECT_EQ(serial, pooled5);
   EXPECT_EQ(serial, default_pool);
+}
+
+TEST(ExperimentRunner, ByteIdenticalAcrossCellThreadCounts) {
+  // Cross-cell fan-out must not change a byte either, at any width, nor
+  // when combined with (ignored) replication threads.
+  const std::string serial = json_of(1);
+  EXPECT_EQ(serial, json_of(1, 2));
+  EXPECT_EQ(serial, json_of(1, 5));
+  EXPECT_EQ(serial, json_of(1, 0));
+  EXPECT_EQ(serial, json_of(4, 3));
 }
 
 TEST(ExperimentRunner, CellsAreSeedIndependent) {

@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "algos/baselines.hpp"
+#include "api/precompute_cache.hpp"
 #include "core/generators.hpp"
+#include "lp/simplex.hpp"
 #include "sim/engine.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -140,6 +142,67 @@ TEST(SolverRegistry, PreparedFactoryIsReusable) {
   const util::Estimate a = sim::estimate_makespan(inst, s.factory, opt);
   const util::Estimate b = sim::estimate_makespan(inst, s.factory, opt);
   EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(PrecomputeCache, RepeatedPrepareHitsCache) {
+  PrecomputeCache& cache = PrecomputeCache::global();
+  cache.clear();
+  cache.reset_stats();
+
+  const core::Instance inst = independent_instance(7, 3, 11);
+  const PreparedSolver first = make_solver(inst, "suu-i-sem");
+  const PrecomputeCache::Stats after_first = cache.stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_GE(after_first.misses, 1u);
+  EXPECT_GE(after_first.size, 1u);
+
+  const PreparedSolver second = make_solver(inst, "suu-i-sem");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Cached factories mint policies exactly like fresh ones.
+  sim::EstimateOptions opt;
+  opt.replications = 10;
+  opt.seed = 3;
+  opt.threads = 1;
+  EXPECT_DOUBLE_EQ(sim::estimate_makespan(inst, first.factory, opt).mean,
+                   sim::estimate_makespan(inst, second.factory, opt).mean);
+}
+
+TEST(PrecomputeCache, DistinctInstancesAndOptionsMiss) {
+  PrecomputeCache& cache = PrecomputeCache::global();
+  cache.clear();
+  cache.reset_stats();
+
+  const core::Instance a = independent_instance(7, 3, 21);
+  const core::Instance b = independent_instance(7, 3, 22);
+  make_solver(a, "suu-i-sem");
+  make_solver(b, "suu-i-sem");  // different fingerprint
+  SolverOptions opt;
+  opt.lp1.solver = rounding::Lp1Options::Solver::FrankWolfe;
+  make_solver(a, "suu-i-sem", opt);  // different options
+  const PrecomputeCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 3u);
+}
+
+TEST(PrecomputeCache, OptOutAndCallerStateBypass) {
+  PrecomputeCache& cache = PrecomputeCache::global();
+  cache.clear();
+  cache.reset_stats();
+
+  const core::Instance inst = independent_instance(7, 3, 31);
+  SolverOptions no_cache;
+  no_cache.reuse_cache = false;
+  make_solver(inst, "suu-i-sem", no_cache);
+  make_solver(inst, "suu-i-sem", no_cache);
+
+  lp::WarmStart warm;
+  SolverOptions warm_opt;
+  warm_opt.lp1.warm = &warm;  // caller-owned state: never cached
+  make_solver(inst, "suu-i-sem", warm_opt);
+
+  const PrecomputeCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+  EXPECT_EQ(s.size, 0u);
 }
 
 TEST(SolverRegistry, NamesSortedAndSummarized) {

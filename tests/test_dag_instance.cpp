@@ -239,5 +239,55 @@ TEST_P(ForestGenerator, InForestValid) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ForestGenerator, ::testing::Range(0, 8));
 
+// ---- Content fingerprint (keys the api::PrecomputeCache).
+
+TEST(InstanceFingerprint, EqualContentCollides) {
+  util::Rng rng_a(31), rng_b(31);
+  const Instance a =
+      make_independent(10, 4, MachineModel::uniform(0.3, 0.9), rng_a);
+  const Instance b =
+      make_independent(10, 4, MachineModel::uniform(0.3, 0.9), rng_b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), 0u);
+}
+
+TEST(InstanceFingerprint, QPerturbationChangesIt) {
+  util::Rng rng(32);
+  std::vector<double> q = gen_q(6, 3, MachineModel::uniform(0.3, 0.9), rng);
+  const Instance base = Instance::independent(6, 3, q);
+  std::vector<double> q2 = q;
+  q2[7] += 1e-12;  // below any solver tolerance, still a different instance
+  const Instance perturbed = Instance::independent(6, 3, q2);
+  EXPECT_NE(base.fingerprint(), perturbed.fingerprint());
+}
+
+TEST(InstanceFingerprint, DagEdgesChangeIt) {
+  util::Rng rng(33);
+  const std::vector<double> q =
+      gen_q(4, 2, MachineModel::uniform(0.3, 0.9), rng);
+  const Instance independent = Instance::independent(4, 2, q);
+  Dag chain(4);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  const Instance chained = Instance(4, 2, q, std::move(chain));
+  EXPECT_NE(independent.fingerprint(), chained.fingerprint());
+
+  Dag other(4);
+  other.add_edge(0, 1);
+  other.add_edge(2, 3);
+  const Instance rewired = Instance(4, 2, q, std::move(other));
+  EXPECT_NE(chained.fingerprint(), rewired.fingerprint());
+  EXPECT_NE(independent.fingerprint(), rewired.fingerprint());
+}
+
+TEST(InstanceFingerprint, DimensionsChangeIt) {
+  // Same flat q data read as 6x2 vs 2x6 must not collide.
+  const std::vector<double> q = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                                 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  const Instance a = Instance::independent(6, 2, q);
+  const Instance b = Instance::independent(2, 6, q);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
 }  // namespace
 }  // namespace suu::core

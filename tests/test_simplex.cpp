@@ -5,6 +5,9 @@
 #include <cmath>
 #include <vector>
 
+#include "core/generators.hpp"
+#include "rounding/lp1.hpp"
+#include "rounding/lp2.hpp"
 #include "util/rng.hpp"
 
 namespace suu::lp {
@@ -174,6 +177,118 @@ TEST(Simplex, DuplicateTermsAreSummed) {
   const Solution s = solve_simplex(p);
   ASSERT_EQ(s.status, Status::Optimal);
   EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+}
+
+// ---- Golden objectives: recorded from the seed (pre-flat-arena) solver.
+// The arena/pricing rewrite must reproduce them exactly — pricing picks the
+// lexicographic (cost, index) minimum, which is what the full Dantzig scan
+// returned, so the whole pivot trajectory is preserved bit for bit.
+
+TEST(SimplexGolden, Lp1InstanceObjective) {
+  util::Rng rng(42);
+  const core::Instance inst = core::make_independent(
+      12, 4, core::MachineModel::uniform(0.3, 0.95), rng);
+  std::vector<int> jobs;
+  for (int j = 0; j < inst.num_jobs(); ++j) jobs.push_back(j);
+  rounding::Lp1Options opt;
+  opt.solver = rounding::Lp1Options::Solver::Simplex;
+  const rounding::Lp1Fractional frac =
+      rounding::solve_lp1(inst, jobs, 0.5, opt);
+  EXPECT_NEAR(frac.t, 3.186421848442467, 1e-9);
+  EXPECT_GT(frac.simplex_iterations, 0);
+}
+
+TEST(SimplexGolden, Lp2InstanceObjective) {
+  util::Rng rng(99);
+  const core::Instance inst = core::make_chains(
+      5, 2, 4, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  const rounding::Lp2Result res =
+      rounding::solve_and_round_lp2(inst, inst.dag().chains());
+  EXPECT_NEAR(res.t_fractional, 5.296096594137738, 1e-9);
+  EXPECT_GT(res.simplex_iterations, res.simplex_phase1_iterations);
+}
+
+// (The Beale golden lives above: Simplex.BealeCycleTerminates pins the
+// optimum -0.05 at x = (1/25, 0, 1, 0).)
+
+// ---- Warm starts.
+
+Problem perturbable_lp(double rhs1) {
+  // min x + 2y s.t. x + y >= rhs1, x + 3y >= 4, x + 4y <= 12.
+  Problem p;
+  const int x = p.add_var(1.0);
+  const int y = p.add_var(2.0);
+  p.add_row(row({{x, 1}, {y, 1}}, Rel::Ge, rhs1));
+  p.add_row(row({{x, 1}, {y, 3}}, Rel::Ge, 4));
+  p.add_row(row({{x, 1}, {y, 4}}, Rel::Le, 12));
+  return p;
+}
+
+TEST(SimplexWarmStart, RepeatSolveSkipsPhase1) {
+  const Problem p = perturbable_lp(3.0);
+  WarmStart warm;
+  SimplexOptions opt;
+  opt.warm = &warm;
+  const Solution cold = solve_simplex(p, opt);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_FALSE(warm.basis.empty());
+  EXPECT_GT(cold.phase1_iterations, 0);
+
+  const Solution hot = solve_simplex(p, opt);
+  ASSERT_EQ(hot.status, Status::Optimal);
+  EXPECT_EQ(warm.hits, 1);
+  EXPECT_EQ(hot.phase1_iterations, 0);
+  EXPECT_NEAR(hot.objective, cold.objective, 1e-9);
+  for (std::size_t i = 0; i < cold.x.size(); ++i) {
+    EXPECT_NEAR(hot.x[i], cold.x[i], 1e-9);
+  }
+}
+
+TEST(SimplexWarmStart, PerturbedRhsMatchesColdSolve) {
+  WarmStart warm;
+  SimplexOptions warm_opt;
+  warm_opt.warm = &warm;
+  ASSERT_EQ(solve_simplex(perturbable_lp(3.0), warm_opt).status,
+            Status::Optimal);
+
+  const Problem perturbed = perturbable_lp(3.25);
+  const Solution hot = solve_simplex(perturbed, warm_opt);
+  const Solution cold = solve_simplex(perturbed);
+  ASSERT_EQ(hot.status, Status::Optimal);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  EXPECT_EQ(warm.hits, 1) << "perturbed-rhs seed should stay feasible here";
+  EXPECT_NEAR(hot.objective, cold.objective, 1e-9);
+}
+
+TEST(SimplexWarmStart, MismatchedSeedFallsBackCold) {
+  WarmStart warm;
+  warm.basis = {0, 1, 2, 3, 4, 5, 6};  // wrong dimensions for this program
+  SimplexOptions opt;
+  opt.warm = &warm;
+  const Problem p = perturbable_lp(3.0);
+  const Solution s = solve_simplex(p, opt);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(warm.hits, 0);
+  EXPECT_EQ(warm.misses, 1);
+  EXPECT_NEAR(s.objective, solve_simplex(p).objective, 1e-9);
+  // The handle was refreshed with a usable basis for the next solve.
+  EXPECT_EQ(static_cast<int>(warm.basis.size()),
+            static_cast<int>(p.rows.size()));
+}
+
+TEST(SimplexWarmStart, InfeasibleSeedVertexRejected) {
+  // Seed from rhs1 = 3 keeps t tight; jumping rhs1 far enough makes the
+  // old vertex primal infeasible, so the solve must fall back to phase 1
+  // and still find the right optimum.
+  WarmStart warm;
+  SimplexOptions opt;
+  opt.warm = &warm;
+  ASSERT_EQ(solve_simplex(perturbable_lp(3.0), opt).status, Status::Optimal);
+  const Problem jumped = perturbable_lp(11.0);
+  const Solution hot = solve_simplex(jumped, opt);
+  const Solution cold = solve_simplex(jumped);
+  ASSERT_EQ(hot.status, Status::Optimal);
+  EXPECT_NEAR(hot.objective, cold.objective, 1e-9);
 }
 
 TEST(MaxViolation, DetectsEachRelation) {
