@@ -1,0 +1,145 @@
+// PERF — suu::serve request throughput: cold-prepare vs cache-hit solve
+// requests on LP1-shaped (independent) and LP2-shaped (chains) instances.
+//
+// "cold" requests reference pairwise-distinct instances, so every request
+// pays the full untrusted parse + registry prepare (LP solve + rounding);
+// "hit" requests repeat one instance, so after a warmup every request is a
+// parse + fingerprint + PrecomputeCache hit — the steady state of a
+// session-bound client re-querying its instance. The gap between the two
+// rows is what the cache (and the single-flight layer above it) buys.
+//
+// Results print as a table and are recorded to BENCH_service_throughput.json
+// (JSON lines via util::Table::print_json) alongside BENCH_perf_micro.json,
+// so every run leaves a machine-readable perf trajectory record.
+//
+//   ./bench_service_throughput [--requests=200] [--workers=0] [--reps-warm=1]
+//                              [--out=BENCH_service_throughput.json]
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/precompute_cache.hpp"
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "service/engine.hpp"
+#include "service/json.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace suu;
+
+namespace {
+
+std::string solve_request(int id, const std::string& instance_text) {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"method\":\"solve\",\"params\":{\"instance\":";
+  service::json_append_quoted(out, instance_text);
+  out += "}}";
+  return out;
+}
+
+std::string instance_text(const core::Instance& inst) {
+  std::ostringstream os;
+  core::write_instance(os, inst);
+  return os.str();
+}
+
+core::Instance make_lp1(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return core::make_independent(24, 6,
+                                core::MachineModel::uniform(0.3, 0.95), rng);
+}
+
+core::Instance make_lp2(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return core::make_chains(6, 3, 5, 6, core::MachineModel::uniform(0.3, 0.9),
+                           rng);
+}
+
+struct Scenario {
+  std::string family;   // lp1-indep | lp2-chains
+  std::string variant;  // cold | hit
+  std::vector<std::string> requests;
+};
+
+double run_scenario(const Scenario& sc, unsigned workers, double* ok_frac) {
+  api::PrecomputeCache::global().clear();
+  api::PrecomputeCache::global().reset_stats();
+  service::Engine::Config cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = sc.requests.size() + 1;  // admission never the bottleneck
+  service::Engine engine(cfg);
+
+  if (sc.variant == "hit") {
+    // One warmup request populates the cache outside the timed window.
+    (void)engine.handle(sc.requests.front());
+  }
+
+  std::atomic<std::uint64_t> ok{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& req : sc.requests) {
+    engine.submit(req, [&ok](std::string&& resp) {
+      if (resp.find("\"ok\":true") != std::string::npos) ok.fetch_add(1);
+    });
+  }
+  engine.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+  *ok_frac = static_cast<double>(ok.load()) /
+             static_cast<double>(sc.requests.size());
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int requests = static_cast<int>(args.get_int("requests", 200));
+  const unsigned workers = static_cast<unsigned>(args.get_int("workers", 0));
+  const std::string out_path =
+      args.get_string("out", "BENCH_service_throughput.json");
+
+  std::vector<Scenario> scenarios;
+  for (const bool lp2 : {false, true}) {
+    const std::string family = lp2 ? "lp2-chains" : "lp1-indep";
+    Scenario cold{family, "cold", {}};
+    Scenario hit{family, "hit", {}};
+    const std::string hot =
+        instance_text(lp2 ? make_lp2(1) : make_lp1(1));
+    for (int i = 0; i < requests; ++i) {
+      cold.requests.push_back(solve_request(
+          i, instance_text(lp2 ? make_lp2(100 + i) : make_lp1(100 + i))));
+      hit.requests.push_back(solve_request(i, hot));
+    }
+    scenarios.push_back(std::move(cold));
+    scenarios.push_back(std::move(hit));
+  }
+
+  util::Table table({"family", "variant", "requests", "workers", "seconds",
+                     "req_per_sec", "ok_frac", "cache_hits", "cache_misses"});
+  for (const Scenario& sc : scenarios) {
+    double ok_frac = 0.0;
+    const double secs = run_scenario(sc, workers, &ok_frac);
+    const api::PrecomputeCache::Stats cs =
+        api::PrecomputeCache::global().stats();
+    table.add_row({sc.family, sc.variant, std::to_string(sc.requests.size()),
+                   std::to_string(workers),
+                   util::fmt(secs, 4),
+                   util::fmt(static_cast<double>(sc.requests.size()) / secs, 1),
+                   util::fmt(ok_frac, 3), std::to_string(cs.hits),
+                   std::to_string(cs.misses)});
+  }
+  table.print(std::cout);
+  std::ofstream os(out_path);
+  if (!os.good()) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  table.print_json(os);
+  std::cout << "\nrecorded " << out_path << "\n";
+  return 0;
+}

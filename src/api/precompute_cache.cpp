@@ -1,5 +1,7 @@
 #include "api/precompute_cache.hpp"
 
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace suu::api {
@@ -16,20 +18,26 @@ sim::PolicyFactory PrecomputeCache::get_or_prepare(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      return it->second;
+      // Touch: move to most-recently-used position.
+      lru_.splice(lru_.end(), lru_, it->second.lru_it);
+      return it->second.factory;
     }
     ++stats_.misses;
   }
   sim::PolicyFactory made = make();  // outside the lock: may solve LPs
   SUU_CHECK_MSG(made != nullptr, "preparer returned a null factory");
   std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = entries_.emplace(key, made);
-  if (inserted) {
-    order_.push_back(key);
-    evict_over_capacity_locked();
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A racing thread inserted first; both computed the same deterministic
+    // value, so returning our own copy changes nothing. Touch the entry —
+    // this lookup still counts as a use.
+    lru_.splice(lru_.end(), lru_, it->second.lru_it);
+    return made;
   }
-  // A racing thread may have inserted first; both computed the same
-  // deterministic value, so returning our own copy changes nothing.
+  const auto lru_it = lru_.insert(lru_.end(), key);
+  entries_.emplace(key, Entry{made, lru_it});
+  evict_over_capacity_locked();
   return made;
 }
 
@@ -40,9 +48,9 @@ void PrecomputeCache::set_capacity(std::size_t capacity) {
 }
 
 void PrecomputeCache::evict_over_capacity_locked() {
-  while (entries_.size() > capacity_ && !order_.empty()) {
-    entries_.erase(order_.front());
-    order_.pop_front();
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.front());
+    lru_.pop_front();
     ++stats_.evictions;
   }
 }
@@ -50,7 +58,7 @@ void PrecomputeCache::evict_over_capacity_locked() {
 void PrecomputeCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  order_.clear();
+  lru_.clear();
 }
 
 void PrecomputeCache::reset_stats() {
@@ -62,6 +70,7 @@ PrecomputeCache::Stats PrecomputeCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
   s.size = entries_.size();
+  s.capacity = capacity_;
   return s;
 }
 

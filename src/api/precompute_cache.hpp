@@ -15,15 +15,22 @@
 // indistinguishable from a freshly prepared one, byte for byte, in any
 // downstream measurement.
 //
+// Eviction is LRU: every hit moves its entry to the back of the recency
+// list, so a long-running service keeps its hot session instances resident
+// while one-shot instances age out. Stats (hits/misses/evictions) are exact
+// under concurrent access — every lookup outcome is counted under the lock
+// that decides it.
+//
 // Thread safety: lookups and inserts take a mutex; the prepare itself runs
 // outside the lock, so concurrent cells missing on the same key may both
 // compute (same value — first insert wins) but never block each other on
-// LP solves.
+// LP solves. Callers that want exactly one prepare per key coalesce above
+// this layer (see service::Engine's single-flight table).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -38,18 +45,21 @@ class PrecomputeCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::size_t size = 0;
+    std::size_t capacity = 0;
   };
 
   /// The process-wide cache consulted by SolverRegistry::prepare.
   static PrecomputeCache& global();
 
-  /// Return the factory cached under `key`, or run `make`, cache its
-  /// result, and return it. `make` executes outside the cache lock.
+  /// Return the factory cached under `key` (touching its recency), or run
+  /// `make`, cache its result, and return it. `make` executes outside the
+  /// cache lock.
   sim::PolicyFactory get_or_prepare(
       std::uint64_t key, const std::function<sim::PolicyFactory()>& make);
 
-  /// Entries retained before FIFO eviction kicks in (grids rarely exceed a
-  /// few dozen live keys; the cap only bounds pathological sweeps).
+  /// Entries retained before least-recently-used eviction kicks in (grids
+  /// rarely exceed a few dozen live keys; the cap bounds pathological
+  /// sweeps and long-running service sessions).
   void set_capacity(std::size_t capacity);
 
   /// Drop every entry (stats are kept; see reset_stats).
@@ -58,11 +68,16 @@ class PrecomputeCache {
   Stats stats() const;
 
  private:
+  struct Entry {
+    sim::PolicyFactory factory;
+    std::list<std::uint64_t>::iterator lru_it;  // position in lru_
+  };
+
   void evict_over_capacity_locked();  // requires mu_ held
 
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, sim::PolicyFactory> entries_;
-  std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // least recently used first
   std::size_t capacity_ = 256;
   Stats stats_;
 };

@@ -18,31 +18,6 @@
 namespace suu::api {
 namespace {
 
-// Cache key: every field a preparer can read must be folded in, or two
-// differently-configured cells could alias one prepared solver. The
-// static_assert is the tripwire: adding a field to SolverOptions (or
-// Lp1Options) changes the struct size and fails the build here — fold the
-// new field into the hash below, then update the expected size.
-static_assert(sizeof(SolverOptions) == sizeof(rounding::Lp1Options) +
-                                           5 * sizeof(bool) +
-                                           2 * sizeof(double) + /*padding*/ 3,
-              "SolverOptions changed: fold the new field into cache_key");
-std::uint64_t cache_key(const core::Instance& inst, const std::string& name,
-                        const SolverOptions& opt) {
-  std::uint64_t h = inst.fingerprint();
-  h = util::hash_combine(h, std::string_view(name));
-  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.lp1.solver));
-  h = util::hash_combine(h,
-                         static_cast<std::uint64_t>(opt.lp1.simplex_size_limit));
-  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.share_precompute));
-  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.warm_start));
-  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.random_delays));
-  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.grid_rounding));
-  h = util::hash_combine(h, opt.gamma_factor);
-  h = util::hash_combine(h, opt.fallback_factor);
-  return h;
-}
-
 algos::SuuCPolicy::Config suu_c_config(const SolverOptions& opt) {
   algos::SuuCPolicy::Config cfg;
   cfg.lp1 = opt.lp1;
@@ -230,9 +205,35 @@ PreparedSolver SolverRegistry::prepare(const core::Instance& inst,
   }
   const Preparer& preparer = it->second.prepare;
   sim::PolicyFactory factory = PrecomputeCache::global().get_or_prepare(
-      cache_key(inst, resolved, opt),
+      prepare_key(inst, resolved, opt),
       [&] { return preparer(inst, opt); });
   return PreparedSolver{resolved, std::move(factory)};
+}
+
+// Prepare key: every field a preparer can read must be folded in, or two
+// differently-configured cells could alias one prepared solver. The
+// static_assert is the tripwire: adding a field to SolverOptions (or
+// Lp1Options) changes the struct size and fails the build here — fold the
+// new field into the hash below, then update the expected size.
+static_assert(sizeof(SolverOptions) == sizeof(rounding::Lp1Options) +
+                                           5 * sizeof(bool) +
+                                           2 * sizeof(double) + /*padding*/ 3,
+              "SolverOptions changed: fold the new field into prepare_key");
+std::uint64_t SolverRegistry::prepare_key(const core::Instance& inst,
+                                          const std::string& name,
+                                          const SolverOptions& opt) {
+  std::uint64_t h = inst.fingerprint();
+  h = util::hash_combine(h, std::string_view(name));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.lp1.solver));
+  h = util::hash_combine(h,
+                         static_cast<std::uint64_t>(opt.lp1.simplex_size_limit));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.share_precompute));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.warm_start));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.random_delays));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.grid_rounding));
+  h = util::hash_combine(h, opt.gamma_factor);
+  h = util::hash_combine(h, opt.fallback_factor);
+  return h;
 }
 
 std::string SolverRegistry::dispatch(const core::Instance& inst) {

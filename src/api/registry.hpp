@@ -106,6 +106,16 @@ class SolverRegistry {
   /// inst.dag() (empty/chains/forest), or "all-on-one" for general dags.
   static std::string dispatch(const core::Instance& inst);
 
+  /// The 64-bit key under which prepare(inst, name, opt) would memoize its
+  /// factory: a hash of (instance fingerprint, resolved solver name, every
+  /// option field a preparer can read). Shared by the PrecomputeCache and
+  /// by service::Engine's single-flight table, so "identical request" means
+  /// the same thing at both layers. `name` must already be resolved (not
+  /// "auto" — see dispatch).
+  static std::uint64_t prepare_key(const core::Instance& inst,
+                                   const std::string& name,
+                                   const SolverOptions& opt);
+
  private:
   struct Entry {
     Preparer prepare;

@@ -1,5 +1,6 @@
 #include "core/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -15,8 +16,12 @@ namespace {
 constexpr const char* kMagic = "suu-instance";
 constexpr const char* kVersion = "v1";
 
+[[noreturn]] void parse_fail(const std::string& what) {
+  throw ParseError("instance parse error: " + what);
+}
+
 // Skip comment lines and return the next token.
-std::string next_token(std::istream& is) {
+std::string next_token(std::istream& is, const char* what) {
   std::string tok;
   while (is >> tok) {
     if (tok[0] == '#') {
@@ -26,12 +31,11 @@ std::string next_token(std::istream& is) {
     }
     return tok;
   }
-  SUU_CHECK_MSG(false, "unexpected end of instance stream");
-  return {};
+  parse_fail(std::string("unexpected end of stream while reading ") + what);
 }
 
-double next_double(std::istream& is) {
-  const std::string tok = next_token(is);
+double next_double(std::istream& is, const char* what) {
+  const std::string tok = next_token(is, what);
   std::size_t pos = 0;
   double v = 0.0;
   try {
@@ -39,20 +43,24 @@ double next_double(std::istream& is) {
   } catch (const std::exception&) {
     pos = 0;
   }
-  SUU_CHECK_MSG(pos == tok.size() && pos > 0, "bad number '" << tok << "'");
+  if (pos != tok.size() || pos == 0) {
+    parse_fail("bad number '" + tok + "' for " + what);
+  }
   return v;
 }
 
-long next_long(std::istream& is) {
-  const std::string tok = next_token(is);
+long next_long(std::istream& is, const char* what) {
+  const std::string tok = next_token(is, what);
   std::size_t pos = 0;
   long v = 0;
   try {
-    v = std::stol(tok, &pos);
+    v = std::stol(tok, &pos);  // throws out_of_range on overflow
   } catch (const std::exception&) {
     pos = 0;
   }
-  SUU_CHECK_MSG(pos == tok.size() && pos > 0, "bad integer '" << tok << "'");
+  if (pos != tok.size() || pos == 0) {
+    parse_fail("bad integer '" + tok + "' for " + what);
+  }
   return v;
 }
 
@@ -76,26 +84,78 @@ void write_instance(std::ostream& os, const Instance& inst) {
   }
 }
 
-Instance read_instance(std::istream& is) {
-  SUU_CHECK_MSG(next_token(is) == kMagic, "not an suu-instance stream");
-  SUU_CHECK_MSG(next_token(is) == kVersion, "unsupported version");
-  const long n = next_long(is);
-  const long m = next_long(is);
-  SUU_CHECK_MSG(n >= 1 && m >= 1 && n < (1L << 24) && m < (1L << 24),
-                "implausible dimensions " << n << "x" << m);
+Instance read_instance(std::istream& is, const ReadLimits& limits) {
+  if (next_token(is, "magic") != kMagic) {
+    parse_fail("not an suu-instance stream");
+  }
+  if (next_token(is, "version") != kVersion) parse_fail("unsupported version");
+  const long n = next_long(is, "job count");
+  const long m = next_long(is, "machine count");
+  if (n < 1 || n > limits.max_jobs) {
+    parse_fail("job count " + std::to_string(n) + " outside [1, " +
+               std::to_string(limits.max_jobs) + "]");
+  }
+  if (m < 1 || m > limits.max_machines) {
+    parse_fail("machine count " + std::to_string(m) + " outside [1, " +
+               std::to_string(limits.max_machines) + "]");
+  }
+  // Guard the n*m allocation before it happens: both factors are bounded
+  // above, so the product cannot overflow long on 64-bit.
+  if (n > limits.max_cells / m) {
+    parse_fail("probability matrix " + std::to_string(n) + "x" +
+               std::to_string(m) + " exceeds the " +
+               std::to_string(limits.max_cells) + "-cell limit");
+  }
   std::vector<double> q(static_cast<std::size_t>(n) *
                         static_cast<std::size_t>(m));
-  for (auto& v : q) v = next_double(is);
-  const long edges = next_long(is);
-  SUU_CHECK_MSG(edges >= 0, "negative edge count");
+  for (std::size_t idx = 0; idx < q.size(); ++idx) {
+    const double v = next_double(is, "failure probability");
+    const long job = static_cast<long>(idx) / m;
+    const long machine = static_cast<long>(idx) % m;
+    if (!(v >= 0.0 && v <= 1.0)) {  // NaN fails both comparisons
+      std::ostringstream os;
+      os << "q(" << machine << "," << job << ") = " << v
+         << " is not a probability in [0,1]";
+      parse_fail(os.str());
+    }
+    q[idx] = v;
+  }
+  const long edges = next_long(is, "edge count");
+  if (edges < 0 || edges > limits.max_edges) {
+    parse_fail("edge count " + std::to_string(edges) + " outside [0, " +
+               std::to_string(limits.max_edges) + "]");
+  }
   Dag dag(static_cast<int>(n));
   for (long e = 0; e < edges; ++e) {
-    const long u = next_long(is);
-    const long v = next_long(is);
-    dag.add_edge(static_cast<int>(u), static_cast<int>(v));
+    const long u = next_long(is, "edge source");
+    const long v = next_long(is, "edge target");
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      parse_fail("edge " + std::to_string(u) + "->" + std::to_string(v) +
+                 " references a job outside [0, " + std::to_string(n) + ")");
+    }
+    if (u == v) parse_fail("self-loop edge on job " + std::to_string(u));
+    try {
+      dag.add_edge(static_cast<int>(u), static_cast<int>(v));
+    } catch (const util::CheckError&) {
+      parse_fail("duplicate edge " + std::to_string(u) + "->" +
+                 std::to_string(v));
+    }
   }
-  return Instance(static_cast<int>(n), static_cast<int>(m), std::move(q),
-                  std::move(dag));
+  try {
+    dag.validate_acyclic();
+  } catch (const util::CheckError&) {
+    parse_fail("precedence edges contain a cycle");
+  }
+  try {
+    return Instance(static_cast<int>(n), static_cast<int>(m), std::move(q),
+                    std::move(dag));
+  } catch (const ParseError&) {
+    throw;
+  } catch (const util::CheckError& err) {
+    // Semantic validation the Instance constructor owns (e.g. a job with no
+    // machine of q < 1), rephrased as input rejection.
+    parse_fail(std::string("invalid instance: ") + err.what());
+  }
 }
 
 void save_instance(const std::string& path, const Instance& inst) {

@@ -9,17 +9,44 @@
 //   <edge count rows of "u v"> (u precedes v)
 //
 // Round-trips exactly at 17 significant digits.
+//
+// read_instance is hardened against malformed and adversarial input (the
+// suu::serve wire format feeds it untrusted bytes): dimension overflow,
+// out-of-range or duplicate edges, cycle-inducing edge sets, and NaN or
+// out-of-[0,1] probabilities all raise a typed ParseError — never an
+// assert/abort, and never an unbounded allocation (see ReadLimits).
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "core/instance.hpp"
+#include "util/check.hpp"
 
 namespace suu::core {
 
+/// Raised by read_instance / load_instance on malformed input. Derives from
+/// util::CheckError so legacy catch sites keep working, but carries a
+/// parser-phrased message (what was wrong with the bytes, not which internal
+/// invariant tripped).
+class ParseError : public util::CheckError {
+ public:
+  explicit ParseError(const std::string& what) : util::CheckError(what) {}
+};
+
+/// Caps on what read_instance will accept before allocating. The defaults
+/// admit every instance the experiments generate while bounding a hostile
+/// header like "16777215 16777215" (which would otherwise try to allocate
+/// ~2^48 doubles) to a cheap rejection.
+struct ReadLimits {
+  long max_jobs = 1L << 24;
+  long max_machines = 1L << 24;
+  long max_cells = 1L << 26;  ///< n * m
+  long max_edges = 1L << 24;
+};
+
 void write_instance(std::ostream& os, const Instance& inst);
-Instance read_instance(std::istream& is);
+Instance read_instance(std::istream& is, const ReadLimits& limits = {});
 
 void save_instance(const std::string& path, const Instance& inst);
 Instance load_instance(const std::string& path);

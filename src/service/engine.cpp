@@ -1,0 +1,371 @@
+#include "service/engine.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "api/experiment.hpp"
+#include "api/precompute_cache.hpp"
+#include "util/table.hpp"
+
+namespace suu::service {
+namespace {
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace
+
+Engine::Engine(const Config& cfg)
+    : cfg_(cfg), pool_(std::make_unique<util::ThreadPool>(cfg.workers)) {
+  stats_.queue_capacity = cfg_.queue_capacity;
+  stats_.workers = pool_->size();
+}
+
+Engine::~Engine() { drain(); }
+
+bool Engine::stopping() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopping_;
+}
+
+void Engine::set_shutdown_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_hook_ = std::move(hook);
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+Engine::Stats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.inflight = inflight_;
+  return s;
+}
+
+std::string Engine::handle(const std::string& line) {
+  bool ok = false;
+  std::string response;
+  if (line.size() > cfg_.max_line_bytes) {
+    response = make_error_response(
+        Json(nullptr), error_code::kParseError,
+        "request line exceeds " + std::to_string(cfg_.max_line_bytes) +
+            " bytes");
+  } else {
+    try {
+      const Request req = parse_request(line);
+      response = dispatch(req, &ok);
+    } catch (const ProtocolError& err) {
+      response =
+          make_error_response(parse_request_id(line), err.code(), err.what());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.received;
+    if (ok) {
+      ++stats_.succeeded;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  return response;
+}
+
+void Engine::submit(std::string line,
+                    std::function<void(std::string&&)> reply) {
+  const char* reject_code = nullptr;
+  const char* reject_msg = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      reject_code = error_code::kShuttingDown;
+      reject_msg = "service is shutting down";
+    } else if (inflight_ >= cfg_.queue_capacity) {
+      reject_code = error_code::kOverloaded;
+      reject_msg = "admission queue is full";
+    } else {
+      ++inflight_;
+    }
+    if (reject_code != nullptr) {
+      ++stats_.received;
+      ++stats_.rejected;
+      ++stats_.failed;
+    }
+  }
+  if (reject_code != nullptr) {
+    reply(make_error_response(parse_request_id(line), reject_code,
+                              reject_msg));
+    return;
+  }
+  auto shared_reply =
+      std::make_shared<std::function<void(std::string&&)>>(std::move(reply));
+  auto shared_line = std::make_shared<std::string>(std::move(line));
+  pool_->submit([this, shared_reply, shared_line] {
+    // The slot must be released no matter what: a throwing reply callback
+    // (or an allocation failure building the response) would otherwise
+    // leak inflight_ and deadlock drain()/~Engine.
+    try {
+      std::string response = handle(*shared_line);
+      (*shared_reply)(std::move(response));
+    } catch (...) {
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      if (inflight_ == 0) idle_cv_.notify_all();
+    }
+  });
+}
+
+std::string Engine::dispatch(const Request& req, bool* ok) {
+  try {
+    std::string result;
+    if (req.method == "list_solvers") {
+      result = handle_list_solvers();
+    } else if (req.method == "solve") {
+      result = handle_solve(req.params);
+    } else if (req.method == "estimate") {
+      result = handle_estimate(req.params);
+    } else if (req.method == "stats") {
+      result = handle_stats();
+    } else if (req.method == "shutdown") {
+      result = handle_shutdown();
+    } else {
+      throw ProtocolError(error_code::kUnknownMethod,
+                          "unknown method '" + req.method + "'");
+    }
+    *ok = true;
+    return make_result_response(req.id, result);
+  } catch (const ProtocolError& err) {
+    return make_error_response(req.id, err.code(), err.what());
+  } catch (const JsonError& err) {
+    // Type-mismatched params (as_string on a number, fractional ints, …)
+    // surface from the Json accessors: the client's input, not our fault.
+    return make_error_response(req.id, error_code::kBadParams, err.what());
+  } catch (const core::ParseError& err) {
+    return make_error_response(req.id, error_code::kBadInstance, err.what());
+  } catch (const util::CheckError& err) {
+    // Contract violations below the protocol layer — e.g. a structure
+    // solver asked to prepare a mismatched dag — are the client's doing.
+    return make_error_response(req.id, error_code::kBadParams, err.what());
+  } catch (const std::exception& err) {
+    return make_error_response(req.id, error_code::kInternal, err.what());
+  }
+}
+
+std::string Engine::handle_list_solvers() const {
+  const api::SolverRegistry& reg = api::SolverRegistry::global();
+  std::string out = "{\"solvers\":[";
+  bool first = true;
+  for (const std::string& name : reg.names()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    json_append_quoted(out, name);
+    out += ",\"summary\":";
+    json_append_quoted(out, reg.summary(name));
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::shared_ptr<const core::Instance> Engine::parse_instance(
+    const std::string& text) const {
+  std::istringstream is(text);
+  return std::make_shared<const core::Instance>(
+      core::read_instance(is, cfg_.read_limits));
+}
+
+std::shared_ptr<const Engine::Prepared> Engine::prepare(
+    std::shared_ptr<const core::Instance> inst, const std::string& solver,
+    const api::SolverOptions& opt) {
+  const api::SolverRegistry& reg = api::SolverRegistry::global();
+  const std::string resolved =
+      solver == "auto" ? api::SolverRegistry::dispatch(*inst) : solver;
+  if (!reg.contains(resolved)) {
+    throw ProtocolError(error_code::kUnknownSolver,
+                        "unknown solver '" + resolved + "'");
+  }
+  const std::uint64_t key =
+      api::SolverRegistry::prepare_key(*inst, resolved, opt);
+
+  std::shared_future<std::shared_ptr<const Prepared>> fut;
+  std::promise<std::shared_ptr<const Prepared>> prom;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(sf_mu_);
+    const auto it = inflight_prepares_.find(key);
+    if (it == inflight_prepares_.end()) {
+      leader = true;
+      inflight_prepares_.emplace(key, prom.get_future().share());
+    } else {
+      fut = it->second;
+    }
+  }
+  if (!leader) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.coalesced;
+    }
+    return fut.get();  // rethrows the leader's failure, if any
+  }
+  try {
+    auto prep = std::make_shared<Prepared>();
+    prep->instance = std::move(inst);
+    prep->solver = reg.prepare(*prep->instance, resolved, opt);
+    prom.set_value(prep);
+    std::lock_guard<std::mutex> lock(sf_mu_);
+    inflight_prepares_.erase(key);
+    return prep;
+  } catch (...) {
+    prom.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(sf_mu_);
+      inflight_prepares_.erase(key);
+    }
+    throw;
+  }
+}
+
+std::string Engine::handle_solve(const Json& params) {
+  const SolveParams p = parse_solve_params(params);
+  auto inst = parse_instance(p.instance_text);
+  const auto prep = prepare(std::move(inst), p.solver, p.options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.solves;
+  }
+  const core::Instance& instance = *prep->instance;
+  std::string out = "{\"solver\":";
+  json_append_quoted(out, prep->solver.name);
+  out += ",\"n\":" + std::to_string(instance.num_jobs());
+  out += ",\"m\":" + std::to_string(instance.num_machines());
+  out += ",\"fingerprint\":";
+  json_append_quoted(out, fingerprint_hex(instance.fingerprint()));
+  if (p.want_lower_bound) {
+    const algos::LowerBound lb =
+        api::lower_bound_auto(instance, p.options.lp1);
+    out += ",\"lower_bound\":" + util::fmt(lb.value, 6);
+  }
+  out += '}';
+  return out;
+}
+
+std::string Engine::handle_estimate(const Json& params) {
+  const EstimateParams p =
+      parse_estimate_params(params, cfg_.max_replications);
+  auto inst = parse_instance(p.solve.instance_text);
+  const auto prep = prepare(std::move(inst), p.solve.solver, p.solve.options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.estimates;
+  }
+
+  // One-cell ExperimentRunner, fully serial: the replication seeds derive
+  // from (seed, cell 0, replication r), so this produces byte-identical
+  // numbers to a direct ExperimentRunner call with the same parameters —
+  // and is itself independent of the engine's worker count.
+  api::ExperimentRunner::Options ropt;
+  ropt.seed = p.seed;
+  ropt.replications = p.replications;
+  ropt.semantics = p.semantics;
+  ropt.strict_eligibility = p.strict_eligibility;
+  ropt.step_cap = p.step_cap;
+  ropt.skip_capped = true;
+  ropt.threads = 1;
+  ropt.cell_threads = 1;
+  api::ExperimentRunner runner(ropt);
+  api::Cell cell;
+  cell.instance_label = "wire";
+  cell.instance = prep->instance;
+  cell.factory = prep->solver.factory;  // already prepared; skip registry
+  cell.factory_label = prep->solver.name;
+  runner.add(std::move(cell));
+  const api::CellResult* r = nullptr;
+  try {
+    r = &runner.run().front();
+  } catch (const util::CheckError& err) {
+    // With skip_capped set, an exhausted replication budget is the one
+    // capping failure left; report it under its own code. Every other
+    // CheckError (e.g. a strict-eligibility violation inside execute)
+    // keeps the generic bad_params mapping of the dispatch handler.
+    if (std::string_view(err.what()).find("step cap") !=
+        std::string_view::npos) {
+      throw ProtocolError(error_code::kCapped, err.what());
+    }
+    throw;
+  }
+
+  const core::Instance& instance = *prep->instance;
+  std::string out = "{\"solver\":";
+  json_append_quoted(out, prep->solver.name);
+  out += ",\"n\":" + std::to_string(instance.num_jobs());
+  out += ",\"m\":" + std::to_string(instance.num_machines());
+  out += ",\"replications\":" + std::to_string(r->replications);
+  out += ",\"capped\":" + std::to_string(r->capped);
+  out += ",\"mean\":" + util::fmt(r->makespan.mean, 6);
+  out += ",\"ci95\":" + util::fmt(r->makespan.ci95_half, 6);
+  out += ",\"stddev\":" + util::fmt(r->makespan.stddev, 6);
+  out += ",\"min\":" + util::fmt(r->makespan.min, 6);
+  out += ",\"max\":" + util::fmt(r->makespan.max, 6);
+  if (p.solve.want_lower_bound) {
+    const algos::LowerBound lb =
+        api::lower_bound_auto(instance, p.solve.options.lp1);
+    out += ",\"lower_bound\":" + util::fmt(lb.value, 6);
+    if (lb.value > 0.0) {
+      out += ",\"ratio\":" + util::fmt(r->makespan.mean / lb.value, 6);
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::string Engine::handle_stats() const {
+  const Stats s = stats();
+  const api::PrecomputeCache::Stats c = api::PrecomputeCache::global().stats();
+  std::string out = "{\"engine\":{";
+  out += "\"received\":" + std::to_string(s.received);
+  out += ",\"succeeded\":" + std::to_string(s.succeeded);
+  out += ",\"failed\":" + std::to_string(s.failed);
+  out += ",\"rejected\":" + std::to_string(s.rejected);
+  out += ",\"coalesced\":" + std::to_string(s.coalesced);
+  out += ",\"solves\":" + std::to_string(s.solves);
+  out += ",\"estimates\":" + std::to_string(s.estimates);
+  out += ",\"inflight\":" + std::to_string(s.inflight);
+  out += ",\"queue_capacity\":" + std::to_string(s.queue_capacity);
+  out += ",\"workers\":" + std::to_string(s.workers);
+  out += "},\"cache\":{";
+  out += "\"hits\":" + std::to_string(c.hits);
+  out += ",\"misses\":" + std::to_string(c.misses);
+  out += ",\"evictions\":" + std::to_string(c.evictions);
+  out += ",\"size\":" + std::to_string(c.size);
+  out += ",\"capacity\":" + std::to_string(c.capacity);
+  out += "}}";
+  return out;
+}
+
+std::string Engine::handle_shutdown() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (!hook_fired_ && shutdown_hook_) {
+      hook_fired_ = true;
+      hook = shutdown_hook_;
+    }
+  }
+  if (hook) hook();
+  return "{\"stopping\":true}";
+}
+
+}  // namespace suu::service

@@ -1,0 +1,154 @@
+// suu::serve — the transport-independent solver service engine.
+//
+// Engine turns one wire-protocol request line (see service/protocol.hpp)
+// into one response line. It can be driven three ways:
+//
+//   * handle(line)      — synchronous, for library embedding and tests;
+//   * submit(line, cb)  — asynchronous: the request passes a bounded
+//                         admission queue and is executed on the engine's
+//                         util::ThreadPool; cb receives the response line
+//                         exactly once (inline on admission failure);
+//   * a transport       — service/transport.hpp pumps bytes from stdio,
+//                         a raw fd, or a loopback TCP socket into submit.
+//
+// Invariants the rest of the PR (and the tests) rely on:
+//
+//   Determinism. The response to list_solvers/solve/estimate is a pure
+//   function of the request line: fixed JSON key order, fixed number
+//   formatting, no timing- or concurrency-dependent fields. Byte-identical
+//   requests get byte-identical responses at any worker count. (stats is
+//   the deliberate exception — it reports live counters.)
+//
+//   Single-flight batching. Concurrent solve/estimate requests whose
+//   (instance fingerprint, resolved solver, options) prepare-key coincide
+//   are coalesced: one leader runs SolverRegistry::prepare (and thereby
+//   the api::PrecomputeCache miss path) while followers wait for the
+//   leader's prepared solver — the expensive LP/DP precompute runs exactly
+//   once no matter how many identical requests arrive at once. Followers
+//   also share the leader's parsed Instance, which keeps borrowed-pointer
+//   factories (exact-dp, width-dp) valid for the whole batch.
+//
+//   Bounded admission. At most queue_capacity requests may be admitted
+//   (queued + executing) at once; beyond that submit replies immediately
+//   with an "overloaded" error instead of buffering without bound.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/registry.hpp"
+#include "core/io.hpp"
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace suu::service {
+
+class Engine {
+ public:
+  struct Config {
+    /// Worker threads draining the admission queue (0 = hardware
+    /// concurrency).
+    unsigned workers = 0;
+    /// Maximum admitted (queued + executing) requests before submit
+    /// replies "overloaded".
+    std::size_t queue_capacity = 256;
+    /// Requests longer than this are rejected before parsing.
+    std::size_t max_line_bytes = std::size_t{4} << 20;
+    /// Caps on untrusted instance payloads (see core::ReadLimits).
+    core::ReadLimits read_limits;
+    /// Upper bound on per-request Monte-Carlo replications.
+    int max_replications = 1'000'000;
+  };
+
+  struct Stats {
+    std::uint64_t received = 0;   ///< requests entering handle/submit
+    std::uint64_t succeeded = 0;  ///< "ok":true responses
+    std::uint64_t failed = 0;     ///< "ok":false responses (any code)
+    std::uint64_t rejected = 0;   ///< admission failures (overloaded/shutdown)
+    std::uint64_t coalesced = 0;  ///< prepares served by another request's
+                                  ///< in-flight prepare (single-flight)
+    std::uint64_t solves = 0;     ///< solve requests executed
+    std::uint64_t estimates = 0;  ///< estimate requests executed
+    std::size_t inflight = 0;     ///< currently admitted via submit
+    std::size_t queue_capacity = 0;
+    unsigned workers = 0;
+  };
+
+  Engine() : Engine(Config{}) {}
+  explicit Engine(const Config& cfg);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Synchronously process one request line and return the response line
+  /// (no admission bound; used by tests, benches, and in-process clients).
+  std::string handle(const std::string& line);
+
+  /// Asynchronously process one request line. `reply` is invoked exactly
+  /// once with the response — from a worker thread on completion, or
+  /// inline (before submit returns) when admission fails. `reply` must be
+  /// callable from any thread.
+  void submit(std::string line, std::function<void(std::string&&)> reply);
+
+  /// True once a shutdown request has been processed; subsequent submits
+  /// are rejected with "shutting_down".
+  bool stopping() const noexcept;
+
+  /// Invoked (once) from the worker that processes a shutdown request,
+  /// after stopping() flips. Transports use it to unblock accept/read
+  /// loops.
+  void set_shutdown_hook(std::function<void()> hook);
+
+  /// Block until every admitted request has been replied to.
+  void drain();
+
+  Stats stats() const;
+
+ private:
+  struct Prepared {
+    std::shared_ptr<const core::Instance> instance;
+    api::PreparedSolver solver;
+  };
+
+  std::string dispatch(const Request& req, bool* ok);
+  std::string handle_list_solvers() const;
+  std::string handle_solve(const Json& params);
+  std::string handle_estimate(const Json& params);
+  std::string handle_stats() const;
+  std::string handle_shutdown();
+
+  std::shared_ptr<const core::Instance> parse_instance(
+      const std::string& text) const;
+  /// Resolve "auto", verify the solver exists, and run the single-flight
+  /// prepare.
+  std::shared_ptr<const Prepared> prepare(
+      std::shared_ptr<const core::Instance> inst, const std::string& solver,
+      const api::SolverOptions& opt);
+
+  Config cfg_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  mutable std::mutex mu_;  // guards stats_, inflight_, stopping_, hook_
+  Stats stats_;
+  std::size_t inflight_ = 0;
+  bool stopping_ = false;
+  bool hook_fired_ = false;
+  std::function<void()> shutdown_hook_;
+  std::condition_variable idle_cv_;
+
+  std::mutex sf_mu_;  // guards inflight_prepares_
+  std::unordered_map<std::uint64_t,
+                     std::shared_future<std::shared_ptr<const Prepared>>>
+      inflight_prepares_;
+};
+
+}  // namespace suu::service

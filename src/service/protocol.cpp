@@ -1,0 +1,223 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+namespace suu::service {
+namespace {
+
+[[noreturn]] void bad_params(const std::string& message) {
+  throw ProtocolError(error_code::kBadParams, message);
+}
+
+/// Reject unknown keys: a typo'd option silently falling back to a default
+/// is the worst failure mode for a measurement service.
+void check_known_keys(const Json::Object& obj,
+                      std::initializer_list<const char*> known,
+                      const char* where) {
+  for (const auto& [key, value] : obj) {
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      bad_params(std::string("unknown key '") + key + "' in " + where);
+    }
+  }
+}
+
+bool get_bool(const Json::Object& obj, const char* key, bool def) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? def : it->second.as_bool(key);
+}
+
+double get_finite_double(const Json::Object& obj, const char* key,
+                         double def) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return def;
+  const double v = it->second.as_double(key);
+  if (!std::isfinite(v)) bad_params(std::string(key) + " must be finite");
+  return v;
+}
+
+std::int64_t get_int_in(const Json::Object& obj, const char* key,
+                        std::int64_t def, std::int64_t lo, std::int64_t hi) {
+  const auto it = obj.find(key);
+  const std::int64_t v = it == obj.end() ? def : it->second.as_int64(key);
+  if (v < lo || v > hi) {
+    bad_params(std::string(key) + " = " + std::to_string(v) + " outside [" +
+               std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+api::SolverOptions parse_options(const Json& options) {
+  api::SolverOptions opt;
+  if (options.is_null()) return opt;
+  if (!options.is_object()) bad_params("options must be an object");
+  const Json::Object& o = options.as_object("options");
+  check_known_keys(o,
+                   {"share_precompute", "reuse_cache", "warm_start",
+                    "random_delays", "grid_rounding", "gamma_factor",
+                    "fallback_factor", "lp1_solver",
+                    "lp1_simplex_size_limit"},
+                   "options");
+  opt.share_precompute = get_bool(o, "share_precompute", opt.share_precompute);
+  opt.reuse_cache = get_bool(o, "reuse_cache", opt.reuse_cache);
+  opt.warm_start = get_bool(o, "warm_start", opt.warm_start);
+  opt.random_delays = get_bool(o, "random_delays", opt.random_delays);
+  opt.grid_rounding = get_bool(o, "grid_rounding", opt.grid_rounding);
+  opt.gamma_factor = get_finite_double(o, "gamma_factor", opt.gamma_factor);
+  if (opt.gamma_factor <= 0.0) bad_params("gamma_factor must be > 0");
+  opt.fallback_factor =
+      get_finite_double(o, "fallback_factor", opt.fallback_factor);
+  if (opt.fallback_factor <= 0.0) bad_params("fallback_factor must be > 0");
+  if (const auto it = o.find("lp1_solver"); it != o.end()) {
+    const std::string& s = it->second.as_string("lp1_solver");
+    if (s == "auto") {
+      opt.lp1.solver = rounding::Lp1Options::Solver::Auto;
+    } else if (s == "simplex") {
+      opt.lp1.solver = rounding::Lp1Options::Solver::Simplex;
+    } else if (s == "frank-wolfe") {
+      opt.lp1.solver = rounding::Lp1Options::Solver::FrankWolfe;
+    } else {
+      bad_params("lp1_solver must be one of auto|simplex|frank-wolfe");
+    }
+  }
+  opt.lp1.simplex_size_limit = static_cast<int>(
+      get_int_in(o, "lp1_simplex_size_limit", opt.lp1.simplex_size_limit, 1,
+                 1'000'000'000));
+  return opt;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  Json root;
+  try {
+    root = Json::parse(line);
+  } catch (const JsonError& err) {
+    throw ProtocolError(error_code::kParseError, err.what());
+  }
+  if (!root.is_object()) {
+    throw ProtocolError(error_code::kBadRequest,
+                        "request must be a JSON object");
+  }
+  Request req;
+  if (const Json* id = root.find("id")) {
+    if (id->is_array() || id->is_object()) {
+      throw ProtocolError(error_code::kBadRequest,
+                          "id must be a scalar (number, string, or null)");
+    }
+    req.id = *id;
+  }
+  const Json* method = root.find("method");
+  if (method == nullptr || !method->is_string()) {
+    throw ProtocolError(error_code::kBadRequest,
+                        "request needs a string 'method'");
+  }
+  req.method = method->as_string("method");
+  if (const Json* params = root.find("params")) {
+    if (!params->is_object() && !params->is_null()) {
+      throw ProtocolError(error_code::kBadRequest,
+                          "params must be an object");
+    }
+    req.params = *params;
+  }
+  check_known_keys(root.as_object("request"), {"id", "method", "params"},
+                   "request");
+  return req;
+}
+
+Json parse_request_id(const std::string& line) noexcept {
+  try {
+    const Json root = Json::parse(line);
+    const Json* id = root.find("id");
+    if (id != nullptr && !id->is_array() && !id->is_object()) return *id;
+  } catch (...) {
+  }
+  return Json(nullptr);
+}
+
+SolveParams parse_solve_params(const Json& params,
+                               bool allow_estimate_keys) {
+  if (!params.is_object()) {
+    bad_params("solve/estimate need a params object with an 'instance'");
+  }
+  const Json::Object& o = params.as_object("params");
+  if (allow_estimate_keys) {
+    check_known_keys(o,
+                     {"instance", "solver", "options", "lower_bound",
+                      "replications", "seed", "semantics", "strict",
+                      "step_cap"},
+                     "params");
+  } else {
+    check_known_keys(o, {"instance", "solver", "options", "lower_bound"},
+                     "params");
+  }
+  SolveParams p;
+  const auto inst = o.find("instance");
+  if (inst == o.end()) bad_params("missing 'instance' payload");
+  p.instance_text = inst->second.as_string("instance");
+  if (const auto it = o.find("solver"); it != o.end()) {
+    p.solver = it->second.as_string("solver");
+    if (p.solver.empty()) bad_params("solver must be non-empty");
+  }
+  if (const auto it = o.find("options"); it != o.end()) {
+    p.options = parse_options(it->second);
+  }
+  p.want_lower_bound = get_bool(o, "lower_bound", false);
+  return p;
+}
+
+EstimateParams parse_estimate_params(const Json& params,
+                                     int max_replications) {
+  EstimateParams p;
+  p.solve = parse_solve_params(params, /*allow_estimate_keys=*/true);
+  const Json::Object& o = params.as_object("params");
+  p.replications = static_cast<int>(
+      get_int_in(o, "replications", p.replications, 1, max_replications));
+  p.seed = static_cast<std::uint64_t>(
+      get_int_in(o, "seed", static_cast<std::int64_t>(p.seed), 0,
+                 (std::int64_t{1} << 53)));
+  if (const auto it = o.find("semantics"); it != o.end()) {
+    const std::string& s = it->second.as_string("semantics");
+    if (s == "coin-flips") {
+      p.semantics = sim::Semantics::CoinFlips;
+    } else if (s == "deferred") {
+      p.semantics = sim::Semantics::Deferred;
+    } else {
+      bad_params("semantics must be coin-flips|deferred");
+    }
+  }
+  p.strict_eligibility = get_bool(o, "strict", false);
+  p.step_cap = get_int_in(o, "step_cap", p.step_cap, 1,
+                          std::int64_t{1} << 40);
+  return p;
+}
+
+std::string make_result_response(const Json& id,
+                                 const std::string& result_json) {
+  std::string out = "{\"id\":";
+  out += id.dump();
+  out += ",\"ok\":true,\"result\":";
+  out += result_json;
+  out += '}';
+  return out;
+}
+
+std::string make_error_response(const Json& id, const std::string& code,
+                                const std::string& message) {
+  std::string out = "{\"id\":";
+  out += id.dump();
+  out += ",\"ok\":false,\"error\":{\"code\":";
+  json_append_quoted(out, code);
+  out += ",\"message\":";
+  json_append_quoted(out, message);
+  out += "}}";
+  return out;
+}
+
+}  // namespace suu::service

@@ -1,0 +1,114 @@
+// suu::serve wire protocol — line-delimited JSON over any byte transport.
+//
+// One request per line, one response per line; responses carry the
+// request's `id` so a client may pipeline requests and match replies out
+// of order. The full spec lives in README.md ("Serving architecture");
+// the shape is:
+//
+//   request:  {"id": <scalar>, "method": "<name>", "params": {...}}
+//   success:  {"id": <scalar>, "ok": true,  "result": {...}}
+//   failure:  {"id": <scalar>, "ok": false, "error": {"code": "...",
+//                                                     "message": "..."}}
+//
+// Methods: list_solvers, solve, estimate, stats, shutdown.
+//
+// Hardening stance: every field is validated with a typed error before any
+// work runs — unknown methods, unknown params keys, wrong types, and
+// malformed instance payloads each map to a distinct error code, and no
+// input can reach an assert or abort. Response serialization is
+// deterministic: fixed key order, fixed number formatting (util::fmt for
+// measured quantities, so service bytes match ExperimentRunner::print_json
+// bytes for the same computation).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "api/registry.hpp"
+#include "service/json.hpp"
+#include "sim/engine.hpp"
+
+namespace suu::service {
+
+/// Error codes the protocol can return. Kept as an enum so the engine's
+/// dispatch is exhaustive; codes() gives the wire spelling.
+namespace error_code {
+inline constexpr const char* kParseError = "parse_error";
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownMethod = "unknown_method";
+inline constexpr const char* kBadParams = "bad_params";
+inline constexpr const char* kBadInstance = "bad_instance";
+inline constexpr const char* kUnknownSolver = "unknown_solver";
+inline constexpr const char* kCapped = "capped";
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kInternal = "internal";
+}  // namespace error_code
+
+/// A protocol violation carrying its wire error code. Thrown by the parse
+/// helpers below and by the engine's handlers; the engine converts it into
+/// an error response for the offending request.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// Parsed request envelope. `id` is any JSON scalar (echoed verbatim in
+/// the response; null when the client omitted it); `params` is the params
+/// object or null.
+struct Request {
+  Json id;
+  std::string method;
+  Json params;
+};
+
+/// Parse one request line. Throws ProtocolError (kParseError on malformed
+/// JSON, kBadRequest on a malformed envelope). On envelope errors the id
+/// is recovered when possible so the error response can still be matched;
+/// see parse_request_id.
+Request parse_request(const std::string& line);
+
+/// Best-effort id extraction from a line that failed parse_request — the
+/// error response should still carry the id when the envelope was a valid
+/// object. Returns null Json when unrecoverable.
+Json parse_request_id(const std::string& line) noexcept;
+
+/// Shared solve/estimate parameters.
+struct SolveParams {
+  std::string instance_text;      ///< suu-instance v1 payload (required)
+  std::string solver = "auto";    ///< registry name or "auto"
+  api::SolverOptions options;     ///< decoded from params.options
+  bool want_lower_bound = false;  ///< compute lower_bound_auto and report it
+};
+
+/// estimate = solve + Monte-Carlo measurement knobs.
+struct EstimateParams {
+  SolveParams solve;
+  int replications = 400;
+  std::uint64_t seed = 1;
+  sim::Semantics semantics = sim::Semantics::CoinFlips;
+  bool strict_eligibility = false;
+  std::int64_t step_cap = 10'000'000;
+};
+
+/// Decode params for solve/estimate. Unknown keys and type mismatches
+/// throw ProtocolError(kBadParams). `max_replications` bounds the work one
+/// request may demand. A plain solve rejects the estimate-only keys unless
+/// `allow_estimate_keys` is set (used by parse_estimate_params).
+SolveParams parse_solve_params(const Json& params,
+                               bool allow_estimate_keys = false);
+EstimateParams parse_estimate_params(const Json& params, int max_replications);
+
+/// Response lines (no trailing newline). `result_json` must already be a
+/// serialized JSON value; the id is serialized via Json::dump.
+std::string make_result_response(const Json& id, const std::string& result_json);
+std::string make_error_response(const Json& id, const std::string& code,
+                                const std::string& message);
+
+}  // namespace suu::service

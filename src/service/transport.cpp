@@ -1,0 +1,213 @@
+#include "service/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace suu::service {
+namespace {
+
+/// Outstanding-reply tracker for one transport loop: every submit is
+/// balanced by a done() inside its reply callback, and the loop drains to
+/// zero before its locals go out of scope.
+struct Outstanding {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t count = 0;
+
+  void add() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++count;
+  }
+  void done() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --count;
+    }
+    cv.notify_all();
+  }
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return count == 0; });
+  }
+};
+
+/// Strip a trailing '\r' (CRLF tolerance) and report whether anything is
+/// left to submit.
+bool normalize_line(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return !line.empty();
+}
+
+}  // namespace
+
+void serve_stream(Engine& engine, std::istream& in, std::ostream& out) {
+  std::mutex write_mu;
+  Outstanding pending;
+  std::string line;
+  while (!engine.stopping() && std::getline(in, line)) {
+    if (!normalize_line(line)) continue;
+    pending.add();
+    engine.submit(std::move(line), [&](std::string&& resp) {
+      {
+        std::lock_guard<std::mutex> lock(write_mu);
+        out << resp << '\n';
+        out.flush();
+      }
+      pending.done();
+    });
+    line.clear();
+  }
+  pending.drain();
+}
+
+void serve_fd(Engine& engine, int fd) {
+  std::mutex write_mu;
+  Outstanding pending;
+
+  auto write_line = [&](const std::string& resp) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    std::string msg = resp;
+    msg.push_back('\n');
+    std::size_t off = 0;
+    while (off < msg.size()) {
+      // MSG_NOSIGNAL: a peer that closed mid-reply must surface as EPIPE,
+      // not a process-killing SIGPIPE. ENOTSOCK falls back to write() for
+      // pipe fds (suu_serve ignores SIGPIPE for that path).
+      ssize_t w = ::send(fd, msg.data() + off, msg.size() - off,
+                         MSG_NOSIGNAL);
+      if (w < 0 && errno == ENOTSOCK) {
+        w = ::write(fd, msg.data() + off, msg.size() - off);
+      }
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return;  // peer gone; nothing useful left to do with this reply
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  };
+
+  std::string buf;
+  char chunk[4096];
+  bool abandoned = false;
+  while (!abandoned) {
+    const ssize_t r = ::read(fd, chunk, sizeof chunk);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) break;  // EOF
+    buf.append(chunk, static_cast<std::size_t>(r));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (!normalize_line(line)) continue;
+      pending.add();
+      engine.submit(std::move(line), [&](std::string&& resp) {
+        write_line(resp);
+        pending.done();
+      });
+    }
+    buf.erase(0, start);
+    if (buf.size() > engine.config().max_line_bytes) {
+      // An unframed over-long line cannot be resynchronized: answer once
+      // and abandon the connection.
+      write_line(make_error_response(
+          Json(nullptr), error_code::kParseError,
+          "request line exceeds " +
+              std::to_string(engine.config().max_line_bytes) + " bytes"));
+      abandoned = true;
+    }
+    if (engine.stopping()) break;
+  }
+  pending.drain();
+}
+
+TcpServer::TcpServer(Engine& engine, std::uint16_t port) : engine_(engine) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SUU_CHECK_MSG(listen_fd_ >= 0,
+                "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+  addr.sin_port = htons(port);
+  SUU_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "bind to 127.0.0.1:" << port
+                                     << " failed: " << std::strerror(errno));
+  SUU_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+                "listen failed: " << std::strerror(errno));
+  socklen_t len = sizeof addr;
+  SUU_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0);
+  port_ = ntohs(addr.sin_port);
+  engine_.set_shutdown_hook([this] { stop(); });
+}
+
+TcpServer::~TcpServer() {
+  engine_.set_shutdown_hook(nullptr);
+  stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpServer::run() {
+  std::vector<std::thread> threads;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down by stop()
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        ::close(fd);
+        break;
+      }
+      conn_fds_.push_back(fd);
+    }
+    threads.emplace_back([this, fd] {
+      serve_fd(engine_, fd);
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_fds_.erase(
+          std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+      ::close(fd);  // under mu_: stop() never touches an fd we closed
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void TcpServer::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  // Wake the accept loop; the fd itself is closed in the destructor, after
+  // run() has returned, so the descriptor number cannot be reused early.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Connections: wake the reader only (SHUT_RD). The write side must stay
+  // open so in-flight replies — the shutdown acknowledgment itself when
+  // stop() runs from the engine's shutdown hook — still drain to clients.
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+}  // namespace suu::service

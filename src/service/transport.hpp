@@ -1,0 +1,77 @@
+// suu::serve transports — pumping wire-protocol bytes into an Engine.
+//
+// All transports speak the same line-delimited protocol and share the same
+// shape: a read loop submits each complete line to the engine, replies are
+// written back as they complete (possibly out of request order — the id
+// field is the client's correlation handle), and the loop drains every
+// outstanding reply before returning so no callback can outlive its
+// transport state.
+//
+//   serve_stream — std::istream/std::ostream pair; stdio mode and
+//                  in-memory tests.
+//   serve_fd     — a connected file descriptor (socketpair, TCP socket).
+//   TcpServer    — loopback-only listener; one serve_fd thread per
+//                  accepted connection.
+//
+// Shutdown: when the engine processes a shutdown request its stopping()
+// flag flips and its shutdown hook runs. serve_stream/serve_fd stop
+// reading once stopping() is observed — but a read already blocked on an
+// idle peer only wakes when bytes or EOF arrive, so stream/fd clients are
+// expected to half-close after a shutdown request. TcpServer has a real
+// wakeup: its hook closes the listener and SHUT_RDs every connection, so
+// one wire shutdown winds down the whole server without client help.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "service/engine.hpp"
+
+namespace suu::service {
+
+/// Serve until EOF on `in` or engine shutdown. Responses are flushed per
+/// line. Drains outstanding replies before returning.
+void serve_stream(Engine& engine, std::istream& in, std::ostream& out);
+
+/// Serve a connected, bidirectional fd until EOF/error or engine shutdown.
+/// Drains outstanding replies before returning; does not close `fd`.
+/// A line longer than the engine's max_line_bytes gets one error response,
+/// after which the connection is abandoned (resynchronizing an unframed
+/// over-long line is not possible).
+void serve_fd(Engine& engine, int fd);
+
+/// Loopback (127.0.0.1) TCP listener over an Engine.
+class TcpServer {
+ public:
+  /// Bind and listen; port 0 picks an ephemeral port (see port()).
+  /// Installs the engine's shutdown hook so a shutdown request stops the
+  /// server. Throws util::CheckError on socket failures.
+  TcpServer(Engine& engine, std::uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept loop: one thread per connection, each running serve_fd.
+  /// Returns after stop() (or engine shutdown), once every connection
+  /// thread has been joined.
+  void run();
+
+  /// Stop accepting, wake connection readers, and make run() return.
+  /// Safe to call from any thread, any number of times.
+  void stop();
+
+ private:
+  Engine& engine_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::mutex mu_;  // guards conn_fds_, stopped_
+  std::vector<int> conn_fds_;
+  bool stopped_ = false;
+};
+
+}  // namespace suu::service

@@ -205,6 +205,58 @@ TEST(PrecomputeCache, OptOutAndCallerStateBypass) {
   EXPECT_EQ(s.size, 0u);
 }
 
+TEST(PrecomputeCache, LruEvictionTouchesOnHit) {
+  PrecomputeCache& cache = PrecomputeCache::global();
+  cache.clear();
+  cache.reset_stats();
+  cache.set_capacity(2);
+
+  const auto trivial = [] {
+    return sim::PolicyFactory(
+        [] { return std::make_unique<algos::AllOnOnePolicy>(); });
+  };
+  cache.get_or_prepare(1, trivial);  // miss        lru: [1]
+  cache.get_or_prepare(2, trivial);  // miss        lru: [1, 2]
+  cache.get_or_prepare(1, trivial);  // hit, touch  lru: [2, 1]
+  cache.get_or_prepare(3, trivial);  // miss, evicts 2 (LRU) — not 1 (FIFO
+                                     // would have evicted 1 here)
+  cache.get_or_prepare(1, trivial);  // hit: 1 survived the eviction
+  cache.get_or_prepare(2, trivial);  // miss: 2 is gone; evicts 3
+
+  const PrecomputeCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+
+  cache.clear();
+  cache.set_capacity(256);  // restore the process-wide default
+}
+
+TEST(PrecomputeCache, CapacityShrinkEvictsLruFirst) {
+  PrecomputeCache& cache = PrecomputeCache::global();
+  cache.clear();
+  cache.reset_stats();
+  cache.set_capacity(4);
+
+  const auto trivial = [] {
+    return sim::PolicyFactory(
+        [] { return std::make_unique<algos::AllOnOnePolicy>(); });
+  };
+  for (std::uint64_t k = 1; k <= 4; ++k) cache.get_or_prepare(k, trivial);
+  cache.get_or_prepare(1, trivial);  // touch 1; lru order now [2, 3, 4, 1]
+  cache.set_capacity(1);             // evicts 2, 3, 4 — keeps the hot key
+
+  EXPECT_EQ(cache.stats().size, 1u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  cache.get_or_prepare(1, trivial);
+  EXPECT_EQ(cache.stats().hits, 2u);  // 1 is still resident
+
+  cache.clear();
+  cache.set_capacity(256);  // restore the process-wide default
+}
+
 TEST(SolverRegistry, NamesSortedAndSummarized) {
   const SolverRegistry& reg = SolverRegistry::global();
   const std::vector<std::string> names = reg.names();

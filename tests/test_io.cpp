@@ -93,6 +93,57 @@ TEST(InstanceIo, RejectsInvalidInstanceContent) {
   EXPECT_THROW(read_instance(cyc), util::CheckError);
 }
 
+// The service feeds read_instance untrusted bytes: every malformed shape
+// must raise the typed core::ParseError (a CheckError subclass, so legacy
+// catch sites still work) — never an assert/abort or unbounded allocation.
+TEST(InstanceIo, TypedParseErrors) {
+  const auto expect_parse_error = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_instance(ss), ParseError) << text;
+  };
+  expect_parse_error("");                                   // empty stream
+  expect_parse_error("suu-instance v1\n0 1\n");             // n < 1
+  expect_parse_error("suu-instance v1\n-3 1\n");            // negative n
+  expect_parse_error("suu-instance v1\n1 -2\n");            // negative m
+  expect_parse_error("suu-instance v1\n99999999999999999999 1\n");  // overflow
+  expect_parse_error("suu-instance v1\n1 1\nnan\n0\n");     // NaN probability
+  expect_parse_error("suu-instance v1\n1 1\ninf\n0\n");     // inf probability
+  expect_parse_error("suu-instance v1\n1 1\n-0.25\n0\n");   // q < 0
+  expect_parse_error("suu-instance v1\n1 1\n1.5\n0\n");     // q > 1
+  expect_parse_error("suu-instance v1\n1 1\n1\n0\n");       // no capable machine
+  expect_parse_error("suu-instance v1\n2 1\n0.5\n0.5\n-1\n");        // edges < 0
+  expect_parse_error("suu-instance v1\n2 1\n0.5\n0.5\n1\n0 7\n");    // v >= n
+  expect_parse_error("suu-instance v1\n2 1\n0.5\n0.5\n1\n-1 1\n");   // u < 0
+  expect_parse_error("suu-instance v1\n2 1\n0.5\n0.5\n1\n0 0\n");    // self-loop
+  expect_parse_error("suu-instance v1\n2 1\n0.5\n0.5\n2\n0 1\n0 1\n");  // dup
+  expect_parse_error("suu-instance v1\n2 1\n0.5\n0.5\n2\n0 1\n1 0\n");  // cycle
+  expect_parse_error("suu-instance v1\n2 1\n0.5\n0.5\n1\n");  // truncated edge
+}
+
+TEST(InstanceIo, ReadLimitsBoundAllocations) {
+  // A hostile header must be rejected by the n*m product guard before the
+  // probability matrix is allocated.
+  std::stringstream huge("suu-instance v1\n16777215 16777215\n");
+  EXPECT_THROW(read_instance(huge), ParseError);
+
+  ReadLimits tight;
+  tight.max_jobs = 4;
+  tight.max_machines = 4;
+  tight.max_cells = 8;
+  tight.max_edges = 2;
+  std::stringstream too_many_jobs("suu-instance v1\n5 1\n");
+  EXPECT_THROW(read_instance(too_many_jobs, tight), ParseError);
+  std::stringstream too_many_cells("suu-instance v1\n4 3\n");
+  EXPECT_THROW(read_instance(too_many_cells, tight), ParseError);
+  std::stringstream too_many_edges(
+      "suu-instance v1\n4 2\n.5 .5\n.5 .5\n.5 .5\n.5 .5\n3\n0 1\n1 2\n2 3\n");
+  EXPECT_THROW(read_instance(too_many_edges, tight), ParseError);
+  // Within the limits everything still parses.
+  std::stringstream ok(
+      "suu-instance v1\n4 2\n.5 .5\n.5 .5\n.5 .5\n.5 .5\n2\n0 1\n1 2\n");
+  EXPECT_EQ(read_instance(ok, tight).num_jobs(), 4);
+}
+
 TEST(InstanceIo, FileRoundTrip) {
   util::Rng rng(4);
   const Instance inst =

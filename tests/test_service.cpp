@@ -1,0 +1,687 @@
+// suu::serve end-to-end coverage: the hardened JSON layer, the protocol
+// envelope, the engine's determinism / single-flight / admission-control
+// invariants, and the stream/fd/TCP transports — including the acceptance
+// path: wire responses byte-identical to direct api calls, exactly one
+// prepare for concurrent identical requests, and typed errors (never a
+// crash) for malformed payloads.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algos/baselines.hpp"
+#include "api/experiment.hpp"
+#include "api/precompute_cache.hpp"
+#include "api/registry.hpp"
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "service/engine.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace suu::service {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+std::string payload(const core::Instance& inst) {
+  std::ostringstream os;
+  core::write_instance(os, inst);
+  return os.str();
+}
+
+std::string quoted(const std::string& s) {
+  std::string out;
+  json_append_quoted(out, s);
+  return out;
+}
+
+core::Instance independent_instance(int n, int m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return core::make_independent(n, m,
+                                core::MachineModel::uniform(0.3, 0.95), rng);
+}
+
+core::Instance chains_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return core::make_chains(3, 2, 3, 3, core::MachineModel::uniform(0.3, 0.9),
+                           rng);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(ServiceJson, ParsesScalarsAndStructure) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool("x"), true);
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_double("x"), -1250.0);
+  EXPECT_EQ(Json::parse("\"a\\nb\"").as_string("x"), "a\nb");
+  const Json arr = Json::parse(" [1, 2, 3] ");
+  ASSERT_EQ(arr.as_array("x").size(), 3u);
+  const Json obj = Json::parse(R"({"b":1,"a":{"c":[true]}})");
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(ServiceJson, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string("x"), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string("x"), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string("x"),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), JsonError);  // lone high
+  EXPECT_THROW(Json::parse("\"\\ude00\""), JsonError);  // lone low
+}
+
+TEST(ServiceJson, RejectsMalformed) {
+  for (const char* bad :
+       {"", "tru", "{", "[1,]", "{\"a\":}", "01", "1.", "1e", "nan",
+        "Infinity", "\"unterminated", "\"\x01\"", "[1] trailing",
+        "{\"a\":1,\"a\":2}", "[1 2]", "'single'"}) {
+    EXPECT_THROW(Json::parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(ServiceJson, DepthLimit) {
+  std::string deep(Json::kMaxDepth + 2, '[');
+  EXPECT_THROW(Json::parse(deep), JsonError);
+  const std::string ok = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
+TEST(ServiceJson, DeterministicDump) {
+  const Json v = Json::parse(R"({"z":1,"a":[true,null,"s\n"],"m":2.5})");
+  EXPECT_EQ(v.dump(), R"({"a":[true,null,"s\n"],"m":2.5,"z":1})");
+  EXPECT_EQ(Json::parse("1.0").dump(), "1");  // integral canonicalization
+  EXPECT_EQ(json_number(0.1), "0.10000000000000001");
+  EXPECT_THROW(json_number(std::nan("")), JsonError);
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServiceProtocol, ParsesEnvelope) {
+  const Request req =
+      parse_request(R"({"id":7,"method":"solve","params":{"instance":"x"}})");
+  EXPECT_EQ(req.id.as_int64("id"), 7);
+  EXPECT_EQ(req.method, "solve");
+  ASSERT_TRUE(req.params.is_object());
+}
+
+TEST(ServiceProtocol, EnvelopeErrors) {
+  EXPECT_THROW(parse_request("not json"), ProtocolError);
+  EXPECT_THROW(parse_request("[1]"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"method":5})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"id":[1],"method":"stats"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"method":"stats","extra":1})"),
+               ProtocolError);
+  // Codes are preserved.
+  try {
+    parse_request("{]");
+    FAIL();
+  } catch (const ProtocolError& err) {
+    EXPECT_EQ(err.code(), error_code::kParseError);
+  }
+}
+
+TEST(ServiceProtocol, ParamValidation) {
+  const Json good = Json::parse(
+      R"({"instance":"x","solver":"auto","options":{"grid_rounding":true}})");
+  EXPECT_EQ(parse_solve_params(good).solver, "auto");
+  EXPECT_TRUE(parse_solve_params(good).options.grid_rounding);
+
+  EXPECT_THROW(parse_solve_params(Json::parse(R"({"solver":"auto"})")),
+               ProtocolError);  // missing instance
+  EXPECT_THROW(
+      parse_solve_params(Json::parse(R"({"instance":"x","typo":1})")),
+      ProtocolError);
+  EXPECT_THROW(parse_solve_params(Json::parse(
+                   R"({"instance":"x","options":{"unknown_opt":1}})")),
+               ProtocolError);
+  // Estimate-only keys are rejected for a plain solve...
+  EXPECT_THROW(
+      parse_solve_params(Json::parse(R"({"instance":"x","seed":1})")),
+      ProtocolError);
+  // ...but accepted (and bounded) for estimate.
+  EXPECT_EQ(parse_estimate_params(
+                Json::parse(R"({"instance":"x","replications":10})"), 100)
+                .replications,
+            10);
+  EXPECT_THROW(parse_estimate_params(
+                   Json::parse(R"({"instance":"x","replications":101})"), 100),
+               ProtocolError);
+  EXPECT_THROW(parse_estimate_params(
+                   Json::parse(R"({"instance":"x","semantics":"magic"})"), 100),
+               ProtocolError);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(ServiceEngine, ListSolversMatchesRegistry) {
+  Engine engine;
+  const std::string resp = engine.handle(R"({"id":1,"method":"list_solvers"})");
+  const Json parsed = Json::parse(resp);
+  EXPECT_TRUE(parsed.find("ok")->as_bool("ok"));
+  const Json::Array& solvers =
+      parsed.find("result")->find("solvers")->as_array("solvers");
+  const std::vector<std::string> names = api::SolverRegistry::global().names();
+  ASSERT_EQ(solvers.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(solvers[i].find("name")->as_string("name"), names[i]);
+    EXPECT_EQ(solvers[i].find("summary")->as_string("summary"),
+              api::SolverRegistry::global().summary(names[i]));
+  }
+}
+
+// The acceptance bar: a solve+estimate round-trip over the wire returns the
+// same objective/estimate bytes as direct api calls.
+TEST(ServiceEngine, SolveAndEstimateMatchDirectApiBytes) {
+  const auto inst = std::make_shared<const core::Instance>(
+      independent_instance(8, 3, 21));
+  const std::string text = payload(*inst);
+  Engine engine;
+
+  // solve: the objective (LP lower bound) must match lower_bound_auto.
+  const std::string solve_resp = engine.handle(
+      R"({"id":10,"method":"solve","params":{"instance":)" + quoted(text) +
+      R"(,"lower_bound":true}})");
+  const algos::LowerBound lb = api::lower_bound_auto(*inst);
+  char fp[24];
+  std::snprintf(fp, sizeof fp, "0x%016llx",
+                static_cast<unsigned long long>(inst->fingerprint()));
+  const std::string expected_solve =
+      R"({"id":10,"ok":true,"result":{"solver":"suu-i-sem","n":8,"m":3,)"
+      R"("fingerprint":")" + std::string(fp) + R"(","lower_bound":)" +
+      util::fmt(lb.value, 6) + "}}";
+  EXPECT_EQ(solve_resp, expected_solve);
+
+  // estimate: byte-identical to a direct one-cell ExperimentRunner.
+  api::ExperimentRunner::Options ropt;
+  ropt.seed = 5;
+  ropt.replications = 60;
+  ropt.threads = 1;
+  ropt.cell_threads = 1;
+  ropt.skip_capped = true;
+  api::ExperimentRunner runner(ropt);
+  api::Cell cell;
+  cell.instance_label = "direct";
+  cell.instance = inst;
+  cell.solver = "auto";
+  runner.add(std::move(cell));
+  const api::CellResult& r = runner.run().front();
+
+  const std::string est_resp = engine.handle(
+      R"({"id":11,"method":"estimate","params":{"instance":)" + quoted(text) +
+      R"(,"solver":"auto","replications":60,"seed":5}})");
+  const std::string expected_est =
+      R"({"id":11,"ok":true,"result":{"solver":")" + r.solver +
+      R"(","n":8,"m":3,"replications":60,"capped":0,"mean":)" +
+      util::fmt(r.makespan.mean, 6) + R"(,"ci95":)" +
+      util::fmt(r.makespan.ci95_half, 6) + R"(,"stddev":)" +
+      util::fmt(r.makespan.stddev, 6) + R"(,"min":)" +
+      util::fmt(r.makespan.min, 6) + R"(,"max":)" +
+      util::fmt(r.makespan.max, 6) + "}}";
+  EXPECT_EQ(est_resp, expected_est);
+}
+
+TEST(ServiceEngine, StructureDispatchAndNamedSolvers) {
+  Engine engine;
+  const std::string chains = quoted(payload(chains_instance(3)));
+  const Json resp = Json::parse(engine.handle(
+      R"({"id":1,"method":"solve","params":{"instance":)" + chains + "}}"));
+  EXPECT_EQ(resp.find("result")->find("solver")->as_string("solver"),
+            "suu-c");
+
+  // A structure-mismatched named solver is a typed client error: suu-c on
+  // a diamond dag (not a disjoint union of chains).
+  core::Dag diamond(4);
+  diamond.add_edge(0, 1);
+  diamond.add_edge(0, 2);
+  diamond.add_edge(1, 3);
+  diamond.add_edge(2, 3);
+  const core::Instance diamond_inst(4, 2, std::vector<double>(8, 0.5),
+                                    std::move(diamond));
+  const Json err = Json::parse(engine.handle(
+      R"({"id":2,"method":"solve","params":{"instance":)" +
+      quoted(payload(diamond_inst)) + R"(,"solver":"suu-c"}})"));
+  EXPECT_FALSE(err.find("ok")->as_bool("ok"));
+  EXPECT_EQ(err.find("error")->find("code")->as_string("code"),
+            error_code::kBadParams);
+}
+
+TEST(ServiceEngine, MalformedPayloadsYieldTypedErrorsNeverCrash) {
+  Engine engine;
+  const auto code_of = [&](const std::string& line) {
+    const Json resp = Json::parse(engine.handle(line));
+    EXPECT_FALSE(resp.find("ok")->as_bool("ok")) << line;
+    return resp.find("error")->find("code")->as_string("code");
+  };
+
+  EXPECT_EQ(code_of("garbage"), error_code::kParseError);
+  EXPECT_EQ(code_of("[]"), error_code::kBadRequest);
+  EXPECT_EQ(code_of(R"({"id":1,"method":"frobnicate"})"),
+            error_code::kUnknownMethod);
+  EXPECT_EQ(code_of(R"({"id":1,"method":"solve"})"), error_code::kBadParams);
+  // Type mismatches are the client's fault, not "internal" errors.
+  EXPECT_EQ(code_of(R"({"id":1,"method":"solve","params":{"instance":5}})"),
+            error_code::kBadParams);
+  EXPECT_EQ(code_of(
+                R"({"id":1,"method":"estimate","params":{"instance":"x","replications":1.5}})"),
+            error_code::kBadParams);
+  EXPECT_EQ(code_of(
+                R"({"id":1,"method":"solve","params":{"instance":"x","solver":"nope"}})"),
+            error_code::kBadInstance);  // bad payload reported first
+  const std::string good = quoted(payload(independent_instance(3, 2, 4)));
+  EXPECT_EQ(code_of(R"({"id":1,"method":"solve","params":{"instance":)" +
+                    good + R"(,"solver":"nope"}})"),
+            error_code::kUnknownSolver);
+
+  // Malformed instance payloads, each a distinct attack shape.
+  const auto inst_code = [&](const std::string& inst_text) {
+    return code_of(R"({"id":1,"method":"solve","params":{"instance":)" +
+                   quoted(inst_text) + "}}");
+  };
+  EXPECT_EQ(inst_code("not-an-instance"), error_code::kBadInstance);
+  EXPECT_EQ(inst_code("suu-instance v1\n-3 1\n"), error_code::kBadInstance);
+  EXPECT_EQ(inst_code("suu-instance v1\n99999999999999999999 1\n"),
+            error_code::kBadInstance);  // stol overflow
+  EXPECT_EQ(inst_code("suu-instance v1\n16777215 16777215\n"),
+            error_code::kBadInstance);  // cells limit, no allocation
+  EXPECT_EQ(inst_code("suu-instance v1\n1 1\nnan\n0\n"),
+            error_code::kBadInstance);
+  EXPECT_EQ(inst_code("suu-instance v1\n1 1\n1.5\n0\n"),
+            error_code::kBadInstance);
+  EXPECT_EQ(inst_code("suu-instance v1\n2 1\n0.5\n0.5\n1\n0 7\n"),
+            error_code::kBadInstance);  // edge out of range
+  EXPECT_EQ(inst_code("suu-instance v1\n2 1\n0.5\n0.5\n2\n0 1\n1 0\n"),
+            error_code::kBadInstance);  // cycle
+  EXPECT_EQ(inst_code("suu-instance v1\n2 1\n0.5\n0.5\n1\n"),
+            error_code::kBadInstance);  // truncated
+
+  // Oversized request line.
+  Engine::Config small;
+  small.max_line_bytes = 128;
+  Engine tiny(small);
+  const Json resp = Json::parse(tiny.handle(std::string(256, ' ')));
+  EXPECT_EQ(resp.find("error")->find("code")->as_string("code"),
+            error_code::kParseError);
+}
+
+TEST(ServiceEngine, EstimateAllCappedIsTypedError) {
+  Engine engine;
+  const std::string text =
+      quoted(payload(independent_instance(4, 2, 13)));
+  const Json resp = Json::parse(engine.handle(
+      R"({"id":1,"method":"estimate","params":{"instance":)" + text +
+      R"(,"solver":"all-on-one","replications":5,"step_cap":1}})"));
+  EXPECT_FALSE(resp.find("ok")->as_bool("ok"));
+  EXPECT_EQ(resp.find("error")->find("code")->as_string("code"),
+            error_code::kCapped);
+}
+
+TEST(ServiceEngine, BorrowedInstanceSolversWorkThroughService) {
+  // exact-dp's factory borrows the prepare-time Instance; the single-flight
+  // result must keep it alive for the whole request.
+  Engine engine;
+  const std::string text = quoted(payload(independent_instance(3, 2, 17)));
+  const Json resp = Json::parse(engine.handle(
+      R"({"id":1,"method":"estimate","params":{"instance":)" + text +
+      R"(,"solver":"exact-dp","replications":20}})"));
+  EXPECT_TRUE(resp.find("ok")->as_bool("ok")) << resp.dump();
+  EXPECT_EQ(resp.find("result")->find("solver")->as_string("solver"),
+            "exact-dp");
+}
+
+// Concurrent identical requests trigger exactly one prepare (single-flight
+// on top of the PrecomputeCache), verified via cache stats.
+TEST(ServiceEngine, SingleFlightCoalescesConcurrentIdenticalPrepares) {
+  static std::atomic<int> prepare_calls{0};
+  static std::mutex gate_mu;
+  static std::condition_variable gate_cv;
+  static bool gate_open = false;
+
+  api::SolverRegistry::global().add(
+      "test-single-flight",
+      [](const core::Instance&, const api::SolverOptions&) {
+        prepare_calls.fetch_add(1);
+        std::unique_lock<std::mutex> lock(gate_mu);
+        gate_cv.wait(lock, [] { return gate_open; });
+        return sim::PolicyFactory(
+            [] { return std::make_unique<algos::AllOnOnePolicy>(); });
+      },
+      "blocks until released; counts prepare calls");
+
+  constexpr int kClients = 4;
+  Engine::Config cfg;
+  cfg.workers = kClients;
+  Engine engine(cfg);
+
+  const std::string line =
+      R"({"id":1,"method":"solve","params":{"instance":)" +
+      quoted(payload(independent_instance(5, 2, 99))) +
+      R"(,"solver":"test-single-flight"}})";
+
+  api::PrecomputeCache::global().reset_stats();
+  std::mutex done_mu;
+  std::vector<std::string> responses;
+  for (int c = 0; c < kClients; ++c) {
+    engine.submit(line, [&](std::string&& resp) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      responses.push_back(std::move(resp));
+    });
+  }
+  // Wait until the leader is inside the preparer and every follower is
+  // parked on the shared future, then release the gate.
+  while (true) {
+    const Engine::Stats s = engine.stats();
+    if (prepare_calls.load() >= 1 && s.coalesced >= kClients - 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  engine.drain();
+
+  EXPECT_EQ(prepare_calls.load(), 1);  // exactly one prepare ran
+  const api::PrecomputeCache::Stats cache =
+      api::PrecomputeCache::global().stats();
+  EXPECT_EQ(cache.misses, 1u);  // and it hit the cache exactly once
+  EXPECT_EQ(cache.hits, 0u);    // followers never touched the cache
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kClients));
+  for (const std::string& r : responses) {
+    EXPECT_EQ(r, responses.front());  // byte-identical responses
+  }
+  EXPECT_EQ(engine.stats().coalesced, static_cast<std::uint64_t>(kClients - 1));
+}
+
+TEST(ServiceEngine, BoundedAdmissionRejectsOverload) {
+  static std::mutex gate_mu;
+  static std::condition_variable gate_cv;
+  static bool gate_open = false;
+
+  api::SolverRegistry::global().add(
+      "test-admission-block",
+      [](const core::Instance&, const api::SolverOptions&) {
+        std::unique_lock<std::mutex> lock(gate_mu);
+        gate_cv.wait(lock, [] { return gate_open; });
+        return sim::PolicyFactory(
+            [] { return std::make_unique<algos::AllOnOnePolicy>(); });
+      },
+      "blocks until released");
+
+  Engine::Config cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  Engine engine(cfg);
+  const std::string line =
+      R"({"id":1,"method":"solve","params":{"instance":)" +
+      quoted(payload(independent_instance(4, 2, 123))) +
+      R"(,"solver":"test-admission-block"}})";
+
+  std::mutex done_mu;
+  std::vector<std::string> async_responses;
+  engine.submit(line, [&](std::string&& resp) {
+    std::lock_guard<std::mutex> lock(done_mu);
+    async_responses.push_back(std::move(resp));
+  });
+
+  // Capacity 1 is now occupied: the next submit is rejected inline.
+  std::string rejected;
+  engine.submit(R"({"id":2,"method":"stats"})",
+                [&](std::string&& resp) { rejected = std::move(resp); });
+  const Json rej = Json::parse(rejected);
+  EXPECT_FALSE(rej.find("ok")->as_bool("ok"));
+  EXPECT_EQ(rej.find("error")->find("code")->as_string("code"),
+            error_code::kOverloaded);
+  EXPECT_EQ(rej.find("id")->as_int64("id"), 2);  // id still echoed
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  engine.drain();
+  EXPECT_EQ(engine.stats().rejected, 1u);
+  ASSERT_EQ(async_responses.size(), 1u);
+  EXPECT_TRUE(Json::parse(async_responses.front()).find("ok")->as_bool("ok"));
+}
+
+TEST(ServiceEngine, ShutdownStopsAdmission) {
+  Engine engine;
+  const Json resp =
+      Json::parse(engine.handle(R"({"id":1,"method":"shutdown"})"));
+  EXPECT_TRUE(resp.find("ok")->as_bool("ok"));
+  EXPECT_TRUE(engine.stopping());
+
+  std::string after;
+  engine.submit(R"({"id":2,"method":"stats"})",
+                [&](std::string&& r) { after = std::move(r); });
+  const Json rej = Json::parse(after);
+  EXPECT_EQ(rej.find("error")->find("code")->as_string("code"),
+            error_code::kShuttingDown);
+}
+
+// ---------------------------------------------------------------- transports
+
+TEST(ServiceTransport, StreamServesPipelinedRequests) {
+  Engine engine;
+  std::istringstream in(R"({"id":1,"method":"stats"})"
+                        "\n"
+                        R"({"id":2,"method":"list_solvers"})"
+                        "\n");
+  std::ostringstream out;
+  serve_stream(engine, in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::map<std::int64_t, bool> ok_by_id;
+  while (std::getline(lines, line)) {
+    const Json resp = Json::parse(line);
+    ok_by_id[resp.find("id")->as_int64("id")] =
+        resp.find("ok")->as_bool("ok");
+  }
+  ASSERT_EQ(ok_by_id.size(), 2u);
+  EXPECT_TRUE(ok_by_id[1]);
+  EXPECT_TRUE(ok_by_id[2]);
+}
+
+namespace {
+
+/// Write `requests` to `fd` (pipelined), half-close, and read id->line
+/// responses until EOF.
+std::map<std::string, std::string> client_round_trip(
+    int fd, const std::vector<std::string>& requests) {
+  std::string batch;
+  for (const std::string& r : requests) {
+    batch += r;
+    batch.push_back('\n');
+  }
+  std::size_t off = 0;
+  while (off < batch.size()) {
+    const ssize_t w = ::write(fd, batch.data() + off, batch.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ADD_FAILURE() << "client write failed";
+      break;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  ::shutdown(fd, SHUT_WR);  // server sees EOF after the batch
+
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    received.append(buf, static_cast<std::size_t>(r));
+  }
+  std::map<std::string, std::string> by_id;
+  std::istringstream lines(received);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const Json resp = Json::parse(line);
+    const Json* id = resp.find("id");
+    std::string key = id->is_string() ? id->as_string("id") : id->dump();
+    EXPECT_TRUE(by_id.emplace(std::move(key), line).second)
+        << "duplicate reply id";
+  }
+  return by_id;
+}
+
+}  // namespace
+
+// The satellite acceptance: N clients issuing interleaved requests over
+// socketpairs get byte-deterministic per-request responses regardless of
+// worker count.
+TEST(ServiceTransport, SocketpairResponsesAreByteDeterministicAcrossWorkerCounts) {
+  constexpr int kClients = 3;
+  const std::string indep = quoted(payload(independent_instance(6, 3, 31)));
+  const std::string chains = quoted(payload(chains_instance(32)));
+
+  // Each client pipelines a mixed bag of requests with distinct ids.
+  std::vector<std::vector<std::string>> requests(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    const std::string tag = "c" + std::to_string(c);
+    requests[c] = {
+        R"({"id":")" + tag + R"(-est","method":"estimate","params":{"instance":)" +
+            indep + R"(,"replications":25,"seed":)" + std::to_string(c + 1) +
+            "}}",
+        R"({"id":")" + tag + R"(-solve","method":"solve","params":{"instance":)" +
+            chains + R"(,"lower_bound":true}})",
+        R"({"id":")" + tag + R"(-ls","method":"list_solvers"})",
+        R"({"id":")" + tag + R"(-bad","method":"solve","params":{"instance":"junk"}})",
+        R"({"id":")" + tag + R"(-unk","method":"no_such_method"})",
+    };
+  }
+
+  const auto run_with_workers =
+      [&](unsigned workers) -> std::map<std::string, std::string> {
+    Engine::Config cfg;
+    cfg.workers = workers;
+    Engine engine(cfg);
+    std::vector<std::thread> servers;
+    std::vector<std::thread> clients;
+    std::vector<int> client_fds(kClients);
+    std::mutex merge_mu;
+    std::map<std::string, std::string> merged;
+    for (int c = 0; c < kClients; ++c) {
+      int sv[2];
+      EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0)
+          << "socketpair failed";
+      const int server_fd = sv[0];
+      client_fds[c] = sv[1];
+      servers.emplace_back([&engine, server_fd] {
+        serve_fd(engine, server_fd);
+        ::close(server_fd);
+      });
+      clients.emplace_back([&, c] {
+        auto by_id = client_round_trip(client_fds[c], requests[c]);
+        ::close(client_fds[c]);
+        std::lock_guard<std::mutex> lock(merge_mu);
+        merged.merge(by_id);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (std::thread& t : servers) t.join();
+    return merged;
+  };
+
+  std::map<std::string, std::string> serial;
+  run_with_workers(1).swap(serial);
+  std::map<std::string, std::string> parallel;
+  run_with_workers(4).swap(parallel);
+
+  ASSERT_EQ(serial.size(), static_cast<std::size_t>(kClients) * 5);
+  EXPECT_EQ(serial, parallel);
+
+  // And both match the synchronous library path, request by request.
+  Engine reference;
+  for (int c = 0; c < kClients; ++c) {
+    for (const std::string& req : requests[c]) {
+      const Json parsed = Json::parse(req);
+      const Json* id = parsed.find("id");
+      const std::string key =
+          id->is_string() ? id->as_string("id") : id->dump();
+      ASSERT_TRUE(serial.count(key)) << key;
+      EXPECT_EQ(serial.at(key), reference.handle(req)) << key;
+    }
+  }
+}
+
+TEST(ServiceTransport, OverlongLineGetsErrorAndConnectionAbandoned) {
+  Engine::Config cfg;
+  cfg.max_line_bytes = 256;
+  Engine engine(cfg);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::thread server([&] {
+    serve_fd(engine, sv[0]);
+    ::close(sv[0]);
+  });
+  const std::string huge(1024, 'x');  // no newline: unframed over-long line
+  ASSERT_EQ(::write(sv[1], huge.data(), huge.size()),
+            static_cast<ssize_t>(huge.size()));
+  std::string received;
+  char buf[512];
+  for (;;) {
+    const ssize_t r = ::read(sv[1], buf, sizeof buf);
+    if (r <= 0) break;
+    received.append(buf, static_cast<std::size_t>(r));
+  }
+  server.join();
+  ::close(sv[1]);
+  const Json resp = Json::parse(received.substr(0, received.find('\n')));
+  EXPECT_FALSE(resp.find("ok")->as_bool("ok"));
+  EXPECT_EQ(resp.find("error")->find("code")->as_string("code"),
+            error_code::kParseError);
+}
+
+TEST(ServiceTransport, TcpEndToEndWithWireShutdown) {
+  Engine engine;
+  TcpServer server(engine, 0);
+  ASSERT_GT(server.port(), 0);
+  std::thread server_thread([&] { server.run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  const std::string inst = quoted(payload(independent_instance(5, 2, 77)));
+  const auto by_id = client_round_trip(
+      fd, {R"({"id":"s","method":"solve","params":{"instance":)" + inst + "}}",
+           R"({"id":"q","method":"shutdown"})"});
+  ::close(fd);
+  server_thread.join();
+
+  ASSERT_EQ(by_id.size(), 2u);
+  EXPECT_TRUE(Json::parse(by_id.at("s")).find("ok")->as_bool("ok"));
+  EXPECT_TRUE(Json::parse(by_id.at("q")).find("ok")->as_bool("ok"));
+  EXPECT_TRUE(engine.stopping());
+}
+
+}  // namespace
+}  // namespace suu::service

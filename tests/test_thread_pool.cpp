@@ -77,6 +77,52 @@ TEST(ThreadPool, ExceptionPropagatesFromParallelFor) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, WaitRethrowsFirstErrorOnlyOnce) {
+  // The error slot is consumed by the rethrowing wait: a subsequent wait
+  // (with no new failures) must return cleanly, not replay a stale error.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  pool.wait();  // must not throw
+}
+
+TEST(ThreadPool, WaitKeepsFirstOfManyErrors) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  // Exactly one of the 32 exceptions is rethrown; the rest are dropped and
+  // the pool drains fully.
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  std::atomic<int> c{0};
+  pool.submit([&c] { c.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, WaitPreservesExceptionType) {
+  // The service relies on typed errors surviving the pool boundary (e.g.
+  // util::CheckError from a preparer running on a worker).
+  ThreadPool pool(2);
+  pool.submit([] { throw std::invalid_argument("typed"); });
+  try {
+    pool.wait();
+    FAIL() << "wait did not rethrow";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_STREQ(err.what(), "typed");
+  }
+}
+
+TEST(ThreadPool, WaitRethrowPerWave) {
+  // Each submit/wait wave reports its own failure independently.
+  ThreadPool pool(3);
+  for (int wave = 0; wave < 5; ++wave) {
+    pool.submit([] { throw std::runtime_error("wave"); });
+    pool.submit([] {});
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+  }
+}
+
 TEST(ThreadPool, SeededWorkIsThreadCountInvariant) {
   // The determinism contract: per-index child streams give identical
   // results no matter how many workers execute the loop.

@@ -1,0 +1,63 @@
+// suu_serve — the solver service daemon.
+//
+// Exposes the full solver registry over the line-delimited JSON protocol
+// (see README.md "Serving architecture"). Two transports:
+//
+//   stdio (default)  one client on stdin/stdout; a shutdown request stops
+//                    admission, and the process exits once stdin closes
+//                    (the blocking read cannot be interrupted mid-line):
+//                      echo '{"id":1,"method":"list_solvers"}' | suu_serve
+//   tcp              loopback listener, one connection per client:
+//                      suu_serve --mode=tcp --port=7071
+//                    --port=0 (default) picks an ephemeral port; the bound
+//                    port is announced on stdout as "listening <port>" so
+//                    scripts can scrape it.
+//
+// Tuning: --workers=N (request concurrency, 0 = hardware), --queue=K
+// (bounded admission; excess requests get an "overloaded" error),
+// --cache-capacity=C (prepared-solver LRU entries), --max-reps=R (per
+// request replication cap).
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "api/precompute_cache.hpp"
+#include "service/engine.hpp"
+#include "service/transport.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace suu;
+  const util::Args args(argc, argv);
+  const std::string mode = args.get_string("mode", "stdio");
+  if (mode != "stdio" && mode != "tcp") {
+    std::cerr << "suu_serve: --mode must be stdio or tcp\n";
+    return 2;
+  }
+
+  // A client that disappears mid-reply must surface as a write error, not
+  // a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  service::Engine::Config cfg;
+  cfg.workers = static_cast<unsigned>(args.get_int("workers", 0));
+  cfg.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 256));
+  cfg.max_replications =
+      static_cast<int>(args.get_int("max-reps", cfg.max_replications));
+  api::PrecomputeCache::global().set_capacity(
+      static_cast<std::size_t>(args.get_int("cache-capacity", 256)));
+
+  service::Engine engine(cfg);
+  if (mode == "stdio") {
+    service::serve_stream(engine, std::cin, std::cout);
+    return 0;
+  }
+  service::TcpServer server(engine,
+                            static_cast<std::uint16_t>(
+                                args.get_int("port", 0)));
+  std::cout << "listening " << server.port() << std::endl;
+  server.run();
+  engine.drain();
+  return 0;
+}
