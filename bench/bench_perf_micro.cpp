@@ -71,6 +71,40 @@ BENCHMARK(BM_SimplexLp1)
     ->Arg(1024)
     ->Complexity();
 
+// The factorized engine, forced, on the same instances — plus n=2048, which
+// the dense tableau cannot reasonably touch (its arena alone would be
+// ~340 MB). "pivots" counts priced iterations; "p1_pivots" the phase-1
+// share, so pricing and factorization regressions are visible separately
+// from wall time.
+void BM_RevisedLp1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Instance inst = bench_instance(n, 8, 11);
+  const auto jobs = all_jobs(n);
+  rounding::Lp1Options opt;
+  opt.solver = rounding::Lp1Options::Solver::Simplex;
+  opt.engine = lp::SimplexEngine::Revised;
+  std::int64_t pivots = 0, p1 = 0;
+  for (auto _ : state) {
+    const rounding::Lp1Fractional frac =
+        rounding::solve_lp1(inst, jobs, 0.5, opt);
+    pivots += frac.simplex_iterations;
+    p1 += frac.simplex_phase1_iterations;
+    benchmark::DoNotOptimize(frac.t);
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["pivots"] =
+      benchmark::Counter(static_cast<double>(pivots) / iters);
+  state.counters["p1_pivots"] =
+      benchmark::Counter(static_cast<double>(p1) / iters);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RevisedLp1)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Complexity();
+
 void BM_FrankWolfeLp1(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   core::Instance inst = bench_instance(n, 8, 12);

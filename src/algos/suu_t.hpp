@@ -32,16 +32,19 @@ class SuuTPolicy : public sim::Policy {
   sched::Assignment decide(const sim::ExecState& state) override;
 
   /// Deterministic per-instance work: heavy-path decomposition plus one
-  /// LP2 solve+round per block. With `warm_start`, a simplex warm-start
-  /// handle is chained across the blocks in order, so every block whose
-  /// program is structurally identical to its predecessor's (same machine
-  /// count, same chain shape over capable pairs) skips phase 1; blocks
-  /// where the seed does not fit solve cold automatically. Warm-started
-  /// solves can land on a different (equally optimal) vertex when LP2 has
-  /// multiple optima, which changes the rounded assignment — keep it off
-  /// when byte-stable reproduction of recorded experiment output matters.
+  /// LP2 solve+round per block. With `warm_start` (the suu::api default as
+  /// of the revised-simplex PR), a simplex warm-start handle is chained
+  /// across the blocks in order, so every block whose program is
+  /// structurally identical to its predecessor's (same machine count, same
+  /// chain shape over capable pairs) skips phase 1; blocks where the seed
+  /// does not fit solve cold automatically, and an accepted seed re-runs
+  /// the same deterministic phase-2 pricing, so the chained trajectory is
+  /// byte-stable run to run (the warm-start regression suite pins this
+  /// against recorded table1 goldens). `engine` picks the simplex core per
+  /// block.
   static std::shared_ptr<const BlockCache> precompute(
-      const core::Instance& inst, bool warm_start = false);
+      const core::Instance& inst, bool warm_start = false,
+      lp::SimplexEngine engine = lp::SimplexEngine::Auto);
 
   int num_blocks() const noexcept { return decomp_.num_blocks(); }
   int current_block() const noexcept { return block_; }

@@ -74,7 +74,8 @@ void register_builtins(SolverRegistry& r) {
                         "or 'suu-t' for forests");
           algos::SuuCPolicy::Config cfg = suu_c_config(opt);
           if (opt.share_precompute) {
-            cfg.lp2 = algos::SuuCPolicy::precompute(inst, inst.dag().chains());
+            cfg.lp2 = algos::SuuCPolicy::precompute(
+                inst, inst.dag().chains(), nullptr, opt.lp1.engine);
           }
           return [cfg] { return std::make_unique<algos::SuuCPolicy>(cfg); };
         },
@@ -87,7 +88,8 @@ void register_builtins(SolverRegistry& r) {
           const algos::SuuCPolicy::Config cfg = suu_c_config(opt);
           std::shared_ptr<const algos::SuuTPolicy::BlockCache> cache;
           if (opt.share_precompute) {
-            cache = algos::SuuTPolicy::precompute(inst, opt.warm_start);
+            cache = algos::SuuTPolicy::precompute(inst, opt.warm_start,
+                                                  opt.lp1.engine);
           }
           return [cfg, cache] {
             return cache ? std::make_unique<algos::SuuTPolicy>(cfg, cache)
@@ -215,6 +217,10 @@ PreparedSolver SolverRegistry::prepare(const core::Instance& inst,
 // static_assert is the tripwire: adding a field to SolverOptions (or
 // Lp1Options) changes the struct size and fails the build here — fold the
 // new field into the hash below, then update the expected size.
+static_assert(sizeof(rounding::Lp1Options) ==
+                  2 * sizeof(int) + sizeof(void*) + sizeof(lp::SimplexEngine) +
+                      /*padding*/ 4,
+              "Lp1Options changed: fold the new field into prepare_key");
 static_assert(sizeof(SolverOptions) == sizeof(rounding::Lp1Options) +
                                            5 * sizeof(bool) +
                                            2 * sizeof(double) + /*padding*/ 3,
@@ -227,6 +233,7 @@ std::uint64_t SolverRegistry::prepare_key(const core::Instance& inst,
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.lp1.solver));
   h = util::hash_combine(h,
                          static_cast<std::uint64_t>(opt.lp1.simplex_size_limit));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.lp1.engine));
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.share_precompute));
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.warm_start));
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.random_delays));

@@ -1,0 +1,730 @@
+#include "lp/basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+
+namespace suu::lp {
+
+int refactor_interval() {
+  static const int cached = [] {
+    const char* env = std::getenv("SUU_LP_REFACTOR_INTERVAL");
+    if (env == nullptr || *env == '\0') return kDefaultRefactorInterval;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env) return kDefaultRefactorInterval;
+    return static_cast<int>(std::clamp(v, 1L, 100000L));
+  }();
+  return cached;
+}
+
+StandardForm build_standard_form(const Problem& p) {
+  StandardForm sf;
+  const int m = static_cast<int>(p.rows.size());
+  sf.m = m;
+  sf.n_orig = p.num_vars;
+
+  // Normalize rows so rhs >= 0, accumulating duplicate terms in term order
+  // (bit-identical to the tableau's historical dense accumulation).
+  std::vector<std::vector<std::pair<int, double>>> row_terms(
+      static_cast<std::size_t>(m));
+  std::vector<Rel> rel(static_cast<std::size_t>(m));
+  sf.rhs.assign(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> scratch(static_cast<std::size_t>(sf.n_orig), 0.0);
+  std::vector<char> in_touch(static_cast<std::size_t>(sf.n_orig), 0);
+  std::vector<int> touched;
+  for (int r = 0; r < m; ++r) {
+    const Row& row = p.rows[static_cast<std::size_t>(r)];
+    touched.clear();
+    for (const auto& [v, c] : row.terms) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (!in_touch[vi]) {
+        in_touch[vi] = 1;
+        touched.push_back(v);
+      }
+      scratch[vi] += c;
+    }
+    Rel rr = row.rel;
+    double rhs = row.rhs;
+    if (rhs < 0) {
+      for (const int v : touched) {
+        scratch[static_cast<std::size_t>(v)] =
+            -scratch[static_cast<std::size_t>(v)];
+      }
+      rhs = -rhs;
+      if (rr == Rel::Le) {
+        rr = Rel::Ge;
+      } else if (rr == Rel::Ge) {
+        rr = Rel::Le;
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    auto& out = row_terms[static_cast<std::size_t>(r)];
+    out.reserve(touched.size());
+    for (const int v : touched) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (scratch[vi] != 0.0) out.emplace_back(v, scratch[vi]);
+      scratch[vi] = 0.0;
+      in_touch[vi] = 0;
+    }
+    rel[static_cast<std::size_t>(r)] = rr;
+    sf.rhs[static_cast<std::size_t>(r)] = rhs;
+  }
+
+  int n_slack = 0, n_art = 0;
+  for (const Rel rr : rel) {
+    if (rr != Rel::Eq) ++n_slack;
+    if (rr != Rel::Le) ++n_art;
+  }
+  sf.n_total = sf.n_orig + n_slack + n_art;
+  sf.art_begin = sf.n_orig + n_slack;
+
+  // CSC assembly: count, prefix-sum, fill by ascending row so rows within a
+  // column come out sorted.
+  std::vector<int> cnt(static_cast<std::size_t>(sf.n_total), 0);
+  for (const auto& terms : row_terms) {
+    for (const auto& [v, val] : terms) ++cnt[static_cast<std::size_t>(v)];
+  }
+  {
+    int slack_next = sf.n_orig;
+    int art_next = sf.art_begin;
+    for (const Rel rr : rel) {
+      if (rr != Rel::Eq) ++cnt[static_cast<std::size_t>(slack_next++)];
+      if (rr != Rel::Le) ++cnt[static_cast<std::size_t>(art_next++)];
+    }
+  }
+  sf.col_ptr.assign(static_cast<std::size_t>(sf.n_total) + 1, 0);
+  for (int j = 0; j < sf.n_total; ++j) {
+    sf.col_ptr[static_cast<std::size_t>(j) + 1] =
+        sf.col_ptr[static_cast<std::size_t>(j)] +
+        cnt[static_cast<std::size_t>(j)];
+  }
+  const int nnz = sf.col_ptr.back();
+  sf.col_row.assign(static_cast<std::size_t>(nnz), 0);
+  sf.col_val.assign(static_cast<std::size_t>(nnz), 0.0);
+  std::vector<int> next(sf.col_ptr.begin(), sf.col_ptr.end() - 1);
+  sf.init_basis.assign(static_cast<std::size_t>(m), -1);
+  int slack_next = sf.n_orig;
+  int art_next = sf.art_begin;
+  auto put = [&](int col, int r, double v) {
+    const int k = next[static_cast<std::size_t>(col)]++;
+    sf.col_row[static_cast<std::size_t>(k)] = r;
+    sf.col_val[static_cast<std::size_t>(k)] = v;
+  };
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [v, val] : row_terms[static_cast<std::size_t>(r)]) {
+      put(v, r, val);
+    }
+    switch (rel[static_cast<std::size_t>(r)]) {
+      case Rel::Le:
+        put(slack_next, r, 1.0);
+        sf.init_basis[static_cast<std::size_t>(r)] = slack_next++;
+        break;
+      case Rel::Ge:
+        put(slack_next++, r, -1.0);
+        put(art_next, r, 1.0);
+        sf.init_basis[static_cast<std::size_t>(r)] = art_next++;
+        break;
+      case Rel::Eq:
+        put(art_next, r, 1.0);
+        sf.init_basis[static_cast<std::size_t>(r)] = art_next++;
+        break;
+    }
+  }
+  return sf;
+}
+
+// ---------------------------------------------------------- BasisFactorization
+
+BasisFactorization::BasisFactorization(const StandardForm& sf, double piv_tol)
+    : sf_(&sf), piv_tol_(piv_tol) {
+  row_to_col_.assign(static_cast<std::size_t>(sf.m), -1);
+}
+
+void BasisFactorization::append(int p, double piv, const std::vector<double>& w,
+                                const std::vector<int>& support) {
+  pivot_row_.push_back(p);
+  inv_piv_.push_back(1.0 / piv);
+  for (const int r : support) {
+    const double v = w[static_cast<std::size_t>(r)];
+    if (r == p || v == 0.0) continue;
+    off_row_.push_back(r);
+    off_val_.push_back(v);
+  }
+  ptr_.push_back(static_cast<int>(off_row_.size()));
+}
+
+bool BasisFactorization::refactorize(const std::vector<int>& cols) {
+  const int m = sf_->m;
+  pivot_row_.clear();
+  inv_piv_.clear();
+  ptr_.assign(1, 0);
+  off_row_.clear();
+  off_val_.clear();
+  update_etas_ = 0;
+  row_to_col_.assign(static_cast<std::size_t>(m), -1);
+
+  // Sparsest-first column order approximates the triangularization a
+  // Markowitz ordering would find: for LP1/LP2 bases nearly every column is
+  // a singleton or doubleton, so the eta file stays near-permutation.
+  std::vector<int> order(cols);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int na = sf_->col_nnz(a), nb = sf_->col_nnz(b);
+    return na != nb ? na < nb : a < b;
+  });
+
+  std::vector<char> claimed(static_cast<std::size_t>(m), 0);
+  std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+  std::vector<int> touched;
+  std::vector<char> in_touch(static_cast<std::size_t>(m), 0);
+  auto touch = [&](int r) {
+    if (!in_touch[static_cast<std::size_t>(r)]) {
+      in_touch[static_cast<std::size_t>(r)] = 1;
+      touched.push_back(r);
+    }
+  };
+
+  for (const int c : order) {
+    touched.clear();
+    for (int k = sf_->col_ptr[static_cast<std::size_t>(c)];
+         k < sf_->col_ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+      const int r = sf_->col_row[static_cast<std::size_t>(k)];
+      w[static_cast<std::size_t>(r)] = sf_->col_val[static_cast<std::size_t>(k)];
+      touch(r);
+    }
+    // Apply the file built so far (tracking fill-in).
+    for (std::size_t e = 0; e < pivot_row_.size(); ++e) {
+      const int p = pivot_row_[e];
+      const double vp = w[static_cast<std::size_t>(p)];
+      if (vp == 0.0) continue;
+      const double t = vp * inv_piv_[e];
+      w[static_cast<std::size_t>(p)] = t;
+      for (int k = ptr_[e]; k < ptr_[e + 1]; ++k) {
+        const int r = off_row_[static_cast<std::size_t>(k)];
+        touch(r);
+        w[static_cast<std::size_t>(r)] -= off_val_[static_cast<std::size_t>(k)] * t;
+      }
+    }
+    // Partial pivoting restricted to unclaimed rows; ties break to the
+    // lowest row index for determinism.
+    int p = -1;
+    double best = piv_tol_;
+    for (const int r : touched) {
+      if (claimed[static_cast<std::size_t>(r)]) continue;
+      const double a = std::fabs(w[static_cast<std::size_t>(r)]);
+      if (a > best || (a == best && p >= 0 && r < p)) {
+        best = a;
+        p = r;
+      }
+    }
+    if (p < 0) {
+      for (const int r : touched) {
+        w[static_cast<std::size_t>(r)] = 0.0;
+        in_touch[static_cast<std::size_t>(r)] = 0;
+      }
+      return false;  // numerically singular
+    }
+    // Identity transforms (unit pivot, no off-pivot fill) carry no
+    // information — the initial slack/artificial basis is all such columns.
+    bool has_off = false;
+    for (const int r : touched) {
+      if (r != p && w[static_cast<std::size_t>(r)] != 0.0) {
+        has_off = true;
+        break;
+      }
+    }
+    if (has_off || w[static_cast<std::size_t>(p)] != 1.0) {
+      append(p, w[static_cast<std::size_t>(p)], w, touched);
+    }
+    claimed[static_cast<std::size_t>(p)] = 1;
+    row_to_col_[static_cast<std::size_t>(p)] = c;
+    for (const int r : touched) {
+      w[static_cast<std::size_t>(r)] = 0.0;
+      in_touch[static_cast<std::size_t>(r)] = 0;
+    }
+  }
+  return true;
+}
+
+void BasisFactorization::ftran(std::vector<double>& v) const {
+  for (std::size_t e = 0; e < pivot_row_.size(); ++e) {
+    const int p = pivot_row_[e];
+    const double vp = v[static_cast<std::size_t>(p)];
+    if (vp == 0.0) continue;
+    const double t = vp * inv_piv_[e];
+    v[static_cast<std::size_t>(p)] = t;
+    for (int k = ptr_[e]; k < ptr_[e + 1]; ++k) {
+      v[static_cast<std::size_t>(off_row_[static_cast<std::size_t>(k)])] -=
+          off_val_[static_cast<std::size_t>(k)] * t;
+    }
+  }
+}
+
+void BasisFactorization::btran(std::vector<double>& v) const {
+  for (std::size_t e = pivot_row_.size(); e-- > 0;) {
+    const int p = pivot_row_[e];
+    double s = v[static_cast<std::size_t>(p)];
+    for (int k = ptr_[e]; k < ptr_[e + 1]; ++k) {
+      s -= off_val_[static_cast<std::size_t>(k)] *
+           v[static_cast<std::size_t>(off_row_[static_cast<std::size_t>(k)])];
+    }
+    v[static_cast<std::size_t>(p)] = s * inv_piv_[e];
+  }
+}
+
+void BasisFactorization::push_eta(int p, const std::vector<double>& w,
+                                  const std::vector<int>& support) {
+  // No identity skip here: update etas come from genuine pivots, whose
+  // pivot element already passed the ratio test's piv_tol gate.
+  append(p, w[static_cast<std::size_t>(p)], w, support);
+  ++update_etas_;
+}
+
+// ------------------------------------------------------------ RevisedSimplex
+
+namespace {
+
+// The revised counterpart of simplex.cpp's Tableau: same public gestures
+// (load_objective / iterate / expel_artificials / extract), but every
+// quantity a pivot needs is recomputed through the factorization instead of
+// maintained in a dense arena. Reduced costs are exact each iteration (they
+// are recomputed from BTRAN, never incrementally drifted), so the candidate
+// list here is a partial-pricing shortlist: columns improving at the last
+// full scan, re-priced each iteration, with a full rescan proving optimality
+// once the list runs dry.
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const StandardForm& sf, double tol)
+      : sf_(sf),
+        tol_(tol),
+        piv_tol_(std::max(tol, kPivotTol)),
+        fact_(sf, std::max(tol, kPivotTol)) {
+    basic_pos_.assign(static_cast<std::size_t>(sf_.n_total), -1);
+    w_.assign(static_cast<std::size_t>(sf_.m), 0.0);
+    y_.assign(static_cast<std::size_t>(sf_.m), 0.0);
+    support_.reserve(static_cast<std::size_t>(sf_.m));
+  }
+
+  /// Factorize `cols` as the basis and recompute x_B. False when singular.
+  bool install(const std::vector<int>& cols) {
+    if (!fact_.refactorize(cols)) return false;
+    basis_ = fact_.row_to_col();
+    std::fill(basic_pos_.begin(), basic_pos_.end(), -1);
+    for (int r = 0; r < sf_.m; ++r) {
+      basic_pos_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
+          r;
+    }
+    compute_xb();
+    return true;
+  }
+
+  /// Accept a saved basis as the factorization seed: one factorization and
+  /// one FTRAN instead of the tableau's m full-row Gaussian pivots. False
+  /// when the seed does not fit (dimensions, singular, infeasible vertex);
+  /// the engine is left uninstalled and the caller starts cold.
+  bool try_warm_start(const std::vector<int>& warm_basis) {
+    if (static_cast<int>(warm_basis.size()) != sf_.m) return false;
+    std::vector<char> used(static_cast<std::size_t>(sf_.n_total), 0);
+    for (const int c : warm_basis) {
+      if (c < 0 || c >= sf_.art_begin || used[static_cast<std::size_t>(c)]) {
+        return false;
+      }
+      used[static_cast<std::size_t>(c)] = 1;
+    }
+    if (!install(warm_basis)) return false;
+    for (const double v : xb_) {
+      if (v < 0) return false;  // vertex infeasible for this rhs
+    }
+    return true;
+  }
+
+  void load_objective(const std::vector<double>& c, int allow_limit) {
+    cost_.assign(static_cast<std::size_t>(sf_.n_total), 0.0);
+    const int lim = std::min<int>(sf_.n_total, static_cast<int>(c.size()));
+    for (int j = 0; j < lim; ++j) cost_[static_cast<std::size_t>(j)] = c[j];
+    allow_limit_ = allow_limit;
+    obj_ = basic_objective();
+    compute_y();
+    rebuild_candidates();
+  }
+
+  double objective() const { return obj_; }
+
+  // One revised iteration. 0 = optimal, 1 = pivoted, 2 = unbounded,
+  // -1 = numerical trouble (refactorization of the current basis failed).
+  int iterate(bool bland) {
+    compute_y();
+    int enter = -1;
+    double d_enter = 0.0;
+    if (bland) {
+      for (int j = 0; j < allow_limit_; ++j) {
+        if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+        const double d = reduced_cost(j);
+        if (d < -tol_) {
+          enter = j;
+          d_enter = d;
+          break;
+        }
+      }
+    } else {
+      enter = price_candidates(&d_enter);
+      if (enter < 0) {
+        rebuild_candidates();
+        enter = price_candidates(&d_enter);
+      }
+    }
+    if (enter < 0) return 0;
+
+    // FTRAN the entering column; the support scan doubles as the ratio test
+    // (ascending row order keeps degenerate ties deterministic).
+    load_column(enter);
+    fact_.ftran(w_);
+    support_.clear();
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < sf_.m; ++r) {
+      const double a = w_[static_cast<std::size_t>(r)];
+      if (a == 0.0) continue;
+      support_.push_back(r);
+      if (a > piv_tol_) {
+        const double ratio = xb_[static_cast<std::size_t>(r)] / a;
+        if (ratio < best_ratio - tol_ ||
+            (ratio < best_ratio + tol_ &&
+             (leave < 0 || basis_[static_cast<std::size_t>(r)] <
+                               basis_[static_cast<std::size_t>(leave)]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave < 0) {
+      clear_w();
+      return 2;
+    }
+    const int ret = pivot(leave, enter, d_enter) ? 1 : -1;
+    return ret;
+  }
+
+  // After phase 1: drive basic artificials out where a real column can take
+  // their row; rows with no acceptable pivot are redundant and keep their
+  // artificial basic at ~0 (phase 2 locks artificials out of pricing, so
+  // they can never rise again).
+  bool expel_artificials() {
+    const double expel_tol = std::max(piv_tol_, tol_ * 10);
+    for (int r = 0; r < sf_.m; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] < sf_.art_begin) continue;
+      // Row r of B^{-1}A = (B^{-T} e_r)^T A, one sparse dot per column.
+      std::fill(y_.begin(), y_.end(), 0.0);
+      y_[static_cast<std::size_t>(r)] = 1.0;
+      fact_.btran(y_);
+      int enter = -1;
+      for (int j = 0; j < sf_.art_begin; ++j) {
+        if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+        if (std::fabs(reduced_dot(j)) > expel_tol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) continue;
+      load_column(enter);
+      fact_.ftran(w_);
+      support_.clear();
+      for (int rr = 0; rr < sf_.m; ++rr) {
+        if (w_[static_cast<std::size_t>(rr)] != 0.0) support_.push_back(rr);
+      }
+      if (std::fabs(w_[static_cast<std::size_t>(r)]) <= piv_tol_) {
+        // BTRAN said the entry is usable but FTRAN disagrees: conditioning
+        // is suspect, leave the artificial in place rather than divide.
+        clear_w();
+        continue;
+      }
+      if (!pivot(r, enter, 0.0)) return false;
+    }
+    return true;
+  }
+
+  std::vector<double> extract(int n_vars) const {
+    std::vector<double> x(static_cast<std::size_t>(n_vars), 0.0);
+    for (int r = 0; r < sf_.m; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      if (b < n_vars) {
+        x[static_cast<std::size_t>(b)] =
+            std::max(0.0, xb_[static_cast<std::size_t>(r)]);
+      }
+    }
+    return x;
+  }
+
+  std::vector<int>& mutable_basis() { return basis_; }
+  const std::vector<int>& basis() const { return basis_; }
+
+ private:
+  void compute_xb() {
+    xb_ = sf_.rhs;
+    fact_.ftran(xb_);
+    for (double& v : xb_) {
+      if (v < 0 && v > -tol_) v = 0.0;
+    }
+  }
+
+  double basic_objective() const {
+    double obj = 0.0;
+    for (int r = 0; r < sf_.m; ++r) {
+      obj += cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] *
+             xb_[static_cast<std::size_t>(r)];
+    }
+    return obj;
+  }
+
+  void compute_y() {
+    for (int r = 0; r < sf_.m; ++r) {
+      y_[static_cast<std::size_t>(r)] =
+          cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+    }
+    fact_.btran(y_);
+  }
+
+  // y_ · a_j over column j's sparse entries.
+  double reduced_dot(int j) const {
+    double s = 0.0;
+    for (int k = sf_.col_ptr[static_cast<std::size_t>(j)];
+         k < sf_.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      s += y_[static_cast<std::size_t>(sf_.col_row[static_cast<std::size_t>(k)])] *
+           sf_.col_val[static_cast<std::size_t>(k)];
+    }
+    return s;
+  }
+
+  double reduced_cost(int j) const {
+    return cost_[static_cast<std::size_t>(j)] - reduced_dot(j);
+  }
+
+  void load_column(int j) {
+    for (int k = sf_.col_ptr[static_cast<std::size_t>(j)];
+         k < sf_.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      w_[static_cast<std::size_t>(sf_.col_row[static_cast<std::size_t>(k)])] =
+          sf_.col_val[static_cast<std::size_t>(k)];
+    }
+  }
+
+  void clear_w() {
+    std::fill(w_.begin(), w_.end(), 0.0);
+  }
+
+  void rebuild_candidates() {
+    cand_.clear();
+    in_cand_.assign(static_cast<std::size_t>(sf_.n_total), 0);
+    for (int j = 0; j < allow_limit_; ++j) {
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+      if (reduced_cost(j) < -tol_) {
+        cand_.push_back(j);
+        in_cand_[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+  }
+
+  // Lexicographic (reduced cost, index) minimum over the shortlist,
+  // re-pricing each member exactly and compacting out the stale ones.
+  int price_candidates(double* d_enter) {
+    int enter = -1;
+    double best = 0.0;
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < cand_.size(); ++k) {
+      const int j = cand_[k];
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) {
+        in_cand_[static_cast<std::size_t>(j)] = 0;
+        continue;
+      }
+      const double d = reduced_cost(j);
+      if (!(d < -tol_)) {
+        in_cand_[static_cast<std::size_t>(j)] = 0;
+        continue;
+      }
+      cand_[w++] = j;
+      if (enter < 0 || d < best || (d == best && j < enter)) {
+        best = d;
+        enter = j;
+      }
+    }
+    cand_.resize(w);
+    *d_enter = best;
+    return enter;
+  }
+
+  // Commit the pivot: update x_B, swap the basis, append the update eta and
+  // refactorize on schedule. False = the scheduled refactorization found the
+  // basis numerically singular (caller falls back to the tableau engine).
+  bool pivot(int leave, int enter, double d_enter) {
+    const double piv = w_[static_cast<std::size_t>(leave)];
+    const double theta = xb_[static_cast<std::size_t>(leave)] / piv;
+    for (const int r : support_) {
+      if (r == leave) continue;
+      double& v = xb_[static_cast<std::size_t>(r)];
+      v -= theta * w_[static_cast<std::size_t>(r)];
+      if (v < 0 && v > -tol_) v = 0.0;
+    }
+    xb_[static_cast<std::size_t>(leave)] = theta;
+    obj_ += d_enter * theta;
+    fact_.push_eta(leave, w_, support_);
+    basic_pos_[static_cast<std::size_t>(
+        basis_[static_cast<std::size_t>(leave)])] = -1;
+    basis_[static_cast<std::size_t>(leave)] = enter;
+    basic_pos_[static_cast<std::size_t>(enter)] = leave;
+    clear_w();
+    if (fact_.etas_since_refactor() >= refactor_interval()) {
+      if (!install(basis_)) return false;
+      obj_ = basic_objective();  // squash incremental drift
+    }
+    return true;
+  }
+
+  const StandardForm& sf_;
+  double tol_;
+  double piv_tol_;
+  BasisFactorization fact_;
+  std::vector<int> basis_;       // basic column per row
+  std::vector<int> basic_pos_;   // column -> row, -1 when nonbasic
+  std::vector<double> xb_;       // basic values per row (B^{-1} b)
+  std::vector<double> cost_;     // active objective, dense over columns
+  double obj_ = 0.0;
+  int allow_limit_ = 0;
+  std::vector<int> cand_;        // partial-pricing shortlist
+  std::vector<char> in_cand_;
+  std::vector<double> w_;        // scratch: FTRAN'd entering column
+  std::vector<double> y_;        // scratch: BTRAN'd pricing row
+  std::vector<int> support_;     // scratch: nonzero rows of w_
+};
+
+}  // namespace
+
+Solution solve_revised(const Problem& p, const StandardForm& sf,
+                       const SimplexOptions& opt, bool* numerical_trouble) {
+  *numerical_trouble = false;
+  Solution sol;
+  RevisedSimplex rs(sf, opt.tol);
+  const int m = sf.m;
+  const int n = sf.n_total;
+  const int iter_cap = detail::simplex_iter_cap(m, n, opt.max_iters);
+  const int stall_cap = detail::simplex_stall_cap(m, n);
+  int iters = 0;
+  bool trouble = false;
+
+  auto run_phase = [&]() -> int {
+    // The shared anti-cycling driver; -1 (numerical trouble from a failed
+    // refactorization) passes through like any non-pivot result.
+    return detail::run_simplex_phase(rs, opt.tol, iter_cap, stall_cap, iters);
+  };
+
+  bool warmed = false;
+  if (opt.warm != nullptr && !opt.warm->basis.empty()) {
+    warmed = rs.try_warm_start(opt.warm->basis);
+  }
+  if (!warmed && !rs.install(sf.init_basis)) {
+    // The initial slack/artificial basis is the identity; failing to
+    // factorize it means something is deeply wrong — punt to the tableau.
+    *numerical_trouble = true;
+    return sol;
+  }
+
+  // Warm accounting mirrors the tableau path, deferred so a later fallback
+  // to the tableau engine (which re-runs its own attempt) cannot
+  // double-count this one.
+  auto finish = [&](Solution s) {
+    if (trouble) {
+      *numerical_trouble = true;
+    } else {
+      s.engine = SimplexEngine::Revised;
+      if (opt.warm != nullptr) {
+        if (warmed) {
+          ++opt.warm->hits;
+        } else {
+          ++opt.warm->misses;
+        }
+      }
+    }
+    return s;
+  };
+
+  // ---- Phase 1 (skipped on a warm hit): minimize the sum of artificials.
+  if (!warmed && sf.art_begin < n) {
+    std::vector<double> phase1(static_cast<std::size_t>(n), 0.0);
+    for (int j = sf.art_begin; j < n; ++j) {
+      phase1[static_cast<std::size_t>(j)] = 1.0;
+    }
+    rs.load_objective(phase1, n);
+    const int res = run_phase();
+    if (res == -1 || res == 2) {
+      // Phase 1 is bounded below by zero; "unbounded" here can only be a
+      // numerically corrupted factorization.
+      trouble = true;
+      return finish(sol);
+    }
+    if (res == 3) {
+      sol.status = Status::IterLimit;
+      sol.iterations = iters;
+      sol.phase1_iterations = iters;
+      return finish(sol);
+    }
+    const double p1 = rs.objective();
+    const double feas_tol = opt.tol * (1.0 + std::fabs(p1)) * 100;
+    if (p1 > feas_tol + 1e-7) {
+      sol.status = Status::Infeasible;
+      sol.iterations = iters;
+      sol.phase1_iterations = iters;
+      return finish(sol);
+    }
+    if (!rs.expel_artificials()) {
+      trouble = true;
+      return finish(sol);
+    }
+  }
+  sol.phase1_iterations = iters;
+
+  // ---- Phase 2: original objective, artificials locked out.
+  std::vector<double> phase2(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < p.num_vars; ++j) {
+    phase2[static_cast<std::size_t>(j)] = p.objective[static_cast<std::size_t>(j)];
+  }
+  rs.load_objective(phase2, sf.art_begin);
+  const int res = run_phase();
+  sol.iterations = iters;
+  if (res == -1) {
+    trouble = true;
+    return finish(sol);
+  }
+  if (res == 3) {
+    sol.status = Status::IterLimit;
+    return finish(sol);
+  }
+  if (res == 2) {
+    sol.status = Status::Unbounded;
+    return finish(sol);
+  }
+
+  sol.status = Status::Optimal;
+  sol.x = rs.extract(p.num_vars);
+  sol.basis = std::move(rs.mutable_basis());
+  double obj = 0.0;
+  for (int j = 0; j < p.num_vars; ++j) {
+    obj += p.objective[static_cast<std::size_t>(j)] *
+           sol.x[static_cast<std::size_t>(j)];
+  }
+  sol.objective = obj;
+
+  if (opt.verify) {
+    double scale = 1.0;
+    for (const auto& row : p.rows) scale = std::max(scale, std::fabs(row.rhs));
+    if (max_violation(p, sol.x) > 1e-5 * scale) {
+      trouble = true;  // let the tableau engine arbitrate
+      return finish(Solution{});
+    }
+  }
+  if (opt.warm != nullptr) opt.warm->basis = sol.basis;
+  return finish(sol);
+}
+
+}  // namespace suu::lp

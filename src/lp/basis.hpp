@@ -1,0 +1,131 @@
+// Revised simplex over an eta-file basis factorization.
+//
+// The PR 2 tableau solver keeps the whole B^{-1}A matrix explicit and pays
+// O(m·n) per pivot to eliminate it; at the n=256/1024 LP1 regimes those
+// eliminations dominate everything else. The revised engine here keeps only
+// a factorization of the m×m basis matrix B and reconstructs what a pivot
+// needs on demand:
+//
+//   FTRAN  w = B^{-1} a_j        (entering column, for the ratio test)
+//   BTRAN  y = c_B^T B^{-1}      (pricing row, for reduced costs)
+//
+// B^{-1} is represented as a product of elementary Gauss transforms ("eta"
+// matrices), the classic product form of the inverse. refactorize() rebuilds
+// the file from the basic columns, processing them sparsest-first so the
+// factorization stays close to a sparse LU (for LP1/LP2 bases nearly every
+// column is a singleton or doubleton and the file is near-permutation);
+// each simplex pivot then appends one Forrest–Tomlin-style update eta built
+// from the FTRAN'd entering column. The file is rebuilt every
+// refactor_interval() pivots to bound its length and squash accumulated
+// roundoff — the interval is env-overridable (SUU_LP_REFACTOR_INTERVAL) so
+// slow-FP builds (ASan CI) can trade accuracy maintenance for wall time.
+//
+// Both engines solve the identical standard form (build_standard_form keeps
+// the column numbering and rhs normalization bit-identical to the tableau's
+// internal construction), so a Solution::basis produced by one engine warm
+// starts the other. solve_revised never aborts on numerical trouble: it
+// reports it, and lp::solve_simplex falls back to the tableau engine, whose
+// trajectories are the repo's byte-stability anchor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace suu::lp {
+
+struct SimplexOptions;
+
+/// Eta-file rebuild period, in pivots. Shorter = better conditioned and
+/// cheaper FTRAN/BTRAN, more time spent refactorizing.
+inline constexpr int kDefaultRefactorInterval = 64;
+
+/// kDefaultRefactorInterval unless the SUU_LP_REFACTOR_INTERVAL environment
+/// variable overrides it (clamped to [1, 100000]; read once per process).
+int refactor_interval();
+
+/// The standard form `min c·x  s.t.  Ax {<=,=} b, b >= 0, x >= 0` both
+/// simplex engines solve: original variables, then one slack/surplus per
+/// inequality row, then one artificial per Ge/Eq row, with rhs-negative rows
+/// sign-flipped first. Column order, duplicate-term accumulation and the
+/// initial (slack/artificial) basis are bit-identical to what the tableau
+/// engine historically built, which is what makes bases interchangeable.
+struct StandardForm {
+  int m = 0;          ///< rows
+  int n_orig = 0;     ///< problem variables
+  int n_total = 0;    ///< + slacks + artificials
+  int art_begin = 0;  ///< first artificial column (== n_total when none)
+  std::vector<double> rhs;     ///< size m, >= 0
+  std::vector<int> init_basis; ///< size m: initial basic column per row
+  // Constraint matrix over all n_total columns, compressed sparse column;
+  // rows within a column are in increasing order, structural zeros dropped.
+  std::vector<int> col_ptr;  ///< size n_total + 1
+  std::vector<int> col_row;
+  std::vector<double> col_val;
+
+  int col_nnz(int j) const {
+    return col_ptr[static_cast<std::size_t>(j) + 1] -
+           col_ptr[static_cast<std::size_t>(j)];
+  }
+};
+
+StandardForm build_standard_form(const Problem& p);
+
+/// Product-form basis factorization: an ordered file of eta transforms whose
+/// composition is B^{-1}. Exposed for the revised engine and for tests; the
+/// vectors passed to ftran/btran are dense, length StandardForm::m.
+class BasisFactorization {
+ public:
+  BasisFactorization(const StandardForm& sf, double piv_tol);
+
+  /// Rebuild the file from scratch so it represents the inverse of the
+  /// basis matrix formed by `cols` (a duplicate-free set of m column
+  /// indices, any order). Returns false — leaving the factorization unusable
+  /// until the next successful call — when the matrix is numerically
+  /// singular (no pivot above piv_tol for some column). On success,
+  /// row_to_col()[r] names the column pivoted on row r.
+  bool refactorize(const std::vector<int>& cols);
+
+  /// v := B^{-1} v.
+  void ftran(std::vector<double>& v) const;
+  /// v := B^{-T} v (i.e. v^T := v^T B^{-1}).
+  void btran(std::vector<double>& v) const;
+
+  /// Append the update eta for a pivot on row `p` with FTRAN'd entering
+  /// column `w` (dense; w[p] is the pivot element, |w[p]| > piv_tol).
+  /// `support` lists the rows where w may be nonzero.
+  void push_eta(int p, const std::vector<double>& w,
+                const std::vector<int>& support);
+
+  /// Update etas appended since the last refactorize().
+  int etas_since_refactor() const { return update_etas_; }
+  const std::vector<int>& row_to_col() const { return row_to_col_; }
+
+ private:
+  void append(int p, double piv, const std::vector<double>& w,
+              const std::vector<int>& support);
+
+  const StandardForm* sf_;
+  double piv_tol_;
+  int update_etas_ = 0;
+  // Flattened eta file: eta k pivots row pivot_row_[k] with multiplier
+  // inv_piv_[k] = 1/w_p and off-pivot entries off_row_/off_val_ in
+  // [ptr_[k], ptr_[k+1]).
+  std::vector<int> pivot_row_;
+  std::vector<double> inv_piv_;
+  std::vector<int> ptr_{0};
+  std::vector<int> off_row_;
+  std::vector<double> off_val_;
+  std::vector<int> row_to_col_;
+};
+
+/// Solve the standard form with the revised engine. Honors the same
+/// SimplexOptions contract as the tableau path (tol, max_iters, warm,
+/// verify). Sets *numerical_trouble instead of returning a wrong answer
+/// when the factorization degrades (singular refactorization, verification
+/// failure); the caller is expected to re-solve with the tableau engine.
+Solution solve_revised(const Problem& p, const StandardForm& sf,
+                       const SimplexOptions& opt, bool* numerical_trouble);
+
+}  // namespace suu::lp

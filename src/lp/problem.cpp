@@ -34,6 +34,18 @@ std::string to_string(Status s) {
   return "?";
 }
 
+std::string to_string(SimplexEngine e) {
+  switch (e) {
+    case SimplexEngine::Auto:
+      return "auto";
+    case SimplexEngine::Tableau:
+      return "tableau";
+    case SimplexEngine::Revised:
+      return "revised";
+  }
+  return "?";
+}
+
 double max_violation(const Problem& p, const std::vector<double>& x) {
   SUU_CHECK(static_cast<int>(x.size()) == p.num_vars);
   double worst = 0.0;

@@ -36,6 +36,15 @@ enum class Status { Optimal, Infeasible, Unbounded, IterLimit };
 
 std::string to_string(Status s);
 
+/// Which simplex core solves the program. Tableau is the PR 2 flat-arena
+/// dense solver (O(m·n) per pivot, bit-stable pivot trajectories); Revised
+/// maintains a basis factorization instead of the full tableau (see
+/// lp/basis.hpp) and wins once the tableau stops fitting in cache. Auto
+/// switches on problem size (kRevisedAutoCells in lp/simplex.hpp).
+enum class SimplexEngine { Auto, Tableau, Revised };
+
+std::string to_string(SimplexEngine e);
+
 struct Solution {
   Status status = Status::IterLimit;
   double objective = 0.0;
@@ -50,6 +59,10 @@ struct Solution {
   /// column numbering: originals, then slacks, then artificials). Feed it
   /// into a WarmStart handle to seed a follow-up solve.
   std::vector<int> basis;
+  /// Engine that actually produced this solution. A Revised request that
+  /// hits numerical trouble is silently re-solved by the tableau, and this
+  /// field is how callers (and the differential oracle) see that happen.
+  SimplexEngine engine = SimplexEngine::Tableau;
 };
 
 /// Check primal feasibility of a candidate point within tolerance `tol`

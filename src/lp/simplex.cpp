@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "lp/basis.hpp"
 #include "util/check.hpp"
 
 namespace suu::lp {
@@ -28,71 +29,24 @@ namespace {
 // every solution byte, is identical to the full-scan solver's.
 class Tableau {
  public:
-  Tableau(const Problem& p, double tol)
+  // The shared standard form (lp/basis.hpp) reproduces this engine's
+  // historical normalization bit for bit, so scattering its sparse columns
+  // into the arena builds the exact tableau the old inline construction did.
+  Tableau(const StandardForm& sf, double tol)
       : tol_(tol), piv_tol_(std::max(tol, kPivotTol)) {
-    const int m = static_cast<int>(p.rows.size());
-    n_orig_ = p.num_vars;
-
-    // Count extra columns: one slack/surplus per inequality, one artificial
-    // per Ge/Eq row (after rhs-sign normalization).
-    // First normalize rows so rhs >= 0.
-    struct NRow {
-      std::vector<double> a;  // dense over original vars
-      Rel rel;
-      double rhs;
-    };
-    std::vector<NRow> nrows(m);
-    for (int r = 0; r < m; ++r) {
-      const Row& row = p.rows[r];
-      NRow nr;
-      nr.a.assign(n_orig_, 0.0);
-      for (const auto& [v, c] : row.terms) nr.a[v] += c;
-      nr.rel = row.rel;
-      nr.rhs = row.rhs;
-      if (nr.rhs < 0) {
-        for (auto& c : nr.a) c = -c;
-        nr.rhs = -nr.rhs;
-        if (nr.rel == Rel::Le) {
-          nr.rel = Rel::Ge;
-        } else if (nr.rel == Rel::Ge) {
-          nr.rel = Rel::Le;
-        }
-      }
-      nrows[r] = std::move(nr);
-    }
-
-    int n_slack = 0, n_art = 0;
-    for (const auto& nr : nrows) {
-      if (nr.rel != Rel::Eq) ++n_slack;
-      if (nr.rel != Rel::Le) ++n_art;
-    }
-    n_total_ = n_orig_ + n_slack + n_art;
-    art_begin_ = n_orig_ + n_slack;
+    m_ = sf.m;
+    n_orig_ = sf.n_orig;
+    n_total_ = sf.n_total;
+    art_begin_ = sf.art_begin;
     stride_ = n_total_;
-    m_ = m;
-
-    arena_.assign(static_cast<std::size_t>(m) * stride_, 0.0);
-    rhs_.assign(m, 0.0);
-    basis_.assign(m, -1);
-
-    int slack_next = n_orig_;
-    int art_next = art_begin_;
-    for (int r = 0; r < m; ++r) {
-      const NRow& nr = nrows[r];
-      double* const row_r = row(r);
-      for (int j = 0; j < n_orig_; ++j) row_r[j] = nr.a[j];
-      rhs_[r] = nr.rhs;
-      if (nr.rel == Rel::Le) {
-        row_r[slack_next] = 1.0;
-        basis_[r] = slack_next++;
-      } else if (nr.rel == Rel::Ge) {
-        row_r[slack_next] = -1.0;
-        ++slack_next;
-        row_r[art_next] = 1.0;
-        basis_[r] = art_next++;
-      } else {  // Eq
-        row_r[art_next] = 1.0;
-        basis_[r] = art_next++;
+    arena_.assign(static_cast<std::size_t>(m_) * stride_, 0.0);
+    rhs_ = sf.rhs;
+    basis_ = sf.init_basis;
+    for (int j = 0; j < n_total_; ++j) {
+      for (int k = sf.col_ptr[static_cast<std::size_t>(j)];
+           k < sf.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+        row(sf.col_row[static_cast<std::size_t>(k)])[j] =
+            sf.col_val[static_cast<std::size_t>(k)];
       }
     }
   }
@@ -102,6 +56,7 @@ class Tableau {
   int n_orig() const { return n_orig_; }
   int art_begin() const { return art_begin_; }
   const std::vector<int>& basis() const { return basis_; }
+  std::vector<int>& mutable_basis() { return basis_; }
 
   double* row(int r) { return arena_.data() + static_cast<std::size_t>(r) * stride_; }
   const double* row(int r) const {
@@ -388,39 +343,35 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
     return sol;
   }
 
-  Tableau tab(p, opt.tol);
+  const StandardForm sf = build_standard_form(p);
+  const bool use_revised =
+      opt.engine == SimplexEngine::Revised ||
+      (opt.engine == SimplexEngine::Auto &&
+       static_cast<std::int64_t>(sf.m) * sf.n_total >= kRevisedAutoCells);
+  if (use_revised) {
+    bool trouble = false;
+    Solution revised = solve_revised(p, sf, opt, &trouble);
+    // Numerical trouble (singular refactorization, failed verification)
+    // falls through to the tableau engine, whose slower dense eliminations
+    // are the accuracy anchor; warm-start accounting was deferred so the
+    // tableau attempt below counts exactly once.
+    if (!trouble) return revised;
+  }
+
+  Tableau tab(sf, opt.tol);
   const int m = tab.rows();
   const int n = tab.cols();
-  const int iter_cap =
-      opt.max_iters > 0 ? opt.max_iters : 200 * (m + n) + 20000;
-  // Anti-cycling guard: degenerate LP2 instances can make Dantzig pricing
-  // revisit bases forever. After stall_cap consecutive pivots with no
-  // strict objective progress, switch to Bland's least-index rule, which
-  // cannot cycle; Dantzig pricing resumes once the objective moves again
-  // (each resumption requires strict progress, so the phase still
-  // terminates).
-  const int stall_cap = kBlandStallFactor * (m + n) + 64;
+  // Anti-cycling guard (detail::run_simplex_phase, shared with the revised
+  // engine): degenerate LP2 instances can make Dantzig pricing revisit
+  // bases forever, so after stall_cap non-improving pivots the driver
+  // switches to Bland's least-index rule.
+  const int iter_cap = detail::simplex_iter_cap(m, n, opt.max_iters);
+  const int stall_cap = detail::simplex_stall_cap(m, n);
 
   int iters = 0;
 
   auto run_phase = [&]() -> int {
-    double last_obj = tab.objective();
-    int stall = 0;
-    bool bland = false;
-    while (iters < iter_cap) {
-      ++iters;
-      const int res = tab.iterate(bland);
-      if (res != 1) return res;
-      const double obj = tab.objective();
-      if (obj < last_obj - opt.tol) {
-        stall = 0;
-        bland = false;
-        last_obj = obj;
-      } else if (++stall > stall_cap) {
-        bland = true;
-      }
-    }
-    return 3;  // iteration limit
+    return detail::run_simplex_phase(tab, opt.tol, iter_cap, stall_cap, iters);
   };
 
   // ---- Warm start: an accepted seed basis is primal feasible, so phase 1
@@ -433,7 +384,7 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
       ++opt.warm->hits;
     } else {
       // A failed attempt may have pivoted already; rebuild from scratch.
-      tab = Tableau(p, opt.tol);
+      tab = Tableau(sf, opt.tol);
       ++opt.warm->misses;
     }
   } else if (opt.warm != nullptr) {
@@ -483,7 +434,10 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
 
   sol.status = Status::Optimal;
   sol.x = tab.extract(p.num_vars);
-  sol.basis = tab.basis();
+  // The tableau is done with its basis: steal it instead of copying (the
+  // vector is m ints — the copy was measurable on LP2 block chains), and
+  // pay a copy into the warm handle only when a caller actually chained one.
+  sol.basis = std::move(tab.mutable_basis());
   if (opt.warm != nullptr) opt.warm->basis = sol.basis;
   double obj = 0.0;
   for (int j = 0; j < p.num_vars; ++j) obj += p.objective[j] * sol.x[j];

@@ -1,14 +1,23 @@
-// Dense two-phase primal simplex over a flat row-major arena.
+// Exact two-phase primal simplex — the LP substrate behind the paper's
+// relaxations: LP1 (Section 3), LP2 (Section 4) and the Lawler–Labetoulle
+// makespan LP (Appendix C).
 //
-// This is the exact LP substrate behind the paper's relaxations: LP1
-// (Section 3), LP2 (Section 4) and the Lawler–Labetoulle makespan LP
-// (Appendix C). The tableau lives in one contiguous allocation (stride =
-// total column count) so pivots stream over cache lines; pricing keeps an
-// incrementally-maintained candidate list of improving columns (falling
-// back to a full scan only when the list is exhausted) and eliminations
-// touch only the nonzero support of the pivot row. A Bland's-rule fallback
-// guards against degenerate cycling. For large SUU-I instances the
-// Frank–Wolfe solver in lp/fw_cover.hpp takes over (see DESIGN.md §5).
+// Two interchangeable engines solve the same standard form (lp/basis.hpp):
+//
+//  - Tableau: dense flat row-major arena (stride = total column count) so
+//    pivots stream over cache lines; pricing keeps an incrementally
+//    maintained candidate list of improving columns and eliminations touch
+//    only the nonzero support of the pivot row. Bit-stable trajectories;
+//    O(m·n) per pivot.
+//  - Revised: eta-file basis factorization with FTRAN/BTRAN per pivot and
+//    periodic refactorization (lp/basis.hpp); asymptotically the winner at
+//    the n=256/1024 regimes, with an automatic fall-back to the tableau on
+//    any numerical trouble.
+//
+// SimplexOptions::engine selects; Auto switches to Revised once the dense
+// arena would exceed kRevisedAutoCells entries. A Bland's-rule fallback
+// guards both engines against degenerate cycling. For large SUU-I instances
+// the Frank–Wolfe solver in lp/fw_cover.hpp takes over (see DESIGN.md §5).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,58 @@ inline constexpr double kPivotTol = 1e-9;
 /// provably cannot cycle. Dantzig pricing resumes once the objective makes
 /// strict progress again.
 inline constexpr int kBlandStallFactor = 4;
+
+namespace detail {
+
+/// Iteration budget shared by both engines (0 = automatic).
+inline int simplex_iter_cap(int m, int n, int max_iters) {
+  return max_iters > 0 ? max_iters : 200 * (m + n) + 20000;
+}
+
+/// Consecutive non-improving pivots tolerated before Bland's rule engages.
+inline int simplex_stall_cap(int m, int n) {
+  return kBlandStallFactor * (m + n) + 64;
+}
+
+/// The anti-cycling phase driver shared by the tableau and revised engines,
+/// so the Dantzig-to-Bland stall escalation (and its termination argument:
+/// each resumption of Dantzig pricing requires strict objective progress)
+/// can never silently diverge between them. Engine must expose
+/// `iterate(bool bland)` returning 0 = optimal, 1 = pivoted, 2 = unbounded
+/// (negative values pass through for engine-specific trouble) and
+/// `objective()` for the active phase. Returns the first non-pivot result,
+/// or 3 once `iters` reaches `iter_cap`.
+template <typename Engine>
+int run_simplex_phase(Engine& eng, double tol, int iter_cap, int stall_cap,
+                      int& iters) {
+  double last_obj = eng.objective();
+  int stall = 0;
+  bool bland = false;
+  while (iters < iter_cap) {
+    ++iters;
+    const int res = eng.iterate(bland);
+    if (res != 1) return res;
+    const double obj = eng.objective();
+    if (obj < last_obj - tol) {
+      stall = 0;
+      bland = false;
+      last_obj = obj;
+    } else if (++stall > stall_cap) {
+      bland = true;
+    }
+  }
+  return 3;  // iteration limit
+}
+
+}  // namespace detail
+
+/// SimplexEngine::Auto threshold: solve with the revised engine when the
+/// dense tableau would need at least this many arena cells (rows × total
+/// columns). Calibrated so the paper-scale table/figure experiments keep
+/// their byte-recorded tableau trajectories while the n=256/1024 LP1
+/// regimes (where the arena blows the cache and eliminations dominate) get
+/// the factorized engine.
+inline constexpr std::int64_t kRevisedAutoCells = 1 << 19;
 
 /// Reusable warm-start handle. Seed it with the basis of a previous
 /// Solution (or leave it empty for a cold first solve) and pass it through
@@ -52,8 +113,12 @@ struct SimplexOptions {
   double tol = 1e-9;        ///< feasibility / reduced-cost tolerance
   int max_iters = 0;        ///< 0 = automatic (scales with problem size)
   bool verify = true;       ///< re-check feasibility of the result
-  /// Optional in/out warm-start handle (not owned); see WarmStart.
+  /// Optional in/out warm-start handle (not owned); see WarmStart. Bases
+  /// are engine-portable: a seed recorded by either engine warm starts the
+  /// other (the revised engine treats it as a factorization seed).
   WarmStart* warm = nullptr;
+  /// Which engine solves the program; Auto switches on problem size.
+  SimplexEngine engine = SimplexEngine::Auto;
 };
 
 /// Solve `min c·x, rows, x >= 0`. On Status::Optimal the returned point is

@@ -27,7 +27,8 @@ void check_jobs(const core::Instance& inst, const std::vector<int>& jobs) {
 
 Lp1Fractional solve_with_simplex(const core::Instance& inst,
                                  const std::vector<int>& jobs, double L,
-                                 lp::WarmStart* warm) {
+                                 lp::WarmStart* warm,
+                                 lp::SimplexEngine engine) {
   lp::Problem p;
   const int t_var = p.add_var(1.0);  // minimize t
   // Variables only for capable (ell' > 0) pairs.
@@ -61,6 +62,7 @@ Lp1Fractional solve_with_simplex(const core::Instance& inst,
 
   lp::SimplexOptions sopt;
   sopt.warm = warm;
+  sopt.engine = engine;
   const lp::Solution sol = lp::solve_simplex(p, sopt);
   SUU_CHECK_MSG(sol.status == lp::Status::Optimal,
                 "LP1 solve failed: " << lp::to_string(sol.status));
@@ -122,8 +124,9 @@ Lp1Fractional solve_lp1(const core::Instance& inst,
       (opt.solver == Lp1Options::Solver::Auto &&
        static_cast<std::int64_t>(jobs.size()) * inst.num_machines() <=
            opt.simplex_size_limit);
-  return use_simplex ? solve_with_simplex(inst, jobs, L, opt.warm)
-                     : solve_with_fw(inst, jobs, L);
+  return use_simplex
+             ? solve_with_simplex(inst, jobs, L, opt.warm, opt.engine)
+             : solve_with_fw(inst, jobs, L);
 }
 
 sched::IntegralAssignment trim_assignment(

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "lp/problem.hpp"
 #include "sched/assignment.hpp"
 
 namespace suu::lp {
@@ -36,6 +37,10 @@ struct Lp1Options {
   /// Frank–Wolfe). Chain it across structurally identical LP1 solves —
   /// e.g. re-solves after a demand perturbation — to skip phase 1.
   lp::WarmStart* warm = nullptr;
+  /// Simplex core (ignored by Frank–Wolfe): tableau, revised (basis
+  /// factorization), or size-based auto selection. Also governs the LP2
+  /// solves when these options are threaded through suu::api.
+  lp::SimplexEngine engine = lp::SimplexEngine::Auto;
 };
 
 struct Lp1Fractional {

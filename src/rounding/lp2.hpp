@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "lp/problem.hpp"
 #include "sched/assignment.hpp"
 
 namespace suu::lp {
@@ -44,9 +45,12 @@ struct Lp2Result {
 /// structurally identical previous LP2 solve — same machine count and the
 /// same chain shape over capable pairs — the re-solve skips phase 1; a seed
 /// that does not fit is rejected and the solve runs cold. The handle is
-/// updated with this solve's final basis either way.
+/// updated with this solve's final basis either way. `engine` picks the
+/// simplex core (lp::SimplexEngine::Auto switches on program size).
 Lp2Result solve_and_round_lp2(const core::Instance& inst,
                               const std::vector<std::vector<int>>& chains,
-                              lp::WarmStart* warm = nullptr);
+                              lp::WarmStart* warm = nullptr,
+                              lp::SimplexEngine engine =
+                                  lp::SimplexEngine::Auto);
 
 }  // namespace suu::rounding

@@ -1,0 +1,47 @@
+// Replay driver: turns a libFuzzer target into a plain corpus-regression
+// binary for toolchains without -fsanitize=fuzzer (the repo's default g++
+// build). Each argv entry is a corpus directory (or single file); every
+// regular file under it is fed to LLVMFuzzerTestOneInput in sorted order,
+// so ctest exercises the whole checked-in corpus — including under the
+// ASan+UBSan CI matrix entry — on every run.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "corpus path missing: %s\n", argv[i]);
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("replayed %zu corpus files\n", files.size());
+  // An empty corpus means the wiring (paths, checkout) broke — fail loudly
+  // rather than greenly replaying nothing.
+  return files.empty() ? 1 : 0;
+}

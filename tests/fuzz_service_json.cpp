@@ -1,0 +1,30 @@
+// libFuzzer target for the service's hardened JSON parser (see fuzz_io.cpp
+// for the two build modes and tests/corpus/service_json for the seeds).
+//
+// Contract: malformed text raises service::JsonError and nothing else; any
+// ACCEPTED value dumps to canonical bytes that re-parse (dump output is
+// valid JSON by construction) and re-dump identically — the protocol layer
+// depends on that canonical form for byte-deterministic responses.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  suu::service::Json value;
+  try {
+    value = suu::service::Json::parse(text);
+  } catch (const suu::service::JsonError&) {
+    return 0;  // the typed rejection path
+  }
+  const std::string canonical = value.dump();
+  // dump() must emit valid JSON: a JsonError escaping here is a finding.
+  const suu::service::Json reparsed = suu::service::Json::parse(canonical);
+  if (reparsed.dump() != canonical) {
+    __builtin_trap();  // canonical form is not a fixed point
+  }
+  return 0;
+}

@@ -156,6 +156,20 @@ TEST(ServiceProtocol, ParamValidation) {
   EXPECT_THROW(parse_solve_params(Json::parse(
                    R"({"instance":"x","options":{"unknown_opt":1}})")),
                ProtocolError);
+  // The LP engine knob round-trips through the wire and rejects typos.
+  EXPECT_EQ(parse_solve_params(
+                Json::parse(
+                    R"({"instance":"x","options":{"lp_engine":"revised"}})"))
+                .options.lp1.engine,
+            lp::SimplexEngine::Revised);
+  EXPECT_EQ(parse_solve_params(
+                Json::parse(
+                    R"({"instance":"x","options":{"lp_engine":"tableau"}})"))
+                .options.lp1.engine,
+            lp::SimplexEngine::Tableau);
+  EXPECT_THROW(parse_solve_params(Json::parse(
+                   R"({"instance":"x","options":{"lp_engine":"simplex"}})")),
+               ProtocolError);
   // Estimate-only keys are rejected for a plain solve...
   EXPECT_THROW(
       parse_solve_params(Json::parse(R"({"instance":"x","seed":1})")),

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "lp/basis.hpp"
+
 #include "core/generators.hpp"
 #include "rounding/lp1.hpp"
 #include "rounding/lp2.hpp"
@@ -289,6 +291,209 @@ TEST(SimplexWarmStart, InfeasibleSeedVertexRejected) {
   const Solution cold = solve_simplex(jumped);
   ASSERT_EQ(hot.status, Status::Optimal);
   EXPECT_NEAR(hot.objective, cold.objective, 1e-9);
+}
+
+// ---- Revised engine: the factorized core must reproduce every verdict and
+// optimum the tableau produces (the differential suite sweeps this at scale;
+// these pin the basics and the goldens).
+
+SimplexOptions revised_opt() {
+  SimplexOptions opt;
+  opt.engine = SimplexEngine::Revised;
+  return opt;
+}
+
+TEST(RevisedSimplex, TextbookMaximization) {
+  Problem p;
+  const int x = p.add_var(-3.0);
+  const int y = p.add_var(-5.0);
+  p.add_row(row({{x, 1}}, Rel::Le, 4));
+  p.add_row(row({{y, 2}}, Rel::Le, 12));
+  p.add_row(row({{x, 3}, {y, 2}}, Rel::Le, 18));
+  const Solution s = solve_simplex(p, revised_opt());
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-8);
+}
+
+TEST(RevisedSimplex, GeAndEqRowsNeedPhase1) {
+  Problem p;
+  const int x = p.add_var(1.0);
+  const int y = p.add_var(1.0);
+  p.add_row(row({{x, 1}, {y, 1}}, Rel::Ge, 2));
+  p.add_row(row({{x, 1}, {y, -1}}, Rel::Eq, 1));
+  const Solution s = solve_simplex(p, revised_opt());
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 1.5, 1e-8);
+  EXPECT_NEAR(s.x[y], 0.5, 1e-8);
+}
+
+TEST(RevisedSimplex, VerdictsMatchTableau) {
+  {
+    Problem p;
+    const int x = p.add_var(1.0);
+    p.add_row(row({{x, 1}}, Rel::Le, 1));
+    p.add_row(row({{x, 1}}, Rel::Ge, 2));
+    EXPECT_EQ(solve_simplex(p, revised_opt()).status, Status::Infeasible);
+  }
+  {
+    Problem p;
+    const int x = p.add_var(-1.0);
+    const int y = p.add_var(0.0);
+    p.add_row(row({{x, 1}, {y, -1}}, Rel::Le, 1));
+    EXPECT_EQ(solve_simplex(p, revised_opt()).status, Status::Unbounded);
+  }
+}
+
+TEST(RevisedSimplex, BealeCycleTerminates) {
+  Problem p;
+  const int x1 = p.add_var(-0.75);
+  const int x2 = p.add_var(150.0);
+  const int x3 = p.add_var(-0.02);
+  const int x4 = p.add_var(6.0);
+  p.add_row(row({{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, Rel::Le, 0));
+  p.add_row(row({{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, Rel::Le, 0));
+  p.add_row(row({{x3, 1}}, Rel::Le, 1));
+  const Solution s = solve_simplex(p, revised_opt());
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-8);
+}
+
+TEST(RevisedSimplexGolden, Lp1InstanceObjectiveMatchesTableau) {
+  util::Rng rng(42);
+  const core::Instance inst = core::make_independent(
+      12, 4, core::MachineModel::uniform(0.3, 0.95), rng);
+  std::vector<int> jobs;
+  for (int j = 0; j < inst.num_jobs(); ++j) jobs.push_back(j);
+  rounding::Lp1Options opt;
+  opt.solver = rounding::Lp1Options::Solver::Simplex;
+  opt.engine = lp::SimplexEngine::Revised;
+  const rounding::Lp1Fractional frac =
+      rounding::solve_lp1(inst, jobs, 0.5, opt);
+  EXPECT_NEAR(frac.t, 3.186421848442467, 1e-9);
+}
+
+TEST(RevisedSimplexGolden, Lp2InstanceObjectiveMatchesTableau) {
+  util::Rng rng(99);
+  const core::Instance inst = core::make_chains(
+      5, 2, 4, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  const rounding::Lp2Result res = rounding::solve_and_round_lp2(
+      inst, inst.dag().chains(), nullptr, lp::SimplexEngine::Revised);
+  EXPECT_NEAR(res.t_fractional, 5.296096594137738, 1e-9);
+}
+
+TEST(RevisedSimplexWarmStart, RepeatSolveSkipsPhase1) {
+  const Problem p = perturbable_lp(3.0);
+  WarmStart warm;
+  SimplexOptions opt = revised_opt();
+  opt.warm = &warm;
+  const Solution cold = solve_simplex(p, opt);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_FALSE(warm.basis.empty());
+  EXPECT_GT(cold.phase1_iterations, 0);
+  const Solution hot = solve_simplex(p, opt);
+  ASSERT_EQ(hot.status, Status::Optimal);
+  EXPECT_EQ(warm.hits, 1);
+  EXPECT_EQ(hot.phase1_iterations, 0);
+  EXPECT_NEAR(hot.objective, cold.objective, 1e-9);
+}
+
+TEST(RevisedSimplexWarmStart, BasesArePortableAcrossEngines) {
+  // A tableau-recorded basis must seed the revised engine and vice versa:
+  // both engines number columns through the same standard form.
+  const Problem p = perturbable_lp(3.0);
+  WarmStart warm;
+  SimplexOptions tab_opt;
+  tab_opt.engine = SimplexEngine::Tableau;
+  tab_opt.warm = &warm;
+  const Solution cold = solve_simplex(p, tab_opt);
+  ASSERT_EQ(cold.status, Status::Optimal);
+
+  SimplexOptions rev_opt = revised_opt();
+  rev_opt.warm = &warm;
+  const Solution hot = solve_simplex(p, rev_opt);
+  ASSERT_EQ(hot.status, Status::Optimal);
+  EXPECT_EQ(warm.hits, 1);
+  EXPECT_EQ(hot.phase1_iterations, 0);
+  EXPECT_NEAR(hot.objective, cold.objective, 1e-9);
+
+  WarmStart back;
+  back.basis = hot.basis;
+  SimplexOptions tab_warm;
+  tab_warm.engine = SimplexEngine::Tableau;
+  tab_warm.warm = &back;
+  const Solution round_trip = solve_simplex(p, tab_warm);
+  ASSERT_EQ(round_trip.status, Status::Optimal);
+  EXPECT_EQ(back.hits, 1);
+  EXPECT_NEAR(round_trip.objective, cold.objective, 1e-9);
+}
+
+TEST(RevisedSimplex, AutoSwitchesOnSize) {
+  // Below the cell threshold Auto must keep the tableau trajectory (these
+  // sizes are the byte-recorded experiment regime).
+  const Problem small = perturbable_lp(3.0);
+  const StandardForm sf = build_standard_form(small);
+  EXPECT_LT(static_cast<std::int64_t>(sf.m) * sf.n_total, kRevisedAutoCells);
+}
+
+TEST(StandardFormBuild, MatchesTableauNormalization) {
+  // min x s.t. -x <= -2 normalizes to x >= 2 with a surplus + artificial.
+  Problem p;
+  const int x = p.add_var(1.0);
+  p.add_row(row({{x, -1}}, Rel::Le, -2));
+  const StandardForm sf = build_standard_form(p);
+  EXPECT_EQ(sf.m, 1);
+  EXPECT_EQ(sf.n_orig, 1);
+  EXPECT_EQ(sf.n_total, 3);  // x, surplus, artificial
+  EXPECT_EQ(sf.art_begin, 2);
+  EXPECT_EQ(sf.rhs[0], 2.0);
+  EXPECT_EQ(sf.init_basis[0], 2);
+  ASSERT_EQ(sf.col_nnz(0), 1);
+  EXPECT_EQ(sf.col_val[static_cast<std::size_t>(sf.col_ptr[0])], 1.0);
+}
+
+TEST(BasisFactorizationTest, FtranBtranRoundTrip) {
+  // Factorize a small nontrivial basis and check B^{-1}(B e_k) == e_k and
+  // the BTRAN transpose identity.
+  Problem p;
+  const int x = p.add_var(1.0);
+  const int y = p.add_var(2.0);
+  p.add_row(row({{x, 2}, {y, 1}}, Rel::Le, 4));
+  p.add_row(row({{x, 1}, {y, 3}}, Rel::Le, 6));
+  const StandardForm sf = build_standard_form(p);
+  BasisFactorization fact(sf, kPivotTol);
+  ASSERT_TRUE(fact.refactorize({x, y}));
+  // b = (4, 6): solving 2x + y = 4, x + 3y = 6 gives x = 6/5, y = 8/5.
+  std::vector<double> v = sf.rhs;
+  fact.ftran(v);
+  const int rx = fact.row_to_col()[0] == x ? 0 : 1;
+  EXPECT_NEAR(v[static_cast<std::size_t>(rx)], 1.2, 1e-12);
+  EXPECT_NEAR(v[static_cast<std::size_t>(1 - rx)], 1.6, 1e-12);
+  // BTRAN with c_B = (1, 2) in row order must reproduce y^T B = c_B^T.
+  std::vector<double> yv(2);
+  yv[static_cast<std::size_t>(rx)] = 1.0;
+  yv[static_cast<std::size_t>(1 - rx)] = 2.0;
+  fact.btran(yv);
+  EXPECT_NEAR(2 * yv[0] + 1 * yv[1], 1.0, 1e-12);  // column x
+  EXPECT_NEAR(1 * yv[0] + 3 * yv[1], 2.0, 1e-12);  // column y
+}
+
+TEST(BasisFactorizationTest, SingularBasisRejected) {
+  Problem p;
+  const int x = p.add_var(1.0);
+  p.add_var(1.0);
+  p.add_row(row({{x, 1}}, Rel::Le, 1));
+  p.add_row(row({{x, 2}}, Rel::Le, 2));
+  const StandardForm sf = build_standard_form(p);
+  BasisFactorization fact(sf, kPivotTol);
+  // Columns {x, x-duplicate-direction}: rows are multiples -> singular once
+  // x claims a row and the second column has no independent pivot. Use the
+  // slack of row 0 twice via {x, x}? Not allowed; instead {x, slack0} is
+  // fine but {slack0, slack0} is a caller bug. The singular case here:
+  // basis {x, y} where y has no entries at all.
+  EXPECT_FALSE(fact.refactorize({x, 1}));  // y's column is empty
 }
 
 TEST(MaxViolation, DetectsEachRelation) {

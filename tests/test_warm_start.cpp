@@ -1,0 +1,155 @@
+// Regression guards for warm-start-on-by-default (SolverOptions::warm_start
+// flipped true in the revised-simplex PR). Two invariants keep the flip
+// honest:
+//
+//  1. Warm re-solves never pay more priced pivots than their cold
+//     counterparts, and an accepted seed skips phase 1 outright.
+//  2. The table1-style experiment output — the bytes every recorded golden
+//     is built from — is identical with warm starts on and off, at any
+//     cell fan-out, under the default engine. (Verified against the PR 2
+//     recorded goldens when this was landed; the cold trajectory IS the
+//     recorded one, so warm == cold means warm == recorded.)
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algos/suu_t.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "core/generators.hpp"
+#include "lp/simplex.hpp"
+#include "rounding/lp2.hpp"
+#include "util/rng.hpp"
+
+namespace suu {
+namespace {
+
+core::Instance chains_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return core::make_chains(6, 2, 5, 4, core::MachineModel::uniform(0.3, 0.9),
+                           rng);
+}
+
+TEST(WarmStartRegression, Lp2ResolvePivotsMonotoneNonincreasingVsCold) {
+  const core::Instance inst = chains_instance(77);
+  const auto chains = inst.dag().chains();
+
+  // A chain of re-solves of the same program: cold pays the full two-phase
+  // bill every time; warm must never pay more, and after the first solve
+  // must skip phase 1 entirely.
+  std::vector<int> cold_pivots;
+  for (int i = 0; i < 5; ++i) {
+    const rounding::Lp2Result cold = rounding::solve_and_round_lp2(inst, chains);
+    cold_pivots.push_back(cold.simplex_iterations);
+    EXPECT_GT(cold.simplex_phase1_iterations, 0);
+  }
+
+  lp::WarmStart warm;
+  for (int i = 0; i < 5; ++i) {
+    const rounding::Lp2Result hot =
+        rounding::solve_and_round_lp2(inst, chains, &warm);
+    EXPECT_LE(hot.simplex_iterations, cold_pivots[static_cast<std::size_t>(i)])
+        << "warm re-solve " << i << " pivoted more than cold";
+    if (i > 0) {
+      EXPECT_EQ(hot.simplex_phase1_iterations, 0)
+          << "warm re-solve " << i << " re-ran phase 1";
+    }
+  }
+  EXPECT_EQ(warm.hits, 4);
+  EXPECT_EQ(warm.misses, 1);  // the seeding first solve
+}
+
+TEST(WarmStartRegression, SuuTBlockChainingMatchesColdPrecompute) {
+  // The registry's default path now chains warm starts across SUU-T's
+  // per-block LP2 solves; the cached artifacts must be value-identical to a
+  // cold precompute (same optima, same rounded assignments), with phase-1
+  // pivots saved on at least the blocks whose seed fit.
+  util::Rng rng(31);
+  const core::Instance inst = core::make_out_forest(
+      24, 4, 0.15, 3, core::MachineModel::uniform(0.3, 0.9), rng);
+  const auto cold = algos::SuuTPolicy::precompute(inst, /*warm_start=*/false);
+  const auto warm = algos::SuuTPolicy::precompute(inst, /*warm_start=*/true);
+  ASSERT_EQ(cold->lp2.size(), warm->lp2.size());
+  int cold_p1 = 0, warm_p1 = 0;
+  for (std::size_t b = 0; b < cold->lp2.size(); ++b) {
+    EXPECT_DOUBLE_EQ(cold->lp2[b]->t_fractional, warm->lp2[b]->t_fractional)
+        << "block " << b;
+    EXPECT_EQ(cold->lp2[b]->d, warm->lp2[b]->d) << "block " << b;
+    cold_p1 += cold->lp2[b]->simplex_phase1_iterations;
+    warm_p1 += warm->lp2[b]->simplex_phase1_iterations;
+  }
+  EXPECT_LE(warm_p1, cold_p1);
+}
+
+std::string table1_json(bool warm_start, unsigned cell_threads) {
+  api::ExperimentRunner::Options ropt;
+  ropt.seed = 3;
+  ropt.replications = 12;
+  ropt.threads = 1;
+  ropt.cell_threads = cell_threads;
+  api::ExperimentRunner runner(ropt);
+  runner.options().strict_eligibility = true;
+
+  api::SolverOptions sopt;
+  sopt.warm_start = warm_start;
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Instance>>>
+      instances;
+  for (const int n : {12, 24}) {
+    util::Rng rng(3 + static_cast<std::uint64_t>(n));
+    instances.emplace_back(
+        "out-forest n=" + std::to_string(n),
+        std::make_shared<const core::Instance>(core::make_out_forest(
+            n, 4, 0.15, 3, core::MachineModel::uniform(0.3, 0.9), rng)));
+  }
+  // "auto" resolves to suu-t on forests — the solver the flip affects.
+  runner.add_grid(instances, {"round-robin", "auto"}, sopt,
+                  /*auto_lower_bound=*/true);
+  runner.run();
+  std::ostringstream os;
+  runner.print_json(os);
+  return os.str();
+}
+
+TEST(WarmStartRegression, Table1JsonByteIdenticalWarmVsRecordedCold) {
+  // The cold trajectory is what every recorded table1 golden was built
+  // from; the default-on warm chain must reproduce it byte for byte.
+  const std::string cold = table1_json(/*warm_start=*/false, 1);
+  const std::string warm = table1_json(/*warm_start=*/true, 1);
+  ASSERT_FALSE(cold.empty());
+  EXPECT_EQ(cold, warm);
+  EXPECT_NE(cold.find("\"solver\":\"suu-t\""), std::string::npos);
+}
+
+TEST(WarmStartRegression, Table1JsonByteStableAcrossRunsAndCellThreads) {
+  const std::string once = table1_json(/*warm_start=*/true, 1);
+  EXPECT_EQ(once, table1_json(true, 1)) << "run-to-run bytes drifted";
+  EXPECT_EQ(once, table1_json(true, 3)) << "cell fan-out changed bytes";
+}
+
+TEST(WarmStartRegression, DefaultOptionsChainWarmStarts) {
+  // The flip itself: a default-constructed SolverOptions must request
+  // warm-start block chaining (and the prepare key must distinguish the
+  // two, or cached artifacts would alias across the flag).
+  const api::SolverOptions def;
+  EXPECT_TRUE(def.warm_start);
+  api::SolverOptions off;
+  off.warm_start = false;
+  const core::Instance inst = chains_instance(5);
+  EXPECT_NE(api::SolverRegistry::prepare_key(inst, "suu-c", def),
+            api::SolverRegistry::prepare_key(inst, "suu-c", off));
+  EXPECT_NE(api::SolverRegistry::prepare_key(
+                inst, "suu-c",
+                [] {
+                  api::SolverOptions o;
+                  o.lp1.engine = lp::SimplexEngine::Revised;
+                  return o;
+                }()),
+            api::SolverRegistry::prepare_key(inst, "suu-c", def))
+      << "lp engine must be part of the prepare key";
+}
+
+}  // namespace
+}  // namespace suu
