@@ -1,18 +1,23 @@
-// PERF — suu::serve request throughput: cold-prepare vs cache-hit solve
-// requests on LP1-shaped (independent) and LP2-shaped (chains) instances.
+// PERF — suu::serve request throughput: cold-prepare vs cache-hit vs
+// session-handle solve requests on LP1-shaped (independent) and LP2-shaped
+// (chains) instances.
 //
 // "cold" requests reference pairwise-distinct instances, so every request
 // pays the full untrusted parse + registry prepare (LP solve + rounding);
-// "hit" requests repeat one instance, so after a warmup every request is a
-// parse + fingerprint + PrecomputeCache hit — the steady state of a
-// session-bound client re-querying its instance. The gap between the two
-// rows is what the cache (and the single-flight layer above it) buys.
+// "hit" requests repeat one inline instance, so after a warmup every
+// request is a parse + fingerprint + PrecomputeCache hit; "handle"
+// requests open the instance once (open_instance) and then reference it by
+// session handle, so the steady state skips even the per-request
+// instance parse — the payoff of the session layer. The vs_inline column
+// is each variant's req/s relative to the family's "hit" row: the
+// handle-reuse speedup over inline-instance re-parse that the acceptance
+// bar asks BENCH_service_throughput.json to record.
 //
 // Results print as a table and are recorded to BENCH_service_throughput.json
 // (JSON lines via util::Table::print_json) alongside BENCH_perf_micro.json,
 // so every run leaves a machine-readable perf trajectory record.
 //
-//   ./bench_service_throughput [--requests=200] [--workers=0] [--reps-warm=1]
+//   ./bench_service_throughput [--requests=200] [--workers=0]
 //                              [--out=BENCH_service_throughput.json]
 #include <atomic>
 #include <chrono>
@@ -43,6 +48,20 @@ std::string solve_request(int id, const std::string& instance_text) {
   return out;
 }
 
+std::string handle_solve_request(int id, std::uint64_t handle) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"method\":\"solve\",\"params\":{\"handle\":" +
+         std::to_string(handle) + "}}";
+}
+
+std::string open_request(const std::string& instance_text) {
+  std::string out = "{\"id\":0,\"method\":\"open_instance\",\"params\":"
+                    "{\"instance\":";
+  service::json_append_quoted(out, instance_text);
+  out += "}}";
+  return out;
+}
+
 std::string instance_text(const core::Instance& inst) {
   std::ostringstream os;
   core::write_instance(os, inst);
@@ -63,7 +82,8 @@ core::Instance make_lp2(std::uint64_t seed) {
 
 struct Scenario {
   std::string family;   // lp1-indep | lp2-chains
-  std::string variant;  // cold | hit
+  std::string variant;  // cold | hit | handle
+  std::string setup;    // request run before the timed window (may be empty)
   std::vector<std::string> requests;
 };
 
@@ -75,7 +95,10 @@ double run_scenario(const Scenario& sc, unsigned workers, double* ok_frac) {
   cfg.queue_capacity = sc.requests.size() + 1;  // admission never the bottleneck
   service::Engine engine(cfg);
 
-  if (sc.variant == "hit") {
+  if (!sc.setup.empty()) {
+    (void)engine.handle(sc.setup);  // e.g. open_instance: handle 1
+  }
+  if (sc.variant != "cold") {
     // One warmup request populates the cache outside the timed window.
     (void)engine.handle(sc.requests.front());
   }
@@ -83,7 +106,7 @@ double run_scenario(const Scenario& sc, unsigned workers, double* ok_frac) {
   std::atomic<std::uint64_t> ok{0};
   const auto t0 = std::chrono::steady_clock::now();
   for (const std::string& req : sc.requests) {
-    engine.submit(req, [&ok](std::string&& resp) {
+    engine.submit(req, [&ok](std::string&& resp, bool) {
       if (resp.find("\"ok\":true") != std::string::npos) ok.fetch_add(1);
     });
   }
@@ -106,30 +129,38 @@ int main(int argc, char** argv) {
   std::vector<Scenario> scenarios;
   for (const bool lp2 : {false, true}) {
     const std::string family = lp2 ? "lp2-chains" : "lp1-indep";
-    Scenario cold{family, "cold", {}};
-    Scenario hit{family, "hit", {}};
-    const std::string hot =
-        instance_text(lp2 ? make_lp2(1) : make_lp1(1));
+    Scenario cold{family, "cold", "", {}};
+    Scenario hit{family, "hit", "", {}};
+    const std::string hot = instance_text(lp2 ? make_lp2(1) : make_lp1(1));
+    // A fresh engine assigns its first open_instance handle 1.
+    Scenario handle{family, "handle", open_request(hot), {}};
     for (int i = 0; i < requests; ++i) {
       cold.requests.push_back(solve_request(
           i, instance_text(lp2 ? make_lp2(100 + i) : make_lp1(100 + i))));
       hit.requests.push_back(solve_request(i, hot));
+      handle.requests.push_back(handle_solve_request(i, 1));
     }
     scenarios.push_back(std::move(cold));
     scenarios.push_back(std::move(hit));
+    scenarios.push_back(std::move(handle));
   }
 
   util::Table table({"family", "variant", "requests", "workers", "seconds",
-                     "req_per_sec", "ok_frac", "cache_hits", "cache_misses"});
+                     "req_per_sec", "vs_inline", "ok_frac", "cache_hits",
+                     "cache_misses"});
+  double inline_rps = 0.0;  // the family's "hit" row, run just before
   for (const Scenario& sc : scenarios) {
     double ok_frac = 0.0;
     const double secs = run_scenario(sc, workers, &ok_frac);
+    const double rps = static_cast<double>(sc.requests.size()) / secs;
+    if (sc.variant == "cold") inline_rps = 0.0;  // new family; no hit row yet
+    if (sc.variant == "hit") inline_rps = rps;
     const api::PrecomputeCache::Stats cs =
         api::PrecomputeCache::global().stats();
     table.add_row({sc.family, sc.variant, std::to_string(sc.requests.size()),
-                   std::to_string(workers),
-                   util::fmt(secs, 4),
-                   util::fmt(static_cast<double>(sc.requests.size()) / secs, 1),
+                   std::to_string(workers), util::fmt(secs, 4),
+                   util::fmt(rps, 1),
+                   inline_rps > 0.0 ? util::fmt(rps / inline_rps, 3) : "-",
                    util::fmt(ok_frac, 3), std::to_string(cs.hits),
                    std::to_string(cs.misses)});
   }

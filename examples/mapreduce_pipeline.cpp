@@ -9,7 +9,8 @@
 //
 // This example also shows how to EXTEND the solver registry: TwoPhasePolicy
 // is registered under "two-phase-sem" and then measured through the same
-// ExperimentRunner as every builtin (see README.md "Adding a policy").
+// ExperimentRunner as every builtin (see docs/architecture.md,
+// "Adding a policy").
 //
 //   ./mapreduce_pipeline [--maps=24] [--reduces=8] [--machines=6]
 #include <iostream>

@@ -2,9 +2,12 @@
 //
 // Part 1 embeds service::Engine in-process (no sockets) and walks the
 // protocol: list_solvers, a solve with lower bound, an estimate, stats.
-// Part 2 starts a loopback TcpServer on an ephemeral port, connects a raw
-// TCP client, pipelines requests with out-of-order ids, and shuts the
-// server down over the wire — the same bytes any non-C++ client would
+// Part 2 walks the session layer: open_instance returns a handle, solve
+// and a streamed sharded estimate reference it (no re-sent instance
+// bytes), close_instance releases it — after which the handle is a typed
+// error. Part 3 starts a loopback TcpServer on an ephemeral port, connects
+// a raw TCP client, pipelines requests with out-of-order ids, and shuts
+// the server down over the wire — the same bytes any non-C++ client would
 // speak.
 //
 //   ./serve_client [--n=10] [--m=4] [--reps=200] [--skip-tcp]
@@ -71,6 +74,24 @@ int main(int argc, char** argv) {
   round_trip(engine, R"({"id":4,"method":"stats"})");
   // Malformed payloads get typed errors, never a crash:
   round_trip(engine, R"({"id":5,"method":"solve","params":{"instance":"suu-instance v1\n2 1\n0.5\n0.5\n2\n0 1\n1 0\n"}})");
+
+  std::cout << "== sessions and streamed shards ==\n\n";
+  // open_instance parses the payload once; this fresh-ish engine assigns
+  // the next handle (6th request → still handle 1, handles are their own
+  // counter). Subsequent requests reference it — no instance bytes.
+  round_trip(engine, R"({"id":6,"method":"open_instance","params":{"instance":)" +
+                         inst + "}}");
+  round_trip(engine, R"({"id":7,"method":"solve","params":{"handle":1}})");
+  // A streamed sharded estimate answers with one seq-ordered envelope per
+  // shard plus a terminal done envelope carrying the aggregate (handle()
+  // joins the lines; each arrives separately over a transport).
+  round_trip(engine,
+             R"({"id":8,"method":"estimate","params":{"handle":1,"replications":)" +
+                 std::to_string(reps) +
+                 R"(,"seed":42,"stream":true,"shards":3}})");
+  round_trip(engine, R"({"id":9,"method":"close_instance","params":{"handle":1}})");
+  // Closed (like unknown or expired) handles are a typed error:
+  round_trip(engine, R"({"id":10,"method":"solve","params":{"handle":1}})");
 
   if (args.has("skip-tcp")) return 0;
 

@@ -23,6 +23,7 @@ int ExperimentRunner::add(Cell cell) {
   SUU_CHECK_MSG(cell.instance != nullptr, "cell needs an instance");
   SUU_CHECK_MSG(cell.factory != nullptr || !cell.solver.empty(),
                 "cell needs a solver name or an explicit factory");
+  SUU_CHECK_MSG(cell.rep_offset >= 0, "cell rep_offset must be >= 0");
   cells_.push_back(std::move(cell));
   return static_cast<int>(cells_.size()) - 1;
 }
@@ -57,7 +58,8 @@ CellResult ExperimentRunner::run_cell(std::size_t k, const Cell& cell,
   out.instance_label = cell.instance_label;
   out.n = inst.num_jobs();
   out.m = inst.num_machines();
-  out.seed = k + 1;
+  const std::uint64_t stream = cell.seed_stream != 0 ? cell.seed_stream : k + 1;
+  out.seed = stream;
   out.lower_bound = cell.lower_bound;
 
   sim::PolicyFactory factory = cell.factory;
@@ -85,11 +87,12 @@ CellResult ExperimentRunner::run_cell(std::size_t k, const Cell& cell,
   std::vector<std::vector<double>> metric_vals(
       cell.metrics.size(), std::vector<double>(n_reps, 0.0));
 
-  const util::Rng cell_rng = util::Rng(opt_.seed).child(k + 1);
+  const util::Rng cell_rng = util::Rng(opt_.seed).child(stream);
+  const auto rep_offset = static_cast<std::size_t>(cell.rep_offset);
   auto one = [&](std::size_t r) {
     sim::ExecConfig cfg;
     cfg.semantics = opt_.semantics;
-    cfg.seed = cell_rng.child(r + 1).next();
+    cfg.seed = cell_rng.child(rep_offset + r + 1).next();
     cfg.step_cap = opt_.step_cap;
     cfg.strict_eligibility = strict;
     auto policy = factory();

@@ -55,6 +55,17 @@ struct Cell {
   std::vector<Metric> metrics;
   int replications = 0;  ///< 0 = runner default
   int strict = -1;       ///< strict eligibility: -1 = runner default, else 0/1
+
+  // Sharding seam (service streamed estimates): a cell may measure a
+  // contiguous sub-range of a larger replication sequence without changing
+  // any sample. Replication r of this cell draws its engine seed from child
+  // stream (rep_offset + r + 1) of the cell's stream, so K cells sharing a
+  // seed_stream and covering [0, R) in rep_offset order reproduce exactly
+  // the samples of one R-replication cell — shard by shard.
+  int rep_offset = 0;  ///< global index of this cell's first replication
+  /// Override the cell's seed stream id (reported as CellResult::seed).
+  /// 0 = default: the cell's grid index k + 1.
+  std::uint64_t seed_stream = 0;
 };
 
 struct CellResult {

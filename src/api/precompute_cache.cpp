@@ -47,10 +47,33 @@ void PrecomputeCache::set_capacity(std::size_t capacity) {
   evict_over_capacity_locked();
 }
 
+void PrecomputeCache::pin(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[key];
+}
+
+void PrecomputeCache::unpin(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pins_.find(key);
+  if (it == pins_.end()) return;
+  if (--it->second == 0) {
+    pins_.erase(it);
+    evict_over_capacity_locked();
+  }
+}
+
 void PrecomputeCache::evict_over_capacity_locked() {
-  while (entries_.size() > capacity_ && !lru_.empty()) {
-    entries_.erase(lru_.front());
-    lru_.pop_front();
+  // Oldest-first, skipping pinned keys. When everything left is pinned the
+  // iterator runs off the end and the cache stays over capacity until an
+  // unpin makes a victim available.
+  auto victim = lru_.begin();
+  while (entries_.size() > capacity_ && victim != lru_.end()) {
+    if (pins_.count(*victim) > 0) {
+      ++victim;
+      continue;
+    }
+    entries_.erase(*victim);
+    victim = lru_.erase(victim);
     ++stats_.evictions;
   }
 }
@@ -71,6 +94,7 @@ PrecomputeCache::Stats PrecomputeCache::stats() const {
   Stats s = stats_;
   s.size = entries_.size();
   s.capacity = capacity_;
+  s.pinned = pins_.size();
   return s;
 }
 

@@ -21,6 +21,15 @@
 // under concurrent access — every lookup outcome is counted under the lock
 // that decides it.
 //
+// Pinning: a caller holding a long-lived reference to an instance — a
+// service session that opened a handle — pins the prepare keys it depends
+// on. Pins are reference counts kept independently of the entries, so a key
+// may be pinned before its first prepare; while a key's pin count is
+// positive, LRU eviction skips it (the cache may transiently exceed its
+// capacity when many pinned keys are live). clear() drops entries but not
+// pins: a pinned key whose entry was cleared is re-prepared on next use and
+// stays pinned.
+//
 // Thread safety: lookups and inserts take a mutex; the prepare itself runs
 // outside the lock, so concurrent cells missing on the same key may both
 // compute (same value — first insert wins) but never block each other on
@@ -46,6 +55,7 @@ class PrecomputeCache {
     std::uint64_t evictions = 0;
     std::size_t size = 0;
     std::size_t capacity = 0;
+    std::size_t pinned = 0;  ///< keys with a positive pin count
   };
 
   /// The process-wide cache consulted by SolverRegistry::prepare.
@@ -62,7 +72,15 @@ class PrecomputeCache {
   /// sweeps and long-running service sessions).
   void set_capacity(std::size_t capacity);
 
-  /// Drop every entry (stats are kept; see reset_stats).
+  /// Exempt `key` from LRU eviction until a matching unpin. Reference
+  /// counted; the key need not have an entry yet.
+  void pin(std::uint64_t key);
+  /// Release one pin on `key`. Unbalanced unpins are ignored. When the last
+  /// pin drops and the cache is over capacity, the key becomes evictable
+  /// again (and is reaped on the next insert or set_capacity).
+  void unpin(std::uint64_t key);
+
+  /// Drop every entry (stats and pins are kept; see reset_stats/unpin).
   void clear();
   void reset_stats();
   Stats stats() const;
@@ -77,6 +95,7 @@ class PrecomputeCache {
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> pins_;  // key -> pin count
   std::list<std::uint64_t> lru_;  // least recently used first
   std::size_t capacity_ = 256;
   Stats stats_;

@@ -7,7 +7,7 @@
 // value iteration — and returns a sim::PolicyFactory whose policies share
 // that precomputation across Monte-Carlo replications.
 //
-// Naming scheme (see README.md "The suu::api layer"):
+// Naming scheme (see docs/architecture.md):
 //   suu-i-sem / suu-i-obl   paper Section 3 (Thm 4 / Thm 3); "suu-i" is an
 //                           alias for suu-i-sem, the headline algorithm
 //   suu-c                   paper Section 4 (Thm 9), disjoint chains

@@ -1,5 +1,6 @@
 #include "service/engine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string_view>
@@ -19,15 +20,46 @@ std::string fingerprint_hex(std::uint64_t fp) {
   return buf;
 }
 
+/// Run a one-cell estimate runner, mapping the skip_capped budget
+/// exhaustion ("every replication hit the step cap") onto its wire code.
+const api::CellResult& run_runner_guarded(api::ExperimentRunner& runner) {
+  try {
+    return runner.run().front();
+  } catch (const util::CheckError& err) {
+    // With skip_capped set, an exhausted replication budget is the one
+    // capping failure left; report it under its own code. Every other
+    // CheckError (e.g. a strict-eligibility violation inside execute)
+    // keeps the generic bad_params mapping of the dispatch handler.
+    if (std::string_view(err.what()).find("step cap") !=
+        std::string_view::npos) {
+      throw ProtocolError(error_code::kCapped, err.what());
+    }
+    throw;
+  }
+}
+
 }  // namespace
 
 Engine::Engine(const Config& cfg)
     : cfg_(cfg), pool_(std::make_unique<util::ThreadPool>(cfg.workers)) {
+  if (cfg_.max_open_handles == 0) cfg_.max_open_handles = 1;
   stats_.queue_capacity = cfg_.queue_capacity;
   stats_.workers = pool_->size();
 }
 
-Engine::~Engine() { drain(); }
+Engine::~Engine() {
+  drain();
+  // Release every pin this engine's sessions hold: the PrecomputeCache is
+  // process-wide and must not stay over-retained after the engine is gone.
+  std::lock_guard<std::mutex> lock(sess_mu_);
+  for (auto& [handle, session] : sessions_) {
+    for (const std::uint64_t key : session.pinned_keys) {
+      api::PrecomputeCache::global().unpin(key);
+    }
+  }
+  sessions_.clear();
+  session_lru_.clear();
+}
 
 bool Engine::stopping() const noexcept {
   std::lock_guard<std::mutex> lock(mu_);
@@ -45,27 +77,42 @@ void Engine::drain() {
 }
 
 Engine::Stats Engine::stats() const {
+  std::size_t open = 0;
+  {
+    std::lock_guard<std::mutex> lock(sess_mu_);
+    open = sessions_.size();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
   s.inflight = inflight_;
+  s.open_handles = open;
   return s;
 }
 
 std::string Engine::handle(const std::string& line) {
+  std::string joined;
+  process(line, [&joined](std::string&& resp, bool /*last*/) {
+    if (!joined.empty()) joined.push_back('\n');
+    joined += resp;
+  });
+  return joined;
+}
+
+void Engine::process(const std::string& line, const Reply& emit) {
   bool ok = false;
-  std::string response;
   if (line.size() > cfg_.max_line_bytes) {
-    response = make_error_response(
-        Json(nullptr), error_code::kParseError,
-        "request line exceeds " + std::to_string(cfg_.max_line_bytes) +
-            " bytes");
+    emit(make_error_response(
+             Json(nullptr), error_code::kParseError,
+             "request line exceeds " + std::to_string(cfg_.max_line_bytes) +
+                 " bytes"),
+         true);
   } else {
     try {
       const Request req = parse_request(line);
-      response = dispatch(req, &ok);
+      dispatch(req, &ok, emit);
     } catch (const ProtocolError& err) {
-      response =
-          make_error_response(parse_request_id(line), err.code(), err.what());
+      emit(make_error_response(parse_request_id(line), err.code(), err.what()),
+           true);
     }
   }
   {
@@ -77,11 +124,9 @@ std::string Engine::handle(const std::string& line) {
       ++stats_.failed;
     }
   }
-  return response;
 }
 
-void Engine::submit(std::string line,
-                    std::function<void(std::string&&)> reply) {
+void Engine::submit(std::string line, Reply reply) {
   const char* reject_code = nullptr;
   const char* reject_msg = nullptr;
   {
@@ -102,20 +147,18 @@ void Engine::submit(std::string line,
     }
   }
   if (reject_code != nullptr) {
-    reply(make_error_response(parse_request_id(line), reject_code,
-                              reject_msg));
+    reply(make_error_response(parse_request_id(line), reject_code, reject_msg),
+          true);
     return;
   }
-  auto shared_reply =
-      std::make_shared<std::function<void(std::string&&)>>(std::move(reply));
+  auto shared_reply = std::make_shared<Reply>(std::move(reply));
   auto shared_line = std::make_shared<std::string>(std::move(line));
   pool_->submit([this, shared_reply, shared_line] {
     // The slot must be released no matter what: a throwing reply callback
-    // (or an allocation failure building the response) would otherwise
-    // leak inflight_ and deadlock drain()/~Engine.
+    // (or an allocation failure building a response) would otherwise leak
+    // inflight_ and deadlock drain()/~Engine.
     try {
-      std::string response = handle(*shared_line);
-      (*shared_reply)(std::move(response));
+      process(*shared_line, *shared_reply);
     } catch (...) {
     }
     {
@@ -126,15 +169,23 @@ void Engine::submit(std::string line,
   });
 }
 
-std::string Engine::dispatch(const Request& req, bool* ok) {
+void Engine::dispatch(const Request& req, bool* ok, const Reply& emit) {
   try {
+    if (req.method == "estimate") {
+      // Streamed estimates frame their own response lines (shard
+      // envelopes, then the terminal line).
+      handle_estimate(req.id, req.params, ok, emit);
+      return;
+    }
     std::string result;
     if (req.method == "list_solvers") {
       result = handle_list_solvers();
+    } else if (req.method == "open_instance") {
+      result = handle_open_instance(req.params);
+    } else if (req.method == "close_instance") {
+      result = handle_close_instance(req.params);
     } else if (req.method == "solve") {
       result = handle_solve(req.params);
-    } else if (req.method == "estimate") {
-      result = handle_estimate(req.params);
     } else if (req.method == "stats") {
       result = handle_stats();
     } else if (req.method == "shutdown") {
@@ -144,21 +195,25 @@ std::string Engine::dispatch(const Request& req, bool* ok) {
                           "unknown method '" + req.method + "'");
     }
     *ok = true;
-    return make_result_response(req.id, result);
+    emit(make_result_response(req.id, result), true);
   } catch (const ProtocolError& err) {
-    return make_error_response(req.id, err.code(), err.what());
+    emit(make_error_response(req.id, err.code(), err.what()), true);
   } catch (const JsonError& err) {
     // Type-mismatched params (as_string on a number, fractional ints, …)
     // surface from the Json accessors: the client's input, not our fault.
-    return make_error_response(req.id, error_code::kBadParams, err.what());
+    emit(make_error_response(req.id, error_code::kBadParams, err.what()),
+         true);
   } catch (const core::ParseError& err) {
-    return make_error_response(req.id, error_code::kBadInstance, err.what());
+    emit(make_error_response(req.id, error_code::kBadInstance, err.what()),
+         true);
   } catch (const util::CheckError& err) {
     // Contract violations below the protocol layer — e.g. a structure
     // solver asked to prepare a mismatched dag — are the client's doing.
-    return make_error_response(req.id, error_code::kBadParams, err.what());
+    emit(make_error_response(req.id, error_code::kBadParams, err.what()),
+         true);
   } catch (const std::exception& err) {
-    return make_error_response(req.id, error_code::kInternal, err.what());
+    emit(make_error_response(req.id, error_code::kInternal, err.what()),
+         true);
   }
 }
 
@@ -186,9 +241,112 @@ std::shared_ptr<const core::Instance> Engine::parse_instance(
       core::read_instance(is, cfg_.read_limits));
 }
 
+std::string Engine::handle_open_instance(const Json& params) {
+  const OpenInstanceParams p = parse_open_instance_params(params);
+  auto inst = parse_instance(p.instance_text);
+
+  std::uint64_t handle = 0;
+  std::vector<std::uint64_t> expired_keys;
+  bool expired_one = false;
+  {
+    std::lock_guard<std::mutex> lock(sess_mu_);
+    if (sessions_.size() >= cfg_.max_open_handles && !sessions_.empty()) {
+      expired_keys = expire_lru_session_locked();
+      expired_one = true;
+    }
+    handle = next_handle_++;
+    Session session;
+    session.instance = inst;
+    session.lru_it = session_lru_.insert(session_lru_.end(), handle);
+    sessions_.emplace(handle, std::move(session));
+  }
+  for (const std::uint64_t key : expired_keys) {
+    api::PrecomputeCache::global().unpin(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_opened;
+    if (expired_one) ++stats_.sessions_expired;
+  }
+
+  std::string out = "{\"handle\":" + std::to_string(handle);
+  out += ",\"fingerprint\":";
+  json_append_quoted(out, fingerprint_hex(inst->fingerprint()));
+  out += ",\"n\":" + std::to_string(inst->num_jobs());
+  out += ",\"m\":" + std::to_string(inst->num_machines());
+  out += '}';
+  return out;
+}
+
+std::string Engine::handle_close_instance(const Json& params) {
+  const CloseInstanceParams p = parse_close_instance_params(params);
+  std::vector<std::uint64_t> pinned;
+  {
+    std::lock_guard<std::mutex> lock(sess_mu_);
+    const auto it = sessions_.find(p.handle);
+    if (it == sessions_.end()) {
+      throw ProtocolError(error_code::kUnknownHandle,
+                          "unknown, closed, or expired instance handle " +
+                              std::to_string(p.handle));
+    }
+    pinned = std::move(it->second.pinned_keys);
+    session_lru_.erase(it->second.lru_it);
+    sessions_.erase(it);
+  }
+  for (const std::uint64_t key : pinned) {
+    api::PrecomputeCache::global().unpin(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_closed;
+  }
+  return "{\"handle\":" + std::to_string(p.handle) + ",\"closed\":true}";
+}
+
+std::vector<std::uint64_t> Engine::expire_lru_session_locked() {
+  std::vector<std::uint64_t> keys;
+  if (session_lru_.empty()) return keys;
+  const std::uint64_t victim = session_lru_.front();
+  session_lru_.pop_front();
+  const auto it = sessions_.find(victim);
+  if (it != sessions_.end()) {
+    keys = std::move(it->second.pinned_keys);
+    sessions_.erase(it);
+  }
+  return keys;
+}
+
+std::shared_ptr<const core::Instance> Engine::resolve_instance(
+    const SolveParams& p) {
+  if (!p.has_handle) return parse_instance(p.instance_text);
+  std::lock_guard<std::mutex> lock(sess_mu_);
+  const auto it = sessions_.find(p.handle);
+  if (it == sessions_.end()) {
+    throw ProtocolError(error_code::kUnknownHandle,
+                        "unknown, closed, or expired instance handle " +
+                            std::to_string(p.handle));
+  }
+  // Touch: a handle in active use is the last to expire.
+  session_lru_.splice(session_lru_.end(), session_lru_, it->second.lru_it);
+  return it->second.instance;
+}
+
+void Engine::pin_key_for_session(std::uint64_t handle, std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(sess_mu_);
+  const auto it = sessions_.find(handle);
+  // The session may have been closed or expired while this request was in
+  // flight; its instance shared_ptr keeps the request alive, but there is
+  // no session left to own a pin.
+  if (it == sessions_.end()) return;
+  auto& keys = it->second.pinned_keys;
+  if (std::find(keys.begin(), keys.end(), key) != keys.end()) return;
+  keys.push_back(key);
+  api::PrecomputeCache::global().pin(key);
+}
+
 std::shared_ptr<const Engine::Prepared> Engine::prepare(
     std::shared_ptr<const core::Instance> inst, const std::string& solver,
-    const api::SolverOptions& opt) {
+    const api::SolverOptions& opt, std::uint64_t session_handle) {
   const api::SolverRegistry& reg = api::SolverRegistry::global();
   const std::string resolved =
       solver == "auto" ? api::SolverRegistry::dispatch(*inst) : solver;
@@ -198,6 +356,7 @@ std::shared_ptr<const Engine::Prepared> Engine::prepare(
   }
   const std::uint64_t key =
       api::SolverRegistry::prepare_key(*inst, resolved, opt);
+  if (session_handle != 0) pin_key_for_session(session_handle, key);
 
   std::shared_future<std::shared_ptr<const Prepared>> fut;
   std::promise<std::shared_ptr<const Prepared>> prom;
@@ -239,8 +398,9 @@ std::shared_ptr<const Engine::Prepared> Engine::prepare(
 
 std::string Engine::handle_solve(const Json& params) {
   const SolveParams p = parse_solve_params(params);
-  auto inst = parse_instance(p.instance_text);
-  const auto prep = prepare(std::move(inst), p.solver, p.options);
+  auto inst = resolve_instance(p);
+  const auto prep = prepare(std::move(inst), p.solver, p.options,
+                            p.has_handle ? p.handle : 0);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.solves;
@@ -261,20 +421,12 @@ std::string Engine::handle_solve(const Json& params) {
   return out;
 }
 
-std::string Engine::handle_estimate(const Json& params) {
-  const EstimateParams p =
-      parse_estimate_params(params, cfg_.max_replications);
-  auto inst = parse_instance(p.solve.instance_text);
-  const auto prep = prepare(std::move(inst), p.solve.solver, p.solve.options);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.estimates;
-  }
+namespace {
 
-  // One-cell ExperimentRunner, fully serial: the replication seeds derive
-  // from (seed, cell 0, replication r), so this produces byte-identical
-  // numbers to a direct ExperimentRunner call with the same parameters —
-  // and is itself independent of the engine's worker count.
+/// Runner options shared by every estimate execution path: fully serial,
+/// so the engine's own worker count can never show up in response bytes.
+api::ExperimentRunner::Options estimate_runner_options(
+    const EstimateParams& p) {
   api::ExperimentRunner::Options ropt;
   ropt.seed = p.seed;
   ropt.replications = p.replications;
@@ -284,50 +436,145 @@ std::string Engine::handle_estimate(const Json& params) {
   ropt.skip_capped = true;
   ropt.threads = 1;
   ropt.cell_threads = 1;
-  api::ExperimentRunner runner(ropt);
+  return ropt;
+}
+
+/// The canonical shard cell: replications [lo, hi) of the estimate's
+/// global sequence, seeded from seed stream 1 (the stream a one-cell
+/// runner would use) by global replication index — so shard samples are
+/// exactly the samples the unsharded estimate would draw.
+api::Cell shard_cell(const std::shared_ptr<const core::Instance>& instance,
+                     const api::PreparedSolver& solver, int lo, int hi) {
   api::Cell cell;
   cell.instance_label = "wire";
-  cell.instance = prep->instance;
-  cell.factory = prep->solver.factory;  // already prepared; skip registry
-  cell.factory_label = prep->solver.name;
-  runner.add(std::move(cell));
-  const api::CellResult* r = nullptr;
-  try {
-    r = &runner.run().front();
-  } catch (const util::CheckError& err) {
-    // With skip_capped set, an exhausted replication budget is the one
-    // capping failure left; report it under its own code. Every other
-    // CheckError (e.g. a strict-eligibility violation inside execute)
-    // keeps the generic bad_params mapping of the dispatch handler.
-    if (std::string_view(err.what()).find("step cap") !=
-        std::string_view::npos) {
-      throw ProtocolError(error_code::kCapped, err.what());
-    }
-    throw;
-  }
+  cell.instance = instance;
+  cell.factory = solver.factory;  // already prepared; skip registry
+  cell.factory_label = solver.name;
+  cell.seed_stream = 1;
+  cell.rep_offset = lo;
+  cell.replications = hi - lo;
+  return cell;
+}
 
-  const core::Instance& instance = *prep->instance;
+/// One shard's print_json row bytes (no trailing newline) — by
+/// construction byte-identical to the corresponding row of
+/// ExperimentRunner::print_json over the whole shard grid.
+std::string shard_row_json(const api::ExperimentRunner& runner) {
+  std::ostringstream os;
+  runner.print_json(os);
+  std::string row = os.str();
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+  return row;
+}
+
+/// The estimate result object (shared by the plain response and the
+/// terminal envelope of a stream, which must be byte-identical).
+std::string estimate_result_json(const api::PreparedSolver& solver,
+                                 const core::Instance& instance,
+                                 int replications, int capped,
+                                 const util::Estimate& makespan,
+                                 const EstimateParams& p) {
   std::string out = "{\"solver\":";
-  json_append_quoted(out, prep->solver.name);
+  json_append_quoted(out, solver.name);
   out += ",\"n\":" + std::to_string(instance.num_jobs());
   out += ",\"m\":" + std::to_string(instance.num_machines());
-  out += ",\"replications\":" + std::to_string(r->replications);
-  out += ",\"capped\":" + std::to_string(r->capped);
-  out += ",\"mean\":" + util::fmt(r->makespan.mean, 6);
-  out += ",\"ci95\":" + util::fmt(r->makespan.ci95_half, 6);
-  out += ",\"stddev\":" + util::fmt(r->makespan.stddev, 6);
-  out += ",\"min\":" + util::fmt(r->makespan.min, 6);
-  out += ",\"max\":" + util::fmt(r->makespan.max, 6);
+  out += ",\"replications\":" + std::to_string(replications);
+  out += ",\"capped\":" + std::to_string(capped);
+  out += ",\"mean\":" + util::fmt(makespan.mean, 6);
+  out += ",\"ci95\":" + util::fmt(makespan.ci95_half, 6);
+  out += ",\"stddev\":" + util::fmt(makespan.stddev, 6);
+  out += ",\"min\":" + util::fmt(makespan.min, 6);
+  out += ",\"max\":" + util::fmt(makespan.max, 6);
   if (p.solve.want_lower_bound) {
     const algos::LowerBound lb =
         api::lower_bound_auto(instance, p.solve.options.lp1);
     out += ",\"lower_bound\":" + util::fmt(lb.value, 6);
     if (lb.value > 0.0) {
-      out += ",\"ratio\":" + util::fmt(r->makespan.mean / lb.value, 6);
+      out += ",\"ratio\":" + util::fmt(makespan.mean / lb.value, 6);
     }
   }
   out += '}';
   return out;
+}
+
+}  // namespace
+
+void Engine::handle_estimate(const Json& id, const Json& params, bool* ok,
+                             const Reply& emit) {
+  const EstimateParams p =
+      parse_estimate_params(params, cfg_.max_replications);
+  auto inst = resolve_instance(p.solve);
+  const auto prep = prepare(std::move(inst), p.solve.solver, p.solve.options,
+                            p.solve.has_handle ? p.solve.handle : 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.estimates;
+    if (p.stream) ++stats_.streams;
+  }
+  const core::Instance& instance = *prep->instance;
+
+  if (p.shard >= 0) {
+    // Single-shard fan-out: shard s of K in one plain response, so a
+    // client can spread an estimate's shards over connections/processes.
+    const auto [lo, hi] = shard_range(p.replications, p.shards, p.shard);
+    api::ExperimentRunner runner(estimate_runner_options(p));
+    runner.add(shard_cell(prep->instance, prep->solver, lo, hi));
+    (void)run_runner_guarded(runner);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shards;
+    }
+    std::string result = "{\"seq\":" + std::to_string(p.shard);
+    result += ",\"shards\":" + std::to_string(p.shards);
+    result += ",\"shard\":" + shard_row_json(runner) + "}";
+    *ok = true;
+    emit(make_result_response(id, result), true);
+    return;
+  }
+
+  if (p.stream) {
+    // Streamed sharded estimate: one envelope per shard as it completes
+    // (seq-ordered), then a terminal done envelope with the aggregate.
+    // Shard cells seed by global replication index, so concatenating the
+    // shard samples in order replays the exact Welford accumulation of the
+    // unsharded estimate — the aggregate is byte-identical for any K.
+    util::OnlineStats agg;
+    int capped_total = 0;
+    for (int s = 0; s < p.shards; ++s) {
+      const auto [lo, hi] = shard_range(p.replications, p.shards, s);
+      api::ExperimentRunner runner(estimate_runner_options(p));
+      runner.add(shard_cell(prep->instance, prep->solver, lo, hi));
+      const api::CellResult& r = run_runner_guarded(runner);
+      capped_total += r.capped;
+      for (const double x : r.samples.samples()) agg.add(x);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.shards;
+      }
+      emit(make_shard_response(id, s, p.shards, shard_row_json(runner)),
+           false);
+    }
+    const std::string result = estimate_result_json(
+        prep->solver, instance, p.replications, capped_total,
+        util::make_estimate(agg), p);
+    *ok = true;
+    emit(make_done_response(id, p.shards, result), true);
+    return;
+  }
+
+  // Plain estimate. (A non-streamed request with shards > 1 lands here
+  // too: sharding is pure delivery — shard seeds derive from global
+  // replication indices — so the plain result is byte-identical to the
+  // terminal envelope of the streamed form at any shard count, modulo the
+  // documented step-cap asymmetry: a fully-capped shard is a per-shard
+  // error, while this path only fails when all R replications cap.)
+  api::ExperimentRunner runner(estimate_runner_options(p));
+  runner.add(shard_cell(prep->instance, prep->solver, 0, p.replications));
+  const api::CellResult& r = run_runner_guarded(runner);
+  const std::string result = estimate_result_json(
+      prep->solver, instance, r.replications, r.capped, r.makespan, p);
+  *ok = true;
+  emit(make_result_response(id, result), true);
 }
 
 std::string Engine::handle_stats() const {
@@ -341,6 +588,12 @@ std::string Engine::handle_stats() const {
   out += ",\"coalesced\":" + std::to_string(s.coalesced);
   out += ",\"solves\":" + std::to_string(s.solves);
   out += ",\"estimates\":" + std::to_string(s.estimates);
+  out += ",\"streams\":" + std::to_string(s.streams);
+  out += ",\"shards\":" + std::to_string(s.shards);
+  out += ",\"sessions_opened\":" + std::to_string(s.sessions_opened);
+  out += ",\"sessions_closed\":" + std::to_string(s.sessions_closed);
+  out += ",\"sessions_expired\":" + std::to_string(s.sessions_expired);
+  out += ",\"open_handles\":" + std::to_string(s.open_handles);
   out += ",\"inflight\":" + std::to_string(s.inflight);
   out += ",\"queue_capacity\":" + std::to_string(s.queue_capacity);
   out += ",\"workers\":" + std::to_string(s.workers);
@@ -350,6 +603,7 @@ std::string Engine::handle_stats() const {
   out += ",\"evictions\":" + std::to_string(c.evictions);
   out += ",\"size\":" + std::to_string(c.size);
   out += ",\"capacity\":" + std::to_string(c.capacity);
+  out += ",\"pinned\":" + std::to_string(c.pinned);
   out += "}}";
   return out;
 }

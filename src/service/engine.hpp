@@ -1,13 +1,16 @@
 // suu::serve — the transport-independent solver service engine.
 //
 // Engine turns one wire-protocol request line (see service/protocol.hpp)
-// into one response line. It can be driven three ways:
+// into one or more response lines. It can be driven three ways:
 //
 //   * handle(line)      — synchronous, for library embedding and tests;
+//                         multi-line (streamed) responses come back joined
+//                         with '\n';
 //   * submit(line, cb)  — asynchronous: the request passes a bounded
 //                         admission queue and is executed on the engine's
-//                         util::ThreadPool; cb receives the response line
-//                         exactly once (inline on admission failure);
+//                         util::ThreadPool; cb receives each response line
+//                         in order, with last == true exactly once on the
+//                         final line (inline on admission failure);
 //   * a transport       — service/transport.hpp pumps bytes from stdio,
 //                         a raw fd, or a loopback TCP socket into submit.
 //
@@ -16,8 +19,37 @@
 //   Determinism. The response to list_solvers/solve/estimate is a pure
 //   function of the request line: fixed JSON key order, fixed number
 //   formatting, no timing- or concurrency-dependent fields. Byte-identical
-//   requests get byte-identical responses at any worker count. (stats is
-//   the deliberate exception — it reports live counters.)
+//   requests get byte-identical responses at any worker count. (stats and
+//   the session methods are the deliberate exceptions — stats reports live
+//   counters, and open_instance assigns handles from a per-engine counter.
+//   Everything *keyed by* a handle is still deterministic: a solve/estimate
+//   through a handle answers byte-identically to the same request with the
+//   instance inlined.)
+//
+//   Sessions. open_instance parses and fingerprints an instance once and
+//   returns a server-assigned handle; solve/estimate accept {"handle": h}
+//   in place of inline instance bytes, skipping the per-request parse.
+//   Prepare keys reached through a handle are pinned in the
+//   api::PrecomputeCache (pin-aware LRU: pinned entries are never evicted)
+//   until close_instance — or until the handle itself is expired
+//   least-recently-used when max_open_handles is exceeded. Unknown, closed,
+//   and expired handles all answer with the typed error "unknown_handle".
+//
+//   Streamed sharded estimates. estimate with {"stream": true, "shards": K}
+//   partitions the replication sequence [0, R) into K deterministic
+//   contiguous shards and emits one envelope per shard as it completes
+//   (ordered "seq" fields) plus a terminal "done" envelope carrying the
+//   aggregate. Shard s's replications draw their seeds from their *global*
+//   replication indices, so the aggregate is byte-identical to the
+//   unstreamed estimate for any K, and the concatenated shard tables are
+//   byte-identical to api::ExperimentRunner::print_json over the canonical
+//   shard grid at any worker count. {"shard": s, "shards": K} instead
+//   answers with just shard s in a plain response, so a client can fan one
+//   estimate's shards out across connections. One deliberate asymmetry:
+//   a shard whose replications ALL hit the step cap is a "capped" error
+//   for that shard (terminating a stream early), while the plain estimate
+//   only fails when all R replications cap — step-cap exhaustion is a
+//   per-shard error under sharding.
 //
 //   Single-flight batching. Concurrent solve/estimate requests whose
 //   (instance fingerprint, resolved solver, options) prepare-key coincide
@@ -37,10 +69,12 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "api/registry.hpp"
 #include "core/io.hpp"
@@ -64,21 +98,64 @@ class Engine {
     core::ReadLimits read_limits;
     /// Upper bound on per-request Monte-Carlo replications.
     int max_replications = 1'000'000;
+    /// Maximum concurrently open instance handles (0 is clamped to 1).
+    /// Opening one more expires the least-recently-used handle (counted in
+    /// Stats::sessions_expired); requests naming an expired handle get the
+    /// typed error "unknown_handle".
+    std::size_t max_open_handles = 64;
   };
 
+  /// Live engine counters, surfaced on the wire by the `stats` method.
+  /// Request-level counters count requests, not response lines: a streamed
+  /// estimate that emits K shard envelopes plus its terminal line is one
+  /// `received` and one `succeeded` (or `failed`, if a shard errors
+  /// mid-stream).
   struct Stats {
-    std::uint64_t received = 0;   ///< requests entering handle/submit
-    std::uint64_t succeeded = 0;  ///< "ok":true responses
-    std::uint64_t failed = 0;     ///< "ok":false responses (any code)
-    std::uint64_t rejected = 0;   ///< admission failures (overloaded/shutdown)
-    std::uint64_t coalesced = 0;  ///< prepares served by another request's
-                                  ///< in-flight prepare (single-flight)
-    std::uint64_t solves = 0;     ///< solve requests executed
-    std::uint64_t estimates = 0;  ///< estimate requests executed
-    std::size_t inflight = 0;     ///< currently admitted via submit
+    /// Requests entering handle()/submit, including rejected ones.
+    std::uint64_t received = 0;
+    /// Requests whose final response line had "ok":true.
+    std::uint64_t succeeded = 0;
+    /// Requests whose final response line had "ok":false (any error code,
+    /// admission rejections included).
+    std::uint64_t failed = 0;
+    /// Admission failures: submit replied inline with "overloaded" (queue
+    /// full) or "shutting_down" (after a shutdown request). Also counted
+    /// in `failed`.
+    std::uint64_t rejected = 0;
+    /// Prepares served by another request's in-flight prepare
+    /// (single-flight): the caller waited for the leader instead of
+    /// running the LP/DP precompute itself.
+    std::uint64_t coalesced = 0;
+    /// solve requests executed (past admission and parsing).
+    std::uint64_t solves = 0;
+    /// estimate requests executed, streamed or not.
+    std::uint64_t estimates = 0;
+    /// Streamed estimates executed ({"stream": true}); a subset of
+    /// `estimates`.
+    std::uint64_t streams = 0;
+    /// Shard results computed: one per shard envelope of a streamed
+    /// estimate and one per single-shard ({"shard": s}) request.
+    std::uint64_t shards = 0;
+    /// open_instance requests that returned a handle.
+    std::uint64_t sessions_opened = 0;
+    /// close_instance requests that closed a live handle.
+    std::uint64_t sessions_closed = 0;
+    /// Handles expired least-recently-used because a new open_instance
+    /// exceeded Config::max_open_handles.
+    std::uint64_t sessions_expired = 0;
+    /// Currently open handles (gauge).
+    std::size_t open_handles = 0;
+    /// Requests currently admitted via submit (gauge).
+    std::size_t inflight = 0;
+    /// Config::queue_capacity, echoed for observability.
     std::size_t queue_capacity = 0;
+    /// Resolved worker-thread count (after 0 = hardware concurrency).
     unsigned workers = 0;
   };
+
+  /// Response sink for submit(): called once per response line, in order,
+  /// with `last` true exactly once on the final line of the request.
+  using Reply = std::function<void(std::string&&, bool last)>;
 
   Engine() : Engine(Config{}) {}
   explicit Engine(const Config& cfg);
@@ -89,15 +166,16 @@ class Engine {
 
   const Config& config() const noexcept { return cfg_; }
 
-  /// Synchronously process one request line and return the response line
-  /// (no admission bound; used by tests, benches, and in-process clients).
+  /// Synchronously process one request line and return the response — one
+  /// line, or for streamed estimates every envelope joined with '\n' (no
+  /// admission bound; used by tests, benches, and in-process clients).
   std::string handle(const std::string& line);
 
-  /// Asynchronously process one request line. `reply` is invoked exactly
-  /// once with the response — from a worker thread on completion, or
-  /// inline (before submit returns) when admission fails. `reply` must be
-  /// callable from any thread.
-  void submit(std::string line, std::function<void(std::string&&)> reply);
+  /// Asynchronously process one request line. `reply` is invoked once per
+  /// response line — from a worker thread as lines complete, or inline
+  /// (before submit returns) when admission fails — with `last` true on
+  /// the final line. `reply` must be callable from any thread.
+  void submit(std::string line, Reply reply);
 
   /// True once a shutdown request has been processed; subsequent submits
   /// are rejected with "shutting_down".
@@ -119,20 +197,46 @@ class Engine {
     api::PreparedSolver solver;
   };
 
-  std::string dispatch(const Request& req, bool* ok);
+  /// One open instance handle: the parsed instance plus every
+  /// PrecomputeCache key this session has pinned (deduplicated; unpinned
+  /// on close/expiry).
+  struct Session {
+    std::shared_ptr<const core::Instance> instance;
+    std::vector<std::uint64_t> pinned_keys;
+    std::list<std::uint64_t>::iterator lru_it;  // position in session_lru_
+  };
+
+  void process(const std::string& line, const Reply& emit);
+  void dispatch(const Request& req, bool* ok, const Reply& emit);
   std::string handle_list_solvers() const;
+  std::string handle_open_instance(const Json& params);
+  std::string handle_close_instance(const Json& params);
   std::string handle_solve(const Json& params);
-  std::string handle_estimate(const Json& params);
+  /// Emits every response line itself (shard envelopes with last == false,
+  /// then the terminal line) and reports success through *ok.
+  void handle_estimate(const Json& id, const Json& params, bool* ok,
+                       const Reply& emit);
   std::string handle_stats() const;
   std::string handle_shutdown();
 
   std::shared_ptr<const core::Instance> parse_instance(
       const std::string& text) const;
+  /// The request's instance: parsed from inline bytes, or looked up (and
+  /// LRU-touched) in the session table. Throws ProtocolError
+  /// (unknown_handle) for unknown/closed/expired handles.
+  std::shared_ptr<const core::Instance> resolve_instance(const SolveParams& p);
   /// Resolve "auto", verify the solver exists, and run the single-flight
-  /// prepare.
+  /// prepare. When the request arrived via a session handle, the prepare
+  /// key is pinned in the PrecomputeCache for the session's lifetime.
   std::shared_ptr<const Prepared> prepare(
       std::shared_ptr<const core::Instance> inst, const std::string& solver,
-      const api::SolverOptions& opt);
+      const api::SolverOptions& opt, std::uint64_t session_handle);
+  /// Record `key` as pinned by `handle` (first time only) and pin it in
+  /// the global PrecomputeCache. No-op when the handle is gone.
+  void pin_key_for_session(std::uint64_t handle, std::uint64_t key);
+  /// Remove the LRU session; returns its pinned keys to release. Requires
+  /// sess_mu_ held.
+  std::vector<std::uint64_t> expire_lru_session_locked();
 
   Config cfg_;
   std::unique_ptr<util::ThreadPool> pool_;
@@ -149,6 +253,14 @@ class Engine {
   std::unordered_map<std::uint64_t,
                      std::shared_future<std::shared_ptr<const Prepared>>>
       inflight_prepares_;
+
+  // Session table. Lock ordering: sess_mu_ may be taken while calling into
+  // the PrecomputeCache (pin/unpin), never the reverse; sess_mu_ and mu_
+  // are never held together.
+  mutable std::mutex sess_mu_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::list<std::uint64_t> session_lru_;  // least recently used first
+  std::uint64_t next_handle_ = 1;
 };
 
 }  // namespace suu::service

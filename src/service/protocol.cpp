@@ -1,6 +1,9 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
 
 namespace suu::service {
 namespace {
@@ -156,23 +159,35 @@ Json parse_request_id(const std::string& line) noexcept {
 SolveParams parse_solve_params(const Json& params,
                                bool allow_estimate_keys) {
   if (!params.is_object()) {
-    bad_params("solve/estimate need a params object with an 'instance'");
+    bad_params(
+        "solve/estimate need a params object with an 'instance' or 'handle'");
   }
   const Json::Object& o = params.as_object("params");
   if (allow_estimate_keys) {
     check_known_keys(o,
-                     {"instance", "solver", "options", "lower_bound",
+                     {"instance", "handle", "solver", "options", "lower_bound",
                       "replications", "seed", "semantics", "strict",
-                      "step_cap"},
+                      "step_cap", "stream", "shards", "shard"},
                      "params");
   } else {
-    check_known_keys(o, {"instance", "solver", "options", "lower_bound"},
+    check_known_keys(o,
+                     {"instance", "handle", "solver", "options",
+                      "lower_bound"},
                      "params");
   }
   SolveParams p;
   const auto inst = o.find("instance");
-  if (inst == o.end()) bad_params("missing 'instance' payload");
-  p.instance_text = inst->second.as_string("instance");
+  const auto handle = o.find("handle");
+  if ((inst == o.end()) == (handle == o.end())) {
+    bad_params("exactly one of 'instance' and 'handle' must be given");
+  }
+  if (inst != o.end()) {
+    p.instance_text = inst->second.as_string("instance");
+  } else {
+    p.has_handle = true;
+    p.handle = static_cast<std::uint64_t>(get_int_in(
+        o, "handle", 0, 1, std::numeric_limits<std::int64_t>::max()));
+  }
   if (const auto it = o.find("solver"); it != o.end()) {
     p.solver = it->second.as_string("solver");
     if (p.solver.empty()) bad_params("solver must be non-empty");
@@ -207,7 +222,55 @@ EstimateParams parse_estimate_params(const Json& params,
   p.strict_eligibility = get_bool(o, "strict", false);
   p.step_cap = get_int_in(o, "step_cap", p.step_cap, 1,
                           std::int64_t{1} << 40);
+  p.stream = get_bool(o, "stream", false);
+  p.shards = static_cast<int>(get_int_in(o, "shards", 1, 1, 1 << 16));
+  if (p.shards > p.replications) {
+    bad_params("shards = " + std::to_string(p.shards) +
+               " exceeds replications = " + std::to_string(p.replications));
+  }
+  if (const auto it = o.find("shard"); it != o.end()) {
+    p.shard = static_cast<int>(get_int_in(o, "shard", 0, 0, p.shards - 1));
+    if (p.stream) {
+      bad_params("'shard' selects one shard of a plain response; it cannot "
+                 "be combined with 'stream'");
+    }
+  }
   return p;
+}
+
+OpenInstanceParams parse_open_instance_params(const Json& params) {
+  if (!params.is_object()) {
+    bad_params("open_instance needs a params object with an 'instance'");
+  }
+  const Json::Object& o = params.as_object("params");
+  check_known_keys(o, {"instance"}, "params");
+  const auto inst = o.find("instance");
+  if (inst == o.end()) bad_params("missing 'instance' payload");
+  OpenInstanceParams p;
+  p.instance_text = inst->second.as_string("instance");
+  return p;
+}
+
+CloseInstanceParams parse_close_instance_params(const Json& params) {
+  if (!params.is_object()) {
+    bad_params("close_instance needs a params object with a 'handle'");
+  }
+  const Json::Object& o = params.as_object("params");
+  check_known_keys(o, {"handle"}, "params");
+  if (o.find("handle") == o.end()) bad_params("missing 'handle'");
+  CloseInstanceParams p;
+  p.handle = static_cast<std::uint64_t>(get_int_in(
+      o, "handle", 0, 1, std::numeric_limits<std::int64_t>::max()));
+  return p;
+}
+
+std::pair<int, int> shard_range(int replications, int shards, int shard) {
+  SUU_CHECK(shards >= 1 && shards <= replications);
+  SUU_CHECK(shard >= 0 && shard < shards);
+  const auto r = static_cast<std::int64_t>(replications);
+  const int lo = static_cast<int>(r * shard / shards);
+  const int hi = static_cast<int>(r * (shard + 1) / shards);
+  return {lo, hi};
 }
 
 std::string make_result_response(const Json& id,
@@ -229,6 +292,30 @@ std::string make_error_response(const Json& id, const std::string& code,
   out += ",\"message\":";
   json_append_quoted(out, message);
   out += "}}";
+  return out;
+}
+
+std::string make_shard_response(const Json& id, int seq, int shards,
+                                const std::string& shard_json) {
+  std::string out = "{\"id\":";
+  out += id.dump();
+  out += ",\"ok\":true,\"seq\":" + std::to_string(seq);
+  out += ",\"shards\":" + std::to_string(shards);
+  out += ",\"shard\":";
+  out += shard_json;
+  out += '}';
+  return out;
+}
+
+std::string make_done_response(const Json& id, int shards,
+                               const std::string& result_json) {
+  std::string out = "{\"id\":";
+  out += id.dump();
+  out += ",\"ok\":true,\"seq\":" + std::to_string(shards);
+  out += ",\"shards\":" + std::to_string(shards);
+  out += ",\"done\":true,\"result\":";
+  out += result_json;
+  out += '}';
   return out;
 }
 

@@ -2,7 +2,7 @@
 //
 // One request per line, one response per line; responses carry the
 // request's `id` so a client may pipeline requests and match replies out
-// of order. The full spec lives in README.md ("Serving architecture");
+// of order. The full spec lives in docs/wire-protocol.md;
 // the shape is:
 //
 //   request:  {"id": <scalar>, "method": "<name>", "params": {...}}
@@ -10,7 +10,11 @@
 //   failure:  {"id": <scalar>, "ok": false, "error": {"code": "...",
 //                                                     "message": "..."}}
 //
-// Methods: list_solvers, solve, estimate, stats, shutdown.
+// Methods: list_solvers, open_instance, close_instance, solve, estimate,
+// stats, shutdown. A streamed estimate ({"stream": true}) answers with
+// several lines for one id: per-shard envelopes carrying ordered "seq"
+// fields, then one terminal envelope with "done": true (see
+// make_shard_response / make_done_response below and docs/wire-protocol.md).
 //
 // Hardening stance: every field is validated with a typed error before any
 // work runs — unknown methods, unknown params keys, wrong types, and
@@ -24,6 +28,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "api/registry.hpp"
 #include "service/json.hpp"
@@ -40,6 +45,7 @@ inline constexpr const char* kUnknownMethod = "unknown_method";
 inline constexpr const char* kBadParams = "bad_params";
 inline constexpr const char* kBadInstance = "bad_instance";
 inline constexpr const char* kUnknownSolver = "unknown_solver";
+inline constexpr const char* kUnknownHandle = "unknown_handle";
 inline constexpr const char* kCapped = "capped";
 inline constexpr const char* kOverloaded = "overloaded";
 inline constexpr const char* kShuttingDown = "shutting_down";
@@ -79,15 +85,24 @@ Request parse_request(const std::string& line);
 /// object. Returns null Json when unrecoverable.
 Json parse_request_id(const std::string& line) noexcept;
 
-/// Shared solve/estimate parameters.
+/// Shared solve/estimate parameters. The instance arrives either inline
+/// (`instance`, a suu-instance v1 payload parsed per request) or as a
+/// session handle (`handle`, from a prior open_instance — the server-side
+/// parsed instance is reused). Exactly one of the two must be present.
 struct SolveParams {
-  std::string instance_text;      ///< suu-instance v1 payload (required)
+  std::string instance_text;      ///< inline payload; empty when by handle
+  bool has_handle = false;        ///< instance referenced by session handle
+  std::uint64_t handle = 0;       ///< valid iff has_handle
   std::string solver = "auto";    ///< registry name or "auto"
   api::SolverOptions options;     ///< decoded from params.options
   bool want_lower_bound = false;  ///< compute lower_bound_auto and report it
 };
 
-/// estimate = solve + Monte-Carlo measurement knobs.
+/// estimate = solve + Monte-Carlo measurement knobs + sharding. The
+/// replication sequence [0, R) can be partitioned into `shards` contiguous
+/// shards: `stream` answers with one envelope per shard plus a terminal
+/// aggregate, `shard` selects a single shard for one plain response (so a
+/// client can fan the shards of one estimate out across connections).
 struct EstimateParams {
   SolveParams solve;
   int replications = 400;
@@ -95,6 +110,17 @@ struct EstimateParams {
   sim::Semantics semantics = sim::Semantics::CoinFlips;
   bool strict_eligibility = false;
   std::int64_t step_cap = 10'000'000;
+  bool stream = false;  ///< emit per-shard envelopes + terminal done
+  int shards = 1;       ///< deterministic contiguous partition count
+  int shard = -1;       ///< single-shard selection; -1 = all shards
+};
+
+/// open_instance / close_instance parameters.
+struct OpenInstanceParams {
+  std::string instance_text;  ///< suu-instance v1 payload (required)
+};
+struct CloseInstanceParams {
+  std::uint64_t handle = 0;
 };
 
 /// Decode params for solve/estimate. Unknown keys and type mismatches
@@ -104,11 +130,26 @@ struct EstimateParams {
 SolveParams parse_solve_params(const Json& params,
                                bool allow_estimate_keys = false);
 EstimateParams parse_estimate_params(const Json& params, int max_replications);
+OpenInstanceParams parse_open_instance_params(const Json& params);
+CloseInstanceParams parse_close_instance_params(const Json& params);
+
+/// The deterministic contiguous shard partition: shard s of K over R
+/// replications covers [floor(s*R/K), floor((s+1)*R/K)). Requires
+/// 0 <= s < K <= R.
+std::pair<int, int> shard_range(int replications, int shards, int shard);
 
 /// Response lines (no trailing newline). `result_json` must already be a
 /// serialized JSON value; the id is serialized via Json::dump.
 std::string make_result_response(const Json& id, const std::string& result_json);
 std::string make_error_response(const Json& id, const std::string& code,
                                 const std::string& message);
+
+/// Streamed-estimate envelopes. Shard envelope seq runs 0..shards-1 in
+/// order; the terminal envelope has seq == shards, "done": true, and the
+/// aggregate estimate as its result. All lines echo the request id.
+std::string make_shard_response(const Json& id, int seq, int shards,
+                                const std::string& shard_json);
+std::string make_done_response(const Json& id, int shards,
+                               const std::string& result_json);
 
 }  // namespace suu::service

@@ -60,13 +60,13 @@ void serve_stream(Engine& engine, std::istream& in, std::ostream& out) {
   while (!engine.stopping() && std::getline(in, line)) {
     if (!normalize_line(line)) continue;
     pending.add();
-    engine.submit(std::move(line), [&](std::string&& resp) {
+    engine.submit(std::move(line), [&](std::string&& resp, bool last) {
       {
         std::lock_guard<std::mutex> lock(write_mu);
         out << resp << '\n';
         out.flush();
       }
-      pending.done();
+      if (last) pending.done();
     });
     line.clear();
   }
@@ -118,9 +118,9 @@ void serve_fd(Engine& engine, int fd) {
       start = nl + 1;
       if (!normalize_line(line)) continue;
       pending.add();
-      engine.submit(std::move(line), [&](std::string&& resp) {
+      engine.submit(std::move(line), [&](std::string&& resp, bool last) {
         write_line(resp);
-        pending.done();
+        if (last) pending.done();
       });
     }
     buf.erase(0, start);

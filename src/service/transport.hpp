@@ -3,9 +3,10 @@
 // All transports speak the same line-delimited protocol and share the same
 // shape: a read loop submits each complete line to the engine, replies are
 // written back as they complete (possibly out of request order — the id
-// field is the client's correlation handle), and the loop drains every
-// outstanding reply before returning so no callback can outlive its
-// transport state.
+// field is the client's correlation handle; a streamed estimate writes
+// several seq-ordered lines for one id, interleavable with other replies),
+// and the loop drains every outstanding reply before returning so no
+// callback can outlive its transport state.
 //
 //   serve_stream — std::istream/std::ostream pair; stdio mode and
 //                  in-memory tests.

@@ -1,9 +1,13 @@
 // suu::serve end-to-end coverage: the hardened JSON layer, the protocol
-// envelope, the engine's determinism / single-flight / admission-control
-// invariants, and the stream/fd/TCP transports — including the acceptance
-// path: wire responses byte-identical to direct api calls, exactly one
-// prepare for concurrent identical requests, and typed errors (never a
-// crash) for malformed payloads.
+// envelope, the engine's determinism / single-flight / admission-control /
+// session / streamed-shard invariants, and the stream/fd/TCP transports —
+// including the acceptance paths: wire responses byte-identical to direct
+// api calls, concatenated shard envelopes byte-identical to
+// ExperimentRunner::print_json over the canonical shard grid at any worker
+// count, handle lifecycle edges (unknown/closed/expired → typed error,
+// pinning blocks cache eviction until close), exactly one prepare for
+// concurrent identical requests, and typed errors (never a crash) for
+// malformed payloads.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -185,6 +189,70 @@ TEST(ServiceProtocol, ParamValidation) {
   EXPECT_THROW(parse_estimate_params(
                    Json::parse(R"({"instance":"x","semantics":"magic"})"), 100),
                ProtocolError);
+}
+
+TEST(ServiceProtocol, HandleAndShardParams) {
+  // Exactly one of instance/handle.
+  EXPECT_THROW(parse_solve_params(Json::parse(R"({"solver":"auto"})")),
+               ProtocolError);
+  EXPECT_THROW(
+      parse_solve_params(Json::parse(R"({"instance":"x","handle":1})")),
+      ProtocolError);
+  const SolveParams by_handle =
+      parse_solve_params(Json::parse(R"({"handle":7})"));
+  EXPECT_TRUE(by_handle.has_handle);
+  EXPECT_EQ(by_handle.handle, 7u);
+  EXPECT_THROW(parse_solve_params(Json::parse(R"({"handle":0})")),
+               ProtocolError);  // handles start at 1
+  // Estimate-only keys stay estimate-only.
+  EXPECT_THROW(parse_solve_params(Json::parse(R"({"handle":1,"stream":true})")),
+               ProtocolError);
+
+  // Sharding knobs: bounded, consistent, and stream/shard are exclusive.
+  const EstimateParams st = parse_estimate_params(
+      Json::parse(R"({"handle":1,"replications":10,"stream":true,"shards":4})"),
+      100);
+  EXPECT_TRUE(st.stream);
+  EXPECT_EQ(st.shards, 4);
+  EXPECT_EQ(st.shard, -1);
+  const EstimateParams one = parse_estimate_params(
+      Json::parse(R"({"handle":1,"replications":10,"shards":4,"shard":3})"),
+      100);
+  EXPECT_EQ(one.shard, 3);
+  EXPECT_THROW(
+      parse_estimate_params(
+          Json::parse(R"({"handle":1,"replications":10,"shards":11})"), 100),
+      ProtocolError);  // shards > replications
+  EXPECT_THROW(
+      parse_estimate_params(
+          Json::parse(R"({"handle":1,"replications":10,"shards":4,"shard":4})"),
+          100),
+      ProtocolError);  // shard out of range
+  EXPECT_THROW(parse_estimate_params(
+                   Json::parse(
+                       R"({"handle":1,"stream":true,"shards":2,"shard":0})"),
+                   100),
+               ProtocolError);  // stream + shard
+
+  // open/close params.
+  EXPECT_EQ(parse_open_instance_params(Json::parse(R"({"instance":"x"})"))
+                .instance_text,
+            "x");
+  EXPECT_THROW(parse_open_instance_params(Json::parse(R"({"handle":1})")),
+               ProtocolError);
+  EXPECT_EQ(parse_close_instance_params(Json::parse(R"({"handle":3})")).handle,
+            3u);
+  EXPECT_THROW(parse_close_instance_params(Json::parse("{}")), ProtocolError);
+
+  // The deterministic contiguous partition tiles [0, R) exactly.
+  int covered = 0;
+  for (int s = 0; s < 7; ++s) {
+    const auto [lo, hi] = shard_range(60, 7, s);
+    EXPECT_EQ(lo, covered);
+    EXPECT_LT(lo, hi);
+    covered = hi;
+  }
+  EXPECT_EQ(covered, 60);
 }
 
 // ---------------------------------------------------------------- engine
@@ -397,7 +465,7 @@ TEST(ServiceEngine, SingleFlightCoalescesConcurrentIdenticalPrepares) {
   std::mutex done_mu;
   std::vector<std::string> responses;
   for (int c = 0; c < kClients; ++c) {
-    engine.submit(line, [&](std::string&& resp) {
+    engine.submit(line, [&](std::string&& resp, bool) {
       std::lock_guard<std::mutex> lock(done_mu);
       responses.push_back(std::move(resp));
     });
@@ -454,7 +522,7 @@ TEST(ServiceEngine, BoundedAdmissionRejectsOverload) {
 
   std::mutex done_mu;
   std::vector<std::string> async_responses;
-  engine.submit(line, [&](std::string&& resp) {
+  engine.submit(line, [&](std::string&& resp, bool) {
     std::lock_guard<std::mutex> lock(done_mu);
     async_responses.push_back(std::move(resp));
   });
@@ -462,7 +530,7 @@ TEST(ServiceEngine, BoundedAdmissionRejectsOverload) {
   // Capacity 1 is now occupied: the next submit is rejected inline.
   std::string rejected;
   engine.submit(R"({"id":2,"method":"stats"})",
-                [&](std::string&& resp) { rejected = std::move(resp); });
+                [&](std::string&& resp, bool) { rejected = std::move(resp); });
   const Json rej = Json::parse(rejected);
   EXPECT_FALSE(rej.find("ok")->as_bool("ok"));
   EXPECT_EQ(rej.find("error")->find("code")->as_string("code"),
@@ -489,10 +557,371 @@ TEST(ServiceEngine, ShutdownStopsAdmission) {
 
   std::string after;
   engine.submit(R"({"id":2,"method":"stats"})",
-                [&](std::string&& r) { after = std::move(r); });
+                [&](std::string&& r, bool) { after = std::move(r); });
   const Json rej = Json::parse(after);
   EXPECT_EQ(rej.find("error")->find("code")->as_string("code"),
             error_code::kShuttingDown);
+}
+
+// ---------------------------------------------------------------- sessions
+
+TEST(ServiceEngine, SessionHandleLifecycle) {
+  Engine engine;
+  const core::Instance inst = independent_instance(6, 3, 51);
+  const std::string text = quoted(payload(inst));
+
+  // open_instance: parsed once, fingerprinted, handle 1 on a fresh engine.
+  const Json opened = Json::parse(engine.handle(
+      R"({"id":1,"method":"open_instance","params":{"instance":)" + text +
+      "}}"));
+  ASSERT_TRUE(opened.find("ok")->as_bool("ok"));
+  const Json* res = opened.find("result");
+  EXPECT_EQ(res->find("handle")->as_int64("handle"), 1);
+  EXPECT_EQ(res->find("n")->as_int64("n"), 6);
+  EXPECT_EQ(res->find("m")->as_int64("m"), 3);
+  char fp[24];
+  std::snprintf(fp, sizeof fp, "0x%016llx",
+                static_cast<unsigned long long>(inst.fingerprint()));
+  EXPECT_EQ(res->find("fingerprint")->as_string("fingerprint"), fp);
+
+  // solve/estimate through the handle answer byte-identically to the same
+  // request with the instance inlined.
+  const std::string inline_solve = engine.handle(
+      R"({"id":9,"method":"solve","params":{"instance":)" + text +
+      R"(,"lower_bound":true}})");
+  const std::string handle_solve = engine.handle(
+      R"({"id":9,"method":"solve","params":{"handle":1,"lower_bound":true}})");
+  EXPECT_EQ(handle_solve, inline_solve);
+  const std::string inline_est = engine.handle(
+      R"({"id":9,"method":"estimate","params":{"instance":)" + text +
+      R"(,"replications":25,"seed":3}})");
+  const std::string handle_est = engine.handle(
+      R"({"id":9,"method":"estimate","params":{"handle":1,"replications":25,"seed":3}})");
+  EXPECT_EQ(handle_est, inline_est);
+
+  // close_instance releases the handle; closed == unknown thereafter.
+  const Json closed = Json::parse(engine.handle(
+      R"({"id":2,"method":"close_instance","params":{"handle":1}})"));
+  EXPECT_TRUE(closed.find("ok")->as_bool("ok"));
+  EXPECT_TRUE(closed.find("result")->find("closed")->as_bool("closed"));
+  for (const char* line :
+       {R"({"id":3,"method":"solve","params":{"handle":1}})",
+        R"({"id":4,"method":"estimate","params":{"handle":1}})",
+        R"({"id":5,"method":"close_instance","params":{"handle":1}})",
+        R"({"id":6,"method":"solve","params":{"handle":77}})"}) {
+    const Json resp = Json::parse(engine.handle(line));
+    EXPECT_FALSE(resp.find("ok")->as_bool("ok")) << line;
+    EXPECT_EQ(resp.find("error")->find("code")->as_string("code"),
+              error_code::kUnknownHandle)
+        << line;
+  }
+
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.sessions_opened, 1u);
+  EXPECT_EQ(s.sessions_closed, 1u);
+  EXPECT_EQ(s.sessions_expired, 0u);
+  EXPECT_EQ(s.open_handles, 0u);
+}
+
+TEST(ServiceEngine, LruHandleExpiryOnMaxOpenHandles) {
+  Engine::Config cfg;
+  cfg.max_open_handles = 2;
+  Engine engine(cfg);
+  const auto open = [&](std::uint64_t seed) {
+    const Json resp = Json::parse(engine.handle(
+        R"({"id":1,"method":"open_instance","params":{"instance":)" +
+        quoted(payload(independent_instance(4, 2, seed))) + "}}"));
+    return resp.find("result")->find("handle")->as_int64("handle");
+  };
+  const std::int64_t h1 = open(1);
+  const std::int64_t h2 = open(2);
+  // Touch h1: it becomes most-recently-used, so opening a third handle
+  // expires h2, not h1.
+  EXPECT_TRUE(Json::parse(engine.handle(
+                  R"({"id":2,"method":"solve","params":{"handle":)" +
+                  std::to_string(h1) + "}}"))
+                  .find("ok")
+                  ->as_bool("ok"));
+  const std::int64_t h3 = open(3);
+  EXPECT_EQ(std::vector<std::int64_t>({h1, h2, h3}),
+            std::vector<std::int64_t>({1, 2, 3}));
+  const Json expired = Json::parse(engine.handle(
+      R"({"id":3,"method":"solve","params":{"handle":2}})"));
+  EXPECT_EQ(expired.find("error")->find("code")->as_string("code"),
+            error_code::kUnknownHandle);
+  EXPECT_TRUE(Json::parse(engine.handle(
+                  R"({"id":4,"method":"solve","params":{"handle":1}})"))
+                  .find("ok")
+                  ->as_bool("ok"));
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.sessions_opened, 3u);
+  EXPECT_EQ(s.sessions_expired, 1u);
+  EXPECT_EQ(s.open_handles, 2u);
+}
+
+TEST(ServiceEngine, MaxOpenHandlesZeroClampsToOneWithoutPhantomExpiry) {
+  Engine::Config cfg;
+  cfg.max_open_handles = 0;  // clamped to 1
+  Engine engine(cfg);
+  const auto open = [&](std::uint64_t seed) {
+    return Json::parse(engine.handle(
+               R"({"id":1,"method":"open_instance","params":{"instance":)" +
+               quoted(payload(independent_instance(4, 2, seed))) + "}}"))
+        .find("result")
+        ->find("handle")
+        ->as_int64("handle");
+  };
+  EXPECT_EQ(open(1), 1);
+  // The first open has no victim: it must not count a phantom expiry.
+  EXPECT_EQ(engine.stats().sessions_expired, 0u);
+  EXPECT_EQ(open(2), 2);  // now handle 1 is the LRU victim
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.sessions_expired, 1u);
+  EXPECT_EQ(s.open_handles, 1u);
+  EXPECT_EQ(Json::parse(engine.handle(
+                R"({"id":2,"method":"solve","params":{"handle":1}})"))
+                .find("error")
+                ->find("code")
+                ->as_string("code"),
+            error_code::kUnknownHandle);
+}
+
+TEST(ServiceEngine, HandlePinningBlocksLruEvictionUntilClose) {
+  api::PrecomputeCache& cache = api::PrecomputeCache::global();
+  cache.clear();
+  cache.set_capacity(1);
+
+  Engine engine;
+  const std::string pinned_text =
+      quoted(payload(independent_instance(5, 2, 61)));
+  const Json opened = Json::parse(engine.handle(
+      R"({"id":1,"method":"open_instance","params":{"instance":)" +
+      pinned_text + "}}"));
+  ASSERT_TRUE(opened.find("ok")->as_bool("ok"));
+
+  // Preparing through the handle pins the prepare key.
+  EXPECT_TRUE(Json::parse(engine.handle(
+                  R"({"id":2,"method":"solve","params":{"handle":1}})"))
+                  .find("ok")
+                  ->as_bool("ok"));
+  EXPECT_EQ(cache.stats().pinned, 1u);
+  EXPECT_EQ(cache.stats().size, 1u);
+
+  // Unpinned traffic cannot push the pinned entry out: with capacity 1 the
+  // newcomers are evicted instead, and the handle's next request is still
+  // a cache hit.
+  for (std::uint64_t seed = 70; seed < 73; ++seed) {
+    (void)engine.handle(
+        R"({"id":3,"method":"solve","params":{"instance":)" +
+        quoted(payload(independent_instance(5, 2, seed))) + "}}");
+  }
+  cache.reset_stats();
+  EXPECT_TRUE(Json::parse(engine.handle(
+                  R"({"id":4,"method":"solve","params":{"handle":1}})"))
+                  .find("ok")
+                  ->as_bool("ok"));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+
+  // close_instance unpins; the entry is ordinary LRU prey again.
+  (void)engine.handle(
+      R"({"id":5,"method":"close_instance","params":{"handle":1}})");
+  EXPECT_EQ(cache.stats().pinned, 0u);
+  (void)engine.handle(
+      R"({"id":6,"method":"solve","params":{"instance":)" +
+      quoted(payload(independent_instance(5, 2, 80))) + "}}");
+  cache.reset_stats();
+  (void)engine.handle(
+      R"({"id":7,"method":"solve","params":{"instance":)" + pinned_text +
+      "}}");
+  EXPECT_EQ(cache.stats().misses, 1u);  // evicted once unpinned
+
+  cache.clear();
+  cache.set_capacity(256);
+  cache.reset_stats();
+}
+
+// ---------------------------------------------------------------- streaming
+
+namespace {
+
+/// Split a multi-line handle() response into its envelope lines.
+std::vector<std::string> split_lines(const std::string& joined) {
+  std::vector<std::string> lines;
+  std::istringstream is(joined);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Extract the "shard" row object from a shard envelope line.
+std::string shard_row_of(const std::string& envelope) {
+  const std::string key = "\"shard\":";
+  const std::size_t pos = envelope.find(key);
+  EXPECT_NE(pos, std::string::npos) << envelope;
+  return envelope.substr(pos + key.size(),
+                         envelope.size() - (pos + key.size()) - 1);
+}
+
+}  // namespace
+
+// The acceptance bar: concatenating the K shard envelopes' tables is
+// byte-identical to ExperimentRunner::print_json over the canonical shard
+// grid — at any engine worker count and any runner cell_threads — and the
+// terminal aggregate is byte-identical to the unstreamed estimate at any
+// shard count.
+TEST(ServiceEngine, ShardConcatByteIdenticalToRunnerAcrossWorkerCounts) {
+  constexpr int kReps = 60;
+  constexpr int kShards = 4;
+  const auto inst = std::make_shared<const core::Instance>(
+      independent_instance(8, 3, 21));
+  const std::string text = payload(*inst);
+
+  // Canonical shard grid, straight through the api layer: K cells sharing
+  // seed stream 1, covering [0, kReps) in rep_offset order.
+  const api::PreparedSolver prepared =
+      api::SolverRegistry::global().prepare(*inst, "auto", {});
+  std::string expected;
+  for (const unsigned cell_threads : {1u, 3u}) {
+    api::ExperimentRunner::Options ropt;
+    ropt.seed = 5;
+    ropt.replications = kReps;
+    ropt.skip_capped = true;
+    ropt.threads = 1;
+    ropt.cell_threads = cell_threads;
+    api::ExperimentRunner runner(ropt);
+    for (int s = 0; s < kShards; ++s) {
+      const auto [lo, hi] = shard_range(kReps, kShards, s);
+      api::Cell cell;
+      cell.instance_label = "wire";
+      cell.instance = inst;
+      cell.factory = prepared.factory;
+      cell.factory_label = prepared.name;
+      cell.seed_stream = 1;
+      cell.rep_offset = lo;
+      cell.replications = hi - lo;
+      runner.add(std::move(cell));
+    }
+    runner.run();
+    std::ostringstream os;
+    runner.print_json(os);
+    if (expected.empty()) {
+      expected = os.str();
+    } else {
+      EXPECT_EQ(expected, os.str());  // cell_threads never changes bytes
+    }
+  }
+
+  const std::string request =
+      R"({"id":"st","method":"estimate","params":{"instance":)" +
+      quoted(text) +
+      R"(,"replications":60,"seed":5,"stream":true,"shards":4}})";
+  std::string reference_joined;
+  for (const unsigned workers : {1u, 4u}) {
+    Engine::Config cfg;
+    cfg.workers = workers;
+    Engine engine(cfg);
+
+    // Through submit: lines arrive in seq order, last flagged exactly once.
+    std::mutex mu;
+    std::vector<std::pair<std::string, bool>> got;
+    engine.submit(request, [&](std::string&& resp, bool last) {
+      std::lock_guard<std::mutex> lock(mu);
+      got.emplace_back(std::move(resp), last);
+    });
+    engine.drain();
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kShards) + 1);
+    std::string concat;
+    for (int s = 0; s < kShards; ++s) {
+      EXPECT_FALSE(got[s].second);
+      const Json env = Json::parse(got[s].first);
+      EXPECT_EQ(env.find("seq")->as_int64("seq"), s);
+      EXPECT_EQ(env.find("shards")->as_int64("shards"), kShards);
+      concat += shard_row_of(got[s].first);
+      concat.push_back('\n');
+    }
+    EXPECT_EQ(concat, expected);  // byte-identical shard tables
+    EXPECT_TRUE(got.back().second);
+    const Json done = Json::parse(got.back().first);
+    EXPECT_TRUE(done.find("done")->as_bool("done"));
+    EXPECT_EQ(done.find("seq")->as_int64("seq"), kShards);
+
+    // Engine worker count never changes the joined response bytes.
+    std::string joined;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (i) joined.push_back('\n');
+      joined += got[i].first;
+    }
+    EXPECT_EQ(joined, engine.handle(request));
+    if (reference_joined.empty()) {
+      reference_joined = joined;
+    } else {
+      EXPECT_EQ(reference_joined, joined);
+    }
+
+    // The terminal aggregate is byte-identical to the unstreamed estimate
+    // (sharding is pure delivery), for this and any other shard count.
+    const std::string plain = engine.handle(
+        R"({"id":"st","method":"estimate","params":{"instance":)" +
+        quoted(text) + R"(,"replications":60,"seed":5}})");
+    const std::string plain_result =
+        Json::parse(plain).find("result")->dump();
+    EXPECT_EQ(done.find("result")->dump(), plain_result);
+    for (const int k : {1, 3, 60}) {
+      const std::string streamed = engine.handle(
+          R"({"id":"st","method":"estimate","params":{"instance":)" +
+          quoted(text) +
+          R"(,"replications":60,"seed":5,"stream":true,"shards":)" +
+          std::to_string(k) + "}}");
+      const std::vector<std::string> lines = split_lines(streamed);
+      ASSERT_EQ(lines.size(), static_cast<std::size_t>(k) + 1);
+      EXPECT_EQ(Json::parse(lines.back()).find("result")->dump(),
+                plain_result);
+    }
+  }
+}
+
+TEST(ServiceEngine, SingleShardFanOutMatchesStreamedEnvelopes) {
+  const std::string text = quoted(payload(independent_instance(7, 3, 41)));
+  Engine engine;
+  const std::string streamed = engine.handle(
+      R"({"id":1,"method":"estimate","params":{"instance":)" + text +
+      R"(,"replications":30,"seed":9,"stream":true,"shards":3}})");
+  const std::vector<std::string> lines = split_lines(streamed);
+  ASSERT_EQ(lines.size(), 4u);
+  // Each single-shard request ({"shard": s}) returns exactly the row the
+  // streamed envelope s carried — the fan-out-across-connections path.
+  for (int s = 0; s < 3; ++s) {
+    const std::string one = engine.handle(
+        R"({"id":1,"method":"estimate","params":{"instance":)" + text +
+        R"(,"replications":30,"seed":9,"shards":3,"shard":)" +
+        std::to_string(s) + "}}");
+    const Json resp = Json::parse(one);
+    ASSERT_TRUE(resp.find("ok")->as_bool("ok"));
+    const Json* result = resp.find("result");
+    EXPECT_EQ(result->find("seq")->as_int64("seq"), s);
+    EXPECT_EQ(result->find("shards")->as_int64("shards"), 3);
+    EXPECT_EQ(result->find("shard")->dump(),
+              Json::parse(lines[static_cast<std::size_t>(s)])
+                  .find("shard")
+                  ->dump());
+  }
+}
+
+TEST(ServiceEngine, StreamTerminatesWithTypedErrorOnCappedShard) {
+  Engine engine;
+  const std::string text = quoted(payload(independent_instance(4, 2, 13)));
+  const std::string resp = engine.handle(
+      R"({"id":1,"method":"estimate","params":{"instance":)" + text +
+      R"(,"solver":"all-on-one","replications":6,"step_cap":1,"stream":true,"shards":2}})");
+  // Shard 0 caps in full, so the stream is one terminal error line: no
+  // shard envelope was emitted before the failure.
+  const std::vector<std::string> lines = split_lines(resp);
+  ASSERT_EQ(lines.size(), 1u);
+  const Json err = Json::parse(lines.front());
+  EXPECT_FALSE(err.find("ok")->as_bool("ok"));
+  EXPECT_EQ(err.find("error")->find("code")->as_string("code"),
+            error_code::kCapped);
 }
 
 // ---------------------------------------------------------------- transports
@@ -516,6 +945,28 @@ TEST(ServiceTransport, StreamServesPipelinedRequests) {
   ASSERT_EQ(ok_by_id.size(), 2u);
   EXPECT_TRUE(ok_by_id[1]);
   EXPECT_TRUE(ok_by_id[2]);
+}
+
+TEST(ServiceTransport, StreamedEstimateWritesSeqOrderedLinesOnTheWire) {
+  Engine engine;
+  const std::string text = quoted(payload(independent_instance(5, 2, 19)));
+  std::istringstream in(
+      R"({"id":"e","method":"estimate","params":{"instance":)" + text +
+      R"(,"replications":20,"seed":2,"stream":true,"shards":2}})" "\n");
+  std::ostringstream out;
+  serve_stream(engine, in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<Json> envelopes;
+  while (std::getline(lines, line)) envelopes.push_back(Json::parse(line));
+  ASSERT_EQ(envelopes.size(), 3u);
+  for (std::size_t i = 0; i < envelopes.size(); ++i) {
+    EXPECT_EQ(envelopes[i].find("id")->as_string("id"), "e");
+    EXPECT_EQ(envelopes[i].find("seq")->as_int64("seq"),
+              static_cast<std::int64_t>(i));
+    EXPECT_TRUE(envelopes[i].find("ok")->as_bool("ok"));
+  }
+  EXPECT_TRUE(envelopes.back().find("done")->as_bool("done"));
 }
 
 namespace {

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Check intra-repo markdown links in README.md, ROADMAP.md, and docs/*.md:
+# every relative link target (after stripping a #fragment) must exist on
+# disk, resolved against the linking file's directory. External links
+# (http/https/mailto) and pure-fragment links are skipped. Exits non-zero
+# listing every dangling reference; CI's docs job runs this on every push,
+# and it is runnable locally from the repo root:
+#
+#   sh tools/check_doc_links.sh
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+fail=0
+checked=0
+for f in README.md ROADMAP.md docs/*.md; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  # Markdown link targets: every "](target)" occurrence outside fenced
+  # code blocks (a C++ lambda "[](...)" in a snippet is not a link). Repo
+  # links never contain spaces or nested parens, so requiring a space-free
+  # target and splitting on whitespace is safe here.
+  for link in $(awk '/^```/ { in_code = !in_code; next } !in_code' "$f" |
+                grep -o ']([^) ]*)' | sed 's/^](//;s/)$//'); do
+    case "$link" in
+      http://* | https://* | mailto:* | "#"*) continue ;;
+    esac
+    target=${link%%#*}
+    [ -n "$target" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$target" ]; then
+      echo "dangling link in $f: $link"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_doc_links: FAILED"
+  exit 1
+fi
+echo "check_doc_links: OK ($checked intra-repo links resolve)"

@@ -1,7 +1,7 @@
 // suu_serve — the solver service daemon.
 //
 // Exposes the full solver registry over the line-delimited JSON protocol
-// (see README.md "Serving architecture"). Two transports:
+// (see docs/wire-protocol.md). Two transports:
 //
 //   stdio (default)  one client on stdin/stdout; a shutdown request stops
 //                    admission, and the process exits once stdin closes
@@ -16,7 +16,14 @@
 // Tuning: --workers=N (request concurrency, 0 = hardware), --queue=K
 // (bounded admission; excess requests get an "overloaded" error),
 // --cache-capacity=C (prepared-solver LRU entries), --max-reps=R (per
-// request replication cap).
+// request replication cap), --max-handles=H (open instance handles per
+// engine; opening one more expires the least-recently-used session).
+//
+// Sessions and streams (docs/wire-protocol.md): open_instance parses an
+// instance once and returns a handle; solve/estimate take {"handle": h}
+// instead of inline instance bytes; estimate {"stream": true, "shards": K}
+// answers with one seq-ordered envelope per shard plus a terminal "done"
+// line.
 #include <csignal>
 #include <iostream>
 #include <string>
@@ -45,6 +52,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("queue", 256));
   cfg.max_replications =
       static_cast<int>(args.get_int("max-reps", cfg.max_replications));
+  cfg.max_open_handles = static_cast<std::size_t>(args.get_int(
+      "max-handles", static_cast<std::int64_t>(cfg.max_open_handles)));
   api::PrecomputeCache::global().set_capacity(
       static_cast<std::size_t>(args.get_int("cache-capacity", 256)));
 
