@@ -40,11 +40,12 @@ class SuuTPolicy : public sim::Policy {
   /// does not fit solve cold automatically, and an accepted seed re-runs
   /// the same deterministic phase-2 pricing, so the chained trajectory is
   /// byte-stable run to run (the warm-start regression suite pins this
-  /// against recorded table1 goldens). `engine` picks the simplex core per
-  /// block.
+  /// against recorded table1 goldens). `engine` picks the simplex core
+  /// and `pricing` the entering-variable rule, per block.
   static std::shared_ptr<const BlockCache> precompute(
       const core::Instance& inst, bool warm_start = false,
-      lp::SimplexEngine engine = lp::SimplexEngine::Auto);
+      lp::SimplexEngine engine = lp::SimplexEngine::Auto,
+      lp::PricingRule pricing = lp::PricingRule::Auto);
 
   int num_blocks() const noexcept { return decomp_.num_blocks(); }
   int current_block() const noexcept { return block_; }

@@ -75,7 +75,8 @@ void register_builtins(SolverRegistry& r) {
           algos::SuuCPolicy::Config cfg = suu_c_config(opt);
           if (opt.share_precompute) {
             cfg.lp2 = algos::SuuCPolicy::precompute(
-                inst, inst.dag().chains(), nullptr, opt.lp1.engine);
+                inst, inst.dag().chains(), nullptr, opt.lp1.engine,
+                opt.lp1.pricing);
           }
           return [cfg] { return std::make_unique<algos::SuuCPolicy>(cfg); };
         },
@@ -89,7 +90,8 @@ void register_builtins(SolverRegistry& r) {
           std::shared_ptr<const algos::SuuTPolicy::BlockCache> cache;
           if (opt.share_precompute) {
             cache = algos::SuuTPolicy::precompute(inst, opt.warm_start,
-                                                  opt.lp1.engine);
+                                                  opt.lp1.engine,
+                                                  opt.lp1.pricing);
           }
           return [cfg, cache] {
             return cache ? std::make_unique<algos::SuuTPolicy>(cfg, cache)
@@ -219,7 +221,7 @@ PreparedSolver SolverRegistry::prepare(const core::Instance& inst,
 // new field into the hash below, then update the expected size.
 static_assert(sizeof(rounding::Lp1Options) ==
                   2 * sizeof(int) + sizeof(void*) + sizeof(lp::SimplexEngine) +
-                      /*padding*/ 4,
+                      sizeof(lp::PricingRule),
               "Lp1Options changed: fold the new field into prepare_key");
 static_assert(sizeof(SolverOptions) == sizeof(rounding::Lp1Options) +
                                            5 * sizeof(bool) +
@@ -234,6 +236,7 @@ std::uint64_t SolverRegistry::prepare_key(const core::Instance& inst,
   h = util::hash_combine(h,
                          static_cast<std::uint64_t>(opt.lp1.simplex_size_limit));
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.lp1.engine));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(opt.lp1.pricing));
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.share_precompute));
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.warm_start));
   h = util::hash_combine(h, static_cast<std::uint64_t>(opt.random_delays));

@@ -1,24 +1,40 @@
 #include "lp/basis.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
 
+#include "lp/pricing.hpp"
 #include "lp/simplex.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace suu::lp {
 
+int parse_refactor_interval(const char* env) {
+  if (env == nullptr || *env == '\0') return kDefaultRefactorInterval;
+  if (*env < '0' || *env > '9') {
+    // strtol would skip leading whitespace and accept a sign; "bare decimal
+    // integer" means the first character is already a digit.
+    return kDefaultRefactorInterval;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE) {
+    return kDefaultRefactorInterval;  // garbage, trailing junk, or overflow
+  }
+  if (v < 1 || v > 100000) {
+    return kDefaultRefactorInterval;  // zero/negative/absurd: reject, do not clamp
+  }
+  return static_cast<int>(v);
+}
+
 int refactor_interval() {
-  static const int cached = [] {
-    const char* env = std::getenv("SUU_LP_REFACTOR_INTERVAL");
-    if (env == nullptr || *env == '\0') return kDefaultRefactorInterval;
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env) return kDefaultRefactorInterval;
-    return static_cast<int>(std::clamp(v, 1L, 100000L));
-  }();
+  static const int cached =
+      parse_refactor_interval(std::getenv("SUU_LP_REFACTOR_INTERVAL"));
   return cached;
 }
 
@@ -135,6 +151,28 @@ StandardForm build_standard_form(const Problem& p) {
         break;
     }
   }
+
+  // CSR mirror of the CSC matrix (count / prefix-sum / fill). Scanning
+  // columns in ascending order keeps each row's column list sorted.
+  sf.row_ptr.assign(static_cast<std::size_t>(m) + 1, 0);
+  for (const int r : sf.col_row) ++sf.row_ptr[static_cast<std::size_t>(r) + 1];
+  for (int r = 0; r < m; ++r) {
+    sf.row_ptr[static_cast<std::size_t>(r) + 1] +=
+        sf.row_ptr[static_cast<std::size_t>(r)];
+  }
+  sf.row_col.assign(static_cast<std::size_t>(nnz), 0);
+  sf.row_val.assign(static_cast<std::size_t>(nnz), 0.0);
+  std::vector<int> row_next(sf.row_ptr.begin(), sf.row_ptr.end() - 1);
+  for (int j = 0; j < sf.n_total; ++j) {
+    for (int k = sf.col_ptr[static_cast<std::size_t>(j)];
+         k < sf.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      const int r = sf.col_row[static_cast<std::size_t>(k)];
+      const int at = row_next[static_cast<std::size_t>(r)]++;
+      sf.row_col[static_cast<std::size_t>(at)] = j;
+      sf.row_val[static_cast<std::size_t>(at)] =
+          sf.col_val[static_cast<std::size_t>(k)];
+    }
+  }
   return sf;
 }
 
@@ -143,17 +181,21 @@ StandardForm build_standard_form(const Problem& p) {
 BasisFactorization::BasisFactorization(const StandardForm& sf, double piv_tol)
     : sf_(&sf), piv_tol_(piv_tol) {
   row_to_col_.assign(static_cast<std::size_t>(sf.m), -1);
+  row_refs_.resize(static_cast<std::size_t>(sf.m));
 }
 
 void BasisFactorization::append(int p, double piv, const std::vector<double>& w,
                                 const std::vector<int>& support) {
+  const int e = static_cast<int>(pivot_row_.size());
   pivot_row_.push_back(p);
   inv_piv_.push_back(1.0 / piv);
+  row_refs_[static_cast<std::size_t>(p)].push_back(e);
   for (const int r : support) {
     const double v = w[static_cast<std::size_t>(r)];
     if (r == p || v == 0.0) continue;
     off_row_.push_back(r);
     off_val_.push_back(v);
+    row_refs_[static_cast<std::size_t>(r)].push_back(e);
   }
   ptr_.push_back(static_cast<int>(off_row_.size()));
 }
@@ -167,6 +209,7 @@ bool BasisFactorization::refactorize(const std::vector<int>& cols) {
   off_val_.clear();
   update_etas_ = 0;
   row_to_col_.assign(static_cast<std::size_t>(m), -1);
+  for (auto& refs : row_refs_) refs.clear();
 
   // Sparsest-first column order approximates the triangularization a
   // Markowitz ordering would find: for LP1/LP2 bases nearly every column is
@@ -257,10 +300,9 @@ void BasisFactorization::ftran(std::vector<double>& v) const {
     if (vp == 0.0) continue;
     const double t = vp * inv_piv_[e];
     v[static_cast<std::size_t>(p)] = t;
-    for (int k = ptr_[e]; k < ptr_[e + 1]; ++k) {
-      v[static_cast<std::size_t>(off_row_[static_cast<std::size_t>(k)])] -=
-          off_val_[static_cast<std::size_t>(k)] * t;
-    }
+    util::simd::gather_axpy_minus(v.data(), off_row_.data() + ptr_[e],
+                                  off_val_.data() + ptr_[e],
+                                  ptr_[e + 1] - ptr_[e], t);
   }
 }
 
@@ -273,6 +315,136 @@ void BasisFactorization::btran(std::vector<double>& v) const {
            v[static_cast<std::size_t>(off_row_[static_cast<std::size_t>(k)])];
     }
     v[static_cast<std::size_t>(p)] = s * inv_piv_[e];
+  }
+}
+
+void BasisFactorization::finish_ftran_dense(ScatteredVec& v,
+                                            std::size_t first_eta) const {
+  for (std::size_t e = first_eta; e < pivot_row_.size(); ++e) {
+    const int p = pivot_row_[e];
+    const double vp = v.val[static_cast<std::size_t>(p)];
+    if (vp == 0.0) continue;
+    const double t = vp * inv_piv_[e];
+    v.val[static_cast<std::size_t>(p)] = t;
+    util::simd::gather_axpy_minus(v.val.data(), off_row_.data() + ptr_[e],
+                                  off_val_.data() + ptr_[e],
+                                  ptr_[e + 1] - ptr_[e], t);
+  }
+  v.dense = true;
+}
+
+void BasisFactorization::ftran(ScatteredVec& v) const {
+  if (v.dense) {
+    finish_ftran_dense(v, 0);
+    return;
+  }
+  const int m = sf_->m;
+  const int cap = m / kScatterDenseDen;
+  if (static_cast<int>(v.idx.size()) > cap) {
+    finish_ftran_dense(v, 0);
+    return;
+  }
+  for (std::size_t e = 0; e < pivot_row_.size(); ++e) {
+    const int p = pivot_row_[e];
+    const double vp = v.val[static_cast<std::size_t>(p)];
+    if (vp == 0.0) continue;
+    const double t = vp * inv_piv_[e];
+    v.val[static_cast<std::size_t>(p)] = t;
+    for (int k = ptr_[e]; k < ptr_[e + 1]; ++k) {
+      const int r = off_row_[static_cast<std::size_t>(k)];
+      v.val[static_cast<std::size_t>(r)] -=
+          off_val_[static_cast<std::size_t>(k)] * t;
+      if (!v.mark[static_cast<std::size_t>(r)]) {
+        v.mark[static_cast<std::size_t>(r)] = 1;
+        v.idx.push_back(r);
+      }
+    }
+    if (static_cast<int>(v.idx.size()) > cap) {
+      // Filled in past the threshold: the dense kernel is cheaper for the
+      // rest of the file (identical arithmetic either way).
+      finish_ftran_dense(v, e + 1);
+      return;
+    }
+  }
+}
+
+void BasisFactorization::btran(ScatteredVec& v) const {
+  const int m = sf_->m;
+  const int cap = m / kScatterDenseDen;
+  const int ne = static_cast<int>(pivot_row_.size());
+  if (v.dense || static_cast<int>(v.idx.size()) > cap) {
+    btran(v.val);
+    v.dense = true;
+    return;
+  }
+  // Worklist of etas that can see a nonzero, processed in decreasing index
+  // order (the only order BTRAN admits). An eta joins when some row it
+  // references goes (or starts) nonzero at a step later than itself; once
+  // queued it stays queued, so each eta is applied at most once.
+  //
+  // Volume guard: once more than eta_cap etas are queued the heap's log
+  // factor plus its scattered access pattern cost more than simply
+  // streaming the file, so the scan finishes densely. Heavily referenced
+  // rows (LP1's machine-load rows back thousands of etas) trip this
+  // immediately, which is exactly when dense is cheaper.
+  heap_.clear();
+  queued_.assign(static_cast<std::size_t>(ne), 0);
+  const int eta_cap = ne / kScatterDenseDen;
+  auto activate = [&](int r, int bound) {
+    for (const int e : row_refs_[static_cast<std::size_t>(r)]) {
+      if (e >= bound) break;  // refs are in increasing order
+      if (!queued_[static_cast<std::size_t>(e)]) {
+        queued_[static_cast<std::size_t>(e)] = 1;
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end());
+      }
+    }
+  };
+  for (const int r : v.idx) activate(r, ne);
+  if (static_cast<int>(heap_.size()) > eta_cap) {
+    btran(v.val);
+    v.dense = true;
+    return;
+  }
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const int e = heap_.back();
+    heap_.pop_back();
+    const int p = pivot_row_[static_cast<std::size_t>(e)];
+    double s = v.val[static_cast<std::size_t>(p)];
+    for (int k = ptr_[static_cast<std::size_t>(e)];
+         k < ptr_[static_cast<std::size_t>(e) + 1]; ++k) {
+      s -= off_val_[static_cast<std::size_t>(k)] *
+           v.val[static_cast<std::size_t>(
+               off_row_[static_cast<std::size_t>(k)])];
+    }
+    s *= inv_piv_[static_cast<std::size_t>(e)];
+    v.val[static_cast<std::size_t>(p)] = s;
+    if (!v.mark[static_cast<std::size_t>(p)]) {
+      v.mark[static_cast<std::size_t>(p)] = 1;
+      v.idx.push_back(p);
+      activate(p, e);
+      if (static_cast<int>(v.idx.size()) > cap ||
+          static_cast<int>(heap_.size()) > eta_cap) {
+        // Fill (or queued-eta volume) exceeded: finish the remaining
+        // (earlier) etas densely. Etas still in the heap all have index < e
+        // and are a subset of these.
+        for (int e2 = e - 1; e2 >= 0; --e2) {
+          const int p2 = pivot_row_[static_cast<std::size_t>(e2)];
+          double s2 = v.val[static_cast<std::size_t>(p2)];
+          for (int k = ptr_[static_cast<std::size_t>(e2)];
+               k < ptr_[static_cast<std::size_t>(e2) + 1]; ++k) {
+            s2 -= off_val_[static_cast<std::size_t>(k)] *
+                  v.val[static_cast<std::size_t>(
+                      off_row_[static_cast<std::size_t>(k)])];
+          }
+          v.val[static_cast<std::size_t>(p2)] =
+              s2 * inv_piv_[static_cast<std::size_t>(e2)];
+        }
+        v.dense = true;
+        return;
+      }
+    }
   }
 }
 
@@ -291,22 +463,40 @@ namespace {
 // The revised counterpart of simplex.cpp's Tableau: same public gestures
 // (load_objective / iterate / expel_artificials / extract), but every
 // quantity a pivot needs is recomputed through the factorization instead of
-// maintained in a dense arena. Reduced costs are exact each iteration (they
-// are recomputed from BTRAN, never incrementally drifted), so the candidate
-// list here is a partial-pricing shortlist: columns improving at the last
-// full scan, re-priced each iteration, with a full rescan proving optimality
-// once the list runs dry.
+// maintained in a dense arena.
+//
+// Under Dantzig pricing, reduced costs are exact each iteration (recomputed
+// from BTRAN, never incrementally drifted) and the candidate list is a
+// partial-pricing shortlist re-priced per iteration — the historical
+// behavior, preserved bit for bit. Under Devex/steepest pricing the engine
+// switches to the textbook incremental scheme: reduced costs live in d_ and
+// are updated per pivot from the pivot row alpha = rho^T A (one sparse
+// BTRAN of e_leave plus a CSR sweep of rho's support), which also feeds the
+// reference-weight updates. Incremental d_ can drift, so every claim that
+// matters is re-derived exactly: the shortlist running dry triggers an
+// exact recompute before optimality is declared, Bland iterations recompute
+// exactly (keeping the anti-cycling termination argument), and each
+// refactorization squashes d_ along with the objective.
 class RevisedSimplex {
  public:
-  RevisedSimplex(const StandardForm& sf, double tol)
+  RevisedSimplex(const StandardForm& sf, double tol, PricingRule rule)
       : sf_(sf),
         tol_(tol),
         piv_tol_(std::max(tol, kPivotTol)),
+        rule_(rule),
         fact_(sf, std::max(tol, kPivotTol)) {
     basic_pos_.assign(static_cast<std::size_t>(sf_.n_total), -1);
-    w_.assign(static_cast<std::size_t>(sf_.m), 0.0);
+    w_.resize(sf_.m);
+    rho_.resize(sf_.m);
+    tau_.resize(sf_.m);
     y_.assign(static_cast<std::size_t>(sf_.m), 0.0);
     support_.reserve(static_cast<std::size_t>(sf_.m));
+    if (rule_ != PricingRule::Dantzig) {
+      d_.assign(static_cast<std::size_t>(sf_.n_total), 0.0);
+      alpha_.assign(static_cast<std::size_t>(sf_.n_total), 0.0);
+      alpha_mark_.assign(static_cast<std::size_t>(sf_.n_total), 0);
+      beta_.assign(static_cast<std::size_t>(sf_.n_total), 0.0);
+    }
   }
 
   /// Factorize `cols` as the basis and recompute x_B. False when singular.
@@ -348,47 +538,86 @@ class RevisedSimplex {
     for (int j = 0; j < lim; ++j) cost_[static_cast<std::size_t>(j)] = c[j];
     allow_limit_ = allow_limit;
     obj_ = basic_objective();
-    compute_y();
-    rebuild_candidates();
+    if (rule_ == PricingRule::Dantzig) {
+      compute_y();
+      rebuild_candidates();
+    } else {
+      // Each phase opens a fresh reference framework: all weights 1 over
+      // the current nonbasic set.
+      weights_.reset(sf_.n_total);
+      refresh_reduced_costs();
+    }
   }
 
   double objective() const { return obj_; }
 
+  /// The objective recomputed from the basis, squashing incremental drift
+  /// (the lazy shortlist updates make obj_ advisory between
+  /// refactorizations). Feasibility verdicts must read this, never obj_.
+  double exact_objective() {
+    obj_ = basic_objective();
+    return obj_;
+  }
+
   // One revised iteration. 0 = optimal, 1 = pivoted, 2 = unbounded,
   // -1 = numerical trouble (refactorization of the current basis failed).
   int iterate(bool bland) {
-    compute_y();
     int enter = -1;
     double d_enter = 0.0;
-    if (bland) {
+    if (rule_ == PricingRule::Dantzig) {
+      compute_y();
+      if (bland) {
+        for (int j = 0; j < allow_limit_; ++j) {
+          if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+          const double d = reduced_cost(j);
+          if (d < -tol_) {
+            enter = j;
+            d_enter = d;
+            break;
+          }
+        }
+      } else {
+        enter = price_candidates(&d_enter);
+        if (enter < 0) {
+          rebuild_candidates();
+          enter = price_candidates(&d_enter);
+        }
+      }
+    } else if (bland) {
+      // Bland's least-index rule must see exact reduced costs, or the
+      // anti-cycling termination argument is void.
+      refresh_reduced_costs();
       for (int j = 0; j < allow_limit_; ++j) {
         if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
-        const double d = reduced_cost(j);
-        if (d < -tol_) {
+        if (d_[static_cast<std::size_t>(j)] < -tol_) {
           enter = j;
-          d_enter = d;
+          d_enter = d_[static_cast<std::size_t>(j)];
           break;
         }
       }
     } else {
-      enter = price_candidates(&d_enter);
+      enter = price_weighted(&d_enter);
       if (enter < 0) {
-        rebuild_candidates();
-        enter = price_candidates(&d_enter);
+        // Shortlist dry: recompute exactly before concluding anything.
+        // Finding nothing after this rescan is the optimality certificate.
+        refresh_reduced_costs();
+        enter = price_weighted(&d_enter);
       }
     }
     if (enter < 0) return 0;
 
-    // FTRAN the entering column; the support scan doubles as the ratio test
-    // (ascending row order keeps degenerate ties deterministic).
+    // FTRAN the entering column. Ascending-row support keeps degenerate
+    // ratio-test ties (and the eta layout downstream) deterministic and
+    // identical to the historical dense scan.
+    w_.clear();
     load_column(enter);
     fact_.ftran(w_);
+    note_ftran();
     support_.clear();
     int leave = -1;
     double best_ratio = std::numeric_limits<double>::infinity();
-    for (int r = 0; r < sf_.m; ++r) {
-      const double a = w_[static_cast<std::size_t>(r)];
-      if (a == 0.0) continue;
+    auto ratio_test = [&](int r, double a) {
+      if (a == 0.0) return;
       support_.push_back(r);
       if (a > piv_tol_) {
         const double ratio = xb_[static_cast<std::size_t>(r)] / a;
@@ -400,11 +629,22 @@ class RevisedSimplex {
           leave = r;
         }
       }
+    };
+    if (w_.dense) {
+      for (int r = 0; r < sf_.m; ++r) {
+        ratio_test(r, w_.val[static_cast<std::size_t>(r)]);
+      }
+    } else {
+      std::sort(w_.idx.begin(), w_.idx.end());
+      for (const int r : w_.idx) {
+        ratio_test(r, w_.val[static_cast<std::size_t>(r)]);
+      }
     }
     if (leave < 0) {
-      clear_w();
+      w_.clear();
       return 2;
     }
+    if (rule_ != PricingRule::Dantzig) update_incremental(enter, leave, d_enter);
     const int ret = pivot(leave, enter, d_enter) ? 1 : -1;
     return ret;
   }
@@ -418,28 +658,41 @@ class RevisedSimplex {
     for (int r = 0; r < sf_.m; ++r) {
       if (basis_[static_cast<std::size_t>(r)] < sf_.art_begin) continue;
       // Row r of B^{-1}A = (B^{-T} e_r)^T A, one sparse dot per column.
-      std::fill(y_.begin(), y_.end(), 0.0);
-      y_[static_cast<std::size_t>(r)] = 1.0;
-      fact_.btran(y_);
+      rho_.clear();
+      rho_.insert(r, 1.0);
+      fact_.btran(rho_);
       int enter = -1;
       for (int j = 0; j < sf_.art_begin; ++j) {
         if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
-        if (std::fabs(reduced_dot(j)) > expel_tol) {
+        if (std::fabs(dot_col(rho_.val, j)) > expel_tol) {
           enter = j;
           break;
         }
       }
+      rho_.clear();
       if (enter < 0) continue;
+      w_.clear();
       load_column(enter);
       fact_.ftran(w_);
       support_.clear();
-      for (int rr = 0; rr < sf_.m; ++rr) {
-        if (w_[static_cast<std::size_t>(rr)] != 0.0) support_.push_back(rr);
+      if (w_.dense) {
+        for (int rr = 0; rr < sf_.m; ++rr) {
+          if (w_.val[static_cast<std::size_t>(rr)] != 0.0) {
+            support_.push_back(rr);
+          }
+        }
+      } else {
+        std::sort(w_.idx.begin(), w_.idx.end());
+        for (const int rr : w_.idx) {
+          if (w_.val[static_cast<std::size_t>(rr)] != 0.0) {
+            support_.push_back(rr);
+          }
+        }
       }
-      if (std::fabs(w_[static_cast<std::size_t>(r)]) <= piv_tol_) {
+      if (std::fabs(w_.val[static_cast<std::size_t>(r)]) <= piv_tol_) {
         // BTRAN said the entry is usable but FTRAN disagrees: conditioning
         // is suspect, leave the artificial in place rather than divide.
-        clear_w();
+        w_.clear();
         continue;
       }
       if (!pivot(r, enter, 0.0)) return false;
@@ -488,16 +741,19 @@ class RevisedSimplex {
     fact_.btran(y_);
   }
 
-  // y_ · a_j over column j's sparse entries.
-  double reduced_dot(int j) const {
+  // vec · a_j over column j's sparse entries.
+  double dot_col(const std::vector<double>& vec, int j) const {
     double s = 0.0;
     for (int k = sf_.col_ptr[static_cast<std::size_t>(j)];
          k < sf_.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
-      s += y_[static_cast<std::size_t>(sf_.col_row[static_cast<std::size_t>(k)])] *
+      s += vec[static_cast<std::size_t>(
+               sf_.col_row[static_cast<std::size_t>(k)])] *
            sf_.col_val[static_cast<std::size_t>(k)];
     }
     return s;
   }
+
+  double reduced_dot(int j) const { return dot_col(y_, j); }
 
   double reduced_cost(int j) const {
     return cost_[static_cast<std::size_t>(j)] - reduced_dot(j);
@@ -506,13 +762,14 @@ class RevisedSimplex {
   void load_column(int j) {
     for (int k = sf_.col_ptr[static_cast<std::size_t>(j)];
          k < sf_.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
-      w_[static_cast<std::size_t>(sf_.col_row[static_cast<std::size_t>(k)])] =
-          sf_.col_val[static_cast<std::size_t>(k)];
+      w_.insert(sf_.col_row[static_cast<std::size_t>(k)],
+                sf_.col_val[static_cast<std::size_t>(k)]);
     }
   }
 
-  void clear_w() {
-    std::fill(w_.begin(), w_.end(), 0.0);
+  void note_ftran() {
+    ++ftran_calls_;
+    ftran_nnz_ += w_.dense ? sf_.m : static_cast<int>(w_.idx.size());
   }
 
   void rebuild_candidates() {
@@ -555,29 +812,297 @@ class RevisedSimplex {
     return enter;
   }
 
+  // ---- Devex / steepest-edge path (incremental reduced costs).
+
+  // Exact reset of d_ and the improving-candidate list from one BTRAN plus
+  // a full column sweep. The only places optimality or Bland selections are
+  // decided read d_ straight after this runs, so drift in the incremental
+  // updates can slow the path but never corrupt a verdict.
+  void refresh_reduced_costs() {
+    compute_y();
+    cand_.clear();
+    in_cand_.assign(static_cast<std::size_t>(sf_.n_total), 0);
+    for (int j = 0; j < sf_.n_total; ++j) {
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) {
+        d_[static_cast<std::size_t>(j)] = 0.0;
+        continue;
+      }
+      const double d = reduced_cost(j);
+      d_[static_cast<std::size_t>(j)] = d;
+      if (j < allow_limit_ && d < -tol_) {
+        cand_.push_back(j);
+        in_cand_[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+    need_refresh_ = false;
+  }
+
+  // Max of d_j^2 / w_j over the shortlist, compacting out stale members.
+  // Ties break to the lowest index for determinism.
+  int price_weighted(double* d_enter) {
+    if (need_refresh_) refresh_reduced_costs();
+    int enter = -1;
+    double best_score = 0.0;
+    double best_d = 0.0;
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < cand_.size(); ++k) {
+      const int j = cand_[k];
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) {
+        in_cand_[static_cast<std::size_t>(j)] = 0;
+        continue;
+      }
+      const double d = d_[static_cast<std::size_t>(j)];
+      if (!(d < -tol_)) {
+        in_cand_[static_cast<std::size_t>(j)] = 0;
+        continue;
+      }
+      cand_[w++] = j;
+      const double s = weights_.score(j, d);
+      if (enter < 0 || s > best_score || (s == best_score && j < enter)) {
+        best_score = s;
+        best_d = d;
+        enter = j;
+      }
+    }
+    cand_.resize(w);
+    *d_enter = best_d;
+    return enter;
+  }
+
+  // Per-pivot maintenance of d_ and the reference weights, run before the
+  // basis changes (it needs the pre-pivot factorization, basis_ and w_).
+  // The pivot row alpha = rho^T A comes from a sparse BTRAN of e_leave and
+  // a sweep of the CSR rows where rho is nonzero — the payoff of carrying
+  // the matrix in both orientations. Steepest edge additionally BTRANs the
+  // FTRAN'd entering column to get beta_j = a_j^T B^{-T} B^{-1} a_q.
+  void update_incremental(int enter, int leave, double d_enter) {
+    const double piv = w_.val[static_cast<std::size_t>(leave)];
+    const int leave_col = basis_[static_cast<std::size_t>(leave)];
+    rho_.clear();
+    rho_.insert(leave, 1.0);
+    fact_.btran(rho_);
+
+    const bool steepest = rule_ == PricingRule::Steepest;
+
+    // Two ways to reach every column this pivot must touch. The exact row
+    // sweep walks the CSR rows of rho's support, updating *all* columns in
+    // the pivot row (textbook devex/steepest, and it discovers newly
+    // improving columns immediately). Its cost is the summed CSR support —
+    // ruinous when rho touches a dense row (LP1's machine-load rows carry
+    // ~n entries each, turning every such pivot into an O(n·m) sweep). The
+    // lazy path instead updates only the current shortlist by one short
+    // column dot with rho each, leaving off-shortlist reduced costs stale;
+    // that is safe because every verdict that matters (optimality, Bland)
+    // already goes through an exact refresh, and a dry shortlist triggers
+    // one. Pick whichever costs less this pivot.
+    std::int64_t row_work = 0;
+    if (rho_.dense) {
+      row_work = sf_.row_ptr[static_cast<std::size_t>(sf_.m)];
+    } else {
+      for (const int r : rho_.idx) {
+        row_work += sf_.row_ptr[static_cast<std::size_t>(r) + 1] -
+                    sf_.row_ptr[static_cast<std::size_t>(r)];
+      }
+    }
+    const std::int64_t avg_col_nnz = std::max<std::int64_t>(
+        1, sf_.col_ptr[static_cast<std::size_t>(sf_.n_total)] / sf_.n_total);
+    const std::int64_t lazy_work = static_cast<std::int64_t>(cand_.size()) *
+                                   avg_col_nnz * (steepest ? 2 : 1);
+    // The factor leans heavily toward the exact sweep: its better weights
+    // and immediate candidate discovery usually repay a mildly pricier
+    // pivot, so lazy only engages when the row sweep is out of all
+    // proportion (a near-dense pivot row against a short shortlist).
+    if (row_work > 8 * lazy_work) {
+      update_lazy(enter, leave_col, piv, d_enter, steepest);
+      return;
+    }
+
+    alpha_supp_.clear();
+    auto alpha_add = [&](int r, double x) {
+      if (x == 0.0) return;
+      for (int k = sf_.row_ptr[static_cast<std::size_t>(r)];
+           k < sf_.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+        const int j = sf_.row_col[static_cast<std::size_t>(k)];
+        if (!alpha_mark_[static_cast<std::size_t>(j)]) {
+          alpha_mark_[static_cast<std::size_t>(j)] = 1;
+          alpha_[static_cast<std::size_t>(j)] = 0.0;
+          if (steepest) beta_[static_cast<std::size_t>(j)] = 0.0;
+          alpha_supp_.push_back(j);
+        }
+        alpha_[static_cast<std::size_t>(j)] +=
+            x * sf_.row_val[static_cast<std::size_t>(k)];
+      }
+    };
+    if (rho_.dense) {
+      for (int r = 0; r < sf_.m; ++r) {
+        alpha_add(r, rho_.val[static_cast<std::size_t>(r)]);
+      }
+    } else {
+      for (const int r : rho_.idx) {
+        alpha_add(r, rho_.val[static_cast<std::size_t>(r)]);
+      }
+    }
+    rho_.clear();
+
+    const double entering_weight = weights_[enter];
+    if (steepest) {
+      tau_.clear();
+      if (w_.dense) {
+        tau_.val = w_.val;
+        tau_.dense = true;
+      } else {
+        for (const int r : w_.idx) {
+          const double v = w_.val[static_cast<std::size_t>(r)];
+          if (v != 0.0) tau_.insert(r, v);
+        }
+      }
+      fact_.btran(tau_);
+      // beta accumulates only over columns already in alpha's support: a
+      // column with alpha_j == 0 keeps its weight regardless of beta_j.
+      auto beta_add = [&](int r, double x) {
+        if (x == 0.0) return;
+        for (int k = sf_.row_ptr[static_cast<std::size_t>(r)];
+             k < sf_.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+          const int j = sf_.row_col[static_cast<std::size_t>(k)];
+          if (alpha_mark_[static_cast<std::size_t>(j)]) {
+            beta_[static_cast<std::size_t>(j)] +=
+                x * sf_.row_val[static_cast<std::size_t>(k)];
+          }
+        }
+      };
+      if (tau_.dense) {
+        for (int r = 0; r < sf_.m; ++r) {
+          beta_add(r, tau_.val[static_cast<std::size_t>(r)]);
+        }
+      } else {
+        for (const int r : tau_.idx) {
+          beta_add(r, tau_.val[static_cast<std::size_t>(r)]);
+        }
+      }
+      tau_.clear();
+    }
+
+    const double mult = d_enter / piv;
+    for (const int j : alpha_supp_) {
+      alpha_mark_[static_cast<std::size_t>(j)] = 0;
+      const double a = alpha_[static_cast<std::size_t>(j)];
+      if (j == enter || a == 0.0 ||
+          basic_pos_[static_cast<std::size_t>(j)] >= 0) {
+        continue;
+      }
+      double& d = d_[static_cast<std::size_t>(j)];
+      d -= mult * a;
+      const double ratio = a / piv;
+      if (steepest) {
+        weights_.note_steepest(j, ratio, beta_[static_cast<std::size_t>(j)],
+                               entering_weight);
+      } else {
+        weights_.note_devex(j, ratio, entering_weight);
+      }
+      if (j < allow_limit_ && d < -tol_ &&
+          !in_cand_[static_cast<std::size_t>(j)]) {
+        cand_.push_back(j);
+        in_cand_[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+    // The leaving variable turns nonbasic with reduced cost -d_enter/piv
+    // (>= 0 here: d_enter < 0, piv > 0), the entering one turns basic.
+    d_[static_cast<std::size_t>(leave_col)] = -mult;
+    d_[static_cast<std::size_t>(enter)] = 0.0;
+    weights_.set_leaving(leave_col, entering_weight, piv);
+    if (weights_.needs_reset()) weights_.reset(sf_.n_total);
+    // Self-check: alpha_enter must reproduce the FTRAN pivot element. A
+    // material mismatch means the file has drifted; schedule an exact
+    // refresh rather than keep compounding.
+    const double alpha_enter = alpha_[static_cast<std::size_t>(enter)];
+    if (std::fabs(alpha_enter - piv) >
+        1e-7 * std::max(1.0, std::fabs(piv))) {
+      need_refresh_ = true;
+    }
+  }
+
+  // Shortlist-only pivot maintenance: alpha_j = rho^T a_j per candidate
+  // (rho_ holds B^{-T} e_leave; its dense backing array is valid in both
+  // sparse and dense modes). Shortlist members keep exact reduced costs by
+  // induction — d_enter was itself a shortlist value — while columns
+  // outside it drift until the next exact refresh. Weight updates likewise
+  // cover the shortlist only: an off-shortlist weight frozen at its
+  // reference value can only make that column look *more* attractive
+  // later, which degrades the path toward Dantzig, never the answer.
+  void update_lazy(int enter, int leave_col, double piv, double d_enter,
+                   bool steepest) {
+    const double mult = d_enter / piv;
+    const double entering_weight = weights_[enter];
+    if (steepest) {
+      tau_.clear();
+      if (w_.dense) {
+        tau_.val = w_.val;
+        tau_.dense = true;
+      } else {
+        for (const int r : w_.idx) {
+          const double v = w_.val[static_cast<std::size_t>(r)];
+          if (v != 0.0) tau_.insert(r, v);
+        }
+      }
+      fact_.btran(tau_);
+    }
+    double alpha_enter = 0.0;
+    for (const int j : cand_) {
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+      const double a = dot_col(rho_.val, j);
+      if (j == enter) {
+        alpha_enter = a;
+        continue;
+      }
+      if (a == 0.0) continue;
+      d_[static_cast<std::size_t>(j)] -= mult * a;
+      const double ratio = a / piv;
+      if (steepest) {
+        weights_.note_steepest(j, ratio, dot_col(tau_.val, j),
+                               entering_weight);
+      } else {
+        weights_.note_devex(j, ratio, entering_weight);
+      }
+    }
+    if (steepest) tau_.clear();
+    rho_.clear();
+    d_[static_cast<std::size_t>(leave_col)] = -mult;
+    d_[static_cast<std::size_t>(enter)] = 0.0;
+    weights_.set_leaving(leave_col, entering_weight, piv);
+    if (weights_.needs_reset()) weights_.reset(sf_.n_total);
+    if (std::fabs(alpha_enter - piv) >
+        1e-7 * std::max(1.0, std::fabs(piv))) {
+      need_refresh_ = true;
+    }
+  }
+
   // Commit the pivot: update x_B, swap the basis, append the update eta and
   // refactorize on schedule. False = the scheduled refactorization found the
   // basis numerically singular (caller falls back to the tableau engine).
   bool pivot(int leave, int enter, double d_enter) {
-    const double piv = w_[static_cast<std::size_t>(leave)];
+    const double piv = w_.val[static_cast<std::size_t>(leave)];
     const double theta = xb_[static_cast<std::size_t>(leave)] / piv;
     for (const int r : support_) {
       if (r == leave) continue;
       double& v = xb_[static_cast<std::size_t>(r)];
-      v -= theta * w_[static_cast<std::size_t>(r)];
+      v -= theta * w_.val[static_cast<std::size_t>(r)];
       if (v < 0 && v > -tol_) v = 0.0;
     }
     xb_[static_cast<std::size_t>(leave)] = theta;
     obj_ += d_enter * theta;
-    fact_.push_eta(leave, w_, support_);
+    fact_.push_eta(leave, w_.val, support_);
     basic_pos_[static_cast<std::size_t>(
         basis_[static_cast<std::size_t>(leave)])] = -1;
     basis_[static_cast<std::size_t>(leave)] = enter;
     basic_pos_[static_cast<std::size_t>(enter)] = leave;
-    clear_w();
+    w_.clear();
     if (fact_.etas_since_refactor() >= refactor_interval()) {
       if (!install(basis_)) return false;
       obj_ = basic_objective();  // squash incremental drift
+      // d_ drifts on the same schedule as the objective: squash it too.
+      if (rule_ != PricingRule::Dantzig && !cost_.empty()) {
+        refresh_reduced_costs();
+      }
     }
     return true;
   }
@@ -585,6 +1110,7 @@ class RevisedSimplex {
   const StandardForm& sf_;
   double tol_;
   double piv_tol_;
+  PricingRule rule_;             // resolved: never Auto
   BasisFactorization fact_;
   std::vector<int> basis_;       // basic column per row
   std::vector<int> basic_pos_;   // column -> row, -1 when nonbasic
@@ -592,11 +1118,28 @@ class RevisedSimplex {
   std::vector<double> cost_;     // active objective, dense over columns
   double obj_ = 0.0;
   int allow_limit_ = 0;
-  std::vector<int> cand_;        // partial-pricing shortlist
+  std::vector<int> cand_;        // pricing shortlist (improving columns)
   std::vector<char> in_cand_;
-  std::vector<double> w_;        // scratch: FTRAN'd entering column
-  std::vector<double> y_;        // scratch: BTRAN'd pricing row
+  ScatteredVec w_;               // scratch: FTRAN'd entering column
+  ScatteredVec rho_;             // scratch: BTRAN'd pivot row e_leave
+  ScatteredVec tau_;             // scratch: steepest-edge B^{-T} w
+  std::vector<double> y_;        // scratch: BTRAN'd pricing row (exact path)
   std::vector<int> support_;     // scratch: nonzero rows of w_
+  // Devex/steepest state.
+  pricing::ReferenceWeights weights_;
+  std::vector<double> d_;        // incrementally maintained reduced costs
+  std::vector<double> alpha_;    // scratch: pivot row over columns
+  std::vector<char> alpha_mark_;
+  std::vector<int> alpha_supp_;
+  std::vector<double> beta_;     // scratch: a_j^T tau on alpha's support
+  bool need_refresh_ = false;
+  // FTRAN telemetry for the perf benches (sparsity of entering columns).
+  std::int64_t ftran_calls_ = 0;
+  std::int64_t ftran_nnz_ = 0;
+
+ public:
+  std::int64_t ftran_calls() const { return ftran_calls_; }
+  std::int64_t ftran_nnz() const { return ftran_nnz_; }
 };
 
 }  // namespace
@@ -605,7 +1148,9 @@ Solution solve_revised(const Problem& p, const StandardForm& sf,
                        const SimplexOptions& opt, bool* numerical_trouble) {
   *numerical_trouble = false;
   Solution sol;
-  RevisedSimplex rs(sf, opt.tol);
+  const PricingRule rule =
+      pricing::resolve_pricing(opt.pricing, SimplexEngine::Revised);
+  RevisedSimplex rs(sf, opt.tol, rule);
   const int m = sf.m;
   const int n = sf.n_total;
   const int iter_cap = detail::simplex_iter_cap(m, n, opt.max_iters);
@@ -638,6 +1183,8 @@ Solution solve_revised(const Problem& p, const StandardForm& sf,
       *numerical_trouble = true;
     } else {
       s.engine = SimplexEngine::Revised;
+      s.ftran_calls = rs.ftran_calls();
+      s.ftran_nnz = rs.ftran_nnz();
       if (opt.warm != nullptr) {
         if (warmed) {
           ++opt.warm->hits;
@@ -669,7 +1216,7 @@ Solution solve_revised(const Problem& p, const StandardForm& sf,
       sol.phase1_iterations = iters;
       return finish(sol);
     }
-    const double p1 = rs.objective();
+    const double p1 = rs.exact_objective();
     const double feas_tol = opt.tol * (1.0 + std::fabs(p1)) * 100;
     if (p1 > feas_tol + 1e-7) {
       sol.status = Status::Infeasible;

@@ -28,6 +28,7 @@
 // trajectories are the repo's byte-stability anchor.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -41,8 +42,17 @@ struct SimplexOptions;
 /// cheaper FTRAN/BTRAN, more time spent refactorizing.
 inline constexpr int kDefaultRefactorInterval = 64;
 
+/// Parse a SUU_LP_REFACTOR_INTERVAL override. Only a bare positive decimal
+/// integer in [1, 100000] is accepted; anything else — empty, garbage,
+/// trailing junk, zero, negative, out of range — falls back to
+/// kDefaultRefactorInterval (a misconfigured env var must never silently
+/// yield interval 1 and tank performance, which is what the old clamp did
+/// for "0" and negatives). Exposed for the unit test.
+int parse_refactor_interval(const char* env);
+
 /// kDefaultRefactorInterval unless the SUU_LP_REFACTOR_INTERVAL environment
-/// variable overrides it (clamped to [1, 100000]; read once per process).
+/// variable overrides it (see parse_refactor_interval; read once per
+/// process).
 int refactor_interval();
 
 /// The standard form `min c·x  s.t.  Ax {<=,=} b, b >= 0, x >= 0` both
@@ -58,17 +68,76 @@ struct StandardForm {
   int art_begin = 0;  ///< first artificial column (== n_total when none)
   std::vector<double> rhs;     ///< size m, >= 0
   std::vector<int> init_basis; ///< size m: initial basic column per row
-  // Constraint matrix over all n_total columns, compressed sparse column;
-  // rows within a column are in increasing order, structural zeros dropped.
+  // Constraint matrix over all n_total columns, stored twice: compressed
+  // sparse column (FTRAN loads, reduced-cost dots) and compressed sparse
+  // row (the revised engine's pivot row alpha = rho^T A, which walks the
+  // rows where rho is nonzero instead of dotting every column). Rows within
+  // a column and columns within a row are in increasing order; structural
+  // zeros dropped.
   std::vector<int> col_ptr;  ///< size n_total + 1
   std::vector<int> col_row;
   std::vector<double> col_val;
+  std::vector<int> row_ptr;  ///< size m + 1
+  std::vector<int> row_col;
+  std::vector<double> row_val;
 
   int col_nnz(int j) const {
     return col_ptr[static_cast<std::size_t>(j) + 1] -
            col_ptr[static_cast<std::size_t>(j)];
   }
 };
+
+/// Sparse workspace vector: dense values plus an explicit support list so
+/// FTRAN/BTRAN and their consumers touch only nonzeros. `idx` lists every
+/// row whose value may be nonzero (a superset: exact cancellations stay
+/// listed); `mark[r]` mirrors membership of r in `idx`. When an operation
+/// fills the vector past its sparsity threshold it flips `dense` and stops
+/// maintaining the support — from then on `val` alone is authoritative and
+/// consumers fall back to dense scans.
+struct ScatteredVec {
+  std::vector<double> val;
+  std::vector<int> idx;
+  std::vector<char> mark;
+  bool dense = false;
+
+  void resize(int m) {
+    val.assign(static_cast<std::size_t>(m), 0.0);
+    mark.assign(static_cast<std::size_t>(m), 0);
+    idx.clear();
+    dense = false;
+  }
+
+  int size() const { return static_cast<int>(val.size()); }
+
+  /// Zero the vector and forget the support, reusing capacity. O(support)
+  /// when sparse, O(m) after a dense fallback.
+  void clear() {
+    if (dense) {
+      std::fill(val.begin(), val.end(), 0.0);
+      std::fill(mark.begin(), mark.end(), 0);
+    } else {
+      for (const int r : idx) {
+        val[static_cast<std::size_t>(r)] = 0.0;
+        mark[static_cast<std::size_t>(r)] = 0;
+      }
+    }
+    idx.clear();
+    dense = false;
+  }
+
+  void insert(int r, double v) {
+    val[static_cast<std::size_t>(r)] = v;
+    if (!mark[static_cast<std::size_t>(r)]) {
+      mark[static_cast<std::size_t>(r)] = 1;
+      idx.push_back(r);
+    }
+  }
+};
+
+/// Support fraction above which sparse FTRAN/BTRAN hand over to the dense
+/// kernels: once a quarter of the vector is live, support bookkeeping costs
+/// more than the dense stream it avoids.
+inline constexpr int kScatterDenseDen = 4;
 
 StandardForm build_standard_form(const Problem& p);
 
@@ -92,6 +161,17 @@ class BasisFactorization {
   /// v := B^{-T} v (i.e. v^T := v^T B^{-1}).
   void btran(std::vector<double>& v) const;
 
+  /// Sparse FTRAN: applies only the etas the support reaches, tracking
+  /// fill-in; flips v.dense (and finishes with the dense kernel) past the
+  /// fill threshold. Bit-identical values to the dense ftran.
+  void ftran(ScatteredVec& v) const;
+  /// Sparse BTRAN: walks the eta file backward through a max-heap worklist
+  /// seeded from v's support, using the row->eta index lists to activate
+  /// exactly the etas that can see a nonzero. Each eta is applied at most
+  /// once, in the same decreasing-index order as the dense kernel, so the
+  /// values it produces are bit-identical to it.
+  void btran(ScatteredVec& v) const;
+
   /// Append the update eta for a pivot on row `p` with FTRAN'd entering
   /// column `w` (dense; w[p] is the pivot element, |w[p]| > piv_tol).
   /// `support` lists the rows where w may be nonzero.
@@ -105,6 +185,7 @@ class BasisFactorization {
  private:
   void append(int p, double piv, const std::vector<double>& w,
               const std::vector<int>& support);
+  void finish_ftran_dense(ScatteredVec& v, std::size_t first_eta) const;
 
   const StandardForm* sf_;
   double piv_tol_;
@@ -118,6 +199,15 @@ class BasisFactorization {
   std::vector<int> off_row_;
   std::vector<double> off_val_;
   std::vector<int> row_to_col_;
+  // Row-indexed view of the same file (the "dual" storage): row_refs_[r]
+  // lists the eta indices whose pivot row or off-pivot entries touch row r,
+  // each in increasing order. Sparse BTRAN reads it to find which etas a
+  // nonzero row can activate without scanning the file.
+  std::vector<std::vector<int>> row_refs_;
+  // Sparse-BTRAN scratch (per-call; mutable so the solve-side methods stay
+  // const like their dense counterparts).
+  mutable std::vector<int> heap_;
+  mutable std::vector<char> queued_;
 };
 
 /// Solve the standard form with the revised engine. Honors the same

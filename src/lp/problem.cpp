@@ -46,6 +46,20 @@ std::string to_string(SimplexEngine e) {
   return "?";
 }
 
+std::string to_string(PricingRule r) {
+  switch (r) {
+    case PricingRule::Auto:
+      return "auto";
+    case PricingRule::Dantzig:
+      return "dantzig";
+    case PricingRule::Devex:
+      return "devex";
+    case PricingRule::Steepest:
+      return "steepest";
+  }
+  return "?";
+}
+
 double max_violation(const Problem& p, const std::vector<double>& x) {
   SUU_CHECK(static_cast<int>(x.size()) == p.num_vars);
   double worst = 0.0;

@@ -4,6 +4,7 @@
 // uses (LP1, LP2, Lawler–Labetoulle) has this form.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,6 +46,17 @@ enum class SimplexEngine { Auto, Tableau, Revised };
 
 std::string to_string(SimplexEngine e);
 
+/// Entering-variable pricing rule (lp/pricing.hpp). Dantzig picks the most
+/// negative reduced cost — the historical rule and the byte-stability
+/// anchor. Devex and Steepest weigh reduced costs by (approximate) edge
+/// norms, trading a little per-pivot bookkeeping for far fewer pivots on
+/// the long phase-1 runs that dominate the n>=1024 LP1 regimes. Auto keeps
+/// Dantzig on the tableau engine (preserving recorded trajectories) and
+/// picks Devex on the revised engine.
+enum class PricingRule { Auto, Dantzig, Devex, Steepest };
+
+std::string to_string(PricingRule r);
+
 struct Solution {
   Status status = Status::IterLimit;
   double objective = 0.0;
@@ -63,6 +75,12 @@ struct Solution {
   /// hits numerical trouble is silently re-solved by the tableau, and this
   /// field is how callers (and the differential oracle) see that happen.
   SimplexEngine engine = SimplexEngine::Tableau;
+  /// FTRAN telemetry (revised engine only; the tableau leaves both 0):
+  /// entering-column solves performed and the summed support sizes they
+  /// produced. ftran_nnz / (ftran_calls * m) is the average fill the sparse
+  /// eta kernels actually touched — the perf benches report it.
+  std::int64_t ftran_calls = 0;
+  std::int64_t ftran_nnz = 0;
 };
 
 /// Check primal feasibility of a candidate point within tolerance `tol`

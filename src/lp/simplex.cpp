@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "lp/basis.hpp"
+#include "lp/pricing.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace suu::lp {
 namespace {
@@ -32,14 +34,18 @@ class Tableau {
   // The shared standard form (lp/basis.hpp) reproduces this engine's
   // historical normalization bit for bit, so scattering its sparse columns
   // into the arena builds the exact tableau the old inline construction did.
-  Tableau(const StandardForm& sf, double tol)
-      : tol_(tol), piv_tol_(std::max(tol, kPivotTol)) {
+  Tableau(const StandardForm& sf, double tol,
+          PricingRule rule = PricingRule::Dantzig)
+      : tol_(tol), piv_tol_(std::max(tol, kPivotTol)), rule_(rule) {
     m_ = sf.m;
     n_orig_ = sf.n_orig;
     n_total_ = sf.n_total;
     art_begin_ = sf.art_begin;
     stride_ = n_total_;
     arena_.assign(static_cast<std::size_t>(m_) * stride_, 0.0);
+    if (rule_ == PricingRule::Steepest) {
+      beta_.assign(static_cast<std::size_t>(n_total_), 0.0);
+    }
     rhs_ = sf.rhs;
     basis_ = sf.init_basis;
     for (int j = 0; j < n_total_; ++j) {
@@ -73,17 +79,20 @@ class Tableau {
       cost_[j] = c[j];
     }
     cost_obj_ = 0.0;
-    // Subtract c_B * (row) from cost for every basic column.
+    // Subtract c_B * (row) from cost for every basic column (element-wise
+    // SIMD kernel: bit-identical to the scalar loop).
     for (int r = 0; r < rows(); ++r) {
       const int b = basis_[r];
       const double cb =
           (b < static_cast<int>(c.size())) ? c[b] : 0.0;
       if (cb == 0.0) continue;
-      const double* const row_r = row(r);
-      for (int j = 0; j < n_total_; ++j) cost_[j] -= cb * row_r[j];
+      util::simd::axpy_minus(cost_.data(), row(r), cb, n_total_);
       cost_obj_ -= cb * rhs_[r];
     }
     allow_limit_ = allow_limit;
+    // Each objective load opens a fresh reference framework for the
+    // weighted pricing rules (weights stay inactive for Dantzig).
+    if (rule_ != PricingRule::Dantzig) weights_.reset(n_total_);
     rebuild_candidates();
   }
 
@@ -104,14 +113,16 @@ class Tableau {
         }
       }
     } else {
-      enter = price_candidates();
+      enter = rule_ == PricingRule::Dantzig ? price_candidates()
+                                            : price_candidates_weighted();
       if (enter < 0) {
         // Candidate list exhausted: fall back to one full pricing scan.
         // The incremental maintenance is exact, so this finds a column only
         // if floating-point drift desynchronized the list; finding none
         // certifies optimality.
         rebuild_candidates();
-        enter = price_candidates();
+        enter = rule_ == PricingRule::Dantzig ? price_candidates()
+                                              : price_candidates_weighted();
       }
     }
     if (enter < 0) return 0;
@@ -160,10 +171,22 @@ class Tableau {
     }
     rhs_[r] *= inv;
     pr[enter] = 1.0;  // kill roundoff
+    // Weighted pricing bookkeeping rides along with the elimination. For
+    // steepest edge, beta_j = a_j^T B^{-T} B^{-1} a_q is assembled from the
+    // pre-update rows (the tableau holds B^{-1}A explicitly, so no extra
+    // BTRAN is needed — the price is a second sweep of the support).
+    const bool track_weights =
+        rule_ != PricingRule::Dantzig && weights_.active() && !cost_.empty();
+    const bool steepest = track_weights && rule_ == PricingRule::Steepest;
+    if (steepest) {
+      // Pivot-row term: (B^{-1}a_q)_r = piv and the pre-scale row value is
+      // piv * pr[j].
+      for (const int j : support_) beta_[j] = piv * piv * pr[j];
+    }
     // Hybrid elimination: sparse pivot rows are applied through their
     // support list; once the row has filled in past half the arena width
-    // the contiguous dense loop wins (it vectorizes, and subtracting
-    // f * 0.0 from the untouched columns changes no bits).
+    // the contiguous dense kernel wins (element-wise SIMD mul+sub, and
+    // subtracting f * 0.0 from the untouched columns changes no bits).
     const bool dense_row =
         support_.size() * 2 > static_cast<std::size_t>(n_total_);
     for (int rr = 0; rr < rows(); ++rr) {
@@ -171,8 +194,11 @@ class Tableau {
       double* const prr = row(rr);
       const double f = prr[enter];
       if (f == 0.0) continue;  // column support: row untouched by this pivot
+      if (steepest) {
+        for (const int j : support_) beta_[j] += f * prr[j];
+      }
       if (dense_row) {
-        for (int j = 0; j < n_total_; ++j) prr[j] -= f * pr[j];
+        util::simd::axpy_minus(prr, pr, f, n_total_);
       } else {
         for (const int j : support_) prr[j] -= f * pr[j];
       }
@@ -184,7 +210,7 @@ class Tableau {
       const double fc = cost_[enter];
       if (fc != 0.0) {
         if (dense_row) {
-          for (int j = 0; j < n_total_; ++j) cost_[j] -= fc * pr[j];
+          util::simd::axpy_minus(cost_.data(), pr, fc, n_total_);
         } else {
           for (const int j : support_) cost_[j] -= fc * pr[j];
         }
@@ -193,6 +219,21 @@ class Tableau {
         cost_[enter] = 0.0;
         cost_obj_ -= fc * rhs_[r];
       }
+    }
+    if (track_weights) {
+      // The scaled pivot row IS the ratio alpha_rj / alpha_rq the weight
+      // recurrences want.
+      const double wq = weights_[enter];
+      for (const int j : support_) {
+        if (j == enter) continue;
+        if (steepest) {
+          weights_.note_steepest(j, pr[j], beta_[j], wq);
+        } else {
+          weights_.note_devex(j, pr[j], wq);
+        }
+      }
+      weights_.set_leaving(basis_[r], wq, piv);
+      if (weights_.needs_reset()) weights_.reset(n_total_);
     }
     basis_[r] = enter;
   }
@@ -307,6 +348,31 @@ class Tableau {
     return enter;
   }
 
+  // Weighted variant: max of cost_j^2 / w_j over the candidate list (the
+  // tableau's reduced costs are maintained exactly, so no refresh step is
+  // needed). Ties break to the lowest index for determinism.
+  int price_candidates_weighted() {
+    int enter = -1;
+    double best_score = 0.0;
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < cand_.size(); ++k) {
+      const int j = cand_[k];
+      const double c = cost_[j];
+      if (!(c < -tol_)) {
+        in_cand_[static_cast<std::size_t>(j)] = 0;
+        continue;  // stale: drop
+      }
+      cand_[w++] = j;
+      const double s = weights_.score(j, c);
+      if (enter < 0 || s > best_score || (s == best_score && j < enter)) {
+        best_score = s;
+        enter = j;
+      }
+    }
+    cand_.resize(w);
+    return enter;
+  }
+
   double tol_;
   double piv_tol_;
   int m_ = 0;
@@ -314,7 +380,9 @@ class Tableau {
   int n_total_ = 0;
   int art_begin_ = 0;
   int stride_ = 0;
-  std::vector<double> arena_;  // rows() * stride_, row-major
+  // rows() * stride_, row-major, on cache-line-aligned storage so row
+  // starts never straddle lines under the SIMD elimination kernel.
+  util::simd::aligned_vector<double> arena_;
   std::vector<double> rhs_;
   std::vector<double> cost_;
   double cost_obj_ = 0.0;
@@ -323,6 +391,9 @@ class Tableau {
   std::vector<int> cand_;      // improving columns (exact, lazily compacted)
   std::vector<char> in_cand_;  // j is somewhere in cand_
   std::vector<int> support_;   // scratch: pivot-row nonzero columns
+  PricingRule rule_ = PricingRule::Dantzig;  // resolved: never Auto
+  pricing::ReferenceWeights weights_;        // active for Devex/Steepest
+  std::vector<double> beta_;   // steepest scratch: a_j^T B^{-T} B^{-1} a_q
 };
 
 }  // namespace
@@ -344,10 +415,7 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
   }
 
   const StandardForm sf = build_standard_form(p);
-  const bool use_revised =
-      opt.engine == SimplexEngine::Revised ||
-      (opt.engine == SimplexEngine::Auto &&
-       static_cast<std::int64_t>(sf.m) * sf.n_total >= kRevisedAutoCells);
+  const bool use_revised = will_use_revised(opt.engine, sf.m, sf.n_total);
   if (use_revised) {
     bool trouble = false;
     Solution revised = solve_revised(p, sf, opt, &trouble);
@@ -358,7 +426,9 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
     if (!trouble) return revised;
   }
 
-  Tableau tab(sf, opt.tol);
+  const PricingRule rule =
+      pricing::resolve_pricing(opt.pricing, SimplexEngine::Tableau);
+  Tableau tab(sf, opt.tol, rule);
   const int m = tab.rows();
   const int n = tab.cols();
   // Anti-cycling guard (detail::run_simplex_phase, shared with the revised
@@ -384,7 +454,7 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
       ++opt.warm->hits;
     } else {
       // A failed attempt may have pivoted already; rebuild from scratch.
-      tab = Tableau(sf, opt.tol);
+      tab = Tableau(sf, opt.tol, rule);
       ++opt.warm->misses;
     }
   } else if (opt.warm != nullptr) {

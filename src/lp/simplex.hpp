@@ -91,6 +91,19 @@ int run_simplex_phase(Engine& eng, double tol, int iter_cap, int stall_cap,
 /// the factorized engine.
 inline constexpr std::int64_t kRevisedAutoCells = 1 << 19;
 
+/// The engine-selection rule solve_simplex applies once it knows the
+/// standard-form shape: `rows` constraint rows by `n_total` total columns
+/// (originals + slacks + artificials). Exposed so builders that can predict
+/// their standard-form shape exactly (LP1's constructor can) may decide
+/// whether a revised-only optimization — e.g. a crash basis that would
+/// perturb the tableau's byte-recorded trajectories — will actually apply.
+inline bool will_use_revised(SimplexEngine engine, std::int64_t rows,
+                             std::int64_t n_total) {
+  return engine == SimplexEngine::Revised ||
+         (engine == SimplexEngine::Auto &&
+          rows * n_total >= kRevisedAutoCells);
+}
+
 /// Reusable warm-start handle. Seed it with the basis of a previous
 /// Solution (or leave it empty for a cold first solve) and pass it through
 /// SimplexOptions::warm; every successful solve writes its final basis
@@ -119,6 +132,12 @@ struct SimplexOptions {
   WarmStart* warm = nullptr;
   /// Which engine solves the program; Auto switches on problem size.
   SimplexEngine engine = SimplexEngine::Auto;
+  /// Entering-variable pricing rule (lp/pricing.hpp). Auto resolves per
+  /// engine: Dantzig on the tableau (whose pivot trajectories are
+  /// byte-recorded), Devex on the revised engine. Every rule reaches the
+  /// same verdict and objective — pricing changes the pivot path, never
+  /// the answer (the differential oracle crosses all rules to enforce it).
+  PricingRule pricing = PricingRule::Auto;
 };
 
 /// Solve `min c·x, rows, x >= 0`. On Status::Optimal the returned point is

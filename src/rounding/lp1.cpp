@@ -28,7 +28,8 @@ void check_jobs(const core::Instance& inst, const std::vector<int>& jobs) {
 Lp1Fractional solve_with_simplex(const core::Instance& inst,
                                  const std::vector<int>& jobs, double L,
                                  lp::WarmStart* warm,
-                                 lp::SimplexEngine engine) {
+                                 lp::SimplexEngine engine,
+                                 lp::PricingRule pricing) {
   lp::Problem p;
   const int t_var = p.add_var(1.0);  // minimize t
   // Variables only for capable (ell' > 0) pairs.
@@ -51,18 +52,74 @@ Lp1Fractional solve_with_simplex(const core::Instance& inst,
                   "job " << j << " has no capable machine");
     p.add_row(std::move(cover));
   }
+  std::vector<int> load_row_of(inst.num_machines(), -1);
   for (int i = 0; i < inst.num_machines(); ++i) {
     auto& row = load_rows[i];
     if (row.terms.empty()) continue;
     row.terms.emplace_back(t_var, -1.0);
     row.rel = lp::Rel::Le;
     row.rhs = 0.0;
+    load_row_of[i] = static_cast<int>(p.rows.size());
     p.add_row(std::move(row));
+  }
+
+  // Crash basis: LP1 always admits a primal-feasible starting basis that
+  // skips phase 1 outright. Assign each job greedily to the machine
+  // minimizing its resulting load (x_ij = L/ell' satisfies the cover row
+  // with the surplus nonbasic) and take as basic columns the chosen x_ij
+  // per cover row, t on the most-loaded machine's row (t = max load keeps
+  // every other load slack nonnegative) and the remaining load slacks. The
+  // basis matrix is block triangular — diagonal over the cover rows, the
+  // nonsingular [t | slacks] block over the load rows — so the seed always
+  // installs, and phase 1 (the bulk of a cold solve's pivots: ~4.3n at
+  // n=1024) vanishes. Gated to the revised engine so the tableau's
+  // byte-recorded trajectories stay untouched, and to callers without a
+  // warm-start handle so chained-solve hit/miss accounting keeps its
+  // documented meaning.
+  lp::WarmStart crash;
+  const auto rows = static_cast<std::int64_t>(p.rows.size());
+  const auto n_total =
+      rows + p.num_vars + static_cast<std::int64_t>(jobs.size());
+  if (warm == nullptr && lp::will_use_revised(engine, rows, n_total)) {
+    std::vector<double> load(inst.num_machines(), 0.0);
+    std::vector<int> chosen(jobs.size(), -1);   // var index per job
+    std::vector<int> machine(jobs.size(), -1);  // its machine
+    for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+      const int j = jobs[idx];
+      double best_load = 0.0;
+      for (const auto& [i, v] : var_of[idx]) {
+        const double step = L / inst.ell_capped(i, j, L);
+        if (chosen[idx] < 0 || load[i] + step < best_load) {
+          best_load = load[i] + step;
+          chosen[idx] = v;
+          machine[idx] = i;
+        }
+      }
+      load[machine[idx]] = best_load;
+    }
+    int imax = 0;
+    for (int i = 1; i < inst.num_machines(); ++i) {
+      if (load[i] > load[imax]) imax = i;
+    }
+    crash.basis.assign(static_cast<std::size_t>(rows), -1);
+    for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+      crash.basis[idx] = chosen[idx];
+    }
+    // Every row is an inequality with rhs >= 0, so row r's slack is column
+    // num_vars + r.
+    for (int i = 0; i < inst.num_machines(); ++i) {
+      const int r = load_row_of[i];
+      if (r < 0) continue;
+      crash.basis[static_cast<std::size_t>(r)] =
+          i == imax ? t_var : p.num_vars + r;
+    }
+    warm = &crash;
   }
 
   lp::SimplexOptions sopt;
   sopt.warm = warm;
   sopt.engine = engine;
+  sopt.pricing = pricing;
   const lp::Solution sol = lp::solve_simplex(p, sopt);
   SUU_CHECK_MSG(sol.status == lp::Status::Optimal,
                 "LP1 solve failed: " << lp::to_string(sol.status));
@@ -72,6 +129,8 @@ Lp1Fractional solve_with_simplex(const core::Instance& inst,
   frac.lower_bound = frac.t;
   frac.simplex_iterations = sol.iterations;
   frac.simplex_phase1_iterations = sol.phase1_iterations;
+  frac.ftran_calls = sol.ftran_calls;
+  frac.ftran_nnz = sol.ftran_nnz;
   frac.x.resize(jobs.size());
   for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
     for (const auto& [i, v] : var_of[idx]) {
@@ -125,7 +184,8 @@ Lp1Fractional solve_lp1(const core::Instance& inst,
        static_cast<std::int64_t>(jobs.size()) * inst.num_machines() <=
            opt.simplex_size_limit);
   return use_simplex
-             ? solve_with_simplex(inst, jobs, L, opt.warm, opt.engine)
+             ? solve_with_simplex(inst, jobs, L, opt.warm, opt.engine,
+                                  opt.pricing)
              : solve_with_fw(inst, jobs, L);
 }
 

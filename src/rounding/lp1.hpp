@@ -41,6 +41,11 @@ struct Lp1Options {
   /// factorization), or size-based auto selection. Also governs the LP2
   /// solves when these options are threaded through suu::api.
   lp::SimplexEngine engine = lp::SimplexEngine::Auto;
+  /// Simplex pricing rule (ignored by Frank–Wolfe; see lp/pricing.hpp).
+  /// Auto keeps the engine defaults: Dantzig on the tableau, Devex on the
+  /// revised engine. Like `engine`, this also governs the LP2 solves when
+  /// threaded through suu::api.
+  lp::PricingRule pricing = lp::PricingRule::Auto;
 };
 
 struct Lp1Fractional {
@@ -55,6 +60,11 @@ struct Lp1Fractional {
   /// accounting.
   int simplex_iterations = 0;
   int simplex_phase1_iterations = 0;
+  /// FTRAN telemetry forwarded from lp::Solution (revised engine only;
+  /// 0 otherwise). ftran_nnz / (ftran_calls * rows) is the average fill the
+  /// sparse eta kernels actually touched — the perf benches report it.
+  std::int64_t ftran_calls = 0;
+  std::int64_t ftran_nnz = 0;
 };
 
 /// Solve the relaxation of LP1(J', L). `jobs` lists J' (must be non-empty,

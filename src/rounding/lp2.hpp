@@ -46,11 +46,15 @@ struct Lp2Result {
 /// same chain shape over capable pairs — the re-solve skips phase 1; a seed
 /// that does not fit is rejected and the solve runs cold. The handle is
 /// updated with this solve's final basis either way. `engine` picks the
-/// simplex core (lp::SimplexEngine::Auto switches on program size).
+/// simplex core (lp::SimplexEngine::Auto switches on program size) and
+/// `pricing` the entering-variable rule (lp::PricingRule::Auto keeps the
+/// per-engine defaults; any rule reaches the same optimum).
 Lp2Result solve_and_round_lp2(const core::Instance& inst,
                               const std::vector<std::vector<int>>& chains,
                               lp::WarmStart* warm = nullptr,
                               lp::SimplexEngine engine =
-                                  lp::SimplexEngine::Auto);
+                                  lp::SimplexEngine::Auto,
+                              lp::PricingRule pricing =
+                                  lp::PricingRule::Auto);
 
 }  // namespace suu::rounding

@@ -174,6 +174,20 @@ TEST(ServiceProtocol, ParamValidation) {
   EXPECT_THROW(parse_solve_params(Json::parse(
                    R"({"instance":"x","options":{"lp_engine":"simplex"}})")),
                ProtocolError);
+  // Same contract for the pricing knob.
+  EXPECT_EQ(parse_solve_params(
+                Json::parse(
+                    R"({"instance":"x","options":{"lp_pricing":"devex"}})"))
+                .options.lp1.pricing,
+            lp::PricingRule::Devex);
+  EXPECT_EQ(parse_solve_params(
+                Json::parse(
+                    R"({"instance":"x","options":{"lp_pricing":"steepest"}})"))
+                .options.lp1.pricing,
+            lp::PricingRule::Steepest);
+  EXPECT_THROW(parse_solve_params(Json::parse(
+                   R"({"instance":"x","options":{"lp_pricing":"bland"}})")),
+               ProtocolError);
   // Estimate-only keys are rejected for a plain solve...
   EXPECT_THROW(
       parse_solve_params(Json::parse(R"({"instance":"x","seed":1})")),
