@@ -1,0 +1,142 @@
+// PERF — ShardCoordinator fan-out: wall-clock speedup from spreading one
+// estimate's shards over N local suu_serve backends, and the recovery
+// latency when a backend dies mid-run.
+//
+// Scenarios: N = 1 (the baseline every speedup is measured against),
+// N = 2, N = 3, and N = 3 with backend 0 armed to crash after two reply
+// lines (service/fault.hpp) — the "kill-one" scenario, whose recovery_ms
+// column is the headline metric: max over shards of first-failure ->
+// final-success. Every scenario also byte-checks the merged result
+// against an in-process reference, so a bench run doubles as a
+// correctness sweep (bytes_ok column).
+//
+// Results print as a table and are recorded to BENCH_client_fanout.json
+// (JSON lines via util::Table::print_json).
+//
+// Speedup is bounded by physical cores: the backends are separate
+// processes on THIS machine, so speedup_vs_1 tops out near
+// min(backends, cores). On a single-core box expect ~1.0 (the bench then
+// measures fan-out overhead + recovery, which is still the point).
+//
+//   ./bench_client_fanout --serve-bin=./suu_serve [--reps=600] [--shards=8]
+//                         [--out=BENCH_client_fanout.json]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/coordinator.hpp"
+#include "client/spawn.hpp"
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "service/engine.hpp"
+#include "service/json.hpp"
+#include "service/transport.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace suu;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  int backends = 1;
+  std::string fault;  ///< applied to backend 0
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string serve_bin = args.get_string("serve-bin", "./suu_serve");
+  const int reps = static_cast<int>(args.get_int("reps", 600));
+  const int shards = static_cast<int>(args.get_int("shards", 8));
+  const std::string out_path =
+      args.get_string("out", "BENCH_client_fanout.json");
+
+  // A moderately heavy instance, so per-shard work dominates the wire.
+  util::Rng rng(42);
+  const core::Instance instance = core::make_independent(
+      24, 6, core::MachineModel::uniform(0.3, 0.95), rng);
+  std::ostringstream inst_os;
+  core::write_instance(inst_os, instance);
+
+  client::EstimateJob job;
+  job.instance_text = inst_os.str();
+  job.seed = 5;
+  job.replications = reps;
+  job.lower_bound = true;
+
+  // Reference result bytes, computed in process.
+  std::string ref_result;
+  {
+    service::Engine engine;
+    std::string req =
+        R"({"id":1,"method":"estimate","params":{"instance":)";
+    service::json_append_quoted(req, job.instance_text);
+    req += ",\"solver\":\"auto\",\"seed\":5,\"replications\":" +
+           std::to_string(reps) + ",\"lower_bound\":true}}";
+    ref_result = client::extract_object(engine.handle(req), "result");
+  }
+
+  const std::vector<Scenario> scenarios = {
+      {"fanout-1", 1, ""},
+      {"fanout-2", 2, ""},
+      {"fanout-3", 3, ""},
+      {"fanout-3-kill-one", 3, "exit_after_lines=2"},
+  };
+
+  util::Table table({"scenario", "backends", "shards", "reps", "seconds",
+                     "speedup_vs_1", "recovery_ms", "failovers", "probes",
+                     "bytes_ok"});
+  double baseline_secs = 0.0;
+  bool all_ok = true;
+  for (const Scenario& sc : scenarios) {
+    std::vector<client::LocalDaemon> daemons;
+    std::vector<client::Backend> pool;
+    for (int b = 0; b < sc.backends; ++b) {
+      daemons.emplace_back(serve_bin, b == 0 ? sc.fault : "");
+      if (!daemons.back().ok()) {
+        std::cerr << "bench_client_fanout: failed to spawn " << serve_bin
+                  << "\n";
+        return 1;
+      }
+      pool.push_back(client::Backend{daemons.back().port()});
+    }
+    client::FanoutOptions opt;
+    opt.shards = shards;
+    opt.request_timeout_ms = 120000;
+    opt.backoff.base_ms = 5;
+    opt.backoff.max_ms = 50;
+    client::ShardCoordinator coordinator(pool, opt);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const client::FanoutResult res = coordinator.run(job);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (sc.name == "fanout-1") baseline_secs = secs;
+
+    const bool bytes_ok = res.ok && res.result_json == ref_result;
+    all_ok = all_ok && bytes_ok;
+    table.add_row(
+        {sc.name, std::to_string(sc.backends), std::to_string(shards),
+         std::to_string(reps), util::fmt(secs, 4),
+         baseline_secs > 0.0 ? util::fmt(baseline_secs / secs, 3) : "-",
+         res.recovery_ms >= 0 ? util::fmt(res.recovery_ms, 2) : "-",
+         std::to_string(res.failovers), std::to_string(res.probes),
+         bytes_ok ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::ofstream os(out_path);
+  if (!os.good()) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  table.print_json(os);
+  std::cout << "\nrecorded " << out_path << "\n";
+  return all_ok ? 0 : 1;
+}

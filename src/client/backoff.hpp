@@ -1,0 +1,45 @@
+// Bounded exponential backoff with deterministic jitter.
+//
+// Retrying a failed shard immediately against a struggling backend just
+// feeds the overload; retrying on a fixed schedule synchronizes every
+// retrying client into thundering herds. The standard fix is exponential
+// backoff with jitter — but random jitter would make failover tests flaky
+// and retries unreproducible. Here the jitter comes from hash_mix over
+// (seed, attempt), so a given coordinator run produces the same retry
+// schedule every time while distinct seeds (per shard, per run) still
+// de-synchronize against each other.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace suu::client {
+
+struct BackoffPolicy {
+  int base_ms = 10;       ///< first retry delay ceiling
+  int max_ms = 500;       ///< cap on the exponential growth
+  int max_attempts = 4;   ///< total tries per shard per backend before
+                          ///< the failure escalates to a failover
+
+  /// Delay before retry `attempt` (1-based; attempt 0 returns 0). The
+  /// ceiling doubles each attempt up to max_ms; the actual delay is drawn
+  /// deterministically from [ceiling/2, ceiling] by hashing (seed,
+  /// attempt) — "equal jitter", bounded away from zero so a retry is
+  /// never an immediate hammer.
+  int delay_ms(int attempt, std::uint64_t seed) const {
+    if (attempt <= 0 || base_ms <= 0) return 0;
+    long long ceiling = base_ms;
+    for (int i = 1; i < attempt && ceiling < max_ms; ++i) ceiling *= 2;
+    if (ceiling > max_ms) ceiling = max_ms;
+    const std::uint64_t h =
+        util::hash_mix(seed ^ (0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(attempt)));
+    const long long half = ceiling / 2;
+    const long long span = ceiling - half + 1;
+    return static_cast<int>(
+        half + static_cast<long long>(h % static_cast<std::uint64_t>(span)));
+  }
+};
+
+}  // namespace suu::client

@@ -1,0 +1,136 @@
+// ShardCoordinator — fault-tolerant fan-out of one estimate over a pool
+// of suu_serve backends.
+//
+// One estimate of R replications splits into K shards (the same
+// shard_range grid the service itself uses). The coordinator spreads
+// those shards over N backends and merges the replies so that BOTH
+// outputs are byte-identical to what one process would have produced:
+//
+//   table_json   the K shard rows in shard order — byte-identical to
+//                ExperimentRunner::print_json over the whole grid (and to
+//                the shard envelopes of a streamed estimate);
+//   result_json  the aggregate estimate — byte-identical to the result
+//                object of a plain single-server estimate request.
+//
+// Byte-identity is possible because sharded estimates seed by GLOBAL
+// replication index and each shard reply (requested with "samples": true)
+// carries its raw per-replication makespans at 17 significant digits:
+// replaying every shard's samples in shard order through util::OnlineStats
+// reproduces the unsharded Welford accumulation bit for bit, and
+// service::estimate_result_body guarantees the same formatting. The
+// optional lower bound is recomputed locally (the client links the same
+// libsuu), which is deterministic for a given instance.
+//
+// Fault tolerance:
+//   - every connect/request carries a deadline (FanoutOptions timeouts);
+//   - shard routing is fingerprint-affine via a consistent-hash ring
+//     (client/ring.hpp), so a shard keeps returning to the backend whose
+//     instance handle and PrecomputeCache entry are already hot;
+//   - application-level retryable errors (overloaded, internal, ...) are
+//     retried on the same backend under bounded exponential backoff with
+//     deterministic jitter (client/backoff.hpp), then failed over;
+//   - unknown_handle (the service LRU-expired our session) reopens the
+//     handle and re-issues — never a failure;
+//   - transport-level failures (timeout, refused connection, reset, EOF
+//     or truncation mid-reply) eject the backend from the ring, re-route
+//     its queued shards to the survivors, and probe it for re-admission;
+//   - with every backend ejected, shards park until a probe succeeds; the
+//     run fails only when all backends exhaust their probes. Degrading
+//     down to one live backend changes timing only, never output bytes.
+//
+// Errors the service classifies as fatal (service::classify_error) abort
+// the run: a request the service rejects as malformed will be rejected
+// again no matter where or when it is retried.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/backoff.hpp"
+#include "client/transport.hpp"
+
+namespace suu::client {
+
+/// One suu_serve backend (loopback TCP, --mode=tcp).
+struct Backend {
+  std::uint16_t port = 0;
+};
+
+struct FanoutOptions {
+  int shards = 4;                ///< K — shard count, independent of N
+  int connect_timeout_ms = 2000; ///< budget per connection handshake
+  int request_timeout_ms = 30000;///< budget per request round-trip
+  BackoffPolicy backoff;         ///< retry schedule for retryable errors
+  int probe_attempts = 2;        ///< re-admission probes per dead backend
+  int ring_vnodes = 64;          ///< consistent-hash points per backend
+  std::uint64_t jitter_seed = 1; ///< perturbs backoff jitter per run
+  /// Connection factory; defaults to TcpTransport::connect on the
+  /// backend's port. Tests substitute flaky wrappers here.
+  TransportFactory transport;
+};
+
+/// The estimate to fan out (mirrors the wire estimate request).
+struct EstimateJob {
+  std::string instance_text;  ///< instance bytes (core::read_instance)
+  std::string solver = "auto";
+  std::uint64_t seed = 1;
+  int replications = 100;
+  bool lower_bound = false;   ///< also merge lower_bound/ratio fields
+};
+
+/// Post-run view of one backend, for tests and the demo tool.
+struct BackendReport {
+  bool alive = false;        ///< usable when the run ended
+  bool ejected = false;      ///< was ejected from the ring at least once
+  bool readmitted = false;   ///< came back via a health probe
+  int shards_served = 0;
+};
+
+struct FanoutResult {
+  bool ok = false;
+  std::string error;       ///< when !ok: what killed the run
+
+  std::string table_json;  ///< K rows, newline-terminated, shard order
+  std::string result_json; ///< merged aggregate result object
+
+  int attempts = 0;        ///< total shard round-trips issued
+  int retries = 0;         ///< same-backend re-issues (retryable errors)
+  int failovers = 0;       ///< shards moved to a different backend
+  int reopens = 0;         ///< unknown_handle re-opens
+  int probes = 0;          ///< health probes sent
+  /// Max over shards of (first failure -> final success), in ms; -1 when
+  /// no shard ever failed. The headline recovery-latency metric.
+  double recovery_ms = -1.0;
+  std::vector<BackendReport> backends;
+};
+
+/// Raw bytes of the `"<key>":{...}` object member inside a wire line —
+/// balanced-brace scan (string-aware), never a Json round-trip, which
+/// would reformat numbers and destroy byte-level comparisons. Empty
+/// string when the key is absent or not an object. The coordinator uses
+/// it to lift shard rows out of replies; tests and tools use it to lift
+/// reference results out of raw server output.
+std::string extract_object(const std::string& line, const std::string& key);
+
+class ShardCoordinator {
+ public:
+  /// At least one backend. Options are validated on run().
+  ShardCoordinator(std::vector<Backend> backends, FanoutOptions options);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// Fan out `job` and merge. Never throws on backend/wire trouble — that
+  /// is reported through FanoutResult; throws only std::bad_alloc-class
+  /// failures. Safe to call repeatedly (each run is independent).
+  FanoutResult run(const EstimateJob& job);
+
+ private:
+  std::vector<Backend> backends_;
+  FanoutOptions options_;
+};
+
+}  // namespace suu::client

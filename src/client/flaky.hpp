@@ -1,0 +1,68 @@
+// FlakyTransport — a deterministic client-side fault wrapper for tests.
+//
+// The server-side injector (service/fault.hpp) breaks real connections;
+// this wrapper breaks them from the client's point of view without any
+// server at all, so coordinator unit tests can hit Timeout/Closed/Error
+// paths — and garbled replies — on exact operations. Faults trigger on
+// 1-based operation ordinals counted per kind (reads and writes
+// separately), never on timing.
+//
+// Test-only by intent: nothing in the production path constructs one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "client/transport.hpp"
+
+namespace suu::client {
+
+/// Which single fault this wrapper injects, and where.
+struct FlakySpec {
+  int fail_read_at = -1;    ///< 1-based read_line ordinal; -1 = never
+  int fail_write_at = -1;   ///< 1-based write_line ordinal; -1 = never
+  IoStatus failure = IoStatus::Error;  ///< status returned at the trigger
+  int garble_read_at = -1;  ///< 1-based read ordinal: return Ok but only
+                            ///< the first half of the line (parse-level
+                            ///< corruption rather than transport failure)
+};
+
+class FlakyTransport final : public Transport {
+ public:
+  FlakyTransport(std::unique_ptr<Transport> inner, const FlakySpec& spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  IoStatus write_line(const std::string& line,
+                      const Deadline& deadline) override {
+    ++writes_;
+    if (writes_ == spec_.fail_write_at) {
+      inner_->close();  // a failed connection doesn't come back by itself
+      return spec_.failure;
+    }
+    return inner_->write_line(line, deadline);
+  }
+
+  IoStatus read_line(std::string* out, const Deadline& deadline) override {
+    ++reads_;
+    if (reads_ == spec_.fail_read_at) {
+      inner_->close();
+      return spec_.failure;
+    }
+    const IoStatus s = inner_->read_line(out, deadline);
+    if (s == IoStatus::Ok && reads_ == spec_.garble_read_at) {
+      out->resize(out->size() / 2);
+      inner_->close();  // mirrors a peer dying mid-line
+    }
+    return s;
+  }
+
+  void close() override { inner_->close(); }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  FlakySpec spec_;
+  int reads_ = 0;
+  int writes_ = 0;
+};
+
+}  // namespace suu::client

@@ -1,0 +1,45 @@
+#include "client/ring.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace suu::client {
+
+void HashRing::add(std::size_t index, int vnodes) {
+  if (contains(index)) return;
+  points_.reserve(points_.size() + static_cast<std::size_t>(vnodes));
+  for (int v = 0; v < vnodes; ++v) {
+    const std::uint64_t pos = util::hash_mix(
+        (static_cast<std::uint64_t>(index) << 20) ^
+        static_cast<std::uint64_t>(v) ^ 0xc0ffee'5eed'f00dULL);
+    points_.emplace_back(pos, index);
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::remove(std::size_t index) {
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [index](const auto& p) {
+                                 return p.second == index;
+                               }),
+                points_.end());
+}
+
+bool HashRing::contains(std::size_t index) const {
+  return std::any_of(points_.begin(), points_.end(),
+                     [index](const auto& p) { return p.second == index; });
+}
+
+std::size_t HashRing::route(std::uint64_t key) const {
+  SUU_CHECK_MSG(!points_.empty(), "routing on an empty hash ring");
+  const std::uint64_t pos = util::hash_mix(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), pos,
+      [](const auto& p, std::uint64_t v) { return p.first < v; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+}  // namespace suu::client

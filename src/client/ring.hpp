@@ -1,0 +1,41 @@
+// Consistent-hash ring over backend indices.
+//
+// Shard routing must be sticky (the same shard keeps hitting the same
+// backend, so that backend's instance handle and PrecomputeCache entry
+// stay hot) yet degrade gracefully: when a backend is ejected, only the
+// shards that lived on it move, and they spread across the survivors
+// instead of all piling onto one neighbor. A classic consistent-hash ring
+// with virtual nodes gives both properties; SplitMix64 (util::hash_mix)
+// supplies the point placement, so the layout is deterministic across
+// runs and processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace suu::client {
+
+class HashRing {
+ public:
+  /// Place `vnodes` points for backend `index`. Adding an index twice is
+  /// a no-op.
+  void add(std::size_t index, int vnodes = 64);
+
+  /// Remove every point of backend `index`. Keys that routed to it move
+  /// to their next points — owned by the surviving backends.
+  void remove(std::size_t index);
+
+  bool contains(std::size_t index) const;
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// The backend owning `key`: the first ring point at or after
+  /// hash_mix(key), wrapping. Precondition: !empty().
+  std::size_t route(std::uint64_t key) const;
+
+ private:
+  /// (point position, backend index), sorted by position.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace suu::client

@@ -1,0 +1,75 @@
+#include "client/spawn.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace suu::client {
+
+LocalDaemon::LocalDaemon(const std::string& serve_bin,
+                         const std::string& fault,
+                         const std::string& extra_flag) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return;
+  }
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[1]);
+    std::vector<std::string> args = {serve_bin, "--mode=tcp", "--port=0"};
+    if (!fault.empty()) args.push_back("--fault=" + fault);
+    if (!extra_flag.empty()) args.push_back(extra_flag);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(serve_bin.c_str(), argv.data());
+    std::_Exit(127);  // exec failed; the parent sees a missing banner
+  }
+  ::close(pipe_fds[1]);
+  std::string banner;
+  char c = 0;
+  while (banner.find('\n') == std::string::npos) {
+    const ssize_t r = ::read(pipe_fds[0], &c, 1);
+    if (r <= 0) break;
+    banner.push_back(c);
+  }
+  ::close(pipe_fds[0]);
+  const std::size_t sp = banner.find(' ');
+  if (banner.rfind("listening ", 0) == 0 && sp != std::string::npos) {
+    port_ = static_cast<std::uint16_t>(
+        std::atoi(banner.c_str() + sp + 1));
+    pid_ = pid;
+  } else {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+LocalDaemon::LocalDaemon(LocalDaemon&& other) noexcept
+    : pid_(other.pid_), port_(other.port_) {
+  other.pid_ = -1;
+  other.port_ = 0;
+}
+
+LocalDaemon::~LocalDaemon() { kill(); }
+
+void LocalDaemon::kill() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+}
+
+}  // namespace suu::client

@@ -1,0 +1,49 @@
+// Spawning local suu_serve daemons — shared by the fan-out demo tool,
+// the client fan-out bench, and the failover tests.
+//
+// A LocalDaemon is one fork/exec'd `suu_serve --mode=tcp --port=0` child
+// whose ephemeral port was scraped from its "listening <port>" banner.
+// Faults (service/fault.hpp grammar) pass through via --fault=, which is
+// how tests arrange for a backend to genuinely die mid-stream: an
+// in-process server cannot _exit without taking the test down with it.
+//
+// Ownership is RAII: destroying (or kill()-ing) a LocalDaemon SIGKILLs
+// and reaps the child. SIGKILL, not SIGTERM — these are throwaway test
+// processes and the whole point is surviving their ungraceful ends.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace suu::client {
+
+class LocalDaemon {
+ public:
+  /// Launch `serve_bin --mode=tcp --port=0 [--fault=<fault>] [extra...]`.
+  /// On success ok() is true and port() is live. On failure (exec error,
+  /// no banner) the child is reaped and ok() is false.
+  explicit LocalDaemon(const std::string& serve_bin,
+                       const std::string& fault = "",
+                       const std::string& extra_flag = "");
+  ~LocalDaemon();
+
+  LocalDaemon(LocalDaemon&& other) noexcept;
+  LocalDaemon& operator=(LocalDaemon&&) = delete;
+  LocalDaemon(const LocalDaemon&) = delete;
+  LocalDaemon& operator=(const LocalDaemon&) = delete;
+
+  bool ok() const noexcept { return pid_ > 0; }
+  std::uint16_t port() const noexcept { return port_; }
+  pid_t pid() const noexcept { return pid_; }
+
+  /// SIGKILL + reap now (idempotent). The destructor calls this.
+  void kill();
+
+ private:
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace suu::client

@@ -1,0 +1,141 @@
+#include "client/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <cstring>
+
+namespace suu::client {
+
+int Deadline::remaining_ms() const {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      at - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > INT_MAX) return INT_MAX;
+  return static_cast<int>(left.count());
+}
+
+const char* to_string(IoStatus s) noexcept {
+  switch (s) {
+    case IoStatus::Ok: return "ok";
+    case IoStatus::Timeout: return "timeout";
+    case IoStatus::Closed: return "closed";
+    case IoStatus::Error: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Wait for `events` on fd within the deadline. Returns Ok when ready,
+/// Timeout when the budget runs out, Error on poll failure.
+IoStatus wait_fd(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int pr = ::poll(&pfd, 1, deadline.remaining_ms());
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::Error;
+    }
+    if (pr == 0) return IoStatus::Timeout;
+    return IoStatus::Ok;  // readable/writable — or HUP/ERR, surfaced by
+                          // the read/write that follows
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(
+    std::uint16_t port, const Deadline& deadline) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return nullptr;
+    }
+    if (wait_fd(fd, POLLOUT, deadline) != IoStatus::Ok) {
+      ::close(fd);
+      return nullptr;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoStatus TcpTransport::write_line(const std::string& line,
+                                  const Deadline& deadline) {
+  if (fd_ < 0) return IoStatus::Error;
+  std::string msg = line;
+  msg.push_back('\n');
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const IoStatus w = wait_fd(fd_, POLLOUT, deadline);
+    if (w != IoStatus::Ok) return w;
+    const ssize_t n = ::send(fd_, msg.data() + off, msg.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return IoStatus::Error;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus TcpTransport::read_line(std::string* out, const Deadline& deadline) {
+  if (fd_ < 0) return IoStatus::Error;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      return IoStatus::Ok;
+    }
+    const IoStatus w = wait_fd(fd_, POLLIN, deadline);
+    if (w != IoStatus::Ok) return w;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return IoStatus::Error;
+    }
+    if (n == 0) return IoStatus::Closed;  // EOF; any partial line in buf_
+                                          // is a truncated reply — dropped
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace suu::client

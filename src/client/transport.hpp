@@ -1,0 +1,99 @@
+// suu::client transports — deadline-bounded line I/O toward one backend.
+//
+// The coordinator (client/coordinator.hpp) never blocks without a budget:
+// every connect, write, and read carries a Deadline, and every outcome is
+// an explicit IoStatus the caller can classify (retry? fail over? give
+// up?). TcpTransport is the real thing — non-blocking connect plus
+// poll()-gated reads/writes against a loopback suu_serve. The Transport
+// interface exists so tests can substitute a flaky wrapper
+// (client/flaky.hpp) and drive every failure path without a network.
+//
+// A transport is single-owner and not thread-safe: the coordinator runs
+// one request at a time per backend connection, which keeps reply
+// correlation trivial (the protocol itself permits pipelining; the client
+// simply doesn't need it).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace suu::client {
+
+/// An absolute time budget. All transport calls take one; helpers convert
+/// to the milliseconds-remaining form poll() wants.
+struct Deadline {
+  std::chrono::steady_clock::time_point at;
+
+  static Deadline after_ms(int ms) {
+    return Deadline{std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(ms)};
+  }
+  bool expired() const {
+    return std::chrono::steady_clock::now() >= at;
+  }
+  /// Milliseconds until the deadline, clamped to [0, INT_MAX].
+  int remaining_ms() const;
+};
+
+/// Outcome of one transport operation.
+enum class IoStatus {
+  Ok,       ///< the line was fully written / a complete line was read
+  Timeout,  ///< the deadline expired first
+  Closed,   ///< orderly EOF — includes EOF after a partial (truncated) line
+  Error,    ///< connection refused, reset, or any other socket error
+};
+
+const char* to_string(IoStatus s) noexcept;
+
+/// Line-oriented request/reply channel to one backend.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Write `line` plus a trailing '\n' in full, or fail.
+  virtual IoStatus write_line(const std::string& line,
+                              const Deadline& deadline) = 0;
+
+  /// Read the next complete '\n'-terminated line (newline stripped).
+  /// Returns Closed on EOF; bytes of a partial final line are discarded —
+  /// a truncated reply is indistinguishable from no reply, by design, so
+  /// callers treat both as "this shard needs re-issuing".
+  virtual IoStatus read_line(std::string* out, const Deadline& deadline) = 0;
+
+  virtual void close() = 0;
+};
+
+/// Deadline-bounded TCP connection to 127.0.0.1:port.
+class TcpTransport final : public Transport {
+ public:
+  /// Non-blocking connect; nullptr if the backend refuses, is unreachable,
+  /// or the deadline expires during the handshake.
+  static std::unique_ptr<TcpTransport> connect(std::uint16_t port,
+                                               const Deadline& deadline);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  IoStatus write_line(const std::string& line,
+                      const Deadline& deadline) override;
+  IoStatus read_line(std::string* out, const Deadline& deadline) override;
+  void close() override;
+
+ private:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+/// How the coordinator obtains a connection to backend `index`. The
+/// default factory dials TcpTransport::connect on the backend's port;
+/// tests wrap it in FlakyTransport to inject client-side faults.
+using TransportFactory = std::function<std::unique_ptr<Transport>(
+    std::size_t index, const Deadline& deadline)>;
+
+}  // namespace suu::client

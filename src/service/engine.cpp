@@ -91,14 +91,50 @@ Engine::Stats Engine::stats() const {
 
 std::string Engine::handle(const std::string& line) {
   std::string joined;
-  process(line, [&joined](std::string&& resp, bool /*last*/) {
-    if (!joined.empty()) joined.push_back('\n');
-    joined += resp;
-  });
+  process(
+      line,
+      [&joined](std::string&& resp, bool /*last*/) {
+        if (!joined.empty()) joined.push_back('\n');
+        joined += resp;
+      },
+      /*client=*/0);
   return joined;
 }
 
-void Engine::process(const std::string& line, const Reply& emit) {
+std::uint64_t Engine::begin_client() {
+  std::lock_guard<std::mutex> lock(sess_mu_);
+  return next_client_++;
+}
+
+void Engine::end_client(std::uint64_t client) {
+  if (client == 0) return;
+  std::vector<std::uint64_t> pinned;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(sess_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second.owner != client) {
+        ++it;
+        continue;
+      }
+      pinned.insert(pinned.end(), it->second.pinned_keys.begin(),
+                    it->second.pinned_keys.end());
+      session_lru_.erase(it->second.lru_it);
+      it = sessions_.erase(it);
+      ++dropped;
+    }
+  }
+  for (const std::uint64_t key : pinned) {
+    api::PrecomputeCache::global().unpin(key);
+  }
+  if (dropped != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.sessions_dropped += dropped;
+  }
+}
+
+void Engine::process(const std::string& line, const Reply& emit,
+                     std::uint64_t client) {
   bool ok = false;
   if (line.size() > cfg_.max_line_bytes) {
     emit(make_error_response(
@@ -109,7 +145,7 @@ void Engine::process(const std::string& line, const Reply& emit) {
   } else {
     try {
       const Request req = parse_request(line);
-      dispatch(req, &ok, emit);
+      dispatch(req, &ok, emit, client);
     } catch (const ProtocolError& err) {
       emit(make_error_response(parse_request_id(line), err.code(), err.what()),
            true);
@@ -126,7 +162,7 @@ void Engine::process(const std::string& line, const Reply& emit) {
   }
 }
 
-void Engine::submit(std::string line, Reply reply) {
+void Engine::submit(std::string line, Reply reply, std::uint64_t client) {
   const char* reject_code = nullptr;
   const char* reject_msg = nullptr;
   {
@@ -153,12 +189,12 @@ void Engine::submit(std::string line, Reply reply) {
   }
   auto shared_reply = std::make_shared<Reply>(std::move(reply));
   auto shared_line = std::make_shared<std::string>(std::move(line));
-  pool_->submit([this, shared_reply, shared_line] {
+  pool_->submit([this, shared_reply, shared_line, client] {
     // The slot must be released no matter what: a throwing reply callback
     // (or an allocation failure building a response) would otherwise leak
     // inflight_ and deadlock drain()/~Engine.
     try {
-      process(*shared_line, *shared_reply);
+      process(*shared_line, *shared_reply, client);
     } catch (...) {
     }
     {
@@ -169,7 +205,8 @@ void Engine::submit(std::string line, Reply reply) {
   });
 }
 
-void Engine::dispatch(const Request& req, bool* ok, const Reply& emit) {
+void Engine::dispatch(const Request& req, bool* ok, const Reply& emit,
+                      std::uint64_t client) {
   try {
     if (req.method == "estimate") {
       // Streamed estimates frame their own response lines (shard
@@ -181,7 +218,7 @@ void Engine::dispatch(const Request& req, bool* ok, const Reply& emit) {
     if (req.method == "list_solvers") {
       result = handle_list_solvers();
     } else if (req.method == "open_instance") {
-      result = handle_open_instance(req.params);
+      result = handle_open_instance(req.params, client);
     } else if (req.method == "close_instance") {
       result = handle_close_instance(req.params);
     } else if (req.method == "solve") {
@@ -241,7 +278,8 @@ std::shared_ptr<const core::Instance> Engine::parse_instance(
       core::read_instance(is, cfg_.read_limits));
 }
 
-std::string Engine::handle_open_instance(const Json& params) {
+std::string Engine::handle_open_instance(const Json& params,
+                                         std::uint64_t client) {
   const OpenInstanceParams p = parse_open_instance_params(params);
   auto inst = parse_instance(p.instance_text);
 
@@ -257,6 +295,7 @@ std::string Engine::handle_open_instance(const Json& params) {
     handle = next_handle_++;
     Session session;
     session.instance = inst;
+    session.owner = client;
     session.lru_it = session_lru_.insert(session_lru_.end(), handle);
     sessions_.emplace(handle, std::move(session));
   }
@@ -474,17 +513,9 @@ std::string estimate_result_json(const api::PreparedSolver& solver,
                                  int replications, int capped,
                                  const util::Estimate& makespan,
                                  const EstimateParams& p) {
-  std::string out = "{\"solver\":";
-  json_append_quoted(out, solver.name);
-  out += ",\"n\":" + std::to_string(instance.num_jobs());
-  out += ",\"m\":" + std::to_string(instance.num_machines());
-  out += ",\"replications\":" + std::to_string(replications);
-  out += ",\"capped\":" + std::to_string(capped);
-  out += ",\"mean\":" + util::fmt(makespan.mean, 6);
-  out += ",\"ci95\":" + util::fmt(makespan.ci95_half, 6);
-  out += ",\"stddev\":" + util::fmt(makespan.stddev, 6);
-  out += ",\"min\":" + util::fmt(makespan.min, 6);
-  out += ",\"max\":" + util::fmt(makespan.max, 6);
+  std::string out = estimate_result_body(solver.name, instance.num_jobs(),
+                                         instance.num_machines(), replications,
+                                         capped, makespan);
   if (p.solve.want_lower_bound) {
     const algos::LowerBound lb =
         api::lower_bound_auto(instance, p.solve.options.lp1);
@@ -519,14 +550,30 @@ void Engine::handle_estimate(const Json& id, const Json& params, bool* ok,
     const auto [lo, hi] = shard_range(p.replications, p.shards, p.shard);
     api::ExperimentRunner runner(estimate_runner_options(p));
     runner.add(shard_cell(prep->instance, prep->solver, lo, hi));
-    (void)run_runner_guarded(runner);
+    const api::CellResult& r = run_runner_guarded(runner);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.shards;
     }
     std::string result = "{\"seq\":" + std::to_string(p.shard);
     result += ",\"shards\":" + std::to_string(p.shards);
-    result += ",\"shard\":" + shard_row_json(runner) + "}";
+    result += ",\"shard\":" + shard_row_json(runner);
+    if (p.samples) {
+      // Raw per-replication makespans (capped replications excluded), in
+      // replication order, at 17 significant digits: a client replaying
+      // every shard's samples in global order through util::OnlineStats
+      // reproduces the unsharded estimate's aggregate bit-for-bit.
+      result += ",\"capped\":" + std::to_string(r.capped);
+      result += ",\"samples\":[";
+      bool first = true;
+      for (const double x : r.samples.samples()) {
+        if (!first) result.push_back(',');
+        first = false;
+        result += json_number(x);
+      }
+      result += "]";
+    }
+    result += "}";
     *ok = true;
     emit(make_result_response(id, result), true);
     return;
@@ -593,6 +640,7 @@ std::string Engine::handle_stats() const {
   out += ",\"sessions_opened\":" + std::to_string(s.sessions_opened);
   out += ",\"sessions_closed\":" + std::to_string(s.sessions_closed);
   out += ",\"sessions_expired\":" + std::to_string(s.sessions_expired);
+  out += ",\"sessions_dropped\":" + std::to_string(s.sessions_dropped);
   out += ",\"open_handles\":" + std::to_string(s.open_handles);
   out += ",\"inflight\":" + std::to_string(s.inflight);
   out += ",\"queue_capacity\":" + std::to_string(s.queue_capacity);

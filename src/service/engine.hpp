@@ -103,6 +103,11 @@ class Engine {
     /// Stats::sessions_expired); requests naming an expired handle get the
     /// typed error "unknown_handle".
     std::size_t max_open_handles = 64;
+    /// Transport read-idle timeout in milliseconds: a connection that
+    /// stays silent this long is abandoned by serve_fd, so a half-open
+    /// peer cannot pin a reader thread forever. 0 disables the timeout
+    /// (the pre-existing block-until-bytes behavior).
+    int idle_timeout_ms = 0;
   };
 
   /// Live engine counters, surfaced on the wire by the `stats` method.
@@ -143,6 +148,9 @@ class Engine {
     /// Handles expired least-recently-used because a new open_instance
     /// exceeded Config::max_open_handles.
     std::uint64_t sessions_expired = 0;
+    /// Handles released by end_client() — the owning transport connection
+    /// went away (EOF, error, idle timeout) without a close_instance.
+    std::uint64_t sessions_dropped = 0;
     /// Currently open handles (gauge).
     std::size_t open_handles = 0;
     /// Requests currently admitted via submit (gauge).
@@ -169,13 +177,29 @@ class Engine {
   /// Synchronously process one request line and return the response — one
   /// line, or for streamed estimates every envelope joined with '\n' (no
   /// admission bound; used by tests, benches, and in-process clients).
+  /// Sessions opened this way are unowned (client id 0): they live until
+  /// close_instance, LRU expiry, or engine teardown.
   std::string handle(const std::string& line);
 
   /// Asynchronously process one request line. `reply` is invoked once per
   /// response line — from a worker thread as lines complete, or inline
   /// (before submit returns) when admission fails — with `last` true on
   /// the final line. `reply` must be callable from any thread.
-  void submit(std::string line, Reply reply);
+  /// `client` attributes any session the request opens to a transport
+  /// connection (see begin_client); 0 means unowned.
+  void submit(std::string line, Reply reply, std::uint64_t client = 0);
+
+  /// Start a client scope: transports call this once per connection and
+  /// pass the returned id to submit, so sessions opened over that
+  /// connection are owned by it. Never returns 0 (the unowned id).
+  std::uint64_t begin_client();
+
+  /// End a client scope: every session owned by `client` is closed and
+  /// its PrecomputeCache pins are released, exactly as if the peer had
+  /// sent close_instance for each — a dropped connection must not leak
+  /// pinned cache entries. Counted in Stats::sessions_dropped. No-op for
+  /// client 0 and for unknown ids.
+  void end_client(std::uint64_t client);
 
   /// True once a shutdown request has been processed; subsequent submits
   /// are rejected with "shutting_down".
@@ -199,17 +223,20 @@ class Engine {
 
   /// One open instance handle: the parsed instance plus every
   /// PrecomputeCache key this session has pinned (deduplicated; unpinned
-  /// on close/expiry).
+  /// on close/expiry/owner teardown).
   struct Session {
     std::shared_ptr<const core::Instance> instance;
     std::vector<std::uint64_t> pinned_keys;
     std::list<std::uint64_t>::iterator lru_it;  // position in session_lru_
+    std::uint64_t owner = 0;  // begin_client scope; 0 = unowned
   };
 
-  void process(const std::string& line, const Reply& emit);
-  void dispatch(const Request& req, bool* ok, const Reply& emit);
+  void process(const std::string& line, const Reply& emit,
+               std::uint64_t client);
+  void dispatch(const Request& req, bool* ok, const Reply& emit,
+                std::uint64_t client);
   std::string handle_list_solvers() const;
-  std::string handle_open_instance(const Json& params);
+  std::string handle_open_instance(const Json& params, std::uint64_t client);
   std::string handle_close_instance(const Json& params);
   std::string handle_solve(const Json& params);
   /// Emits every response line itself (shard envelopes with last == false,
@@ -261,6 +288,7 @@ class Engine {
   std::unordered_map<std::uint64_t, Session> sessions_;
   std::list<std::uint64_t> session_lru_;  // least recently used first
   std::uint64_t next_handle_ = 1;
+  std::uint64_t next_client_ = 1;  // begin_client ids; 0 reserved = unowned
 };
 
 }  // namespace suu::service

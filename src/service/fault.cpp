@@ -1,0 +1,118 @@
+#include "service/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace suu::service {
+namespace {
+
+bool parse_ll(const std::string& text, long long lo, long long hi,
+              long long* out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last || v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool FaultSpec::parse(const std::string& text, FaultSpec* out,
+                      std::string* error) {
+  *out = FaultSpec{};
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      *error = "fault item '" + item + "' is not key=value";
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    long long v = 0;
+    if (key == "delay_ms") {
+      if (!parse_ll(value, 0, 60'000, &v)) {
+        *error = "delay_ms must be an integer in [0, 60000]";
+        return false;
+      }
+      out->delay_ms = static_cast<int>(v);
+    } else if (key == "close_after_bytes") {
+      if (!parse_ll(value, 0, 1LL << 40, &v)) {
+        *error = "close_after_bytes must be an integer in [0, 2^40]";
+        return false;
+      }
+      out->close_after_bytes = v;
+    } else if (key == "truncate_line") {
+      if (!parse_ll(value, 1, 1'000'000, &v)) {
+        *error = "truncate_line must be an integer in [1, 1000000]";
+        return false;
+      }
+      out->truncate_line = static_cast<int>(v);
+    } else if (key == "exit_after_lines") {
+      if (!parse_ll(value, 1, 1'000'000, &v)) {
+        *error = "exit_after_lines must be an integer in [1, 1000000]";
+        return false;
+      }
+      out->exit_after_lines = static_cast<int>(v);
+    } else if (key == "exit_after_bytes") {
+      if (!parse_ll(value, 0, 1LL << 40, &v)) {
+        *error = "exit_after_bytes must be an integer in [0, 2^40]";
+        return false;
+      }
+      out->exit_after_bytes = v;
+    } else {
+      *error = "unknown fault key '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+FaultInjector::Action FaultInjector::next(const std::string& line) {
+  Action a;
+  if (closed_) {
+    a.close_after = true;
+    return a;
+  }
+  a.delay_ms = spec_.delay_ms;
+  a.write_bytes = line.size();
+
+  const int this_line = lines_written_ + 1;
+  if (spec_.truncate_line >= 1 && this_line == spec_.truncate_line) {
+    a.write_bytes = line.size() / 2;
+    a.close_after = true;
+  }
+  // Byte triggers may land inside this line: write exactly up to the
+  // trigger point, then act. The earliest trigger wins.
+  const long long after = bytes_written_ + static_cast<long long>(a.write_bytes);
+  if (spec_.close_after_bytes >= 0 && after >= spec_.close_after_bytes) {
+    a.write_bytes = static_cast<std::size_t>(
+        std::max(0LL, spec_.close_after_bytes - bytes_written_));
+    a.close_after = true;
+  }
+  if (spec_.exit_after_bytes >= 0 &&
+      bytes_written_ + static_cast<long long>(a.write_bytes) >=
+          spec_.exit_after_bytes) {
+    a.write_bytes = static_cast<std::size_t>(
+        std::max(0LL, spec_.exit_after_bytes - bytes_written_));
+    a.exit_after = true;
+  }
+  if (spec_.exit_after_lines >= 1 && !a.close_after &&
+      a.write_bytes == line.size() && this_line == spec_.exit_after_lines) {
+    a.exit_after = true;
+  }
+
+  bytes_written_ += static_cast<long long>(a.write_bytes);
+  if (a.write_bytes == line.size()) ++lines_written_;
+  if (a.close_after) closed_ = true;
+  return a;
+}
+
+}  // namespace suu::service

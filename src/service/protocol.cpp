@@ -5,6 +5,7 @@
 
 #include "lp/pricing.hpp"
 #include "util/check.hpp"
+#include "util/table.hpp"
 
 namespace suu::service {
 namespace {
@@ -116,6 +117,19 @@ api::SolverOptions parse_options(const Json& options) {
 
 }  // namespace
 
+ErrorClass classify_error(std::string_view code) {
+  if (code == error_code::kParseError || code == error_code::kBadRequest ||
+      code == error_code::kUnknownMethod || code == error_code::kBadParams ||
+      code == error_code::kBadInstance || code == error_code::kUnknownSolver ||
+      code == error_code::kCapped) {
+    return ErrorClass::Fatal;
+  }
+  if (code == error_code::kUnknownHandle) return ErrorClass::Reopen;
+  // overloaded, shutting_down, internal — and any code this build does not
+  // know about — may clear up on retry or on another backend.
+  return ErrorClass::Retryable;
+}
+
 Request parse_request(const std::string& line) {
   Json root;
   try {
@@ -174,7 +188,7 @@ SolveParams parse_solve_params(const Json& params,
     check_known_keys(o,
                      {"instance", "handle", "solver", "options", "lower_bound",
                       "replications", "seed", "semantics", "strict",
-                      "step_cap", "stream", "shards", "shard"},
+                      "step_cap", "stream", "shards", "shard", "samples"},
                      "params");
   } else {
     check_known_keys(o,
@@ -242,6 +256,11 @@ EstimateParams parse_estimate_params(const Json& params,
                  "be combined with 'stream'");
     }
   }
+  p.samples = get_bool(o, "samples", false);
+  if (p.samples && p.shard < 0) {
+    bad_params("'samples' ships a shard's raw samples for client-side "
+               "merging; it requires 'shard'");
+  }
   return p;
 }
 
@@ -278,6 +297,23 @@ std::pair<int, int> shard_range(int replications, int shards, int shard) {
   const int lo = static_cast<int>(r * shard / shards);
   const int hi = static_cast<int>(r * (shard + 1) / shards);
   return {lo, hi};
+}
+
+std::string estimate_result_body(const std::string& solver, int n, int m,
+                                 int replications, int capped,
+                                 const util::Estimate& makespan) {
+  std::string out = "{\"solver\":";
+  json_append_quoted(out, solver);
+  out += ",\"n\":" + std::to_string(n);
+  out += ",\"m\":" + std::to_string(m);
+  out += ",\"replications\":" + std::to_string(replications);
+  out += ",\"capped\":" + std::to_string(capped);
+  out += ",\"mean\":" + util::fmt(makespan.mean, 6);
+  out += ",\"ci95\":" + util::fmt(makespan.ci95_half, 6);
+  out += ",\"stddev\":" + util::fmt(makespan.stddev, 6);
+  out += ",\"min\":" + util::fmt(makespan.min, 6);
+  out += ",\"max\":" + util::fmt(makespan.max, 6);
+  return out;
 }
 
 std::string make_result_response(const Json& id,

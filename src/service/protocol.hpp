@@ -33,6 +33,7 @@
 #include "api/registry.hpp"
 #include "service/json.hpp"
 #include "sim/engine.hpp"
+#include "util/stats.hpp"
 
 namespace suu::service {
 
@@ -51,6 +52,28 @@ inline constexpr const char* kOverloaded = "overloaded";
 inline constexpr const char* kShuttingDown = "shutting_down";
 inline constexpr const char* kInternal = "internal";
 }  // namespace error_code
+
+/// How a fan-out client should react to a wire error code. The coordinator
+/// in src/client/ keys every retry/failover decision off this table, so it
+/// lives next to the codes it classifies (docs/wire-protocol.md, "Retryable
+/// vs fatal errors").
+enum class ErrorClass {
+  /// The request itself is wrong (bad params, bad instance, unknown
+  /// solver/method, capped): every backend gives the same answer, so
+  /// retrying anywhere is wasted work.
+  Fatal,
+  /// A backend-local, transient condition (overloaded, shutting_down,
+  /// internal): the same request may succeed later or on another backend.
+  Retryable,
+  /// The session handle is gone (unknown_handle): re-open the instance on
+  /// that backend and retry — the request is fine, the session is not.
+  Reopen,
+};
+
+/// Classify a wire error code. Unrecognized codes are Retryable: a newer
+/// server's code a client does not know is indistinguishable from a
+/// transient fault, and retrying is the safe default.
+ErrorClass classify_error(std::string_view code);
 
 /// A protocol violation carrying its wire error code. Thrown by the parse
 /// helpers below and by the engine's handlers; the engine converts it into
@@ -113,6 +136,12 @@ struct EstimateParams {
   bool stream = false;  ///< emit per-shard envelopes + terminal done
   int shards = 1;       ///< deterministic contiguous partition count
   int shard = -1;       ///< single-shard selection; -1 = all shards
+  /// Include the shard's raw makespan samples (round-trippable 17-digit
+  /// doubles, replication order) and capped count in a single-shard
+  /// response, so a fan-out client can merge shard replies into an
+  /// aggregate byte-identical to the unsharded estimate. Only valid with
+  /// `shard`.
+  bool samples = false;
 };
 
 /// open_instance / close_instance parameters.
@@ -137,6 +166,15 @@ CloseInstanceParams parse_close_instance_params(const Json& params);
 /// replications covers [floor(s*R/K), floor((s+1)*R/K)). Requires
 /// 0 <= s < K <= R.
 std::pair<int, int> shard_range(int replications, int shards, int shard);
+
+/// The estimate result object WITHOUT its closing brace or the optional
+/// lower-bound suffix — the part a fan-out client can rebuild from merged
+/// shard replies (append '}' to finish it). Shared by the engine's
+/// estimate responses and client::ShardCoordinator's merge so the two stay
+/// byte-identical by construction.
+std::string estimate_result_body(const std::string& solver, int n, int m,
+                                 int replications, int capped,
+                                 const util::Estimate& makespan);
 
 /// Response lines (no trailing newline). `result_json` must already be a
 /// serialized JSON value; the id is serialized via Json::dump.

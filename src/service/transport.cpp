@@ -2,11 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <istream>
@@ -56,40 +58,54 @@ bool normalize_line(std::string& line) {
 void serve_stream(Engine& engine, std::istream& in, std::ostream& out) {
   std::mutex write_mu;
   Outstanding pending;
+  const std::uint64_t client = engine.begin_client();
   std::string line;
   while (!engine.stopping() && std::getline(in, line)) {
     if (!normalize_line(line)) continue;
     pending.add();
-    engine.submit(std::move(line), [&](std::string&& resp, bool last) {
-      {
-        std::lock_guard<std::mutex> lock(write_mu);
-        out << resp << '\n';
-        out.flush();
-      }
-      if (last) pending.done();
-    });
+    engine.submit(
+        std::move(line),
+        [&](std::string&& resp, bool last) {
+          {
+            std::lock_guard<std::mutex> lock(write_mu);
+            out << resp << '\n';
+            out.flush();
+          }
+          if (last) pending.done();
+        },
+        client);
     line.clear();
   }
   pending.drain();
+  engine.end_client(client);
 }
 
-void serve_fd(Engine& engine, int fd) {
+void serve_fd(Engine& engine, int fd, const FaultSpec& fault) {
   std::mutex write_mu;
   Outstanding pending;
+  FaultInjector injector(fault);
+  const std::uint64_t client = engine.begin_client();
 
   auto write_line = [&](const std::string& resp) {
     std::lock_guard<std::mutex> lock(write_mu);
     std::string msg = resp;
     msg.push_back('\n');
+    // The fault injector decides how much of this line actually reaches
+    // the peer and what happens to the connection afterwards; with no
+    // faults configured it always says "all of it, nothing".
+    const FaultInjector::Action act = injector.next(msg);
+    if (act.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(act.delay_ms));
+    }
     std::size_t off = 0;
-    while (off < msg.size()) {
+    while (off < act.write_bytes) {
       // MSG_NOSIGNAL: a peer that closed mid-reply must surface as EPIPE,
       // not a process-killing SIGPIPE. ENOTSOCK falls back to write() for
       // pipe fds (suu_serve ignores SIGPIPE for that path).
-      ssize_t w = ::send(fd, msg.data() + off, msg.size() - off,
+      ssize_t w = ::send(fd, msg.data() + off, act.write_bytes - off,
                          MSG_NOSIGNAL);
       if (w < 0 && errno == ENOTSOCK) {
-        w = ::write(fd, msg.data() + off, msg.size() - off);
+        w = ::write(fd, msg.data() + off, act.write_bytes - off);
       }
       if (w < 0) {
         if (errno == EINTR) continue;
@@ -97,12 +113,30 @@ void serve_fd(Engine& engine, int fd) {
       }
       off += static_cast<std::size_t>(w);
     }
+    if (act.exit_after) ::_exit(42);  // crash simulation, mid-stream
+    if (act.close_after) ::shutdown(fd, SHUT_RDWR);  // wakes the read loop
   };
 
+  const int idle_ms = engine.config().idle_timeout_ms;
   std::string buf;
   char chunk[4096];
   bool abandoned = false;
   while (!abandoned) {
+    if (idle_ms > 0) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int pr = ::poll(&pfd, 1, idle_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      // A silent peer past the idle budget is indistinguishable from a
+      // half-open connection: abandon it rather than pin this thread on a
+      // read that may never return. (POLLHUP/POLLERR fall through to the
+      // read below, which reports EOF/error.)
+      if (pr == 0) break;
+    }
     const ssize_t r = ::read(fd, chunk, sizeof chunk);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -118,10 +152,13 @@ void serve_fd(Engine& engine, int fd) {
       start = nl + 1;
       if (!normalize_line(line)) continue;
       pending.add();
-      engine.submit(std::move(line), [&](std::string&& resp, bool last) {
-        write_line(resp);
-        if (last) pending.done();
-      });
+      engine.submit(
+          std::move(line),
+          [&](std::string&& resp, bool last) {
+            write_line(resp);
+            if (last) pending.done();
+          },
+          client);
     }
     buf.erase(0, start);
     if (buf.size() > engine.config().max_line_bytes) {
@@ -136,9 +173,12 @@ void serve_fd(Engine& engine, int fd) {
     if (engine.stopping()) break;
   }
   pending.drain();
+  engine.end_client(client);
 }
 
-TcpServer::TcpServer(Engine& engine, std::uint16_t port) : engine_(engine) {
+TcpServer::TcpServer(Engine& engine, std::uint16_t port,
+                     const FaultSpec& fault)
+    : engine_(engine), fault_(fault) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   SUU_CHECK_MSG(listen_fd_ >= 0,
                 "socket() failed: " << std::strerror(errno));
@@ -187,7 +227,7 @@ void TcpServer::run() {
       conn_fds_.push_back(fd);
     }
     threads.emplace_back([this, fd] {
-      serve_fd(engine_, fd);
+      serve_fd(engine_, fd, fault_);
       std::lock_guard<std::mutex> lock(mu_);
       conn_fds_.erase(
           std::find(conn_fds_.begin(), conn_fds_.end(), fd));

@@ -14,6 +14,23 @@
 //   TcpServer    — loopback-only listener; one serve_fd thread per
 //                  accepted connection.
 //
+// Session hygiene: each transport loop runs inside an engine client scope
+// (Engine::begin_client/end_client), so instance handles opened over a
+// connection are released — and their PrecomputeCache pins dropped — when
+// the connection ends for ANY reason: clean EOF, write error, over-long
+// line, or idle timeout. A peer that vanishes without close_instance
+// cannot leak pinned cache entries.
+//
+// Liveness: with Engine::Config::idle_timeout_ms set, serve_fd polls the
+// descriptor and abandons a connection whose peer stays silent past the
+// timeout — a half-open TCP peer (pulled cable, killed process on a quiet
+// link) cannot pin a reader thread forever.
+//
+// Fault injection (tests and the fan-out demo only): serve_fd and
+// TcpServer accept a service::FaultSpec whose deterministic triggers
+// (delay, drop after N bytes, truncate reply line K, _exit mid-stream)
+// fire on the reply write path — see service/fault.hpp.
+//
 // Shutdown: when the engine processes a shutdown request its stopping()
 // flag flips and its shutdown hook runs. serve_stream/serve_fd stop
 // reading once stopping() is observed — but a read already blocked on an
@@ -29,27 +46,34 @@
 #include <vector>
 
 #include "service/engine.hpp"
+#include "service/fault.hpp"
 
 namespace suu::service {
 
 /// Serve until EOF on `in` or engine shutdown. Responses are flushed per
-/// line. Drains outstanding replies before returning.
+/// line. Drains outstanding replies before returning. Runs inside a client
+/// scope: handles opened on this stream are released when it ends.
 void serve_stream(Engine& engine, std::istream& in, std::ostream& out);
 
-/// Serve a connected, bidirectional fd until EOF/error or engine shutdown.
+/// Serve a connected, bidirectional fd until EOF/error, engine shutdown,
+/// or — when the engine's idle_timeout_ms is set — a read-idle timeout.
 /// Drains outstanding replies before returning; does not close `fd`.
 /// A line longer than the engine's max_line_bytes gets one error response,
 /// after which the connection is abandoned (resynchronizing an unframed
-/// over-long line is not possible).
-void serve_fd(Engine& engine, int fd);
+/// over-long line is not possible). Handles opened over the fd are
+/// released on return. `fault` (optional) injects deterministic reply
+/// faults for failover tests.
+void serve_fd(Engine& engine, int fd, const FaultSpec& fault = {});
 
 /// Loopback (127.0.0.1) TCP listener over an Engine.
 class TcpServer {
  public:
   /// Bind and listen; port 0 picks an ephemeral port (see port()).
   /// Installs the engine's shutdown hook so a shutdown request stops the
-  /// server. Throws util::CheckError on socket failures.
-  TcpServer(Engine& engine, std::uint16_t port = 0);
+  /// server. Throws util::CheckError on socket failures. `fault` applies
+  /// (with fresh per-connection state) to every accepted connection.
+  TcpServer(Engine& engine, std::uint16_t port = 0,
+            const FaultSpec& fault = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -68,6 +92,7 @@ class TcpServer {
 
  private:
   Engine& engine_;
+  FaultSpec fault_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::mutex mu_;  // guards conn_fds_, stopped_

@@ -1,0 +1,458 @@
+// suu::client coverage — ShardCoordinator fan-out, retry/failover,
+// deadlines, and the merge's byte-identity guarantees, driven end-to-end
+// against real in-process TcpServers with deterministic fault injection
+// (service/fault.hpp server-side, client/flaky.hpp client-side).
+//
+// The acceptance paths live here: a sharded estimate merged over >= 3
+// backends is byte-identical to the single-server streamed rows and plain
+// estimate result — including when a backend times out, refuses
+// connections, truncates a reply mid-line, or (via a spawned suu_serve
+// child, see MidStreamProcessExit) exits mid-stream. Every retry path is
+// reached by a deterministic fault, not by luck.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/backoff.hpp"
+#include "client/coordinator.hpp"
+#include "client/flaky.hpp"
+#include "client/ring.hpp"
+#include "client/spawn.hpp"
+#include "client/transport.hpp"
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "service/engine.hpp"
+#include "service/fault.hpp"
+#include "service/json.hpp"
+#include "service/transport.hpp"
+#include "util/rng.hpp"
+
+namespace suu::client {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+std::string instance_text(int n, int m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const core::Instance inst = core::make_independent(
+      n, m, core::MachineModel::uniform(0.3, 0.95), rng);
+  std::ostringstream os;
+  core::write_instance(os, inst);
+  return os.str();
+}
+
+/// One in-process backend: engine + TCP listener + accept thread.
+struct TestBackend {
+  service::Engine engine;
+  service::TcpServer server;
+  std::thread thread;
+
+  explicit TestBackend(const service::Engine::Config& cfg = {},
+                       const service::FaultSpec& fault = {})
+      : engine(cfg),
+        server(engine, 0, fault),
+        thread([this] { server.run(); }) {}
+  ~TestBackend() {
+    server.stop();
+    thread.join();
+  }
+  std::uint16_t port() const { return server.port(); }
+};
+
+/// Reference bytes from a single local engine: the plain estimate result
+/// object and the concatenated streamed shard rows for the same job.
+struct Reference {
+  std::string result;
+  std::string table;
+};
+
+Reference reference_for(const EstimateJob& job, int shards) {
+  service::Engine engine;
+  std::string params = "\"instance\":";
+  service::json_append_quoted(params, job.instance_text);
+  params += ",\"solver\":";
+  service::json_append_quoted(params, job.solver);
+  params += ",\"seed\":" + std::to_string(job.seed);
+  params += ",\"replications\":" + std::to_string(job.replications);
+  if (job.lower_bound) params += ",\"lower_bound\":true";
+
+  Reference ref;
+  ref.result = extract_object(
+      engine.handle(R"({"id":1,"method":"estimate","params":{)" + params +
+                    "}}"),
+      "result");
+  const std::string streamed = engine.handle(
+      R"({"id":2,"method":"estimate","params":{)" + params +
+      ",\"stream\":true,\"shards\":" + std::to_string(shards) + "}}");
+  std::istringstream lines(streamed);
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    const std::string row = extract_object(line, "shard");
+    if (!row.empty()) {
+      ref.table += row;
+      ref.table.push_back('\n');
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, shards);
+  EXPECT_FALSE(ref.result.empty());
+  return ref;
+}
+
+EstimateJob small_job() {
+  EstimateJob job;
+  job.instance_text = instance_text(8, 3, 21);
+  job.solver = "auto";
+  job.seed = 5;
+  job.replications = 60;
+  job.lower_bound = true;
+  return job;
+}
+
+FanoutOptions fast_options(int shards) {
+  FanoutOptions opt;
+  opt.shards = shards;
+  opt.backoff.base_ms = 2;
+  opt.backoff.max_ms = 10;
+  return opt;
+}
+
+// ------------------------------------------------------------- unit bits
+
+TEST(Backoff, DeterministicBoundedAndCapped) {
+  const BackoffPolicy p{10, 500, 4};
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const int a = p.delay_ms(attempt, 42);
+    const int b = p.delay_ms(attempt, 42);
+    EXPECT_EQ(a, b) << "jitter must be deterministic per (seed, attempt)";
+    long long ceiling = 10;
+    for (int i = 1; i < attempt && ceiling < 500; ++i) ceiling *= 2;
+    if (ceiling > 500) ceiling = 500;
+    EXPECT_GE(a, ceiling / 2) << attempt;
+    EXPECT_LE(a, ceiling) << attempt;
+  }
+  // Distinct seeds de-synchronize (statistically: at least one differs).
+  bool any_diff = false;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    any_diff = any_diff || p.delay_ms(attempt, 1) != p.delay_ms(attempt, 2);
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_EQ(p.delay_ms(0, 7), 0);
+}
+
+TEST(Ring, RouteIsStickyAndRebalanceMovesOnlyOrphans) {
+  HashRing ring;
+  ring.add(0);
+  ring.add(1);
+  ring.add(2);
+  std::vector<std::size_t> before;
+  for (std::uint64_t k = 0; k < 200; ++k) before.push_back(ring.route(k));
+  // Same ring, same answers.
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(ring.route(k), before[static_cast<std::size_t>(k)]);
+  }
+  // All three backends own something.
+  std::set<std::size_t> owners(before.begin(), before.end());
+  EXPECT_EQ(owners.size(), 3u);
+  // Removing backend 1 moves ONLY its keys.
+  ring.remove(1);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const std::size_t now = ring.route(k);
+    EXPECT_NE(now, 1u);
+    if (before[static_cast<std::size_t>(k)] != 1) {
+      EXPECT_EQ(now, before[static_cast<std::size_t>(k)]) << k;
+    }
+  }
+  // Re-adding restores the original layout (placement is deterministic).
+  ring.add(1);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(ring.route(k), before[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST(ExtractObject, BalancedScanSkipsStringsAndNesting) {
+  const std::string line =
+      R"({"id":1,"ok":true,"result":{"seq":0,"shard":{"a":{"b":"}{"},"c":[1,2]},"capped":0}})";
+  EXPECT_EQ(extract_object(line, "shard"), R"({"a":{"b":"}{"},"c":[1,2]})");
+  EXPECT_EQ(extract_object(line, "result"),
+            R"({"seq":0,"shard":{"a":{"b":"}{"},"c":[1,2]},"capped":0})");
+  EXPECT_EQ(extract_object(line, "missing"), "");
+  EXPECT_EQ(extract_object(R"({"shard":17})", "shard"), "");  // not an object
+  EXPECT_EQ(extract_object(R"({"shard":{"x":"\"}\""}})", "shard"),
+            R"({"x":"\"}\""})");
+}
+
+// --------------------------------------------------- end-to-end, healthy
+
+TEST(Fanout, ByteIdenticalAcrossThreeBackends) {
+  const EstimateJob job = small_job();
+  const int kShards = 6;
+  const Reference ref = reference_for(job, kShards);
+
+  TestBackend b0, b1, b2;
+  ShardCoordinator coord(
+      {Backend{b0.port()}, Backend{b1.port()}, Backend{b2.port()}},
+      fast_options(kShards));
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_EQ(res.attempts, kShards);
+  EXPECT_EQ(res.failovers, 0);
+  EXPECT_LT(res.recovery_ms, 0.0) << "no failure -> no recovery latency";
+  int served = 0;
+  int used = 0;
+  for (const BackendReport& rep : res.backends) {
+    served += rep.shards_served;
+    used += rep.shards_served > 0 ? 1 : 0;
+    EXPECT_TRUE(rep.alive);
+    EXPECT_FALSE(rep.ejected);
+  }
+  EXPECT_EQ(served, kShards);
+  EXPECT_GT(used, 1) << "affine routing should still use several backends";
+}
+
+TEST(Fanout, SingleBackendDegradationSameBytes) {
+  const EstimateJob job = small_job();
+  const int kShards = 4;
+  const Reference ref = reference_for(job, kShards);
+  TestBackend b0;
+  ShardCoordinator coord({Backend{b0.port()}}, fast_options(kShards));
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_EQ(res.backends[0].shards_served, kShards);
+}
+
+TEST(Fanout, OutOfOrderRepliesMergeInShardOrder) {
+  // Backend 0 delays every reply: its shards finish LAST even though they
+  // are the lowest-numbered ones routed to it. The merge must order by
+  // shard index, not completion time.
+  const EstimateJob job = small_job();
+  const int kShards = 6;
+  const Reference ref = reference_for(job, kShards);
+  service::FaultSpec slow;
+  slow.delay_ms = 30;
+  TestBackend b0({}, slow), b1, b2;
+  ShardCoordinator coord(
+      {Backend{b0.port()}, Backend{b1.port()}, Backend{b2.port()}},
+      fast_options(kShards));
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_EQ(res.failovers, 0) << "slow is not dead";
+}
+
+// ------------------------------------------------------- failure paths
+
+TEST(FanoutFault, RequestTimeoutEjectsAndFailsOver) {
+  const EstimateJob job = small_job();
+  const int kShards = 6;
+  const Reference ref = reference_for(job, kShards);
+  service::FaultSpec stall;
+  stall.delay_ms = 500;  // every reply outlasts the request deadline
+  TestBackend b0({}, stall), b1, b2;
+  FanoutOptions opt = fast_options(kShards);
+  opt.request_timeout_ms = 100;
+  opt.probe_attempts = 1;  // its probe would stall too; don't retry long
+  ShardCoordinator coord(
+      {Backend{b0.port()}, Backend{b1.port()}, Backend{b2.port()}}, opt);
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_TRUE(res.backends[0].ejected);
+  EXPECT_GE(res.recovery_ms, 0.0);
+  EXPECT_GE(res.failovers, 1);
+  // No probe assertion: the survivors may legitimately finish the whole
+  // grid before the ejected worker's first probe window opens.
+}
+
+TEST(FanoutFault, ConnectionRefusedEjectsAndFailsOver) {
+  const EstimateJob job = small_job();
+  const int kShards = 4;
+  const Reference ref = reference_for(job, kShards);
+  std::uint16_t dead_port = 0;
+  {
+    service::Engine engine;
+    service::TcpServer listener(engine, 0);
+    dead_port = listener.port();  // released when listener dies
+  }
+  TestBackend alive;
+  FanoutOptions opt = fast_options(kShards);
+  opt.probe_attempts = 1;
+  ShardCoordinator coord({Backend{dead_port}, Backend{alive.port()}}, opt);
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_TRUE(res.backends[0].ejected);
+  EXPECT_FALSE(res.backends[0].alive);
+  EXPECT_EQ(res.backends[1].shards_served, kShards);
+}
+
+TEST(FanoutFault, MidLineTruncationEjectsAndFailsOver) {
+  const EstimateJob job = small_job();
+  const int kShards = 6;
+  const Reference ref = reference_for(job, kShards);
+  service::FaultSpec trunc;
+  trunc.truncate_line = 2;  // open reply survives; first estimate reply
+                            // arrives half-written, then the line drops
+  TestBackend b0({}, trunc), b1, b2;
+  ShardCoordinator coord(
+      {Backend{b0.port()}, Backend{b1.port()}, Backend{b2.port()}},
+      fast_options(kShards));
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_TRUE(res.backends[0].ejected);
+  EXPECT_GE(res.recovery_ms, 0.0);
+}
+
+TEST(FanoutFault, SingleBackendParksShardsAndRecoversViaProbe) {
+  // One backend, and its first connection garbles the first estimate
+  // reply. The shard must park (empty ring), the probe must win
+  // re-admission on a fresh connection, and the run must still produce
+  // reference bytes — recovery with nowhere to fail over TO.
+  const EstimateJob job = small_job();
+  const int kShards = 3;
+  const Reference ref = reference_for(job, kShards);
+  TestBackend backend;
+  FanoutOptions opt = fast_options(kShards);
+  int connections = 0;
+  opt.transport = [&backend, &connections](std::size_t,
+                                           const Deadline&) {
+    auto inner = TcpTransport::connect(backend.port(),
+                                       Deadline::after_ms(2000));
+    std::unique_ptr<Transport> t = std::move(inner);
+    if (t && ++connections == 1) {
+      FlakySpec spec;
+      spec.garble_read_at = 2;  // reply 1 = open_instance; reply 2 = the
+                                // first estimate, cut mid-line
+      t = std::make_unique<FlakyTransport>(std::move(t), spec);
+    }
+    return t;
+  };
+  ShardCoordinator coord({Backend{backend.port()}}, opt);
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_TRUE(res.backends[0].ejected);
+  EXPECT_TRUE(res.backends[0].readmitted);
+  EXPECT_GT(res.probes, 0);
+  EXPECT_GE(res.recovery_ms, 0.0);
+}
+
+TEST(FanoutFault, AllBackendsDownFailsCleanly) {
+  const EstimateJob job = small_job();
+  std::uint16_t dead = 0;
+  {
+    service::Engine engine;
+    service::TcpServer listener(engine, 0);
+    dead = listener.port();
+  }
+  FanoutOptions opt = fast_options(2);
+  opt.probe_attempts = 1;
+  ShardCoordinator coord({Backend{dead}}, opt);
+  const FanoutResult res = coord.run(job);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.error.empty());
+}
+
+TEST(FanoutFault, FatalServiceErrorAbortsInsteadOfRetrying) {
+  // An unknown solver is rejected as fatal by classification: the run
+  // must abort with the service's message, not spin through retries.
+  EstimateJob job = small_job();
+  job.solver = "no-such-solver";
+  TestBackend backend;
+  ShardCoordinator coord({Backend{backend.port()}}, fast_options(2));
+  const FanoutResult res = coord.run(job);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("unknown_solver"), std::string::npos)
+      << res.error;
+  EXPECT_LE(res.attempts, 2) << "fatal errors must not be retried";
+}
+
+TEST(FanoutFault, ExpiredHandleReopensTransparently) {
+  // Two coordinator "backends" are two connections into the SAME engine,
+  // which only keeps one open handle: each open_instance expires the
+  // other connection's session, so estimates race into unknown_handle
+  // and must recover by reopening. Backend 1's replies are delayed so
+  // its open lands while backend 0 is still mid-grid.
+  EstimateJob job = small_job();
+  job.replications = 1600;  // ~20ms+ per shard: backend 0 is still busy
+                            // when backend 1's delayed open arrives
+  const int kShards = 8;
+  const Reference ref = reference_for(job, kShards);
+
+  service::Engine::Config cfg;
+  cfg.max_open_handles = 1;
+  service::Engine engine(cfg);
+  service::TcpServer s0(engine, 0);
+  service::FaultSpec slow;
+  slow.delay_ms = 30;
+  service::TcpServer s1(engine, 0, slow);
+  std::thread t0([&] { s0.run(); });
+  std::thread t1([&] { s1.run(); });
+
+  ShardCoordinator coord({Backend{s0.port()}, Backend{s1.port()}},
+                         fast_options(kShards));
+  const FanoutResult res = coord.run(job);
+  s0.stop();
+  s1.stop();
+  t0.join();
+  t1.join();
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_GE(res.reopens, 1);
+  EXPECT_EQ(res.failovers, 0) << "reopen is not a failover";
+}
+
+TEST(FanoutFault, MidStreamProcessExit) {
+  // The real thing: a spawned suu_serve child _exits after two reply
+  // lines with shards still queued on it. Needs the daemon binary; the
+  // ctest entry exports SUU_SERVE_BIN.
+  const char* bin = std::getenv("SUU_SERVE_BIN");
+  if (bin == nullptr || *bin == '\0') {
+    GTEST_SKIP() << "SUU_SERVE_BIN not set";
+  }
+  // This instance/shard grid routes several shards to backend 0, so the
+  // crash fires with work still queued on it (a backend that drew exactly
+  // one shard would finish before its second reply line).
+  EstimateJob job;
+  job.instance_text = instance_text(12, 4, 42);
+  job.seed = 5;
+  job.replications = 120;
+  job.lower_bound = true;
+  const int kShards = 8;
+  const Reference ref = reference_for(job, kShards);
+  LocalDaemon d0(bin, "exit_after_lines=2");
+  LocalDaemon d1(bin), d2(bin);
+  ASSERT_TRUE(d0.ok() && d1.ok() && d2.ok());
+  FanoutOptions opt = fast_options(kShards);
+  opt.probe_attempts = 1;  // d0 is gone for good; probe once and move on
+  ShardCoordinator coord(
+      {Backend{d0.port()}, Backend{d1.port()}, Backend{d2.port()}}, opt);
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.table_json, ref.table);
+  EXPECT_EQ(res.result_json, ref.result);
+  EXPECT_TRUE(res.backends[0].ejected);
+  EXPECT_FALSE(res.backends[0].alive);
+  EXPECT_GE(res.recovery_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace suu::client

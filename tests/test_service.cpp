@@ -36,9 +36,11 @@
 #include "core/generators.hpp"
 #include "core/io.hpp"
 #include "service/engine.hpp"
+#include "service/fault.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -1160,6 +1162,238 @@ TEST(ServiceTransport, TcpEndToEndWithWireShutdown) {
   EXPECT_TRUE(Json::parse(by_id.at("s")).find("ok")->as_bool("ok"));
   EXPECT_TRUE(Json::parse(by_id.at("q")).find("ok")->as_bool("ok"));
   EXPECT_TRUE(engine.stopping());
+}
+
+// ------------------------------------------------------ fan-out plumbing
+// The service-side half of the src/client/ fan-out contract: the shard
+// grid's edge cases, the samples parameter, error classification, the
+// fault-injection spec, idle-timeout hygiene, and pin release when a
+// connection drops without close_instance.
+
+TEST(ServiceProtocol, ShardRangeEdgeCases) {
+  // K == R: every shard is exactly one replication.
+  for (int s = 0; s < 5; ++s) {
+    const auto [lo, hi] = shard_range(5, 5, s);
+    EXPECT_EQ(lo, s);
+    EXPECT_EQ(hi, s + 1);
+  }
+  // The single-replication grid.
+  EXPECT_EQ(shard_range(1, 1, 0), (std::pair<int, int>{0, 1}));
+  // Partition invariant over a sweep: contiguous, non-empty (K <= R
+  // guarantees it), tiling [0, R) exactly.
+  for (int r = 1; r <= 40; ++r) {
+    for (int k = 1; k <= r; ++k) {
+      int covered = 0;
+      for (int s = 0; s < k; ++s) {
+        const auto [lo, hi] = shard_range(r, k, s);
+        EXPECT_EQ(lo, covered);
+        EXPECT_LT(lo, hi);
+        covered = hi;
+      }
+      EXPECT_EQ(covered, r) << r << "/" << k;
+    }
+  }
+  // Degenerate grids are caller bugs (the wire layer never lets them
+  // through; see below), so shard_range treats them as contract breaks.
+  EXPECT_THROW(shard_range(0, 1, 0), util::CheckError);   // R == 0
+  EXPECT_THROW(shard_range(5, 0, 0), util::CheckError);   // K == 0
+  EXPECT_THROW(shard_range(5, 6, 0), util::CheckError);   // K > R
+  EXPECT_THROW(shard_range(5, 2, 2), util::CheckError);   // s == K
+  EXPECT_THROW(shard_range(5, 2, -1), util::CheckError);  // s < 0
+  EXPECT_THROW(
+      parse_estimate_params(
+          Json::parse(R"({"handle":1,"replications":10,"shards":0})"), 100),
+      ProtocolError);
+}
+
+TEST(ServiceProtocol, SamplesParamRequiresSingleShard) {
+  // samples is the fan-out merge hook: only meaningful on a single-shard
+  // request, where the reply can carry that shard's raw makespans.
+  EXPECT_THROW(
+      parse_estimate_params(Json::parse(R"({"handle":1,"samples":true})"),
+                            100),
+      ProtocolError);
+  EXPECT_THROW(parse_estimate_params(
+                   Json::parse(
+                       R"({"handle":1,"shards":4,"samples":true})"),
+                   100),
+               ProtocolError);  // shard count without shard selection
+  const EstimateParams p = parse_estimate_params(
+      Json::parse(
+          R"({"handle":1,"replications":10,"shards":4,"shard":2,"samples":true})"),
+      100);
+  EXPECT_TRUE(p.samples);
+  EXPECT_FALSE(
+      parse_estimate_params(
+          Json::parse(R"({"handle":1,"replications":10,"shards":4,"shard":2})"),
+          100)
+          .samples);
+}
+
+TEST(ServiceProtocol, ErrorClassification) {
+  // The retry table the fan-out client keys every decision off. A
+  // misclassification here either spins retries on hopeless requests or
+  // gives up on recoverable ones — pin each code.
+  for (const char* code :
+       {error_code::kParseError, error_code::kBadRequest,
+        error_code::kUnknownMethod, error_code::kBadParams,
+        error_code::kBadInstance, error_code::kUnknownSolver,
+        error_code::kCapped}) {
+    EXPECT_EQ(classify_error(code), ErrorClass::Fatal) << code;
+  }
+  for (const char* code : {error_code::kOverloaded, error_code::kShuttingDown,
+                           error_code::kInternal}) {
+    EXPECT_EQ(classify_error(code), ErrorClass::Retryable) << code;
+  }
+  EXPECT_EQ(classify_error(error_code::kUnknownHandle), ErrorClass::Reopen);
+  // Codes from a newer server default to the safe side: retry.
+  EXPECT_EQ(classify_error("code_from_the_future"), ErrorClass::Retryable);
+}
+
+TEST(ServiceFault, SpecParsing) {
+  FaultSpec spec;
+  std::string err;
+  EXPECT_TRUE(FaultSpec::parse("", &spec, &err));
+  EXPECT_FALSE(spec.active());
+
+  EXPECT_TRUE(FaultSpec::parse(
+      "delay_ms=5,close_after_bytes=10,truncate_line=3,exit_after_lines=2,"
+      "exit_after_bytes=100",
+      &spec, &err));
+  EXPECT_EQ(spec.delay_ms, 5);
+  EXPECT_EQ(spec.close_after_bytes, 10);
+  EXPECT_EQ(spec.truncate_line, 3);
+  EXPECT_EQ(spec.exit_after_lines, 2);
+  EXPECT_EQ(spec.exit_after_bytes, 100);
+  EXPECT_TRUE(spec.active());
+
+  EXPECT_FALSE(FaultSpec::parse("bogus=1", &spec, &err));
+  EXPECT_NE(err.find("bogus"), std::string::npos);
+  EXPECT_FALSE(FaultSpec::parse("delay_ms", &spec, &err));     // no '='
+  EXPECT_FALSE(FaultSpec::parse("delay_ms=x", &spec, &err));   // not a number
+  EXPECT_FALSE(FaultSpec::parse("delay_ms=99999999", &spec, &err));  // range
+  EXPECT_FALSE(FaultSpec::parse("truncate_line=0", &spec, &err));    // min 1
+}
+
+TEST(ServiceFault, InjectorTruncatesClosesAndExits) {
+  {  // truncate_line: half the line, then the connection is gone for good.
+    FaultSpec spec;
+    spec.truncate_line = 2;
+    FaultInjector inj(spec);
+    const auto a1 = inj.next("hello\n");
+    EXPECT_EQ(a1.write_bytes, 6u);
+    EXPECT_FALSE(a1.close_after);
+    const auto a2 = inj.next("0123456789\n");
+    EXPECT_EQ(a2.write_bytes, 5u);  // floor(11 / 2): mid-line cut
+    EXPECT_TRUE(a2.close_after);
+    const auto a3 = inj.next("x\n");
+    EXPECT_EQ(a3.write_bytes, 0u);  // latched closed
+    EXPECT_TRUE(a3.close_after);
+  }
+  {  // close_after_bytes lands inside a line: write exactly to the trigger.
+    FaultSpec spec;
+    spec.close_after_bytes = 5;
+    FaultInjector inj(spec);
+    const auto a1 = inj.next("abc\n");
+    EXPECT_EQ(a1.write_bytes, 4u);
+    EXPECT_FALSE(a1.close_after);
+    const auto a2 = inj.next("defg\n");
+    EXPECT_EQ(a2.write_bytes, 1u);
+    EXPECT_TRUE(a2.close_after);
+  }
+  {  // exit_after_lines plans a crash after the Nth complete reply.
+    FaultSpec spec;
+    spec.exit_after_lines = 2;
+    spec.delay_ms = 7;
+    FaultInjector inj(spec);
+    const auto a1 = inj.next("one\n");
+    EXPECT_EQ(a1.delay_ms, 7);
+    EXPECT_FALSE(a1.exit_after);
+    const auto a2 = inj.next("two\n");
+    EXPECT_EQ(a2.write_bytes, 4u);
+    EXPECT_TRUE(a2.exit_after);
+  }
+}
+
+TEST(ServiceTransport, IdleTimeoutAbandonsSilentPeer) {
+  Engine::Config cfg;
+  cfg.idle_timeout_ms = 50;
+  Engine engine(cfg);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::thread server([&] {
+    serve_fd(engine, sv[0]);
+    ::close(sv[0]);
+  });
+  // One request proves activity resets the clock; then go silent. A
+  // half-open peer used to park the reader forever — now the server must
+  // hang up on its own.
+  const std::string req =
+      R"({"id":1,"method":"list_solvers"})" "\n";
+  ASSERT_EQ(::write(sv[1], req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string received;
+  char buf[4096];
+  for (;;) {  // reply, then EOF once the server times us out
+    const ssize_t r = ::read(sv[1], buf, sizeof buf);
+    if (r <= 0) break;
+    received.append(buf, static_cast<std::size_t>(r));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  server.join();
+  ::close(sv[1]);
+  EXPECT_TRUE(Json::parse(received.substr(0, received.find('\n')))
+                  .find("ok")
+                  ->as_bool("ok"));
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(ServiceTransport, DroppedConnectionReleasesPinsAndCountsSession) {
+  const std::size_t base_pinned = api::PrecomputeCache::global().stats().pinned;
+  Engine engine;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::thread server([&] {
+    serve_fd(engine, sv[0]);
+    ::close(sv[0]);
+  });
+
+  // Sequential round-trips so the pin can be observed while the
+  // connection is still up. Fresh engine: the first handle is 1.
+  const auto round_trip = [&](const std::string& req) {
+    const std::string framed = req + "\n";
+    EXPECT_EQ(::write(sv[1], framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+    std::string line;
+    char c = 0;
+    while (::read(sv[1], &c, 1) == 1 && c != '\n') line.push_back(c);
+    return line;
+  };
+  const std::string inst = quoted(payload(independent_instance(6, 2, 91)));
+  const std::string open = round_trip(
+      R"({"id":"o","method":"open_instance","params":{"instance":)" + inst +
+      "}}");
+  EXPECT_TRUE(Json::parse(open).find("ok")->as_bool("ok"));
+  const std::string est = round_trip(
+      R"({"id":"e","method":"estimate","params":{"handle":1,"replications":5}})");
+  EXPECT_TRUE(Json::parse(est).find("ok")->as_bool("ok"));
+  EXPECT_GT(api::PrecomputeCache::global().stats().pinned, base_pinned)
+      << "an estimate through an open handle must pin its cache entry";
+
+  // Drop the connection without close_instance — the session teardown
+  // must release the pin, not leak it until engine destruction.
+  ::close(sv[1]);
+  server.join();
+  EXPECT_EQ(api::PrecomputeCache::global().stats().pinned, base_pinned);
+  const Json stats =
+      Json::parse(engine.handle(R"({"id":"s","method":"stats"})"));
+  EXPECT_EQ(stats.find("result")
+                ->find("engine")
+                ->find("sessions_dropped")
+                ->as_int64("sessions_dropped"),
+            1);
 }
 
 }  // namespace

@@ -33,10 +33,16 @@ def load_benchmarks(path):
     except (OSError, ValueError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
     out = {}
-    for b in doc.get("benchmarks", []):
+    for i, b in enumerate(doc.get("benchmarks", [])):
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = b
+        name = b.get("name")
+        if name is None:
+            sys.exit(
+                f"error: {path}: benchmarks[{i}] has no 'name' field — "
+                "not google-benchmark output?"
+            )
+        out[name] = b
     if not out:
         sys.exit(f"error: no benchmarks in {path}")
     return out

@@ -1,0 +1,176 @@
+// suu_fanout — spawn a pool of local suu_serve daemons, fan one estimate
+// out over them with the ShardCoordinator, and verify the merged bytes.
+//
+// The point of the tool is the verification, not the speedup: it computes
+// the reference output IN PROCESS (the same library the daemons run) and
+// byte-compares the coordinator's merged table against the streamed shard
+// rows and its merged aggregate against the plain single-server estimate
+// result. Any drift — formatting, seeding, merge order — is a non-zero
+// exit, which is what the CI smoke job keys on.
+//
+//   suu_fanout --serve-bin=./suu_serve --backends=3 --shards=8 --reps=200
+//   suu_fanout --serve-bin=./suu_serve --backends=3 --kill-one
+//
+// --kill-one arms backend 0 with a deterministic mid-stream crash fault
+// (service/fault.hpp, exit_after_lines): it serves a couple of replies
+// and then _exits with its shards in flight. The run must still produce
+// byte-identical output via failover. --fault=SPEC arms backend 0 with an
+// arbitrary fault spec instead.
+//
+// Exit codes: 0 bytes match, 1 mismatch or fan-out failure, 2 bad usage /
+// failed to spawn daemons.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/coordinator.hpp"
+#include "client/spawn.hpp"
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "service/engine.hpp"
+#include "service/transport.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace suu;
+
+/// All reply lines a local engine produces for one request line.
+std::vector<std::string> local_call(service::Engine& engine,
+                                    const std::string& request) {
+  std::istringstream in(request + "\n");
+  std::ostringstream out;
+  service::serve_stream(engine, in, out);
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string serve_bin = args.get_string("serve-bin", "./suu_serve");
+  const int backends = static_cast<int>(args.get_int("backends", 3));
+  const int shards = static_cast<int>(args.get_int("shards", 8));
+  const int reps = static_cast<int>(args.get_int("reps", 120));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 5));
+  const bool kill_one = args.has("kill-one");
+  std::string fault = args.get_string("fault", "");
+  if (backends < 1 || shards < 1 || reps < shards) {
+    std::cerr << "suu_fanout: need backends >= 1, 1 <= shards <= reps\n";
+    return 2;
+  }
+  if (kill_one && fault.empty()) {
+    // Deterministic mid-stream death: backend 0 serves two reply lines
+    // (its open_instance plus one shard) and then crashes with work
+    // still queued on it.
+    fault = "exit_after_lines=2";
+  }
+
+  // Deterministic demo instance; the same bytes go to every backend and
+  // to the in-process reference.
+  util::Rng rng(42);
+  const core::Instance instance = core::make_independent(
+      static_cast<int>(args.get_int("n", 12)),
+      static_cast<int>(args.get_int("m", 4)),
+      core::MachineModel::uniform(0.3, 0.95), rng);
+  std::ostringstream inst_os;
+  core::write_instance(inst_os, instance);
+
+  client::EstimateJob job;
+  job.instance_text = inst_os.str();
+  job.solver = "auto";
+  job.seed = seed;
+  job.replications = reps;
+  job.lower_bound = true;
+
+  // ---- reference bytes, computed in process (no daemons involved)
+  service::Engine ref_engine;
+  std::string quoted_instance;
+  service::json_append_quoted(quoted_instance, job.instance_text);
+  const std::string base_params =
+      "\"instance\":" + quoted_instance +
+      ",\"solver\":\"auto\",\"seed\":" + std::to_string(seed) +
+      ",\"replications\":" + std::to_string(reps) + ",\"lower_bound\":true";
+  const auto plain = local_call(
+      ref_engine,
+      R"({"id":1,"method":"estimate","params":{)" + base_params + "}}");
+  const auto streamed = local_call(
+      ref_engine, R"({"id":2,"method":"estimate","params":{)" + base_params +
+                      ",\"stream\":true,\"shards\":" +
+                      std::to_string(shards) + "}}");
+  if (plain.size() != 1 ||
+      streamed.size() != static_cast<std::size_t>(shards) + 1) {
+    std::cerr << "suu_fanout: reference computation failed\n";
+    return 2;
+  }
+  const std::string ref_result = client::extract_object(plain[0], "result");
+  std::string ref_table;
+  for (int s = 0; s < shards; ++s) {
+    ref_table += client::extract_object(streamed[static_cast<std::size_t>(s)],
+                                        "shard");
+    ref_table.push_back('\n');
+  }
+
+  // ---- spawn the pool
+  std::vector<client::LocalDaemon> daemons;
+  std::vector<client::Backend> pool;
+  for (int b = 0; b < backends; ++b) {
+    daemons.emplace_back(serve_bin, b == 0 ? fault : "");
+    if (!daemons.back().ok()) {
+      std::cerr << "suu_fanout: failed to spawn " << serve_bin << "\n";
+      return 2;
+    }
+    pool.push_back(client::Backend{daemons.back().port()});
+    std::cout << "backend " << b << ": pid " << daemons.back().pid()
+              << " port " << daemons.back().port()
+              << (b == 0 && !fault.empty() ? "  [fault: " + fault + "]" : "")
+              << "\n";
+  }
+
+  client::FanoutOptions opt;
+  opt.shards = shards;
+  opt.request_timeout_ms = 60000;
+  opt.backoff.base_ms = 5;
+  opt.backoff.max_ms = 50;
+  client::ShardCoordinator coordinator(pool, opt);
+  const client::FanoutResult res = coordinator.run(job);
+  daemons.clear();
+
+  if (!res.ok) {
+    std::cerr << "suu_fanout: fan-out failed: " << res.error << "\n";
+    return 1;
+  }
+  const bool table_ok = res.table_json == ref_table;
+  const bool result_ok = res.result_json == ref_result;
+  std::cout << "shards " << shards << " over " << backends
+            << " backends: attempts " << res.attempts << ", retries "
+            << res.retries << ", failovers " << res.failovers
+            << ", reopens " << res.reopens << ", probes " << res.probes
+            << "\n";
+  if (res.recovery_ms >= 0) {
+    std::cout << "recovery " << res.recovery_ms << " ms\n";
+  }
+  for (std::size_t b = 0; b < res.backends.size(); ++b) {
+    const client::BackendReport& rep = res.backends[b];
+    std::cout << "backend " << b << ": served " << rep.shards_served
+              << (rep.ejected ? ", ejected" : "")
+              << (rep.readmitted ? ", readmitted" : "")
+              << (rep.alive ? "" : ", dead") << "\n";
+  }
+  std::cout << "table bytes: " << (table_ok ? "MATCH" : "MISMATCH")
+            << "\nresult bytes: " << (result_ok ? "MATCH" : "MISMATCH")
+            << "\n";
+  if (!table_ok || !result_ok) {
+    std::cerr << "expected result: " << ref_result
+              << "\n     got result: " << res.result_json << "\n";
+    return 1;
+  }
+  return 0;
+}

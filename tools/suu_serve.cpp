@@ -17,7 +17,15 @@
 // (bounded admission; excess requests get an "overloaded" error),
 // --cache-capacity=C (prepared-solver LRU entries), --max-reps=R (per
 // request replication cap), --max-handles=H (open instance handles per
-// engine; opening one more expires the least-recently-used session).
+// engine; opening one more expires the least-recently-used session),
+// --idle-timeout-ms=T (tcp only: abandon a connection whose peer stays
+// silent for T ms; 0 = wait forever).
+//
+// Fault injection (tests/demos only): --fault=SPEC or the SUU_FAULT
+// environment variable (flag wins) installs deterministic reply-path
+// faults on every tcp connection — see service/fault.hpp for the
+// `key=value,...` grammar. A malformed spec is a startup error (exit 2),
+// never a silently inactive fault.
 //
 // Sessions and streams (docs/wire-protocol.md): open_instance parses an
 // instance once and returns a handle; solve/estimate take {"handle": h}
@@ -25,11 +33,13 @@
 // answers with one seq-ordered envelope per shard plus a terminal "done"
 // line.
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "api/precompute_cache.hpp"
 #include "service/engine.hpp"
+#include "service/fault.hpp"
 #include "service/transport.hpp"
 #include "util/cli.hpp"
 
@@ -54,8 +64,23 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("max-reps", cfg.max_replications));
   cfg.max_open_handles = static_cast<std::size_t>(args.get_int(
       "max-handles", static_cast<std::int64_t>(cfg.max_open_handles)));
+  cfg.idle_timeout_ms =
+      static_cast<int>(args.get_int("idle-timeout-ms", 0));
   api::PrecomputeCache::global().set_capacity(
       static_cast<std::size_t>(args.get_int("cache-capacity", 256)));
+
+  service::FaultSpec fault;
+  {
+    std::string spec = args.get_string("fault", "");
+    if (spec.empty()) {
+      if (const char* env = std::getenv("SUU_FAULT")) spec = env;
+    }
+    std::string err;
+    if (!service::FaultSpec::parse(spec, &fault, &err)) {
+      std::cerr << "suu_serve: bad fault spec: " << err << "\n";
+      return 2;
+    }
+  }
 
   service::Engine engine(cfg);
   if (mode == "stdio") {
@@ -64,7 +89,8 @@ int main(int argc, char** argv) {
   }
   service::TcpServer server(engine,
                             static_cast<std::uint16_t>(
-                                args.get_int("port", 0)));
+                                args.get_int("port", 0)),
+                            fault);
   std::cout << "listening " << server.port() << std::endl;
   server.run();
   engine.drain();
