@@ -31,6 +31,7 @@
 #include "client/spawn.hpp"
 #include "core/generators.hpp"
 #include "core/io.hpp"
+#include "obs/metrics.hpp"
 #include "service/engine.hpp"
 #include "service/json.hpp"
 #include "service/transport.hpp"
@@ -91,11 +92,14 @@ int main(int argc, char** argv) {
   };
 
   util::Table table({"scenario", "backends", "shards", "reps", "seconds",
-                     "speedup_vs_1", "recovery_ms", "failovers", "probes",
-                     "bytes_ok"});
+                     "speedup_vs_1", "rtt_p50_ms", "rtt_p99_ms",
+                     "recovery_ms", "failovers", "probes", "bytes_ok"});
   double baseline_secs = 0.0;
   bool all_ok = true;
   for (const Scenario& sc : scenarios) {
+    // Per-scenario shard round-trip percentiles come from the
+    // coordinator's obs histogram; reset so rows don't bleed together.
+    obs::Registry::global().reset_all();
     std::vector<client::LocalDaemon> daemons;
     std::vector<client::Backend> pool;
     for (int b = 0; b < sc.backends; ++b) {
@@ -122,10 +126,18 @@ int main(int argc, char** argv) {
 
     const bool bytes_ok = res.ok && res.result_json == ref_result;
     all_ok = all_ok && bytes_ok;
+    double rtt_p50_ms = 0.0, rtt_p99_ms = 0.0;
+    if (const obs::Histogram* h = obs::Registry::global().find_histogram(
+            "suu_fanout_shard_rtt_us")) {
+      const obs::Histogram::Snapshot snap = h->snapshot();
+      rtt_p50_ms = static_cast<double>(snap.quantile(0.50)) / 1000.0;
+      rtt_p99_ms = static_cast<double>(snap.quantile(0.99)) / 1000.0;
+    }
     table.add_row(
         {sc.name, std::to_string(sc.backends), std::to_string(shards),
          std::to_string(reps), util::fmt(secs, 4),
          baseline_secs > 0.0 ? util::fmt(baseline_secs / secs, 3) : "-",
+         util::fmt(rtt_p50_ms, 3), util::fmt(rtt_p99_ms, 3),
          res.recovery_ms >= 0 ? util::fmt(res.recovery_ms, 2) : "-",
          std::to_string(res.failovers), std::to_string(res.probes),
          bytes_ok ? "yes" : "NO"});

@@ -30,6 +30,7 @@
 #include "api/precompute_cache.hpp"
 #include "core/generators.hpp"
 #include "core/io.hpp"
+#include "obs/metrics.hpp"
 #include "service/engine.hpp"
 #include "service/json.hpp"
 #include "util/cli.hpp"
@@ -90,6 +91,10 @@ struct Scenario {
 double run_scenario(const Scenario& sc, unsigned workers, double* ok_frac) {
   api::PrecomputeCache::global().clear();
   api::PrecomputeCache::global().reset_stats();
+  // Per-scenario latency percentiles come from the obs request histogram;
+  // reset it so each row reflects only its own timed window (plus the one
+  // warmup request, a 1/N perturbation).
+  obs::Registry::global().reset_all();
   service::Engine::Config cfg;
   cfg.workers = workers;
   cfg.queue_capacity = sc.requests.size() + 1;  // admission never the bottleneck
@@ -146,8 +151,8 @@ int main(int argc, char** argv) {
   }
 
   util::Table table({"family", "variant", "requests", "workers", "seconds",
-                     "req_per_sec", "vs_inline", "ok_frac", "cache_hits",
-                     "cache_misses"});
+                     "req_per_sec", "vs_inline", "p50_ms", "p99_ms",
+                     "ok_frac", "cache_hits", "cache_misses"});
   double inline_rps = 0.0;  // the family's "hit" row, run just before
   for (const Scenario& sc : scenarios) {
     double ok_frac = 0.0;
@@ -157,10 +162,21 @@ int main(int argc, char** argv) {
     if (sc.variant == "hit") inline_rps = rps;
     const api::PrecomputeCache::Stats cs =
         api::PrecomputeCache::global().stats();
+    // Per-request latency percentiles from the per-method histogram the
+    // engine maintains anyway (docs/observability.md); all three variants
+    // issue solve requests.
+    double p50_ms = 0.0, p99_ms = 0.0;
+    if (const obs::Histogram* h = obs::Registry::global().find_histogram(
+            "suu_request_us{method=\"solve\"}")) {
+      const obs::Histogram::Snapshot snap = h->snapshot();
+      p50_ms = static_cast<double>(snap.quantile(0.50)) / 1000.0;
+      p99_ms = static_cast<double>(snap.quantile(0.99)) / 1000.0;
+    }
     table.add_row({sc.family, sc.variant, std::to_string(sc.requests.size()),
                    std::to_string(workers), util::fmt(secs, 4),
                    util::fmt(rps, 1),
                    inline_rps > 0.0 ? util::fmt(rps / inline_rps, 3) : "-",
+                   util::fmt(p50_ms, 3), util::fmt(p99_ms, 3),
                    util::fmt(ok_frac, 3), std::to_string(cs.hits),
                    std::to_string(cs.misses)});
   }

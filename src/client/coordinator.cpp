@@ -13,6 +13,8 @@
 #include "api/registry.hpp"
 #include "client/ring.hpp"
 #include "core/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spanlog.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 #include "util/hash.hpp"
@@ -221,6 +223,15 @@ RequestResult roundtrip(Run& run, BackendState& b, const std::string& req) {
   return rr;
 }
 
+/// The optional `"trace"` envelope fragment (with its leading comma) for
+/// every request this run issues; empty when the job carries no trace id.
+std::string trace_field(const Run& run) {
+  if (run.job.trace.empty()) return {};
+  std::string out = ",\"trace\":";
+  service::json_append_quoted(out, run.job.trace);
+  return out;
+}
+
 /// Connect (if needed), open the shared instance handle (if needed), and
 /// issue shard `s`. The handle is opened once per connection and reused —
 /// that is what keeps the backend's PrecomputeCache entry pinned and hot.
@@ -240,6 +251,7 @@ RequestResult issue(Run& run, std::size_t bi, int s) {
   if (b.handle == 0) {
     std::string req = "{\"id\":" +
                       std::to_string(run.next_id.fetch_add(1)) +
+                      trace_field(run) +
                       ",\"method\":\"open_instance\",\"params\":{\"instance\":";
     service::json_append_quoted(req, run.job.instance_text);
     req += "}}";
@@ -255,6 +267,7 @@ RequestResult issue(Run& run, std::size_t bi, int s) {
     b.handle = static_cast<std::uint64_t>(handle->as_int64("handle"));
   }
   std::string req = "{\"id\":" + std::to_string(run.next_id.fetch_add(1)) +
+                    trace_field(run) +
                     ",\"method\":\"estimate\",\"params\":{\"handle\":" +
                     std::to_string(b.handle) + ",\"solver\":";
   service::json_append_quoted(req, run.job.solver);
@@ -408,7 +421,13 @@ void process_shard(Run& run, std::size_t bi, int s) {
     return;
   }
 
+  const std::uint64_t attempt_t0 = obs::enabled() ? obs::now_us() : 0;
   const RequestResult rr = issue(run, bi, s);
+  if (obs::enabled()) {
+    static obs::Histogram& rtt =
+        obs::Registry::global().histogram("suu_fanout_shard_rtt_us");
+    rtt.observe(obs::now_us() - attempt_t0);
+  }
   switch (rr.outcome) {
     case Outcome::Success:
       record_success(run, bi, s, rr);
@@ -571,6 +590,31 @@ FanoutResult ShardCoordinator::run(const EstimateJob& job) {
     for (const double x : st.samples) agg.add(x);
     capped_total += st.capped;
     out.recovery_ms = std::max(out.recovery_ms, st.recovery_ms);
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("suu_fanout_runs_total").add();
+    reg.counter("suu_fanout_attempts_total")
+        .add(static_cast<std::uint64_t>(out.attempts));
+    reg.counter("suu_fanout_retries_total")
+        .add(static_cast<std::uint64_t>(out.retries));
+    reg.counter("suu_fanout_failovers_total")
+        .add(static_cast<std::uint64_t>(out.failovers));
+    reg.counter("suu_fanout_reopens_total")
+        .add(static_cast<std::uint64_t>(out.reopens));
+    reg.counter("suu_fanout_probes_total")
+        .add(static_cast<std::uint64_t>(out.probes));
+    std::uint64_t readmits = 0;
+    for (const BackendReport& rep : out.backends) {
+      if (rep.readmitted) ++readmits;
+    }
+    reg.counter("suu_fanout_readmits_total").add(readmits);
+    static obs::Histogram& attempts_hist =
+        reg.histogram("suu_fanout_shard_attempts");
+    for (const ShardState& st : run.shards) {
+      attempts_hist.observe(static_cast<std::uint64_t>(st.total_attempts));
+    }
   }
 
   // Solver name / n / m come from the first row — the service reports the

@@ -78,6 +78,11 @@ struct EstimateJob {
   std::uint64_t seed = 1;
   int replications = 100;
   bool lower_bound = false;   ///< also merge lower_bound/ratio fields
+  /// Optional trace id, propagated as the "trace" envelope key on every
+  /// open_instance/estimate the coordinator issues, so one fan-out's spans
+  /// can be collected from every backend with the `trace` wire method.
+  /// Never affects response bytes.
+  std::string trace;
 };
 
 /// Post-run view of one backend, for tests and the demo tool.

@@ -502,6 +502,7 @@ class RevisedSimplex {
   /// Factorize `cols` as the basis and recompute x_B. False when singular.
   bool install(const std::vector<int>& cols) {
     if (!fact_.refactorize(cols)) return false;
+    ++refactorizations_;
     basis_ = fact_.row_to_col();
     std::fill(basic_pos_.begin(), basic_pos_.end(), -1);
     for (int r = 0; r < sf_.m; ++r) {
@@ -1136,10 +1137,12 @@ class RevisedSimplex {
   // FTRAN telemetry for the perf benches (sparsity of entering columns).
   std::int64_t ftran_calls_ = 0;
   std::int64_t ftran_nnz_ = 0;
+  std::int64_t refactorizations_ = 0;  // successful install() calls
 
  public:
   std::int64_t ftran_calls() const { return ftran_calls_; }
   std::int64_t ftran_nnz() const { return ftran_nnz_; }
+  std::int64_t refactorizations() const { return refactorizations_; }
 };
 
 }  // namespace
@@ -1185,6 +1188,7 @@ Solution solve_revised(const Problem& p, const StandardForm& sf,
       s.engine = SimplexEngine::Revised;
       s.ftran_calls = rs.ftran_calls();
       s.ftran_nnz = rs.ftran_nnz();
+      s.refactorizations = rs.refactorizations();
       if (opt.warm != nullptr) {
         if (warmed) {
           ++opt.warm->hits;

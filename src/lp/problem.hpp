@@ -81,6 +81,9 @@ struct Solution {
   /// eta kernels actually touched — the perf benches report it.
   std::int64_t ftran_calls = 0;
   std::int64_t ftran_nnz = 0;
+  /// Basis factorizations performed (revised engine only): the initial or
+  /// warm-start install plus every scheduled mid-solve refactorization.
+  std::int64_t refactorizations = 0;
 };
 
 /// Check primal feasibility of a candidate point within tolerance `tol`

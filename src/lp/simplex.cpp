@@ -7,6 +7,7 @@
 
 #include "lp/basis.hpp"
 #include "lp/pricing.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/simd.hpp"
 
@@ -398,7 +399,9 @@ class Tableau {
 
 }  // namespace
 
-Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
+namespace {
+
+Solution solve_simplex_impl(const Problem& p, const SimplexOptions& opt) {
   Solution sol;
   if (p.num_vars == 0) {
     // Trivially optimal iff every row is satisfied by x = {}.
@@ -424,6 +427,9 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
     // are the accuracy anchor; warm-start accounting was deferred so the
     // tableau attempt below counts exactly once.
     if (!trouble) return revised;
+    static obs::Counter& fallbacks =
+        obs::Registry::global().counter("suu_lp_tableau_fallbacks_total");
+    fallbacks.add();
   }
 
   const PricingRule rule =
@@ -520,6 +526,32 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
     const double viol = max_violation(p, sol.x);
     SUU_CHECK_MSG(viol <= 1e-5 * scale,
                   "simplex result violates constraints by " << viol);
+  }
+  return sol;
+}
+
+}  // namespace
+
+Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
+  Solution sol = solve_simplex_impl(p, opt);
+  // Per-solve telemetry flush: a handful of relaxed adds after a solve
+  // that took at least tens of microseconds — nothing per pivot, so the
+  // perf-smoke gate on BM_SimplexLp1/1024 is unaffected.
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter& solves = reg.counter("suu_lp_solves_total");
+    static obs::Counter& pivots = reg.counter("suu_lp_pivots_total");
+    static obs::Counter& p1_pivots = reg.counter("suu_lp_phase1_pivots_total");
+    static obs::Counter& refactors =
+        reg.counter("suu_lp_refactorizations_total");
+    static obs::Counter& ftran_calls = reg.counter("suu_lp_ftran_calls_total");
+    static obs::Counter& ftran_nnz = reg.counter("suu_lp_ftran_nnz_total");
+    solves.add();
+    pivots.add(static_cast<std::uint64_t>(sol.iterations));
+    p1_pivots.add(static_cast<std::uint64_t>(sol.phase1_iterations));
+    refactors.add(static_cast<std::uint64_t>(sol.refactorizations));
+    ftran_calls.add(static_cast<std::uint64_t>(sol.ftran_calls));
+    ftran_nnz.add(static_cast<std::uint64_t>(sol.ftran_nnz));
   }
   return sol;
 }

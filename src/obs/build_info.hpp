@@ -1,0 +1,27 @@
+// Version and build-flag identity, exported as the `suu_build_info` metric
+// and by `suu_serve --version`, so scraped dashboards can tell deployments
+// apart.
+
+#pragma once
+
+namespace suu::obs {
+
+inline constexpr const char* kVersion = "0.8.0";
+
+inline constexpr const char* build_type() noexcept {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+inline constexpr const char* obs_mode() noexcept {
+#ifdef SUU_OBS_DISABLED
+  return "compiled-out";
+#else
+  return "on";
+#endif
+}
+
+}  // namespace suu::obs

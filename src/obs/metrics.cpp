@@ -1,0 +1,237 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <variant>
+
+namespace suu::obs {
+
+// ---------------------------------------------------------------- snapshot
+
+std::uint64_t Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; ceil without float drift.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) < target) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets[static_cast<std::size_t>(i)];
+    if (cum >= rank) return bucket_bound(i);
+  }
+  return bucket_bound(kBuckets - 1);  // overflow: clamp to last finite bound
+}
+
+void Histogram::Snapshot::merge_from(const Snapshot& other) noexcept {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+// ---------------------------------------------------------------- registry
+
+namespace {
+
+using MetricNode =
+    std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                 std::unique_ptr<Histogram>, std::string /* info labels */>;
+
+// Split `name{labels}` into base name and raw label body (no braces).
+void split_name(const std::string& full, std::string& base,
+                std::string& labels) {
+  const std::size_t brace = full.find('{');
+  if (brace == std::string::npos) {
+    base = full;
+    labels.clear();
+    return;
+  }
+  base = full.substr(0, brace);
+  labels = full.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+}
+
+void append_metric_line(std::string& out, const std::string& base,
+                        const std::string& labels, const char* suffix,
+                        const std::string& extra_label, std::uint64_t value) {
+  out += base;
+  out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: stable node addresses AND sorted iteration for rendering.
+  std::map<std::string, MetricNode> metrics;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();  // leaked: usable during static teardown
+  return *impl;
+}
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();
+  return *reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.metrics.find(name);
+  if (it == im.metrics.end()) {
+    it = im.metrics.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *std::get<std::unique_ptr<Counter>>(it->second);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.metrics.find(name);
+  if (it == im.metrics.end()) {
+    it = im.metrics.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *std::get<std::unique_ptr<Gauge>>(it->second);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.metrics.find(name);
+  if (it == im.metrics.end()) {
+    it = im.metrics.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *std::get<std::unique_ptr<Histogram>>(it->second);
+}
+
+void Registry::set_info(const std::string& name, const std::string& labels) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.metrics.insert_or_assign(name, MetricNode(labels));
+}
+
+Histogram* Registry::find_histogram(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.metrics.find(name);
+  if (it == im.metrics.end()) return nullptr;
+  auto* p = std::get_if<std::unique_ptr<Histogram>>(&it->second);
+  return p ? p->get() : nullptr;
+}
+
+Counter* Registry::find_counter(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.metrics.find(name);
+  if (it == im.metrics.end()) return nullptr;
+  auto* p = std::get_if<std::unique_ptr<Counter>>(&it->second);
+  return p ? p->get() : nullptr;
+}
+
+Gauge* Registry::find_gauge(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.metrics.find(name);
+  if (it == im.metrics.end()) return nullptr;
+  auto* p = std::get_if<std::unique_ptr<Gauge>>(&it->second);
+  return p ? p->get() : nullptr;
+}
+
+std::string render_histogram_text(const std::string& name,
+                                  const Histogram::Snapshot& s) {
+  std::string base, labels;
+  split_name(name, base, labels);
+  std::string out;
+  // Render the cumulative prefix up to the highest non-empty finite bucket
+  // (everything beyond it repeats the same cumulative count), then +Inf.
+  int last = -1;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (s.buckets[static_cast<std::size_t>(i)] != 0) last = i;
+  }
+  std::uint64_t cum = 0;
+  for (int i = 0; i <= last; ++i) {
+    cum += s.buckets[static_cast<std::size_t>(i)];
+    append_metric_line(out, base, labels, "_bucket",
+                       "le=\"" + std::to_string(Histogram::bucket_bound(i)) +
+                           "\"",
+                       cum);
+  }
+  append_metric_line(out, base, labels, "_bucket", "le=\"+Inf\"", s.count);
+  append_metric_line(out, base, labels, "_sum", "", s.sum);
+  append_metric_line(out, base, labels, "_count", "", s.count);
+  return out;
+}
+
+std::string Registry::render_prometheus() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out;
+  std::string prev_base;
+  for (const auto& [name, node] : im.metrics) {
+    std::string base, labels;
+    split_name(name, base, labels);
+    const char* type = nullptr;
+    if (std::holds_alternative<std::unique_ptr<Counter>>(node)) {
+      type = "counter";
+    } else if (std::holds_alternative<std::unique_ptr<Histogram>>(node)) {
+      type = "histogram";
+    } else {
+      type = "gauge";  // Gauge and info metrics
+    }
+    if (base != prev_base) {
+      out += "# TYPE " + base + " " + type + "\n";
+      prev_base = base;
+    }
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&node)) {
+      append_metric_line(out, base, labels, "", "", (*c)->value());
+    } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(&node)) {
+      out += base;
+      if (!labels.empty()) out += "{" + labels + "}";
+      out += ' ';
+      out += std::to_string((*g)->value());
+      out += '\n';
+    } else if (const auto* h =
+                   std::get_if<std::unique_ptr<Histogram>>(&node)) {
+      out += render_histogram_text(name, (*h)->snapshot());
+    } else if (const auto* info = std::get_if<std::string>(&node)) {
+      out += base;
+      if (!info->empty()) out += "{" + *info + "}";
+      out += " 1\n";
+    }
+  }
+  return out;
+}
+
+void Registry::reset_all() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, node] : im.metrics) {
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&node)) {
+      (*c)->reset();
+    } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&node)) {
+      (*g)->reset();
+    } else if (auto* h = std::get_if<std::unique_ptr<Histogram>>(&node)) {
+      (*h)->reset();
+    }
+  }
+}
+
+}  // namespace suu::obs

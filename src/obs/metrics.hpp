@@ -1,0 +1,231 @@
+// suu::obs — lock-cheap counters, gauges, and mergeable log-bucket latency
+// histograms behind a process-wide registry with Prometheus-style text
+// exposition.
+//
+// Design constraints (docs/observability.md):
+//   * Hot paths pay one relaxed atomic add. Call sites hold a static
+//     reference obtained once from the registry:
+//         static obs::Counter& c =
+//             obs::Registry::global().counter("suu_lp_solves_total");
+//         c.add();
+//     Registered metric objects are never destroyed or moved, so the
+//     reference stays valid for the life of the process.
+//   * Histograms bucket integer microsecond values into fixed log-spaced
+//     buckets (4 sub-buckets per octave, exact integer bounds — no
+//     floating-point log in the hot path), so merging two histograms is
+//     bucket-wise addition: associative, commutative, and deterministic.
+//   * render_prometheus() output is byte-deterministic for a given set of
+//     metric values: names are sorted, bucket bounds are integers.
+//   * obs::set_enabled(false) (suu_serve --no-obs) turns every add/observe
+//     into a relaxed load + branch; compiling with SUU_OBS_DISABLED removes
+//     even that.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace suu::obs {
+
+#ifdef SUU_OBS_DISABLED
+inline constexpr bool compiled_in = false;
+inline bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#else
+inline constexpr bool compiled_in = true;
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+}  // namespace detail
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+// ---------------------------------------------------------------- counter
+
+// Monotonic counter. set() exists for mirroring externally-accumulated
+// totals (e.g. Engine::Stats) into the registry at scrape time.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) noexcept {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// ---------------------------------------------------------------- gauge
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// ---------------------------------------------------------------- histogram
+
+// Fixed log-bucket histogram over non-negative integer values (by
+// convention microseconds). Buckets follow the 2-significant-bit scheme:
+// values 0..3 get their own buckets, then each octave o >= 2 splits into
+// four sub-buckets keyed by the two bits after the leading one. Inclusive
+// upper bounds: 0,1,2,3,4,5,6,7,9,11,13,15,19,23,27,31,39,... — i.e.
+// ({4,5,6,7}+1 << (o-2)) - 1 — giving <= 25% relative resolution with
+// exact integer bounds. Values above the last bound land in the overflow
+// bucket (rendered as le="+Inf").
+class Histogram {
+ public:
+  // Octaves 2..33 cover bounds up to (7 << 31) us ~ 4.2 hours.
+  static constexpr int kOctaves = 32;
+  static constexpr int kBuckets = 4 + 4 * kOctaves;  // finite buckets
+
+  static int bucket_index(std::uint64_t v) noexcept {
+    if (v < 4) return static_cast<int>(v);
+    int o = 63 - countl_zero64(v);  // floor(log2 v) >= 2
+    if (o - 2 >= kOctaves) return kBuckets;  // overflow
+    const int sub = static_cast<int>((v >> (o - 2)) & 3);
+    return 4 + (o - 2) * 4 + sub;
+  }
+  // Upper (inclusive) bound of finite bucket i.
+  static std::uint64_t bucket_bound(int i) noexcept {
+    if (i < 4) return static_cast<std::uint64_t>(i);
+    const int o = (i - 4) / 4;
+    const int sub = (i - 4) % 4;
+    return ((static_cast<std::uint64_t>(sub) + 4ull) << o) + (1ull << o) - 1;
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets + 1> buckets{};  // last = overflow
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    // Smallest bucket upper bound b with cum(b) >= q * count; the overflow
+    // bucket reports the largest finite bound. Returns 0 on empty.
+    std::uint64_t quantile(double q) const noexcept;
+    void merge_from(const Snapshot& other) noexcept;
+  };
+
+  Snapshot snapshot() const noexcept {
+    Snapshot s;
+    for (int i = 0; i <= kBuckets; ++i) {
+      s.buckets[static_cast<std::size_t>(i)] =
+          buckets_[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Bucket-wise addition; used by tests and by cross-backend aggregation.
+  void merge_from(const Snapshot& s) noexcept {
+    for (int i = 0; i <= kBuckets; ++i) {
+      buckets_[static_cast<std::size_t>(i)].fetch_add(
+          s.buckets[static_cast<std::size_t>(i)], std::memory_order_relaxed);
+    }
+    count_.fetch_add(s.count, std::memory_order_relaxed);
+    sum_.fetch_add(s.sum, std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static int countl_zero64(std::uint64_t v) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_clzll(v);
+#else
+    int n = 0;
+    for (std::uint64_t m = 1ull << 63; m && !(v & m); m >>= 1) ++n;
+    return n;
+#endif
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------- registry
+
+// Process-wide metric registry. Names follow Prometheus conventions and may
+// carry a label block: `suu_request_us{method="solve"}`. Lookup takes a
+// mutex; hot paths look a metric up once and keep the reference (metric
+// objects are heap nodes that are never freed or moved).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Info-style metric: rendered as `<name>{<labels>} 1` (gauge). Labels is
+  // the raw label body without braces, e.g. `version="0.8.0",build="release"`.
+  void set_info(const std::string& name, const std::string& labels);
+
+  // Look up without creating; nullptr when absent.
+  Histogram* find_histogram(const std::string& name) const;
+  Counter* find_counter(const std::string& name) const;
+  Gauge* find_gauge(const std::string& name) const;
+
+  // Deterministic Prometheus text exposition: entries sorted by full name,
+  // one `# TYPE` line per metric family, histogram buckets rendered as a
+  // non-empty cumulative prefix plus `+Inf`. Bounds are integer
+  // microseconds.
+  std::string render_prometheus() const;
+
+  // Zero every registered metric (tests and benches).
+  void reset_all();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Render one histogram family in the same format render_prometheus() uses;
+// shared with tools that aggregate snapshots offline.
+std::string render_histogram_text(const std::string& name,
+                                  const Histogram::Snapshot& s);
+
+}  // namespace suu::obs

@@ -1,0 +1,58 @@
+#include "obs/spanlog.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace suu::obs {
+
+std::uint64_t now_us() noexcept {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+SpanLog& SpanLog::global() {
+  static SpanLog* log = new SpanLog();
+  return *log;
+}
+
+void SpanLog::record(Span&& s) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(s));
+  } else {
+    ring_[head_] = std::move(s);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<Span> SpanLog::snapshot(const std::string& trace) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  const std::size_t n = ring_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Oldest-first: once the ring wrapped, head_ is the oldest slot.
+    const Span& s = ring_[(head_ + k) % n];
+    if (trace.empty() || s.trace == trace) out.push_back(s);
+  }
+  return out;
+}
+
+void SpanLog::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  ring_.clear();
+  head_ = 0;
+}
+
+void SpanLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+}  // namespace suu::obs

@@ -1,0 +1,53 @@
+// suu::obs — ring-buffer span log for wire-to-pivot request tracing.
+//
+// A request carries a trace id (client-supplied via the optional "trace"
+// envelope key, or engine-assigned). While the request executes — always
+// synchronously on one engine thread — instrumented phases (parse,
+// queue_wait, prepare, solve, respond, ...) record spans tagged with that
+// trace id into a process-wide fixed-capacity ring. The `trace` wire
+// method and `suu_serve --slow-log-ms=N` read them back. Recording is one
+// mutex-protected ring write per phase (a handful per request), nowhere
+// near the hot loops.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace suu::obs {
+
+// Microseconds since process start on the steady clock.
+std::uint64_t now_us() noexcept;
+
+struct Span {
+  std::string trace;       // request trace id
+  std::string name;        // phase name ("parse", "solve", ...)
+  std::uint64_t start_us;  // begin, microseconds since process start
+  std::uint64_t dur_us;    // duration
+};
+
+class SpanLog {
+ public:
+  static SpanLog& global();
+
+  explicit SpanLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(Span&& s);
+
+  // Spans matching `trace` (all spans when empty), oldest first.
+  std::vector<Span> snapshot(const std::string& trace = {}) const;
+
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot once the ring is full
+  std::vector<Span> ring_;
+};
+
+}  // namespace suu::obs

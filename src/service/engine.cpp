@@ -8,6 +8,9 @@
 
 #include "api/experiment.hpp"
 #include "api/precompute_cache.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spanlog.hpp"
 #include "util/table.hpp"
 
 namespace suu::service {
@@ -20,9 +23,97 @@ std::string fingerprint_hex(std::uint64_t fp) {
   return buf;
 }
 
+// ------------------------------------------------------------ request obs
+//
+// Per-request phase accounting. Every request executes synchronously on
+// one engine thread (handle() inline, submit() on one pool worker), so a
+// thread-local pointer to the live request's accumulator lets deep layers
+// (prepare, the estimate runners) attribute time to phases without
+// threading a context parameter through every handler signature.
+
+enum Phase : int {
+  kPhaseQueueWait = 0,
+  kPhaseParse,
+  kPhasePrepare,
+  kPhaseSolve,
+  kPhaseRespond,
+  kPhaseCount,
+};
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "queue_wait", "parse", "prepare", "solve", "respond"};
+
+struct RequestObs {
+  std::string trace;
+  const char* method = "invalid";
+  std::uint64_t start_us = 0;
+  struct Acc {
+    std::uint64_t start = 0;
+    std::uint64_t dur = 0;
+    bool used = false;
+  } phases[kPhaseCount];
+
+  void add(int phase, std::uint64_t start, std::uint64_t dur) {
+    Acc& a = phases[phase];
+    if (!a.used) {
+      a.used = true;
+      a.start = start;
+    }
+    a.dur += dur;  // streamed requests fold repeated respond/solve spans
+  }
+};
+
+thread_local RequestObs* g_req_obs = nullptr;
+
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(int phase) : phase_(phase) {
+    if (g_req_obs != nullptr && obs::enabled()) {
+      active_ = true;
+      t0_ = obs::now_us();
+    }
+  }
+  ~ScopedPhase() {
+    if (active_) g_req_obs->add(phase_, t0_, obs::now_us() - t0_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  int phase_;
+  bool active_ = false;
+  std::uint64_t t0_ = 0;
+};
+
+// Clamp the per-method metric label to the known method set so a client
+// cannot grow unbounded label cardinality with made-up method names.
+const char* method_label(const std::string& method) {
+  static constexpr const char* kKnown[] = {
+      "list_solvers", "open_instance", "close_instance", "solve",
+      "estimate",     "stats",         "metrics",        "trace",
+      "shutdown"};
+  for (const char* m : kKnown) {
+    if (method == m) return m;
+  }
+  return "other";
+}
+
+obs::Histogram& phase_histogram(int phase) {
+  static obs::Histogram* hists[kPhaseCount] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int i = 0; i < kPhaseCount; ++i) {
+      hists[i] = &obs::Registry::global().histogram(
+          std::string("suu_phase_us{phase=\"") + kPhaseNames[i] + "\"}");
+    }
+  });
+  return *hists[phase];
+}
+
 /// Run a one-cell estimate runner, mapping the skip_capped budget
 /// exhaustion ("every replication hit the step cap") onto its wire code.
 const api::CellResult& run_runner_guarded(api::ExperimentRunner& runner) {
+  ScopedPhase phase(kPhaseSolve);
   try {
     return runner.run().front();
   } catch (const util::CheckError& err) {
@@ -133,22 +224,57 @@ void Engine::end_client(std::uint64_t client) {
   }
 }
 
+namespace {
+void record_request_obs(const RequestObs& robs, std::uint64_t queued_at_us,
+                        const Engine::Config& cfg);
+}  // namespace
+
 void Engine::process(const std::string& line, const Reply& emit,
-                     std::uint64_t client) {
+                     std::uint64_t client, std::uint64_t queued_at_us) {
   bool ok = false;
+  const bool obs_on = obs::enabled();
+  RequestObs robs;
+  Reply timed_emit;
+  const Reply* out = &emit;
+  if (obs_on) {
+    robs.start_us = obs::now_us();
+    if (queued_at_us != 0 && robs.start_us > queued_at_us) {
+      robs.add(kPhaseQueueWait, queued_at_us, robs.start_us - queued_at_us);
+    }
+    g_req_obs = &robs;
+    timed_emit = [&emit, &robs](std::string&& resp, bool last) {
+      const std::uint64_t t0 = obs::now_us();
+      emit(std::move(resp), last);
+      robs.add(kPhaseRespond, t0, obs::now_us() - t0);
+    };
+    out = &timed_emit;
+  }
   if (line.size() > cfg_.max_line_bytes) {
-    emit(make_error_response(
-             Json(nullptr), error_code::kParseError,
-             "request line exceeds " + std::to_string(cfg_.max_line_bytes) +
-                 " bytes"),
-         true);
+    (*out)(make_error_response(
+               Json(nullptr), error_code::kParseError,
+               "request line exceeds " + std::to_string(cfg_.max_line_bytes) +
+                   " bytes"),
+           true);
   } else {
     try {
-      const Request req = parse_request(line);
-      dispatch(req, &ok, emit, client);
+      Request req;
+      {
+        ScopedPhase phase(kPhaseParse);
+        req = parse_request(line);
+      }
+      if (obs_on) {
+        robs.method = method_label(req.method);
+        robs.trace =
+            req.trace.empty()
+                ? "srv-" + std::to_string(next_trace_.fetch_add(
+                               1, std::memory_order_relaxed))
+                : req.trace;
+      }
+      dispatch(req, &ok, *out, client);
     } catch (const ProtocolError& err) {
-      emit(make_error_response(parse_request_id(line), err.code(), err.what()),
-           true);
+      (*out)(make_error_response(parse_request_id(line), err.code(),
+                                 err.what()),
+             true);
     }
   }
   {
@@ -160,7 +286,71 @@ void Engine::process(const std::string& line, const Reply& emit,
       ++stats_.failed;
     }
   }
+  if (obs_on) {
+    g_req_obs = nullptr;
+    record_request_obs(robs, queued_at_us, cfg_);
+  }
 }
+
+namespace {
+
+void record_request_obs(const RequestObs& robs, std::uint64_t queued_at_us,
+                        const Engine::Config& cfg) {
+  const std::uint64_t end_us = obs::now_us();
+  const std::uint64_t begin_us =
+      queued_at_us != 0 ? queued_at_us : robs.start_us;
+  const std::uint64_t total_us = end_us > begin_us ? end_us - begin_us : 0;
+
+  obs::Registry::global()
+      .counter(std::string("suu_requests_total{method=\"") + robs.method +
+               "\"}")
+      .add();
+  obs::Registry::global()
+      .histogram(std::string("suu_request_us{method=\"") + robs.method +
+                 "\"}")
+      .observe(total_us);
+
+  const char* dominant = "none";
+  std::uint64_t dominant_dur = 0;
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const RequestObs::Acc& a = robs.phases[i];
+    if (!a.used) continue;
+    phase_histogram(i).observe(a.dur);
+    obs::SpanLog::global().record(
+        obs::Span{robs.trace, kPhaseNames[i], a.start, a.dur});
+    if (a.dur >= dominant_dur) {
+      dominant = kPhaseNames[i];
+      dominant_dur = a.dur;
+    }
+  }
+  obs::SpanLog::global().record(
+      obs::Span{robs.trace, std::string("request:") + robs.method, begin_us,
+                total_us});
+
+  if (cfg.slow_log_ms > 0 &&
+      total_us >= static_cast<std::uint64_t>(cfg.slow_log_ms) * 1000) {
+    std::string msg = "slow-request trace=";
+    msg += robs.trace;
+    msg += " method=";
+    msg += robs.method;
+    msg += " total_us=" + std::to_string(total_us);
+    msg += " dominant=";
+    msg += dominant;
+    for (int i = 0; i < kPhaseCount; ++i) {
+      if (!robs.phases[i].used) continue;
+      msg += ' ';
+      msg += kPhaseNames[i];
+      msg += "=" + std::to_string(robs.phases[i].dur);
+    }
+    if (cfg.slow_log_sink) {
+      cfg.slow_log_sink(msg);
+    } else {
+      std::fprintf(stderr, "%s\n", msg.c_str());
+    }
+  }
+}
+
+}  // namespace
 
 void Engine::submit(std::string line, Reply reply, std::uint64_t client) {
   const char* reject_code = nullptr;
@@ -189,12 +379,13 @@ void Engine::submit(std::string line, Reply reply, std::uint64_t client) {
   }
   auto shared_reply = std::make_shared<Reply>(std::move(reply));
   auto shared_line = std::make_shared<std::string>(std::move(line));
-  pool_->submit([this, shared_reply, shared_line, client] {
+  const std::uint64_t queued_at_us = obs::enabled() ? obs::now_us() : 0;
+  pool_->submit([this, shared_reply, shared_line, client, queued_at_us] {
     // The slot must be released no matter what: a throwing reply callback
     // (or an allocation failure building a response) would otherwise leak
     // inflight_ and deadlock drain()/~Engine.
     try {
-      process(*shared_line, *shared_reply, client);
+      process(*shared_line, *shared_reply, client, queued_at_us);
     } catch (...) {
     }
     {
@@ -225,6 +416,10 @@ void Engine::dispatch(const Request& req, bool* ok, const Reply& emit,
       result = handle_solve(req.params);
     } else if (req.method == "stats") {
       result = handle_stats();
+    } else if (req.method == "metrics") {
+      result = handle_metrics();
+    } else if (req.method == "trace") {
+      result = handle_trace(req.params);
     } else if (req.method == "shutdown") {
       result = handle_shutdown();
     } else {
@@ -386,6 +581,10 @@ void Engine::pin_key_for_session(std::uint64_t handle, std::uint64_t key) {
 std::shared_ptr<const Engine::Prepared> Engine::prepare(
     std::shared_ptr<const core::Instance> inst, const std::string& solver,
     const api::SolverOptions& opt, std::uint64_t session_handle) {
+  // Followers of a single-flight batch attribute their wait for the
+  // leader's precompute to the prepare phase too — from the request's
+  // point of view that wait IS the prepare.
+  ScopedPhase phase(kPhasePrepare);
   const api::SolverRegistry& reg = api::SolverRegistry::global();
   const std::string resolved =
       solver == "auto" ? api::SolverRegistry::dispatch(*inst) : solver;
@@ -627,32 +826,129 @@ void Engine::handle_estimate(const Json& id, const Json& params, bool* ok,
 std::string Engine::handle_stats() const {
   const Stats s = stats();
   const api::PrecomputeCache::Stats c = api::PrecomputeCache::global().stats();
+  // Counters render in sorted key order within each block, so new fields
+  // land in a predictable place and two stats snapshots diff cleanly.
+  const std::pair<const char*, std::uint64_t> engine_fields[] = {
+      {"coalesced", s.coalesced},
+      {"estimates", s.estimates},
+      {"failed", s.failed},
+      {"inflight", s.inflight},
+      {"open_handles", s.open_handles},
+      {"queue_capacity", s.queue_capacity},
+      {"received", s.received},
+      {"rejected", s.rejected},
+      {"sessions_closed", s.sessions_closed},
+      {"sessions_dropped", s.sessions_dropped},
+      {"sessions_expired", s.sessions_expired},
+      {"sessions_opened", s.sessions_opened},
+      {"shards", s.shards},
+      {"solves", s.solves},
+      {"streams", s.streams},
+      {"succeeded", s.succeeded},
+      {"workers", s.workers},
+  };
+  const std::pair<const char*, std::uint64_t> cache_fields[] = {
+      {"capacity", c.capacity}, {"evictions", c.evictions},
+      {"hits", c.hits},         {"misses", c.misses},
+      {"pinned", c.pinned},     {"size", c.size},
+  };
   std::string out = "{\"engine\":{";
-  out += "\"received\":" + std::to_string(s.received);
-  out += ",\"succeeded\":" + std::to_string(s.succeeded);
-  out += ",\"failed\":" + std::to_string(s.failed);
-  out += ",\"rejected\":" + std::to_string(s.rejected);
-  out += ",\"coalesced\":" + std::to_string(s.coalesced);
-  out += ",\"solves\":" + std::to_string(s.solves);
-  out += ",\"estimates\":" + std::to_string(s.estimates);
-  out += ",\"streams\":" + std::to_string(s.streams);
-  out += ",\"shards\":" + std::to_string(s.shards);
-  out += ",\"sessions_opened\":" + std::to_string(s.sessions_opened);
-  out += ",\"sessions_closed\":" + std::to_string(s.sessions_closed);
-  out += ",\"sessions_expired\":" + std::to_string(s.sessions_expired);
-  out += ",\"sessions_dropped\":" + std::to_string(s.sessions_dropped);
-  out += ",\"open_handles\":" + std::to_string(s.open_handles);
-  out += ",\"inflight\":" + std::to_string(s.inflight);
-  out += ",\"queue_capacity\":" + std::to_string(s.queue_capacity);
-  out += ",\"workers\":" + std::to_string(s.workers);
+  bool first = true;
+  for (const auto& [name, value] : engine_fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += std::string("\"") + name + "\":" + std::to_string(value);
+  }
   out += "},\"cache\":{";
-  out += "\"hits\":" + std::to_string(c.hits);
-  out += ",\"misses\":" + std::to_string(c.misses);
-  out += ",\"evictions\":" + std::to_string(c.evictions);
-  out += ",\"size\":" + std::to_string(c.size);
-  out += ",\"capacity\":" + std::to_string(c.capacity);
-  out += ",\"pinned\":" + std::to_string(c.pinned);
+  first = true;
+  for (const auto& [name, value] : cache_fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += std::string("\"") + name + "\":" + std::to_string(value);
+  }
   out += "}}";
+  return out;
+}
+
+std::string Engine::metrics_text() const {
+  obs::Registry& reg = obs::Registry::global();
+  const Stats s = stats();
+  const std::pair<const char*, std::uint64_t> counters[] = {
+      {"suu_engine_received_total", s.received},
+      {"suu_engine_succeeded_total", s.succeeded},
+      {"suu_engine_failed_total", s.failed},
+      {"suu_engine_rejected_total", s.rejected},
+      {"suu_engine_coalesced_total", s.coalesced},
+      {"suu_engine_solves_total", s.solves},
+      {"suu_engine_estimates_total", s.estimates},
+      {"suu_engine_streams_total", s.streams},
+      {"suu_engine_shards_total", s.shards},
+      {"suu_engine_sessions_opened_total", s.sessions_opened},
+      {"suu_engine_sessions_closed_total", s.sessions_closed},
+      {"suu_engine_sessions_expired_total", s.sessions_expired},
+      {"suu_engine_sessions_dropped_total", s.sessions_dropped},
+  };
+  for (const auto& [name, value] : counters) reg.counter(name).set(value);
+  reg.gauge("suu_engine_open_handles")
+      .set(static_cast<std::int64_t>(s.open_handles));
+  reg.gauge("suu_engine_inflight").set(static_cast<std::int64_t>(s.inflight));
+  reg.gauge("suu_engine_queue_capacity")
+      .set(static_cast<std::int64_t>(s.queue_capacity));
+  reg.gauge("suu_engine_workers").set(static_cast<std::int64_t>(s.workers));
+
+  const api::PrecomputeCache::Stats c = api::PrecomputeCache::global().stats();
+  reg.counter("suu_cache_hits_total").set(c.hits);
+  reg.counter("suu_cache_misses_total").set(c.misses);
+  reg.counter("suu_cache_evictions_total").set(c.evictions);
+  reg.gauge("suu_cache_size").set(static_cast<std::int64_t>(c.size));
+  reg.gauge("suu_cache_capacity").set(static_cast<std::int64_t>(c.capacity));
+  reg.gauge("suu_cache_pinned").set(static_cast<std::int64_t>(c.pinned));
+
+  reg.set_info("suu_build_info",
+               std::string("version=\"") + obs::kVersion + "\",build=\"" +
+                   obs::build_type() + "\",obs=\"" + obs::obs_mode() + "\"");
+  return reg.render_prometheus();
+}
+
+std::string Engine::handle_metrics() const {
+  std::string out = "{\"text\":";
+  json_append_quoted(out, metrics_text());
+  out += '}';
+  return out;
+}
+
+std::string Engine::handle_trace(const Json& params) const {
+  if (!params.is_object()) {
+    throw ProtocolError(error_code::kBadParams,
+                        "trace needs a params object with a 'trace' id");
+  }
+  std::string trace_id;
+  for (const auto& [key, value] : params.as_object("params")) {
+    if (key != "trace") {
+      throw ProtocolError(error_code::kBadParams,
+                          "unknown params key '" + key + "'");
+    }
+    trace_id = value.as_string("trace");
+  }
+  if (trace_id.empty()) {
+    throw ProtocolError(error_code::kBadParams,
+                        "trace needs a non-empty 'trace' id");
+  }
+  const std::vector<obs::Span> spans = obs::SpanLog::global().snapshot(trace_id);
+  std::string out = "{\"trace\":";
+  json_append_quoted(out, trace_id);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const obs::Span& s : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    json_append_quoted(out, s.name);
+    out += ",\"start_us\":" + std::to_string(s.start_us);
+    out += ",\"dur_us\":" + std::to_string(s.dur_us);
+    out += '}';
+  }
+  out += "]}";
   return out;
 }
 

@@ -65,6 +65,7 @@
 //   with an "overloaded" error instead of buffering without bound.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -108,6 +109,13 @@ class Engine {
     /// peer cannot pin a reader thread forever. 0 disables the timeout
     /// (the pre-existing block-until-bytes behavior).
     int idle_timeout_ms = 0;
+    /// Dump a one-line span trace (phases + dominant phase) for any
+    /// request whose total wall time reaches this many milliseconds.
+    /// 0 disables the slow log.
+    int slow_log_ms = 0;
+    /// Where slow-request lines go; stderr when unset. Tests inject a
+    /// capture sink here.
+    std::function<void(const std::string&)> slow_log_sink;
   };
 
   /// Live engine counters, surfaced on the wire by the `stats` method.
@@ -215,6 +223,12 @@ class Engine {
 
   Stats stats() const;
 
+  /// The Prometheus text exposition served by the `metrics` wire method
+  /// and by `suu_serve --metrics-port`: refreshes the engine- and
+  /// cache-mirrored metrics, then renders the process-wide obs::Registry
+  /// (request/phase histograms, LP and fan-out counters included).
+  std::string metrics_text() const;
+
  private:
   struct Prepared {
     std::shared_ptr<const core::Instance> instance;
@@ -231,8 +245,10 @@ class Engine {
     std::uint64_t owner = 0;  // begin_client scope; 0 = unowned
   };
 
+  /// `queued_at_us` is the obs::now_us() timestamp at admission (submit),
+  /// 0 when the request never waited in the queue (handle()).
   void process(const std::string& line, const Reply& emit,
-               std::uint64_t client);
+               std::uint64_t client, std::uint64_t queued_at_us = 0);
   void dispatch(const Request& req, bool* ok, const Reply& emit,
                 std::uint64_t client);
   std::string handle_list_solvers() const;
@@ -244,6 +260,8 @@ class Engine {
   void handle_estimate(const Json& id, const Json& params, bool* ok,
                        const Reply& emit);
   std::string handle_stats() const;
+  std::string handle_metrics() const;
+  std::string handle_trace(const Json& params) const;
   std::string handle_shutdown();
 
   std::shared_ptr<const core::Instance> parse_instance(
@@ -289,6 +307,10 @@ class Engine {
   std::list<std::uint64_t> session_lru_;  // least recently used first
   std::uint64_t next_handle_ = 1;
   std::uint64_t next_client_ = 1;  // begin_client ids; 0 reserved = unowned
+
+  // Engine-assigned trace ids ("srv-<n>") for requests that arrive without
+  // a client "trace" envelope key.
+  mutable std::atomic<std::uint64_t> next_trace_{1};
 };
 
 }  // namespace suu::service

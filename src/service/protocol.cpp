@@ -162,8 +162,18 @@ Request parse_request(const std::string& line) {
     }
     req.params = *params;
   }
-  check_known_keys(root.as_object("request"), {"id", "method", "params"},
-                   "request");
+  if (const Json* trace = root.find("trace")) {
+    if (!trace->is_string()) {
+      throw ProtocolError(error_code::kBadRequest, "trace must be a string");
+    }
+    req.trace = trace->as_string("trace");
+    if (req.trace.size() > kMaxTraceIdBytes) {
+      throw ProtocolError(error_code::kBadRequest,
+                          "trace id longer than 128 bytes");
+    }
+  }
+  check_known_keys(root.as_object("request"),
+                   {"id", "method", "params", "trace"}, "request");
   return req;
 }
 

@@ -11,10 +11,13 @@
 //                                                     "message": "..."}}
 //
 // Methods: list_solvers, open_instance, close_instance, solve, estimate,
-// stats, shutdown. A streamed estimate ({"stream": true}) answers with
-// several lines for one id: per-shard envelopes carrying ordered "seq"
-// fields, then one terminal envelope with "done": true (see
+// stats, metrics, trace, shutdown. A streamed estimate ({"stream": true})
+// answers with several lines for one id: per-shard envelopes carrying
+// ordered "seq" fields, then one terminal envelope with "done": true (see
 // make_shard_response / make_done_response below and docs/wire-protocol.md).
+// Requests may carry an optional "trace" envelope key (string, <= 128
+// bytes): a trace id recorded with the request's spans and readable via
+// the trace method; never echoed in responses (docs/observability.md).
 //
 // Hardening stance: every field is validated with a typed error before any
 // work runs — unknown methods, unknown params keys, wrong types, and
@@ -90,12 +93,19 @@ class ProtocolError : public std::runtime_error {
 
 /// Parsed request envelope. `id` is any JSON scalar (echoed verbatim in
 /// the response; null when the client omitted it); `params` is the params
-/// object or null.
+/// object or null. `trace` is the optional client-supplied trace id
+/// (docs/observability.md) — it tags spans recorded while the request runs
+/// and is never echoed in responses, so it cannot perturb response bytes.
 struct Request {
   Json id;
   std::string method;
   Json params;
+  std::string trace;
 };
+
+/// Longest accepted "trace" envelope value — bounds span-log memory per
+/// request and keeps slow-log lines readable.
+inline constexpr std::size_t kMaxTraceIdBytes = 128;
 
 /// Parse one request line. Throws ProtocolError (kParseError on malformed
 /// JSON, kBadRequest on a malformed envelope). On envelope errors the id

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -248,6 +249,84 @@ void TcpServer::stop() {
   // open so in-flight replies — the shutdown acknowledgment itself when
   // stop() runs from the engine's shutdown hook — still drain to clients.
   for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+MetricsServer::MetricsServer(Engine& engine, std::uint16_t port)
+    : engine_(engine) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SUU_CHECK_MSG(listen_fd_ >= 0,
+                "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  SUU_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "metrics bind to 127.0.0.1:"
+                    << port << " failed: " << std::strerror(errno));
+  SUU_CHECK_MSG(::listen(listen_fd_, 16) == 0,
+                "metrics listen failed: " << std::strerror(errno));
+  socklen_t len = sizeof addr;
+  SUU_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener shut down by stop()
+      }
+      // Serve the scrape without waiting for (or parsing) the HTTP request
+      // line: HTTP/1.0 with Connection: close is delimited by EOF, so
+      // writing immediately and closing is a valid exchange for every
+      // scraper this endpoint targets.
+      const std::string body = engine_.metrics_text();
+      std::string resp =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n";
+      resp += body;
+      std::size_t off = 0;
+      while (off < resp.size()) {
+        const ssize_t w = ::write(fd, resp.data() + off, resp.size() - off);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+      ::shutdown(fd, SHUT_WR);
+      // Let the peer finish sending its request before we close, so it
+      // never sees a reset ahead of the body: drain until EOF, bounded by
+      // a receive timeout so a stuck peer cannot pin the accept thread.
+      timeval tv{};
+      tv.tv_sec = 2;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      char drain[512];
+      while (::read(fd, drain, sizeof drain) > 0) {
+      }
+      ::close(fd);
+    }
+  });
+}
+
+MetricsServer::~MetricsServer() {
+  stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
 }
 
 }  // namespace suu::service

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "service/engine.hpp"
@@ -98,6 +99,32 @@ class TcpServer {
   std::mutex mu_;  // guards conn_fds_, stopped_
   std::vector<int> conn_fds_;
   bool stopped_ = false;
+};
+
+/// Loopback (127.0.0.1) Prometheus scrape endpoint (`suu_serve
+/// --metrics-port`): a tiny close-delimited HTTP/1.0 responder. Every
+/// accepted connection gets one `200 OK` + Engine::metrics_text() body and
+/// is closed — enough for Prometheus, curl, and tools/suu_metrics, with no
+/// request parsing to harden. Runs its own accept thread; the constructor
+/// binds (port 0 picks an ephemeral port) and the destructor stops it.
+class MetricsServer {
+ public:
+  MetricsServer(Engine& engine, std::uint16_t port = 0);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  void stop();
+
+ private:
+  Engine& engine_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::mutex mu_;
+  bool stopped_ = false;
+  std::thread accept_thread_;
 };
 
 }  // namespace suu::service

@@ -11,6 +11,7 @@
 // reached by a deterministic fault, not by luck.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <set>
@@ -27,6 +28,7 @@
 #include "client/transport.hpp"
 #include "core/generators.hpp"
 #include "core/io.hpp"
+#include "obs/spanlog.hpp"
 #include "service/engine.hpp"
 #include "service/fault.hpp"
 #include "service/json.hpp"
@@ -217,6 +219,61 @@ TEST(Fanout, ByteIdenticalAcrossThreeBackends) {
   }
   EXPECT_EQ(served, kShards);
   EXPECT_GT(used, 1) << "affine routing should still use several backends";
+}
+
+TEST(Fanout, TraceIdPropagatesAcrossThreeBackendFanout) {
+  // A client-set EstimateJob::trace must ride the wire envelope to every
+  // backend, land in the span log there, and stay byte-invisible in the
+  // merged result. The in-process backends share this process's global
+  // SpanLog, so one snapshot sees all backend-side spans.
+  obs::SpanLog::global().clear();
+  EstimateJob job = small_job();
+  job.trace = "trace-e2e-fanout";
+  const int kShards = 6;
+  const Reference ref = reference_for(job, kShards);
+
+  obs::SpanLog::global().clear();  // keep only the fan-out's spans
+  TestBackend b0, b1, b2;
+  ShardCoordinator coord(
+      {Backend{b0.port()}, Backend{b1.port()}, Backend{b2.port()}},
+      fast_options(kShards));
+  const FanoutResult res = coord.run(job);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.result_json, ref.result) << "trace id leaked into bytes";
+  EXPECT_EQ(res.table_json, ref.table);
+
+  // Backend-side spans tagged with the client's trace id: the open and the
+  // per-shard estimates, each with its instrumented phases. A backend
+  // records a request's spans after writing its reply, so the merged
+  // result can land a beat before the last span does — poll briefly.
+  std::vector<obs::Span> spans;
+  for (int tries = 0; tries < 2000; ++tries) {
+    spans = obs::SpanLog::global().snapshot("trace-e2e-fanout");
+    int done = 0;
+    for (const obs::Span& s : spans) {
+      if (s.name == "request:estimate") ++done;
+    }
+    if (done >= kShards) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(spans.empty());
+  std::set<std::string> names;
+  for (const obs::Span& s : spans) names.insert(s.name);
+  EXPECT_TRUE(names.count("request:open_instance")) << "open not traced";
+  EXPECT_TRUE(names.count("request:estimate")) << "estimates not traced";
+  EXPECT_TRUE(names.count("solve"));
+  EXPECT_TRUE(names.count("respond"));
+  int estimates = 0;
+  for (const obs::Span& s : spans) {
+    if (s.name == "request:estimate") ++estimates;
+  }
+  EXPECT_EQ(estimates, kShards) << "every shard request should carry the id";
+
+  // The `trace` wire method on any backend returns those spans too.
+  const std::string resp = b0.engine.handle(
+      R"({"id":9,"method":"trace","params":{"trace":"trace-e2e-fanout"}})");
+  EXPECT_NE(resp.find("\"trace\":\"trace-e2e-fanout\""), std::string::npos);
+  EXPECT_NE(resp.find("request:estimate"), std::string::npos);
 }
 
 TEST(Fanout, SingleBackendDegradationSameBytes) {

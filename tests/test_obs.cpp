@@ -1,0 +1,326 @@
+// suu::obs coverage: histogram bucket arithmetic and quantiles, merge
+// associativity/determinism (merge order must never change the rendered
+// text), registry exposition determinism, the span-log ring, the runtime
+// enable toggle, and the engine-level surfaces built on top — the
+// `metrics` and `trace` wire methods and the --slow-log-ms sink.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/spanlog.hpp"
+#include "service/engine.hpp"
+#include "service/json.hpp"
+
+using namespace suu;
+
+namespace {
+
+// The wire-format instance used across the service tests.
+const char* kWireInstance = "suu-instance v1\n2 2\n0.5 0.8\n0.4 0.6\n1\n0 1\n";
+
+std::string estimate_request(int id, int replications,
+                             const std::string& trace = {}) {
+  std::string req = "{\"id\":" + std::to_string(id) + ",\"method\":\"estimate\"";
+  if (!trace.empty()) req += ",\"trace\":\"" + trace + "\"";
+  req += ",\"params\":{\"instance\":";
+  service::json_append_quoted(req, kWireInstance);
+  req += ",\"solver\":\"suu-i-sem\",\"seed\":7,\"replications\":" +
+         std::to_string(replications) + "}}";
+  return req;
+}
+
+}  // namespace
+
+// Tests asserting on recorded values are vacuous when observability is
+// compiled out (-DSUU_OBS=OFF): every observe/add is a no-op. Skip them
+// explicitly so an OFF build reports skips, not failures.
+#define SKIP_IF_COMPILED_OUT() \
+  if (!obs::compiled_in) GTEST_SKIP() << "observability compiled out"
+
+// ------------------------------------------------------------- histogram
+
+TEST(ObsHistogram, BucketIndexMatchesBucketBound) {
+  // Every value must land in a bucket whose inclusive upper bound is the
+  // smallest bound >= the value — checked exhaustively over small values
+  // and across octave boundaries.
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const int i = obs::Histogram::bucket_index(v);
+    ASSERT_LT(i, obs::Histogram::kBuckets);
+    EXPECT_LE(v, obs::Histogram::bucket_bound(i)) << "v=" << v;
+    if (i > 0) {
+      EXPECT_GT(v, obs::Histogram::bucket_bound(i - 1)) << "v=" << v;
+    }
+  }
+  for (std::uint64_t v : {std::uint64_t{1} << 20, std::uint64_t{1} << 31,
+                          (std::uint64_t{7} << 31)}) {
+    for (std::uint64_t d : {std::uint64_t{0}, std::uint64_t{1}}) {
+      const int i = obs::Histogram::bucket_index(v + d);
+      ASSERT_LT(i, obs::Histogram::kBuckets);
+      EXPECT_LE(v + d, obs::Histogram::bucket_bound(i));
+    }
+  }
+  // Beyond the last finite bound: overflow bucket.
+  EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}),
+            obs::Histogram::kBuckets);
+}
+
+TEST(ObsHistogram, BoundsAreStrictlyIncreasingWithBoundedResolution) {
+  for (int i = 1; i < obs::Histogram::kBuckets; ++i) {
+    const std::uint64_t lo = obs::Histogram::bucket_bound(i - 1);
+    const std::uint64_t hi = obs::Histogram::bucket_bound(i);
+    ASSERT_GT(hi, lo);
+    // <= 25% relative resolution from bucket 4 (value 4) upward.
+    if (i >= 5) {
+      EXPECT_LE(hi - lo, (lo + 3) / 4 + 1) << "i=" << i;
+    }
+  }
+}
+
+TEST(ObsHistogram, Quantiles) {
+  SKIP_IF_COMPILED_OUT();
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  // Bucketed quantiles report the bucket's upper bound: within 25% above
+  // the exact order statistic.
+  const std::uint64_t p50 = s.quantile(0.50);
+  EXPECT_GE(p50, 50u);
+  EXPECT_LE(p50, 63u);
+  const std::uint64_t p99 = s.quantile(0.99);
+  EXPECT_GE(p99, 99u);
+  EXPECT_LE(p99, 127u);
+  EXPECT_EQ(s.quantile(0.0), s.quantile(1e-9));
+  EXPECT_EQ(obs::Histogram::Snapshot{}.quantile(0.5), 0u);
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndOrderInvariant) {
+  SKIP_IF_COMPILED_OUT();
+  // Three shards with different latency profiles.
+  obs::Histogram a, b, c;
+  for (std::uint64_t v = 0; v < 200; ++v) a.observe(v * 3);
+  for (std::uint64_t v = 0; v < 50; ++v) b.observe(1000 + v * 17);
+  for (std::uint64_t v = 0; v < 7; ++v) c.observe(1u << (v + 10));
+
+  const auto sa = a.snapshot(), sb = b.snapshot(), sc = c.snapshot();
+
+  // (a+b)+c merged into one histogram...
+  obs::Histogram abc;
+  abc.merge_from(sa);
+  abc.merge_from(sb);
+  abc.merge_from(sc);
+  // ...must render byte-identically to c+(b+a) built in any other order.
+  obs::Histogram cba;
+  cba.merge_from(sc);
+  cba.merge_from(sb);
+  cba.merge_from(sa);
+  // ...and to a snapshot-level merge.
+  obs::Histogram::Snapshot snap_merge = sa;
+  snap_merge.merge_from(sb);
+  snap_merge.merge_from(sc);
+
+  const std::string r1 = obs::render_histogram_text("m", abc.snapshot());
+  const std::string r2 = obs::render_histogram_text("m", cba.snapshot());
+  const std::string r3 = obs::render_histogram_text("m", snap_merge);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r3);
+  EXPECT_EQ(abc.count(), sa.count + sb.count + sc.count);
+
+  // Rendering is deterministic: the same snapshot renders the same bytes.
+  EXPECT_EQ(obs::render_histogram_text("m", abc.snapshot()), r1);
+}
+
+TEST(ObsHistogram, RenderedBucketsAreCumulativeWithSumAndCount) {
+  SKIP_IF_COMPILED_OUT();
+  obs::Histogram h;
+  h.observe(0);
+  h.observe(5);
+  h.observe(5);
+  h.observe(1000);
+  const std::string text = obs::render_histogram_text("lat", h.snapshot());
+  EXPECT_NE(text.find("lat_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"5\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 1010"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 4"), std::string::npos);
+
+  // Registered histograms additionally get a # TYPE line from the registry
+  // renderer.
+  obs::Registry::global().histogram("test_lat_us").observe(5);
+  const std::string reg_text = obs::Registry::global().render_prometheus();
+  EXPECT_NE(reg_text.find("# TYPE test_lat_us histogram"), std::string::npos);
+  obs::Registry::global().histogram("test_lat_us").reset();
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(ObsRegistry, HandlesAreStableAndRenderIsSortedDeterministic) {
+  SKIP_IF_COMPILED_OUT();
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& c1 = reg.counter("test_zz_total");
+  obs::Counter& c2 = reg.counter("test_aa_total");
+  obs::Gauge& g = reg.gauge("test_gauge");
+  // Same name -> same object, so static-reference call sites are safe.
+  EXPECT_EQ(&c1, &reg.counter("test_zz_total"));
+  EXPECT_EQ(reg.find_counter("test_zz_total"), &c1);
+  EXPECT_EQ(reg.find_counter("test_never_registered"), nullptr);
+
+  c1.add(3);
+  c2.add(1);
+  g.set(-7);
+  const std::string text = reg.render_prometheus();
+  const std::size_t aa = text.find("test_aa_total 1");
+  const std::size_t zz = text.find("test_zz_total 3");
+  const std::size_t gg = text.find("test_gauge -7");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  ASSERT_NE(gg, std::string::npos);
+  EXPECT_LT(aa, zz);  // sorted by name
+  EXPECT_EQ(text, reg.render_prometheus());  // byte-deterministic
+
+  c1.reset();
+  c2.reset();
+  g.reset();
+}
+
+TEST(ObsRegistry, LabelVariantsShareOneTypeLine) {
+  SKIP_IF_COMPILED_OUT();
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("test_labeled_total{method=\"a\"}").add(1);
+  reg.counter("test_labeled_total{method=\"b\"}").add(2);
+  const std::string text = reg.render_prometheus();
+  std::size_t n = 0;
+  for (std::size_t p = text.find("# TYPE test_labeled_total counter");
+       p != std::string::npos;
+       p = text.find("# TYPE test_labeled_total counter", p + 1)) {
+    ++n;
+  }
+  EXPECT_EQ(n, 1u);
+  reg.counter("test_labeled_total{method=\"a\"}").reset();
+  reg.counter("test_labeled_total{method=\"b\"}").reset();
+}
+
+TEST(ObsToggle, DisabledMeansNoRecording) {
+  SKIP_IF_COMPILED_OUT();
+  obs::Histogram h;
+  obs::Counter c;
+  obs::set_enabled(false);
+  h.observe(10);
+  c.add(5);
+  obs::set_enabled(true);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(c.value(), 0u);
+  h.observe(10);
+  c.add(5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+// --------------------------------------------------------------- spanlog
+
+TEST(ObsSpanLog, RingKeepsNewestAndFiltersByTrace) {
+  SKIP_IF_COMPILED_OUT();
+  obs::SpanLog log(4);
+  for (int i = 0; i < 6; ++i) {
+    log.record({i % 2 == 0 ? "even" : "odd", "phase" + std::to_string(i),
+                static_cast<std::uint64_t>(i), 1});
+  }
+  // Capacity 4: spans 0 and 1 were overwritten.
+  const std::vector<obs::Span> all = log.snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.front().name, "phase2");  // oldest first
+  EXPECT_EQ(all.back().name, "phase5");
+
+  const std::vector<obs::Span> even = log.snapshot("even");
+  ASSERT_EQ(even.size(), 2u);
+  EXPECT_EQ(even[0].name, "phase2");
+  EXPECT_EQ(even[1].name, "phase4");
+
+  log.clear();
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+// ------------------------------------------------- engine-level surfaces
+
+TEST(ObsEngine, MetricsWireMethodExposesRequestCountersAndHistograms) {
+  SKIP_IF_COMPILED_OUT();
+  service::Engine engine;
+  (void)engine.handle(estimate_request(1, 4));
+  const std::string resp = engine.handle("{\"id\":2,\"method\":\"metrics\"}");
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos);
+  // The exposition text rides inside a JSON string; \n is escaped.
+  EXPECT_NE(resp.find("suu_requests_total{method=\\\"estimate\\\"} 1"),
+            std::string::npos)
+      << resp.substr(0, 400);
+  EXPECT_NE(resp.find("suu_request_us"), std::string::npos);
+  EXPECT_NE(resp.find("suu_engine_received_total"), std::string::npos);
+  EXPECT_NE(resp.find("suu_build_info"), std::string::npos);
+}
+
+TEST(ObsEngine, TraceMethodReturnsPhaseSpansForClientTraceId) {
+  SKIP_IF_COMPILED_OUT();
+  obs::SpanLog::global().clear();
+  service::Engine engine;
+  const std::string est = engine.handle(estimate_request(1, 4, "tr-test-1"));
+  // The trace envelope key must be byte-invisible in the response.
+  EXPECT_NE(est.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(est.find("tr-test-1"), std::string::npos);
+
+  const std::string resp = engine.handle(
+      "{\"id\":2,\"method\":\"trace\",\"params\":{\"trace\":\"tr-test-1\"}}");
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(resp.find("\"trace\":\"tr-test-1\""), std::string::npos);
+  for (const char* phase : {"parse", "prepare", "solve", "respond"}) {
+    EXPECT_NE(resp.find("\"name\":\"" + std::string(phase) + "\""),
+              std::string::npos)
+        << "missing phase " << phase << " in " << resp;
+  }
+  EXPECT_NE(resp.find("\"name\":\"request:estimate\""), std::string::npos);
+
+  // Unknown trace id: ok, empty span list.
+  const std::string none = engine.handle(
+      "{\"id\":3,\"method\":\"trace\",\"params\":{\"trace\":\"no-such\"}}");
+  EXPECT_NE(none.find("\"spans\":[]"), std::string::npos);
+
+  // Malformed: missing/empty id and unknown params keys are typed errors.
+  EXPECT_NE(engine.handle("{\"id\":4,\"method\":\"trace\"}").find("bad_params"),
+            std::string::npos);
+  EXPECT_NE(engine
+                .handle("{\"id\":5,\"method\":\"trace\",\"params\":"
+                        "{\"trace\":\"x\",\"bogus\":1}}")
+                .find("bad_params"),
+            std::string::npos);
+}
+
+TEST(ObsEngine, OverlongTraceIdIsATypedError) {
+  service::Engine engine;
+  std::string req = "{\"id\":1,\"method\":\"stats\",\"trace\":\"";
+  req.append(200, 'x');
+  req += "\"}";
+  const std::string resp = engine.handle(req);
+  EXPECT_NE(resp.find("bad_request"), std::string::npos);
+}
+
+TEST(ObsEngine, SlowLogNamesTheDominantPhase) {
+  SKIP_IF_COMPILED_OUT();
+  service::Engine::Config cfg;
+  cfg.slow_log_ms = 1;
+  std::vector<std::string> lines;
+  cfg.slow_log_sink = [&lines](const std::string& line) {
+    lines.push_back(line);
+  };
+  service::Engine engine(cfg);
+  // Enough replications to clear 1ms anywhere; solve dominates.
+  (void)engine.handle(estimate_request(1, 2000, "tr-slow"));
+  ASSERT_FALSE(lines.empty());
+  const std::string& line = lines.front();
+  EXPECT_NE(line.find("slow-request trace=tr-slow"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("method=estimate"), std::string::npos);
+  EXPECT_NE(line.find("dominant=solve"), std::string::npos) << line;
+  EXPECT_NE(line.find("solve="), std::string::npos);
+}

@@ -15,6 +15,17 @@ Exit code 0 when every checked benchmark holds, 1 on any regression or any
 requested benchmark missing from either file. The full comparison table is
 printed either way, so CI logs show the trajectory even on green runs.
 
+Counter-only entries (benches that export counters or percentile columns
+but no real_time — both files agree) skip the missing metric instead of
+failing: a metric absent from BOTH files is not a regression signal. A
+metric present in one file but not the other still fails, since that means
+the two runs measured different things.
+
+    compare_bench.py BASELINE --list
+
+prints the baseline's entry names (one per line) and exits — handy for
+discovering exact --bench spellings.
+
 This is the perf-smoke gate wired into .github/workflows/ci.yml: the
 checked-in BENCH_perf_micro.json at the repo root is the baseline, the
 Release job's fresh run is the candidate.
@@ -53,13 +64,17 @@ def main():
         description="Fail when benchmarks regress vs a baseline JSON."
     )
     ap.add_argument("baseline", help="baseline BENCH_*.json")
-    ap.add_argument("current", help="candidate BENCH_*.json")
+    ap.add_argument("current", nargs="?", help="candidate BENCH_*.json")
     ap.add_argument(
         "--bench",
         action="append",
-        required=True,
         metavar="NAME",
         help="exact benchmark name to check (repeatable)",
+    )
+    ap.add_argument(
+        "--list",
+        action="store_true",
+        help="print the baseline's benchmark entry names and exit",
     )
     ap.add_argument(
         "--max-ratio",
@@ -81,6 +96,13 @@ def main():
     args = ap.parse_args()
 
     base = load_benchmarks(args.baseline)
+    if args.list:
+        for name in base:
+            print(name)
+        return 0
+    if args.current is None or not args.bench:
+        ap.error("CURRENT and at least one --bench are required "
+                 "(or use --list)")
     curr = load_benchmarks(args.current)
 
     failed = False
@@ -98,6 +120,12 @@ def main():
                 continue
             bv = b.get(metric)
             cv = c.get(metric)
+            if bv is None and cv is None:
+                # Counter-only entry (e.g. a percentile/histogram bench with
+                # no real_time) in both files: nothing to compare, not a
+                # regression.
+                rows.append((name, metric, "-", "-", "-", "skipped"))
+                continue
             if bv is None or cv is None:
                 rows.append((name, metric, "-", "-", "-", "NO-METRIC"))
                 failed = True

@@ -1,0 +1,254 @@
+// suu_metrics — scrape, pretty-print, and diff the suu_serve metrics
+// endpoint (docs/observability.md).
+//
+//   suu_metrics --port=P                 scrape 127.0.0.1:P and pretty-print:
+//                                        counters/gauges as name=value,
+//                                        histograms as count/sum plus
+//                                        p50/p90/p99 derived from the
+//                                        log-bucket counts
+//   suu_metrics --port=P --raw           dump the raw Prometheus text body
+//   suu_metrics --port=P --out=FILE      also save the raw body to FILE
+//   suu_metrics --port=P --diff=FILE     print metrics whose values changed
+//                                        vs a previously saved scrape
+//                                        (counter/gauge deltas, histogram
+//                                        count deltas)
+//   suu_metrics --file=FILE ...          read a saved scrape instead of
+//                                        connecting
+//   suu_metrics ... --grep=PREFIX        restrict output to metric names
+//                                        containing PREFIX
+//
+// Exit codes: 0 ok, 1 empty scrape (no metrics matched), 2 usage/connect
+// errors.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace {
+
+std::string scrape(std::uint16_t port, std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *err = "socket() failed";
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    *err = "connect to 127.0.0.1:" + std::to_string(port) + " refused";
+    ::close(fd);
+    return {};
+  }
+  // The endpoint answers without waiting for a request; send a minimal one
+  // anyway so the exchange also works against a strict HTTP server.
+  const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  ::shutdown(fd, SHUT_WR);
+  std::string raw;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof buf)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  // Strip the HTTP header block when present.
+  const std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end != std::string::npos) return raw.substr(hdr_end + 4);
+  return raw;
+}
+
+struct Series {
+  // Scalar value for counters/gauges; histograms carry buckets instead.
+  double value = 0.0;
+  bool is_histogram = false;
+  std::vector<std::pair<std::string, double>> buckets;  // le -> cumulative
+  double sum = 0.0;
+  double count = 0.0;
+};
+
+// name{labels} -> Series. Histogram series are keyed by their base name
+// (labels minus le), with _bucket/_sum/_count folded in.
+std::map<std::string, Series> parse_exposition(const std::string& text) {
+  std::map<std::string, Series> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    const std::string name = line.substr(0, sp);
+    const double value = std::strtod(line.c_str() + sp + 1, nullptr);
+
+    // Histogram component? name is <base>_bucket{...le="X"...} or
+    // <base>_sum / <base>_count (with optional labels).
+    const std::size_t brace = name.find('{');
+    const std::string bare =
+        brace == std::string::npos ? name : name.substr(0, brace);
+    std::string labels = brace == std::string::npos
+                             ? std::string()
+                             : name.substr(brace, name.size() - brace);
+    auto ends_with = [](const std::string& s, const char* suf) {
+      const std::size_t n = std::string(suf).size();
+      return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+    };
+    const std::size_t le_pos = labels.find("le=\"");
+    if (ends_with(bare, "_bucket") && le_pos != std::string::npos) {
+      const std::size_t le_end = labels.find('"', le_pos + 4);
+      const std::string le = labels.substr(le_pos + 4, le_end - le_pos - 4);
+      // Remove the le label (and a dangling comma/braces) to rebuild the
+      // series key.
+      std::size_t cut_begin = le_pos;
+      std::size_t cut_end = le_end + 1;
+      if (cut_begin > 1 && labels[cut_begin - 1] == ',') {
+        --cut_begin;
+      } else if (cut_end < labels.size() && labels[cut_end] == ',') {
+        ++cut_end;
+      }
+      labels.erase(cut_begin, cut_end - cut_begin);
+      if (labels == "{}") labels.clear();
+      const std::string key =
+          bare.substr(0, bare.size() - 7) + labels;  // drop "_bucket"
+      Series& s = out[key];
+      s.is_histogram = true;
+      s.buckets.emplace_back(le, value);
+      continue;
+    }
+    if (ends_with(bare, "_sum") || ends_with(bare, "_count")) {
+      const bool is_sum = ends_with(bare, "_sum");
+      const std::string key =
+          bare.substr(0, bare.size() - (is_sum ? 4 : 6)) + labels;
+      const auto it = out.find(key);
+      if (it != out.end() && it->second.is_histogram) {
+        (is_sum ? it->second.sum : it->second.count) = value;
+        continue;
+      }
+    }
+    out[name].value = value;
+  }
+  return out;
+}
+
+// Smallest bucket bound with cumulative count >= q * total, in
+// microseconds (buckets carry integer-us bounds; "+Inf" falls back to the
+// last finite bound).
+double quantile_us(const Series& s, double q) {
+  if (s.count <= 0) return 0.0;
+  const double rank = q * s.count;
+  double last_finite = 0.0;
+  for (const auto& [le, cum] : s.buckets) {
+    if (le == "+Inf") continue;
+    last_finite = std::strtod(le.c_str(), nullptr);
+    if (cum >= rank) return last_finite;
+  }
+  return last_finite;
+}
+
+std::string fmt_num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace suu;
+  const util::Args args(argc, argv);
+  const std::string file = args.get_string("file", "");
+  std::string body;
+  if (!file.empty()) {
+    std::ifstream is(file);
+    if (!is) {
+      std::cerr << "suu_metrics: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream os;
+    os << is.rdbuf();
+    body = os.str();
+  } else if (args.has("port")) {
+    std::string err;
+    body = scrape(static_cast<std::uint16_t>(args.get_int("port", 0)), &err);
+    if (body.empty()) {
+      std::cerr << "suu_metrics: " << (err.empty() ? "empty scrape" : err)
+                << "\n";
+      return 2;
+    }
+  } else {
+    std::cerr << "suu_metrics: need --port=P or --file=FILE\n";
+    return 2;
+  }
+
+  const std::string out_file = args.get_string("out", "");
+  if (!out_file.empty()) {
+    std::ofstream os(out_file);
+    os << body;
+  }
+  if (args.has("raw")) {
+    std::cout << body;
+    return body.empty() ? 1 : 0;
+  }
+
+  const std::string grep = args.get_string("grep", "");
+  const std::map<std::string, Series> now = parse_exposition(body);
+
+  const std::string diff_file = args.get_string("diff", "");
+  if (!diff_file.empty()) {
+    std::ifstream is(diff_file);
+    if (!is) {
+      std::cerr << "suu_metrics: cannot read " << diff_file << "\n";
+      return 2;
+    }
+    std::ostringstream os;
+    os << is.rdbuf();
+    const std::map<std::string, Series> base = parse_exposition(os.str());
+    int shown = 0;
+    for (const auto& [name, s] : now) {
+      if (!grep.empty() && name.find(grep) == std::string::npos) continue;
+      const auto it = base.find(name);
+      const double now_v = s.is_histogram ? s.count : s.value;
+      const double base_v =
+          it == base.end()
+              ? 0.0
+              : (it->second.is_histogram ? it->second.count : it->second.value);
+      if (now_v == base_v) continue;
+      std::cout << name << (s.is_histogram ? "_count" : "") << " "
+                << fmt_num(base_v) << " -> " << fmt_num(now_v) << " (+"
+                << fmt_num(now_v - base_v) << ")\n";
+      ++shown;
+    }
+    return shown > 0 ? 0 : 1;
+  }
+
+  int shown = 0;
+  for (const auto& [name, s] : now) {
+    if (!grep.empty() && name.find(grep) == std::string::npos) continue;
+    if (s.is_histogram) {
+      std::cout << name << " count=" << fmt_num(s.count)
+                << " sum_us=" << fmt_num(s.sum)
+                << " p50_us=" << fmt_num(quantile_us(s, 0.50))
+                << " p90_us=" << fmt_num(quantile_us(s, 0.90))
+                << " p99_us=" << fmt_num(quantile_us(s, 0.99)) << "\n";
+    } else {
+      std::cout << name << " " << fmt_num(s.value) << "\n";
+    }
+    ++shown;
+  }
+  return shown > 0 ? 0 : 1;
+}

@@ -21,6 +21,13 @@
 // --idle-timeout-ms=T (tcp only: abandon a connection whose peer stays
 // silent for T ms; 0 = wait forever).
 //
+// Observability (docs/observability.md): --metrics-port=P serves the
+// Prometheus text exposition on loopback (0 picks an ephemeral port,
+// announced as "metrics <port>" on stdout); --slow-log-ms=N dumps a span
+// trace to stderr for any request at least that slow; --no-obs disables
+// all metric/span recording at runtime; --version prints the build
+// identity (also exported as the suu_build_info metric) and exits.
+//
 // Fault injection (tests/demos only): --fault=SPEC or the SUU_FAULT
 // environment variable (flag wins) installs deterministic reply-path
 // faults on every tcp connection — see service/fault.hpp for the
@@ -37,7 +44,11 @@
 #include <iostream>
 #include <string>
 
+#include <memory>
+
 #include "api/precompute_cache.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
 #include "service/engine.hpp"
 #include "service/fault.hpp"
 #include "service/transport.hpp"
@@ -46,6 +57,11 @@
 int main(int argc, char** argv) {
   using namespace suu;
   const util::Args args(argc, argv);
+  if (args.has("version")) {
+    std::cout << "suu_serve " << obs::kVersion << " ("
+              << obs::build_type() << ", obs=" << obs::obs_mode() << ")\n";
+    return 0;
+  }
   const std::string mode = args.get_string("mode", "stdio");
   if (mode != "stdio" && mode != "tcp") {
     std::cerr << "suu_serve: --mode must be stdio or tcp\n";
@@ -66,6 +82,8 @@ int main(int argc, char** argv) {
       "max-handles", static_cast<std::int64_t>(cfg.max_open_handles)));
   cfg.idle_timeout_ms =
       static_cast<int>(args.get_int("idle-timeout-ms", 0));
+  cfg.slow_log_ms = static_cast<int>(args.get_int("slow-log-ms", 0));
+  if (args.has("no-obs")) obs::set_enabled(false);
   api::PrecomputeCache::global().set_capacity(
       static_cast<std::size_t>(args.get_int("cache-capacity", 256)));
 
@@ -83,6 +101,14 @@ int main(int argc, char** argv) {
   }
 
   service::Engine engine(cfg);
+  // --metrics-port with no value (or 0) picks an ephemeral port; the bound
+  // port is announced like the tcp listener's so scripts can scrape it.
+  std::unique_ptr<service::MetricsServer> metrics;
+  if (args.has("metrics-port")) {
+    metrics = std::make_unique<service::MetricsServer>(
+        engine, static_cast<std::uint16_t>(args.get_int("metrics-port", 0)));
+    std::cout << "metrics " << metrics->port() << std::endl;
+  }
   if (mode == "stdio") {
     service::serve_stream(engine, std::cin, std::cout);
     return 0;
