@@ -1,0 +1,451 @@
+// PERF — suu::serve connection-concurrency scaling through the epoll
+// transport: N simultaneous TCP connections, each issuing a closed loop of
+// requests, against one TcpServer (EventLoop-multiplexed).
+//
+// The client side is itself a single-threaded epoll loop (nonblocking
+// connect/write/read state machine per connection), so thousands of
+// concurrent connections cost the driver thousands of fds, not thousands
+// of threads — the same scalability claim the server makes.
+//
+// Every reply is validated byte-for-byte against Engine::handle() for the
+// same request line: the epoll transport must preserve the engine's
+// determinism invariant under full multiplexing pressure, and the
+// `mismatched_replies` counter records the result (0 or the run is
+// broken). Per-request latency is measured send-to-final-newline and
+// reported as p50/p99 alongside aggregate req/s.
+//
+// Output: a human table on stdout plus google-benchmark-shaped JSON
+// (entries named "ServiceConcurrency/<N>") written to
+// BENCH_service_concurrency.json, so tools/compare_bench.py can gate both
+// wall time (loose ratio — wall time is runner-dependent) and
+// mismatched_replies (zero baseline: any nonzero candidate fails).
+//
+//   ./bench_service_concurrency [--connections=64,1000]
+//                               [--requests-per-conn=20] [--workers=0]
+//                               [--out=BENCH_service_concurrency.json]
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "service/engine.hpp"
+#include "service/json.hpp"
+#include "service/transport.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace suu;
+
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string instance_text(const core::Instance& inst) {
+  std::ostringstream os;
+  core::write_instance(os, inst);
+  return os.str();
+}
+
+/// One benchmark connection's closed-loop state machine.
+struct ClientConn {
+  int fd = -1;
+  bool connected = false;
+  int sent = 0;       ///< requests whose bytes have started going out
+  int done = 0;       ///< replies fully received and validated
+  std::string outbuf; ///< unwritten remainder of the in-flight request
+  std::string inbuf;
+  std::int64_t t_send_us = 0;
+  bool failed = false;
+};
+
+struct DriveResult {
+  double seconds = 0.0;
+  std::vector<std::uint64_t> latencies_us;
+  std::uint64_t mismatched = 0;
+  std::uint64_t transport_failures = 0;
+};
+
+/// Drive `conns` concurrent connections, each issuing `per_conn` requests
+/// closed-loop (next request only after the previous reply), validating
+/// every reply line against `expected`. Requests/expected are parallel
+/// arrays of framed lines; connection c's j-th exchange uses index
+/// j % requests.size().
+DriveResult drive(std::uint16_t port, int conns, int per_conn,
+                  const std::vector<std::string>& requests,
+                  const std::vector<std::string>& expected) {
+  DriveResult out;
+  out.latencies_us.reserve(
+      static_cast<std::size_t>(conns) * static_cast<std::size_t>(per_conn));
+
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) {
+    std::cerr << "epoll_create1 failed: " << std::strerror(errno) << "\n";
+    out.transport_failures = static_cast<std::uint64_t>(conns);
+    return out;
+  }
+
+  std::vector<ClientConn> cs(static_cast<std::size_t>(conns));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  auto arm = [&](int idx, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u32 = static_cast<std::uint32_t>(idx);
+    ::epoll_ctl(ep, EPOLL_CTL_MOD, cs[static_cast<std::size_t>(idx)].fd, &ev);
+  };
+
+  int finished = 0;
+  auto finish = [&](int idx, bool failure) {
+    ClientConn& c = cs[static_cast<std::size_t>(idx)];
+    if (c.fd < 0) return;
+    if (failure) {
+      c.failed = true;
+      ++out.transport_failures;
+    }
+    ::epoll_ctl(ep, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+    ++finished;
+  };
+
+  // Writes as much of the in-flight request as the socket takes; arms
+  // EPOLLOUT only when the kernel pushes back.
+  auto pump_write = [&](int idx) {
+    ClientConn& c = cs[static_cast<std::size_t>(idx)];
+    while (!c.outbuf.empty()) {
+      const ssize_t w = ::send(c.fd, c.outbuf.data(), c.outbuf.size(),
+                               MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          arm(idx, EPOLLOUT | EPOLLIN);
+          return;
+        }
+        finish(idx, true);
+        return;
+      }
+      c.outbuf.erase(0, static_cast<std::size_t>(w));
+    }
+    arm(idx, EPOLLIN);
+  };
+
+  auto start_request = [&](int idx) {
+    ClientConn& c = cs[static_cast<std::size_t>(idx)];
+    c.outbuf = requests[static_cast<std::size_t>(c.sent) % requests.size()];
+    c.t_send_us = now_us();
+    ++c.sent;
+    pump_write(idx);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < conns; ++i) {
+    ClientConn& c = cs[static_cast<std::size_t>(i)];
+    c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (c.fd < 0) {
+      std::cerr << "socket() failed at connection " << i << ": "
+                << std::strerror(errno) << "\n";
+      ++out.transport_failures;
+      ++finished;
+      continue;
+    }
+    const int r =
+        ::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    epoll_event ev{};
+    ev.data.u32 = static_cast<std::uint32_t>(i);
+    if (r == 0) {
+      c.connected = true;
+      ev.events = EPOLLIN;
+      ::epoll_ctl(ep, EPOLL_CTL_ADD, c.fd, &ev);
+      start_request(i);
+    } else if (errno == EINPROGRESS) {
+      ev.events = EPOLLOUT;  // connect completion
+      ::epoll_ctl(ep, EPOLL_CTL_ADD, c.fd, &ev);
+    } else {
+      ::close(c.fd);
+      c.fd = -1;
+      ++out.transport_failures;
+      ++finished;
+    }
+  }
+
+  const auto deadline = t0 + std::chrono::seconds(300);
+  std::vector<epoll_event> evs(256);
+  while (finished < conns) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::cerr << "bench deadline exceeded with " << (conns - finished)
+                << " connections unfinished\n";
+      for (int i = 0; i < conns; ++i) {
+        if (cs[static_cast<std::size_t>(i)].fd >= 0) finish(i, true);
+      }
+      break;
+    }
+    const int n = ::epoll_wait(ep, evs.data(),
+                               static_cast<int>(evs.size()), 1000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int e = 0; e < n; ++e) {
+      const int idx = static_cast<int>(evs[e].data.u32);
+      ClientConn& c = cs[static_cast<std::size_t>(idx)];
+      if (c.fd < 0) continue;
+      if (evs[e].events & (EPOLLERR | EPOLLHUP)) {
+        finish(idx, true);
+        continue;
+      }
+      if (evs[e].events & EPOLLOUT) {
+        if (!c.connected) {
+          int err = 0;
+          socklen_t len = sizeof err;
+          ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) {
+            finish(idx, true);
+            continue;
+          }
+          c.connected = true;
+          arm(idx, EPOLLIN);
+          start_request(idx);
+          continue;
+        }
+        pump_write(idx);
+        if (c.fd < 0) continue;
+      }
+      if (evs[e].events & EPOLLIN) {
+        char buf[8192];
+        for (;;) {
+          const ssize_t r = ::read(c.fd, buf, sizeof buf);
+          if (r < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            finish(idx, true);
+            break;
+          }
+          if (r == 0) {  // server closed under us: incomplete run
+            finish(idx, c.done < per_conn);
+            break;
+          }
+          c.inbuf.append(buf, static_cast<std::size_t>(r));
+          std::size_t nl;
+          while (c.fd >= 0 &&
+                 (nl = c.inbuf.find('\n')) != std::string::npos) {
+            const std::string line = c.inbuf.substr(0, nl + 1);
+            c.inbuf.erase(0, nl + 1);
+            out.latencies_us.push_back(static_cast<std::uint64_t>(
+                now_us() - c.t_send_us));
+            const std::string& want =
+                expected[static_cast<std::size_t>(c.done) % expected.size()];
+            if (line != want) ++out.mismatched;
+            ++c.done;
+            if (c.done >= per_conn) {
+              finish(idx, false);
+            } else {
+              start_request(idx);
+            }
+          }
+          if (c.fd < 0) break;
+        }
+      }
+    }
+  }
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  ::close(ep);
+  return out;
+}
+
+double quantile_ms(std::vector<std::uint64_t>& lat_us, double q) {
+  if (lat_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(lat_us.size() - 1) + 0.5);
+  std::nth_element(lat_us.begin(),
+                   lat_us.begin() + static_cast<std::ptrdiff_t>(idx),
+                   lat_us.end());
+  return static_cast<double>(lat_us[idx]) / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string conn_list = args.get_string("connections", "64,1000");
+  const int per_conn =
+      static_cast<int>(args.get_int("requests-per-conn", 20));
+  const unsigned workers = static_cast<unsigned>(args.get_int("workers", 0));
+  const std::string out_path =
+      args.get_string("out", "BENCH_service_concurrency.json");
+
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<int> conn_counts;
+  {
+    std::istringstream ss(conn_list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) conn_counts.push_back(std::stoi(tok));
+    }
+  }
+  int max_conns = 0;
+  for (const int c : conn_counts) max_conns = std::max(max_conns, c);
+
+  // Each connection holds one client fd here plus one server fd in the
+  // loop; ask for headroom rather than dying on a conservative default.
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0) {
+    const rlim_t want =
+        static_cast<rlim_t>(max_conns) * 2 + 256;
+    if (rl.rlim_cur < want && want <= rl.rlim_max) {
+      rl.rlim_cur = want;
+      ::setrlimit(RLIMIT_NOFILE, &rl);  // best effort
+    }
+  }
+
+  // The request mix: trivial (list_solvers), prepare-cache-hit solve, a
+  // small Monte-Carlo estimate, and a lower-bound solve — all on tiny
+  // instances so the bench measures transport multiplexing, not LP time.
+  util::Rng rng(7);
+  const std::string inst_a = instance_text(core::make_independent(
+      6, 3, core::MachineModel::uniform(0.3, 0.95), rng));
+  const std::string inst_b = instance_text(
+      core::make_chains(3, 2, 3, 3, core::MachineModel::uniform(0.3, 0.9),
+                        rng));
+  std::vector<std::string> requests;
+  {
+    std::string solve_a =
+        R"({"id":"s","method":"solve","params":{"instance":)";
+    service::json_append_quoted(solve_a, inst_a);
+    solve_a += "}}";
+    std::string est_a =
+        R"({"id":"e","method":"estimate","params":{"instance":)";
+    service::json_append_quoted(est_a, inst_a);
+    est_a += R"(,"replications":10,"seed":3}})";
+    std::string solve_b =
+        R"({"id":"b","method":"solve","params":{"instance":)";
+    service::json_append_quoted(solve_b, inst_b);
+    solve_b += R"(,"lower_bound":true}})";
+    requests = {R"({"id":"l","method":"list_solvers"})", solve_a, est_a,
+                solve_b};
+    for (std::string& r : requests) r += '\n';
+  }
+
+  // The byte-identity oracle: the synchronous engine path, computed once.
+  // (Warming the process-global PrecomputeCache here is deliberate — the
+  // timed runs then measure steady-state serving, not first-touch LP
+  // solves.)
+  service::Engine reference;
+  std::vector<std::string> expected;
+  expected.reserve(requests.size());
+  for (const std::string& req : requests) {
+    // handle() takes the line sans frame delimiter, as the transports do.
+    expected.push_back(
+        reference.handle(req.substr(0, req.size() - 1)) + "\n");
+  }
+
+  service::Engine::Config cfg;
+  cfg.workers = workers;
+  // Closed-loop clients hold at most one request in flight each; admission
+  // must never reject at the benchmarked connection counts.
+  cfg.queue_capacity = static_cast<std::size_t>(max_conns) * 2 + 16;
+  service::Engine engine(cfg);
+  service::TcpServer server(engine, 0);
+  std::thread server_thread([&] { server.run(); });
+
+  util::Table table({"connections", "requests", "workers", "seconds",
+                     "req_per_sec", "p50_ms", "p99_ms", "mismatched_replies",
+                     "transport_failures"});
+  struct Row {
+    int conns;
+    std::uint64_t total;
+    DriveResult r;
+    double rps, p50, p99;
+  };
+  std::vector<Row> rows;
+  for (const int conns : conn_counts) {
+    DriveResult r = drive(server.port(), conns, per_conn, requests, expected);
+    const std::uint64_t total = r.latencies_us.size();
+    const double rps = r.seconds > 0.0
+                           ? static_cast<double>(total) / r.seconds
+                           : 0.0;
+    std::vector<std::uint64_t> lat = r.latencies_us;
+    const double p50 = quantile_ms(lat, 0.50);
+    const double p99 = quantile_ms(lat, 0.99);
+    table.add_row({std::to_string(conns), std::to_string(total),
+                   std::to_string(engine.stats().workers),
+                   util::fmt(r.seconds, 4), util::fmt(rps, 1),
+                   util::fmt(p50, 3), util::fmt(p99, 3),
+                   std::to_string(r.mismatched),
+                   std::to_string(r.transport_failures)});
+    rows.push_back(Row{conns, total, std::move(r), rps, p50, p99});
+  }
+  table.print(std::cout);
+
+  server.stop();
+  server_thread.join();
+  engine.drain();
+
+  // google-benchmark-shaped JSON so tools/compare_bench.py gates it like
+  // BENCH_perf_micro.json: real_time per entry plus exported counters.
+  std::ofstream os(out_path);
+  if (!os.good()) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  os << "{\n  \"context\": {\"executable\": \"bench_service_concurrency\"},\n"
+     << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    os << "    {\"name\": \"ServiceConcurrency/" << row.conns
+       << "\", \"run_type\": \"iteration\", \"iterations\": 1"
+       << ", \"real_time\": " << util::fmt(row.r.seconds * 1000.0, 3)
+       << ", \"cpu_time\": " << util::fmt(row.r.seconds * 1000.0, 3)
+       << ", \"time_unit\": \"ms\""
+       << ", \"connections\": " << row.conns
+       << ", \"requests\": " << row.total
+       << ", \"req_per_sec\": " << util::fmt(row.rps, 1)
+       << ", \"p50_ms\": " << util::fmt(row.p50, 3)
+       << ", \"p99_ms\": " << util::fmt(row.p99, 3)
+       << ", \"mismatched_replies\": " << row.r.mismatched
+       << ", \"transport_failures\": " << row.r.transport_failures << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nrecorded " << out_path << "\n";
+
+  std::uint64_t bad = 0;
+  for (const Row& row : rows) {
+    bad += row.r.mismatched + row.r.transport_failures;
+  }
+  if (bad != 0) {
+    std::cerr << "FAILURE: " << bad
+              << " mismatched replies / transport failures\n";
+    return 1;
+  }
+  return 0;
+}

@@ -229,8 +229,14 @@ void record_request_obs(const RequestObs& robs, std::uint64_t queued_at_us,
                         const Engine::Config& cfg);
 }  // namespace
 
+void Engine::record_slow_reader_drop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.slow_reader_drops;
+}
+
 void Engine::process(const std::string& line, const Reply& emit,
-                     std::uint64_t client, std::uint64_t queued_at_us) {
+                     std::uint64_t client, std::uint64_t queued_at_us,
+                     const CancelToken& cancel) {
   bool ok = false;
   const bool obs_on = obs::enabled();
   RequestObs robs;
@@ -270,7 +276,7 @@ void Engine::process(const std::string& line, const Reply& emit,
                                1, std::memory_order_relaxed))
                 : req.trace;
       }
-      dispatch(req, &ok, *out, client);
+      dispatch(req, &ok, *out, client, cancel);
     } catch (const ProtocolError& err) {
       (*out)(make_error_response(parse_request_id(line), err.code(),
                                  err.what()),
@@ -352,7 +358,8 @@ void record_request_obs(const RequestObs& robs, std::uint64_t queued_at_us,
 
 }  // namespace
 
-void Engine::submit(std::string line, Reply reply, std::uint64_t client) {
+void Engine::submit(std::string line, Reply reply, std::uint64_t client,
+                    CancelToken cancel) {
   const char* reject_code = nullptr;
   const char* reject_msg = nullptr;
   {
@@ -380,12 +387,13 @@ void Engine::submit(std::string line, Reply reply, std::uint64_t client) {
   auto shared_reply = std::make_shared<Reply>(std::move(reply));
   auto shared_line = std::make_shared<std::string>(std::move(line));
   const std::uint64_t queued_at_us = obs::enabled() ? obs::now_us() : 0;
-  pool_->submit([this, shared_reply, shared_line, client, queued_at_us] {
+  pool_->submit([this, shared_reply, shared_line, client, queued_at_us,
+                 cancel = std::move(cancel)] {
     // The slot must be released no matter what: a throwing reply callback
     // (or an allocation failure building a response) would otherwise leak
     // inflight_ and deadlock drain()/~Engine.
     try {
-      process(*shared_line, *shared_reply, client, queued_at_us);
+      process(*shared_line, *shared_reply, client, queued_at_us, cancel);
     } catch (...) {
     }
     {
@@ -397,12 +405,12 @@ void Engine::submit(std::string line, Reply reply, std::uint64_t client) {
 }
 
 void Engine::dispatch(const Request& req, bool* ok, const Reply& emit,
-                      std::uint64_t client) {
+                      std::uint64_t client, const CancelToken& cancel) {
   try {
     if (req.method == "estimate") {
       // Streamed estimates frame their own response lines (shard
       // envelopes, then the terminal line).
-      handle_estimate(req.id, req.params, ok, emit);
+      handle_estimate(req.id, req.params, ok, emit, cancel);
       return;
     }
     std::string result;
@@ -730,7 +738,7 @@ std::string estimate_result_json(const api::PreparedSolver& solver,
 }  // namespace
 
 void Engine::handle_estimate(const Json& id, const Json& params, bool* ok,
-                             const Reply& emit) {
+                             const Reply& emit, const CancelToken& cancel) {
   const EstimateParams p =
       parse_estimate_params(params, cfg_.max_replications);
   auto inst = resolve_instance(p.solve);
@@ -787,6 +795,21 @@ void Engine::handle_estimate(const Json& id, const Json& params, bool* ok,
     util::OnlineStats agg;
     int capped_total = 0;
     for (int s = 0; s < p.shards; ++s) {
+      // The transport cancels a stream whose peer has dropped: stop
+      // computing the remaining shards instead of just discarding their
+      // output. The terminal error line below is itself discarded against
+      // the dead connection; it exists to balance reply accounting.
+      if (cancel && cancel->load(std::memory_order_relaxed)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.streams_cancelled;
+        }
+        throw ProtocolError(error_code::kCancelled,
+                            "client disconnected mid-stream after " +
+                                std::to_string(s) + " of " +
+                                std::to_string(p.shards) +
+                                " shards; remaining shards cancelled");
+      }
       const auto [lo, hi] = shard_range(p.replications, p.shards, s);
       api::ExperimentRunner runner(estimate_runner_options(p));
       runner.add(shard_cell(prep->instance, prep->solver, lo, hi));
@@ -842,8 +865,10 @@ std::string Engine::handle_stats() const {
       {"sessions_expired", s.sessions_expired},
       {"sessions_opened", s.sessions_opened},
       {"shards", s.shards},
+      {"slow_reader_drops", s.slow_reader_drops},
       {"solves", s.solves},
       {"streams", s.streams},
+      {"streams_cancelled", s.streams_cancelled},
       {"succeeded", s.succeeded},
       {"workers", s.workers},
   };
@@ -882,7 +907,9 @@ std::string Engine::metrics_text() const {
       {"suu_engine_solves_total", s.solves},
       {"suu_engine_estimates_total", s.estimates},
       {"suu_engine_streams_total", s.streams},
+      {"suu_engine_streams_cancelled_total", s.streams_cancelled},
       {"suu_engine_shards_total", s.shards},
+      {"suu_engine_slow_reader_drops_total", s.slow_reader_drops},
       {"suu_engine_sessions_opened_total", s.sessions_opened},
       {"suu_engine_sessions_closed_total", s.sessions_closed},
       {"suu_engine_sessions_expired_total", s.sessions_expired},

@@ -105,10 +105,15 @@ class Engine {
     /// typed error "unknown_handle".
     std::size_t max_open_handles = 64;
     /// Transport read-idle timeout in milliseconds: a connection that
-    /// stays silent this long is abandoned by serve_fd, so a half-open
-    /// peer cannot pin a reader thread forever. 0 disables the timeout
-    /// (the pre-existing block-until-bytes behavior).
+    /// stays silent this long is abandoned by serve_fd and by the epoll
+    /// loop's timer wheel, so a half-open peer cannot pin a reader thread
+    /// forever. 0 disables the timeout (the pre-existing block-until-bytes
+    /// behavior).
     int idle_timeout_ms = 0;
+    /// Slow-reader bound for the epoll transport: a connection whose
+    /// queued-but-unwritten reply bytes exceed this is disconnected
+    /// (Stats::slow_reader_drops) instead of buffering without bound.
+    std::size_t max_outbound_bytes = std::size_t{8} << 20;
     /// Dump a one-line span trace (phases + dominant phase) for any
     /// request whose total wall time reaches this many milliseconds.
     /// 0 disables the slow log.
@@ -149,6 +154,14 @@ class Engine {
     /// Shard results computed: one per shard envelope of a streamed
     /// estimate and one per single-shard ({"shard": s}) request.
     std::uint64_t shards = 0;
+    /// Streamed estimates terminated early because their request's
+    /// CancelToken fired (the client dropped mid-stream): the remaining
+    /// shards were never computed. Also counted in `failed`.
+    std::uint64_t streams_cancelled = 0;
+    /// Connections dropped by the epoll transport because their outbound
+    /// queue exceeded Config::max_outbound_bytes (slow or vanished
+    /// readers); reported via record_slow_reader_drop().
+    std::uint64_t slow_reader_drops = 0;
     /// open_instance requests that returned a handle.
     std::uint64_t sessions_opened = 0;
     /// close_instance requests that closed a live handle.
@@ -173,6 +186,15 @@ class Engine {
   /// with `last` true exactly once on the final line of the request.
   using Reply = std::function<void(std::string&&, bool last)>;
 
+  /// Cooperative cancellation handle for submitted requests. A transport
+  /// stores true when the requesting peer is gone; the engine checks it
+  /// between the shards of a streamed estimate and stops computing
+  /// (Stats::streams_cancelled) — the request still emits a final
+  /// (discarded) error line so reply accounting stays balanced. One token
+  /// may be shared by every request of a connection: cancellation is a
+  /// property of the peer, not of one request.
+  using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
   Engine() : Engine(Config{}) {}
   explicit Engine(const Config& cfg);
   ~Engine();
@@ -194,8 +216,10 @@ class Engine {
   /// (before submit returns) when admission fails — with `last` true on
   /// the final line. `reply` must be callable from any thread.
   /// `client` attributes any session the request opens to a transport
-  /// connection (see begin_client); 0 means unowned.
-  void submit(std::string line, Reply reply, std::uint64_t client = 0);
+  /// connection (see begin_client); 0 means unowned. `cancel` (optional)
+  /// lets the transport stop a streamed estimate whose peer has dropped.
+  void submit(std::string line, Reply reply, std::uint64_t client = 0,
+              CancelToken cancel = nullptr);
 
   /// Start a client scope: transports call this once per connection and
   /// pass the returned id to submit, so sessions opened over that
@@ -220,6 +244,11 @@ class Engine {
 
   /// Block until every admitted request has been replied to.
   void drain();
+
+  /// Count one slow-reader disconnect (Stats::slow_reader_drops). Called
+  /// by the epoll transport when a connection exceeds
+  /// Config::max_outbound_bytes.
+  void record_slow_reader_drop();
 
   Stats stats() const;
 
@@ -248,17 +277,19 @@ class Engine {
   /// `queued_at_us` is the obs::now_us() timestamp at admission (submit),
   /// 0 when the request never waited in the queue (handle()).
   void process(const std::string& line, const Reply& emit,
-               std::uint64_t client, std::uint64_t queued_at_us = 0);
+               std::uint64_t client, std::uint64_t queued_at_us = 0,
+               const CancelToken& cancel = nullptr);
   void dispatch(const Request& req, bool* ok, const Reply& emit,
-                std::uint64_t client);
+                std::uint64_t client, const CancelToken& cancel);
   std::string handle_list_solvers() const;
   std::string handle_open_instance(const Json& params, std::uint64_t client);
   std::string handle_close_instance(const Json& params);
   std::string handle_solve(const Json& params);
   /// Emits every response line itself (shard envelopes with last == false,
-  /// then the terminal line) and reports success through *ok.
+  /// then the terminal line) and reports success through *ok. `cancel`
+  /// (may be null) is checked between shards of a streamed estimate.
   void handle_estimate(const Json& id, const Json& params, bool* ok,
-                       const Reply& emit);
+                       const Reply& emit, const CancelToken& cancel);
   std::string handle_stats() const;
   std::string handle_metrics() const;
   std::string handle_trace(const Json& params) const;

@@ -51,6 +51,11 @@ inline constexpr const char* kBadInstance = "bad_instance";
 inline constexpr const char* kUnknownSolver = "unknown_solver";
 inline constexpr const char* kUnknownHandle = "unknown_handle";
 inline constexpr const char* kCapped = "capped";
+/// Server-internal: a streamed estimate stopped because its peer dropped
+/// mid-stream (the transport set the request's CancelToken). The line
+/// carrying it is written to a dead connection, so clients never observe
+/// this code in practice; classify_error treats it as any unknown code.
+inline constexpr const char* kCancelled = "cancelled";
 inline constexpr const char* kOverloaded = "overloaded";
 inline constexpr const char* kShuttingDown = "shutting_down";
 inline constexpr const char* kInternal = "internal";

@@ -7,7 +7,6 @@
 #include <sys/time.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -16,7 +15,9 @@
 #include <ostream>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "service/eventloop.hpp"
 #include "util/check.hpp"
 
 namespace suu::service {
@@ -35,10 +36,11 @@ struct Outstanding {
     ++count;
   }
   void done() {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      --count;
-    }
+    // Notify while still holding the lock: the draining thread destroys
+    // this latch the moment it observes count == 0, so an after-unlock
+    // notify could touch a destroyed condition variable.
+    std::lock_guard<std::mutex> lock(mu);
+    --count;
     cv.notify_all();
   }
   void drain() {
@@ -118,6 +120,15 @@ void serve_fd(Engine& engine, int fd, const FaultSpec& fault) {
     if (act.close_after) ::shutdown(fd, SHUT_RDWR);  // wakes the read loop
   };
 
+  // An unframed over-long line cannot be resynchronized: answer once and
+  // abandon the connection.
+  auto reject_overlong = [&] {
+    write_line(make_error_response(
+        Json(nullptr), error_code::kParseError,
+        "request line exceeds " +
+            std::to_string(engine.config().max_line_bytes) + " bytes"));
+  };
+
   const int idle_ms = engine.config().idle_timeout_ms;
   std::string buf;
   char chunk[4096];
@@ -143,7 +154,26 @@ void serve_fd(Engine& engine, int fd, const FaultSpec& fault) {
       if (errno == EINTR) continue;
       break;
     }
-    if (r == 0) break;  // EOF
+    if (r == 0) {
+      // Clean EOF. A final line that arrived without its trailing newline
+      // is still a request — serve_stream's getline submits it, and the
+      // fd transport must agree.
+      if (!buf.empty()) {
+        if (buf.size() > engine.config().max_line_bytes) {
+          reject_overlong();
+        } else if (normalize_line(buf)) {
+          pending.add();
+          engine.submit(
+              std::move(buf),
+              [&](std::string&& resp, bool last) {
+                write_line(resp);
+                if (last) pending.done();
+              },
+              client);
+        }
+      }
+      break;
+    }
     buf.append(chunk, static_cast<std::size_t>(r));
     std::size_t start = 0;
     for (;;) {
@@ -151,6 +181,14 @@ void serve_fd(Engine& engine, int fd, const FaultSpec& fault) {
       if (nl == std::string::npos) break;
       std::string line = buf.substr(start, nl - start);
       start = nl + 1;
+      // The cap applies to every extracted line, not just the residual
+      // buffer: a complete over-long line inside one read chunk must be
+      // rejected at the transport, never handed to the engine.
+      if (line.size() > engine.config().max_line_bytes) {
+        reject_overlong();
+        abandoned = true;
+        break;
+      }
       if (!normalize_line(line)) continue;
       pending.add();
       engine.submit(
@@ -161,14 +199,10 @@ void serve_fd(Engine& engine, int fd, const FaultSpec& fault) {
           },
           client);
     }
+    if (abandoned) break;
     buf.erase(0, start);
     if (buf.size() > engine.config().max_line_bytes) {
-      // An unframed over-long line cannot be resynchronized: answer once
-      // and abandon the connection.
-      write_line(make_error_response(
-          Json(nullptr), error_code::kParseError,
-          "request line exceeds " +
-              std::to_string(engine.config().max_line_bytes) + " bytes"));
+      reject_overlong();
       abandoned = true;
     }
     if (engine.stopping()) break;
@@ -193,7 +227,9 @@ TcpServer::TcpServer(Engine& engine, std::uint16_t port,
                        sizeof addr) == 0,
                 "bind to 127.0.0.1:" << port
                                      << " failed: " << std::strerror(errno));
-  SUU_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+  // Deep backlog: the concurrency bench opens ~1000 connections in a
+  // burst, and the epoll loop accepts them all from one thread.
+  SUU_CHECK_MSG(::listen(listen_fd_, 1024) == 0,
                 "listen failed: " << std::strerror(errno));
   socklen_t len = sizeof addr;
   SUU_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
@@ -212,47 +248,39 @@ TcpServer::~TcpServer() {
 }
 
 void TcpServer::run() {
-  std::vector<std::thread> threads;
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down by stop()
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stopped_) {
-        ::close(fd);
-        break;
-      }
-      conn_fds_.push_back(fd);
-    }
-    threads.emplace_back([this, fd] {
-      serve_fd(engine_, fd, fault_);
-      std::lock_guard<std::mutex> lock(mu_);
-      conn_fds_.erase(
-          std::find(conn_fds_.begin(), conn_fds_.end(), fd));
-      ::close(fd);  // under mu_: stop() never touches an fd we closed
-    });
+  EventLoop::Options opt;
+  opt.max_line_bytes = engine_.config().max_line_bytes;
+  opt.max_outbound_bytes = engine_.config().max_outbound_bytes;
+  opt.idle_timeout_ms = engine_.config().idle_timeout_ms;
+  EventLoop loop(engine_, opt, fault_);
+  loop.add_listener(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;  // stop() raced ahead of run()
+    loop_ = &loop;
   }
-  for (std::thread& t : threads) t.join();
+  loop.run();
+  std::lock_guard<std::mutex> lock(mu_);
+  loop_ = nullptr;
 }
 
 void TcpServer::stop() {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopped_) return;
   stopped_ = true;
-  // Wake the accept loop; the fd itself is closed in the destructor, after
-  // run() has returned, so the descriptor number cannot be reused early.
+  // Wake the loop's accept path; the fd itself is closed in the
+  // destructor, after run() has returned, so the descriptor number cannot
+  // be reused early.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  // Connections: wake the reader only (SHUT_RD). The write side must stay
-  // open so in-flight replies — the shutdown acknowledgment itself when
-  // stop() runs from the engine's shutdown hook — still drain to clients.
-  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  // The loop stops reading everywhere but keeps writing: queued replies —
+  // the shutdown acknowledgment itself when stop() runs from the engine's
+  // shutdown hook — still drain to clients before run() returns.
+  if (loop_ != nullptr) loop_->stop();
 }
 
-MetricsServer::MetricsServer(Engine& engine, std::uint16_t port)
-    : engine_(engine) {
+MetricsServer::MetricsServer(Engine& engine, std::uint16_t port,
+                             std::function<std::string()> body)
+    : engine_(engine), body_(std::move(body)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   SUU_CHECK_MSG(listen_fd_ >= 0,
                 "socket() failed: " << std::strerror(errno));
@@ -279,11 +307,18 @@ MetricsServer::MetricsServer(Engine& engine, std::uint16_t port)
         if (errno == EINTR) continue;
         return;  // listener shut down by stop()
       }
+      // A scraper that connects but never reads must not pin this thread:
+      // once the socket buffer fills, each blocking write is bounded by
+      // the send timeout below and the connection is abandoned (mirroring
+      // the 2s receive-side drain bound).
+      timeval send_tv{};
+      send_tv.tv_sec = 2;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof send_tv);
       // Serve the scrape without waiting for (or parsing) the HTTP request
       // line: HTTP/1.0 with Connection: close is delimited by EOF, so
       // writing immediately and closing is a valid exchange for every
       // scraper this endpoint targets.
-      const std::string body = engine_.metrics_text();
+      const std::string body = body_ ? body_() : engine_.metrics_text();
       std::string resp =
           "HTTP/1.0 200 OK\r\n"
           "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
@@ -295,7 +330,8 @@ MetricsServer::MetricsServer(Engine& engine, std::uint16_t port)
       std::size_t off = 0;
       while (off < resp.size()) {
         const ssize_t w = ::write(fd, resp.data() + off, resp.size() - off);
-        if (w <= 0) break;
+        if (w < 0 && errno == EINTR) continue;
+        if (w <= 0) break;  // peer gone, or send timeout: stalled scraper
         off += static_cast<std::size_t>(w);
       }
       ::shutdown(fd, SHUT_WR);

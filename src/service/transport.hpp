@@ -10,9 +10,12 @@
 //
 //   serve_stream — std::istream/std::ostream pair; stdio mode and
 //                  in-memory tests.
-//   serve_fd     — a connected file descriptor (socketpair, TCP socket).
-//   TcpServer    — loopback-only listener; one serve_fd thread per
-//                  accepted connection.
+//   serve_fd     — a connected file descriptor (socketpair, TCP socket);
+//                  one blocking reader thread per fd.
+//   TcpServer    — loopback-only listener; every accepted connection is
+//                  multiplexed onto one epoll EventLoop
+//                  (service/eventloop.hpp), so concurrent session count is
+//                  bounded by fds, not threads.
 //
 // Session hygiene: each transport loop runs inside an engine client scope
 // (Engine::begin_client/end_client), so instance handles opened over a
@@ -36,20 +39,25 @@
 // reading once stopping() is observed — but a read already blocked on an
 // idle peer only wakes when bytes or EOF arrive, so stream/fd clients are
 // expected to half-close after a shutdown request. TcpServer has a real
-// wakeup: its hook closes the listener and SHUT_RDs every connection, so
-// one wire shutdown winds down the whole server without client help.
+// wakeup: its hook shuts the listener down and stops the event loop, which
+// stops reading everywhere, drains queued replies (the shutdown
+// acknowledgment included), and returns — one wire shutdown winds down the
+// whole server without client help.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
+#include <string>
 #include <thread>
-#include <vector>
 
 #include "service/engine.hpp"
 #include "service/fault.hpp"
 
 namespace suu::service {
+
+class EventLoop;
 
 /// Serve until EOF on `in` or engine shutdown. Responses are flushed per
 /// line. Drains outstanding replies before returning. Runs inside a client
@@ -82,13 +90,16 @@ class TcpServer {
 
   std::uint16_t port() const noexcept { return port_; }
 
-  /// Accept loop: one thread per connection, each running serve_fd.
-  /// Returns after stop() (or engine shutdown), once every connection
-  /// thread has been joined.
+  /// Serve: every accepted connection is multiplexed onto one epoll
+  /// EventLoop (nonblocking reads/writes, bounded outbound queues, stream
+  /// cancellation, idle timers — see service/eventloop.hpp). The loop's
+  /// limits come from the engine's Config (max_line_bytes,
+  /// max_outbound_bytes, idle_timeout_ms). Returns after stop() (or
+  /// engine shutdown), once every connection has drained and closed.
   void run();
 
-  /// Stop accepting, wake connection readers, and make run() return.
-  /// Safe to call from any thread, any number of times.
+  /// Stop accepting and reading; queued replies still drain, then run()
+  /// returns. Safe to call from any thread, any number of times.
   void stop();
 
  private:
@@ -96,8 +107,8 @@ class TcpServer {
   FaultSpec fault_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::mutex mu_;  // guards conn_fds_, stopped_
-  std::vector<int> conn_fds_;
+  std::mutex mu_;  // guards loop_, stopped_
+  EventLoop* loop_ = nullptr;  // run()'s loop, while run() is live
   bool stopped_ = false;
 };
 
@@ -109,7 +120,11 @@ class TcpServer {
 /// binds (port 0 picks an ephemeral port) and the destructor stops it.
 class MetricsServer {
  public:
-  MetricsServer(Engine& engine, std::uint16_t port = 0);
+  /// `body` (tests only) overrides Engine::metrics_text() as the scrape
+  /// body — e.g. to make the response large enough to exercise the send
+  /// timeout against a stalled peer.
+  MetricsServer(Engine& engine, std::uint16_t port = 0,
+                std::function<std::string()> body = nullptr);
   ~MetricsServer();
 
   MetricsServer(const MetricsServer&) = delete;
@@ -120,6 +135,7 @@ class MetricsServer {
 
  private:
   Engine& engine_;
+  std::function<std::string()> body_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::mutex mu_;

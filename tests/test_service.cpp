@@ -36,6 +36,7 @@
 #include "core/generators.hpp"
 #include "core/io.hpp"
 #include "service/engine.hpp"
+#include "service/eventloop.hpp"
 #include "service/fault.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
@@ -1394,6 +1395,351 @@ TEST(ServiceTransport, DroppedConnectionReleasesPinsAndCountsSession) {
                 ->find("sessions_dropped")
                 ->as_int64("sessions_dropped"),
             1);
+}
+
+// ----------------------------------------- epoll transport + bugfix sweep
+
+namespace {
+
+/// Write raw bytes (no framing added), half-close, and read every reply
+/// byte until EOF. The no-trailing-newline and over-long-line tests need
+/// exact control of the bytes on the wire, which client_round_trip's
+/// per-request framing would hide.
+std::string raw_round_trip(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0) break;
+    off += static_cast<std::size_t>(w);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    received.append(buf, static_cast<std::size_t>(r));
+  }
+  return received;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+}  // namespace
+
+// Bugfix regression: a final request line that arrives without a trailing
+// newline at EOF is still a request, on every transport. serve_fd used to
+// drop it (its read loop only submitted up to the last '\n') while
+// serve_stream's getline served it — stdio, fd, and TCP must agree.
+TEST(ServiceTransport, FinalLineWithoutNewlineAtEofIsServedOnAllTransports) {
+  const std::string req = R"({"id":"last","method":"list_solvers"})";
+  Engine reference;
+  const std::string want = reference.handle(req) + "\n";
+
+  {  // stdio (stream) transport
+    Engine engine;
+    std::istringstream in(req);  // EOF lands before any newline
+    std::ostringstream out;
+    serve_stream(engine, in, out);
+    EXPECT_EQ(out.str(), want);
+  }
+  {  // fd transport
+    Engine engine;
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::thread server([&] {
+      serve_fd(engine, sv[0]);
+      ::close(sv[0]);
+    });
+    const std::string received = raw_round_trip(sv[1], req);
+    server.join();
+    ::close(sv[1]);
+    EXPECT_EQ(received, want);
+  }
+  {  // TCP (epoll event loop) transport
+    Engine engine;
+    TcpServer server(engine, 0);
+    std::thread server_thread([&] { server.run(); });
+    const int fd = connect_loopback(server.port());
+    const std::string received = raw_round_trip(fd, req);
+    ::close(fd);
+    server.stop();
+    server_thread.join();
+    EXPECT_EQ(received, want);
+  }
+}
+
+// Bugfix regression: a complete over-long line inside one read chunk must
+// be rejected at the transport — the residual-buffer check used to miss it
+// and hand it to the engine. The typed parse_error + abandon behavior
+// applies, and the pipelined valid request after it is never served.
+TEST(ServiceTransport, CompleteOverlongLineInOneChunkIsRejectedAtTransport) {
+  std::string bytes(1024, 'x');
+  bytes += "\n";  // complete, newline-framed, over the 256-byte cap
+  bytes += R"({"id":"after","method":"list_solvers"})" "\n";
+
+  for (const bool tcp : {false, true}) {
+    Engine::Config cfg;
+    cfg.max_line_bytes = 256;
+    Engine engine(cfg);
+    std::string received;
+    if (!tcp) {
+      int sv[2];
+      ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+      std::thread server([&] {
+        serve_fd(engine, sv[0]);
+        ::close(sv[0]);
+      });
+      received = raw_round_trip(sv[1], bytes);
+      server.join();
+      ::close(sv[1]);
+    } else {
+      TcpServer server(engine, 0);
+      std::thread server_thread([&] { server.run(); });
+      const int fd = connect_loopback(server.port());
+      received = raw_round_trip(fd, bytes);
+      ::close(fd);
+      server.stop();
+      server_thread.join();
+    }
+    // Exactly one reply — the typed error — then the abandoned connection
+    // closes; the request behind the over-long line is never answered.
+    ASSERT_NE(received.find('\n'), std::string::npos) << "tcp=" << tcp;
+    EXPECT_EQ(received.find('\n'), received.size() - 1) << "tcp=" << tcp;
+    const Json resp = Json::parse(received.substr(0, received.find('\n')));
+    EXPECT_FALSE(resp.find("ok")->as_bool("ok"));
+    EXPECT_EQ(resp.find("error")->find("code")->as_string("code"),
+              error_code::kParseError);
+    // The transport rejected it: nothing ever reached the engine.
+    EXPECT_EQ(engine.stats().received, 0u) << "tcp=" << tcp;
+  }
+}
+
+// Bugfix regression: a scraper that connects but never reads must not
+// wedge the metrics endpoint. The blocking response write used to have no
+// send timeout, pinning the single accept thread forever; now the stalled
+// connection is abandoned and later scrapes succeed.
+TEST(ServiceMetrics, StalledScraperDoesNotWedgeEndpoint) {
+  Engine engine;
+  // A body far larger than any socket buffering, so the write to the
+  // stalled peer must block (and then hit the send timeout).
+  const std::string big(std::size_t{16} << 20, 'x');
+  MetricsServer metrics(engine, 0, [&big] { return big; });
+
+  // The stalled peer: tiny receive window, connects, never reads.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  const int rcv = 4096;
+  ::setsockopt(stalled, SOL_SOCKET, SO_RCVBUF, &rcv, sizeof rcv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(metrics.port());
+  ASSERT_EQ(
+      ::connect(stalled, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  // A live scrape behind it must still complete once the send timeout
+  // frees the accept thread (bounded, not hung).
+  const auto t0 = std::chrono::steady_clock::now();
+  const int fd = connect_loopback(metrics.port());
+  std::string response;
+  char buf[65536];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    response.append(buf, static_cast<std::size_t>(r));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ::close(fd);
+  ::close(stalled);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_GE(response.size(), big.size());
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+// A client that drops mid-{"stream":true} stops the remaining shard
+// computation — not just its output. The loop's peer-death detection sets
+// the connection's CancelToken; the engine's shard loop checks it.
+TEST(ServiceTransport, ClientDropMidStreamCancelsRemainingShards) {
+  Engine::Config cfg;
+  cfg.workers = 1;  // shards compute serially: the cancel lands between them
+  Engine engine(cfg);
+  TcpServer server(engine, 0);
+  std::thread server_thread([&] { server.run(); });
+  const int fd = connect_loopback(server.port());
+
+  const std::string text = quoted(payload(independent_instance(8, 3, 21)));
+  const std::string req =
+      R"({"id":"st","method":"estimate","params":{"instance":)" + text +
+      R"(,"replications":80000,"seed":7,"stream":true,"shards":8}})" "\n";
+  ASSERT_EQ(::write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+
+  // Read the first shard envelope, then die hard: SO_LINGER(0) turns the
+  // close into a RST, which the loop sees as peer death.
+  std::string first;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1 && c != '\n') first.push_back(c);
+  const Json envelope = Json::parse(first);
+  EXPECT_EQ(envelope.find("seq")->as_int64("seq"), 0);
+  const linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  ::close(fd);
+
+  engine.drain();  // the cancelled stream finishes (early) before asserting
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.streams_cancelled, 1u);
+  EXPECT_GE(s.shards, 1u);
+  EXPECT_LT(s.shards, 8u) << "remaining shards must not be computed";
+  EXPECT_NE(engine.metrics_text().find("suu_engine_streams_cancelled_total 1"),
+            std::string::npos);
+
+  server.stop();
+  server_thread.join();
+}
+
+// Backpressure: a connection whose queued-but-unwritten reply bytes exceed
+// max_outbound_bytes is a slow reader — disconnected and counted, never
+// buffered without bound.
+TEST(ServiceTransport, SlowReaderExceedingOutboundBoundIsDropped) {
+  Engine::Config cfg;
+  cfg.workers = 2;
+  Engine engine(cfg);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  EventLoop::Options opt;
+  opt.max_line_bytes = engine.config().max_line_bytes;
+  opt.max_outbound_bytes = 2048;  // tiny bound; one samples reply blows it
+  EventLoop loop(engine, opt);
+  loop.add_connection(sv[0]);
+  std::thread loop_thread([&] { loop.run(); });
+
+  // Each reply carries 2000 raw makespan samples (17-digit doubles): tens
+  // of kilobytes against a 2 KiB bound. The client never reads.
+  const std::string text = quoted(payload(independent_instance(5, 2, 33)));
+  std::string batch;
+  for (int i = 0; i < 2; ++i) {
+    batch += R"({"id":)" + std::to_string(i) +
+             R"(,"method":"estimate","params":{"instance":)" + text +
+             R"(,"replications":2000,"shards":1,"shard":0,"samples":true}})"
+             "\n";
+  }
+  ASSERT_EQ(::write(sv[1], batch.data(), batch.size()),
+            static_cast<ssize_t>(batch.size()));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (engine.stats().slow_reader_drops == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(engine.stats().slow_reader_drops, 1u);
+
+  loop.stop();
+  loop_thread.join();
+  ::close(sv[1]);
+  engine.drain();
+  EXPECT_NE(engine.metrics_text().find("suu_engine_slow_reader_drops_total 1"),
+            std::string::npos);
+}
+
+// The idle timeout now lives on the event loop's timer queue: a silent TCP
+// peer is hung up on without any per-connection poll() thread.
+TEST(ServiceTransport, TcpIdleTimeoutClosesSilentConnection) {
+  Engine::Config cfg;
+  cfg.idle_timeout_ms = 50;
+  Engine engine(cfg);
+  TcpServer server(engine, 0);
+  std::thread server_thread([&] { server.run(); });
+  const int fd = connect_loopback(server.port());
+
+  const std::string req = R"({"id":1,"method":"list_solvers"})" "\n";
+  ASSERT_EQ(::write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string received;
+  char buf[4096];
+  for (;;) {  // reply, then EOF once the loop times us out
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    received.append(buf, static_cast<std::size_t>(r));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ::close(fd);
+  server.stop();
+  server_thread.join();
+  EXPECT_TRUE(Json::parse(received.substr(0, received.find('\n')))
+                  .find("ok")
+                  ->as_bool("ok"));
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+// Multiplexing burn-in: many concurrent connections through one epoll
+// loop, every reply byte-identical to the synchronous engine path.
+TEST(ServiceTransport, TcpManyConcurrentConnectionsAreByteDeterministic) {
+  constexpr int kConns = 50;
+  Engine::Config cfg;
+  cfg.queue_capacity = 1024;  // the burst must never hit admission control
+  Engine engine(cfg);
+  TcpServer server(engine, 0);
+  std::thread server_thread([&] { server.run(); });
+
+  const std::string inst = quoted(payload(independent_instance(5, 2, 9)));
+  std::vector<std::vector<std::string>> requests(kConns);
+  std::vector<std::map<std::string, std::string>> expected(kConns);
+  Engine reference;
+  for (int c = 0; c < kConns; ++c) {
+    const std::string tag = "c" + std::to_string(c);
+    requests[c] = {
+        R"({"id":")" + tag +
+            R"(-est","method":"estimate","params":{"instance":)" + inst +
+            R"(,"replications":25,"seed":)" + std::to_string(c + 1) + "}}",
+        R"({"id":")" + tag + R"(-ls","method":"list_solvers"})",
+    };
+    for (const std::string& req : requests[c]) {
+      const Json parsed = Json::parse(req);
+      const std::string key = parsed.find("id")->as_string("id");
+      expected[c][key] = reference.handle(req);
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kConns);
+  for (int c = 0; c < kConns; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_loopback(server.port());
+      const auto by_id = client_round_trip(fd, requests[c]);
+      ::close(fd);
+      if (by_id.size() != expected[c].size()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      for (const auto& [key, want] : expected[c]) {
+        const auto it = by_id.find(key);
+        if (it == by_id.end() || it->second != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.stop();
+  server_thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

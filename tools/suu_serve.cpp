@@ -19,7 +19,9 @@
 // request replication cap), --max-handles=H (open instance handles per
 // engine; opening one more expires the least-recently-used session),
 // --idle-timeout-ms=T (tcp only: abandon a connection whose peer stays
-// silent for T ms; 0 = wait forever).
+// silent for T ms; 0 = wait forever), --max-outbound-bytes=B (tcp only:
+// disconnect a slow reader once B reply bytes are queued unwritten on its
+// connection; the epoll loop's backpressure bound).
 //
 // Observability (docs/observability.md): --metrics-port=P serves the
 // Prometheus text exposition on loopback (0 picks an ephemeral port,
@@ -82,6 +84,9 @@ int main(int argc, char** argv) {
       "max-handles", static_cast<std::int64_t>(cfg.max_open_handles)));
   cfg.idle_timeout_ms =
       static_cast<int>(args.get_int("idle-timeout-ms", 0));
+  cfg.max_outbound_bytes = static_cast<std::size_t>(args.get_int(
+      "max-outbound-bytes",
+      static_cast<std::int64_t>(cfg.max_outbound_bytes)));
   cfg.slow_log_ms = static_cast<int>(args.get_int("slow-log-ms", 0));
   if (args.has("no-obs")) obs::set_enabled(false);
   api::PrecomputeCache::global().set_capacity(
