@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -102,9 +103,25 @@ struct BackendState {
 
 }  // namespace
 
+/// Connections and handles that outlive one run. Borrowed wholesale by
+/// run() (whose workers own their BackendState entries without locking)
+/// and returned when the workers have joined; update() walks it directly.
+/// ShardCoordinator is not itself thread-safe — one run/update at a time —
+/// so the pool needs no lock of its own.
+struct ShardCoordinator::SessionPool {
+  std::vector<BackendState> backends;
+  /// The instance bytes every live handle in `backends` was opened (or
+  /// last updated) with; empty until the first run/update.
+  std::string instance_text;
+  std::uint64_t next_id = 1;  ///< request ids, monotone across runs
+};
+
 ShardCoordinator::ShardCoordinator(std::vector<Backend> backends,
                                    FanoutOptions options)
-    : backends_(std::move(backends)), options_(std::move(options)) {
+    : backends_(std::move(backends)),
+      options_(std::move(options)),
+      sessions_(std::make_unique<SessionPool>()) {
+  sessions_->backends.resize(backends_.size());
   if (!options_.transport) {
     const std::vector<Backend>& pool = backends_;
     const int connect_ms = options_.connect_timeout_ms;
@@ -166,9 +183,10 @@ struct Run {
 
 /// One request/reply exchange on a backend's (already connected)
 /// transport. Classifies everything the wire can do to us.
-RequestResult roundtrip(Run& run, BackendState& b, const std::string& req) {
+RequestResult roundtrip(const FanoutOptions& opt, BackendState& b,
+                        const std::string& req) {
   RequestResult rr;
-  const Deadline deadline = Deadline::after_ms(run.opt.request_timeout_ms);
+  const Deadline deadline = Deadline::after_ms(opt.request_timeout_ms);
   IoStatus s = b.transport->write_line(req, deadline);
   if (s != IoStatus::Ok) {
     rr.outcome = Outcome::Transport;
@@ -232,6 +250,30 @@ std::string trace_field(const Run& run) {
   return out;
 }
 
+/// One open_instance round-trip: on success the backend's handle is set.
+/// A shape-violating reply is classified Transport — the stream cannot be
+/// trusted.
+RequestResult open_instance_req(const FanoutOptions& opt, BackendState& b,
+                                const std::string& instance_text,
+                                const std::string& trace_json,
+                                std::uint64_t id) {
+  std::string req = "{\"id\":" + std::to_string(id) + trace_json +
+                    ",\"method\":\"open_instance\",\"params\":{\"instance\":";
+  service::json_append_quoted(req, instance_text);
+  req += "}}";
+  RequestResult rr = roundtrip(opt, b, req);
+  if (rr.outcome != Outcome::Success) return rr;
+  const Json* result = rr.reply.find("result");
+  const Json* handle = result ? result->find("handle") : nullptr;
+  if (handle == nullptr) {
+    rr.outcome = Outcome::Transport;
+    rr.detail = "open_instance reply missing handle";
+    return rr;
+  }
+  b.handle = static_cast<std::uint64_t>(handle->as_int64("handle"));
+  return rr;
+}
+
 /// Connect (if needed), open the shared instance handle (if needed), and
 /// issue shard `s`. The handle is opened once per connection and reused —
 /// that is what keeps the backend's PrecomputeCache entry pinned and hot.
@@ -249,22 +291,10 @@ RequestResult issue(Run& run, std::size_t bi, int s) {
     }
   }
   if (b.handle == 0) {
-    std::string req = "{\"id\":" +
-                      std::to_string(run.next_id.fetch_add(1)) +
-                      trace_field(run) +
-                      ",\"method\":\"open_instance\",\"params\":{\"instance\":";
-    service::json_append_quoted(req, run.job.instance_text);
-    req += "}}";
-    RequestResult rr = roundtrip(run, b, req);
+    const RequestResult rr =
+        open_instance_req(run.opt, b, run.job.instance_text, trace_field(run),
+                          run.next_id.fetch_add(1));
     if (rr.outcome != Outcome::Success) return rr;
-    const Json* result = rr.reply.find("result");
-    const Json* handle = result ? result->find("handle") : nullptr;
-    if (handle == nullptr) {
-      rr.outcome = Outcome::Transport;
-      rr.detail = "open_instance reply missing handle";
-      return rr;
-    }
-    b.handle = static_cast<std::uint64_t>(handle->as_int64("handle"));
   }
   std::string req = "{\"id\":" + std::to_string(run.next_id.fetch_add(1)) +
                     trace_field(run) +
@@ -276,7 +306,7 @@ RequestResult issue(Run& run, std::size_t bi, int s) {
   req += ",\"shard\":" + std::to_string(s);
   req += ",\"shards\":" + std::to_string(run.opt.shards);
   req += ",\"samples\":true}}";
-  return roundtrip(run, b, req);
+  return roundtrip(run.opt, b, req);
 }
 
 /// A cheap liveness handshake: fresh connection, one stats round-trip.
@@ -290,7 +320,7 @@ bool probe(Run& run, std::size_t bi) {
   const std::string req = "{\"id\":" +
                           std::to_string(run.next_id.fetch_add(1)) +
                           ",\"method\":\"stats\"}";
-  const RequestResult rr = roundtrip(run, b, req);
+  const RequestResult rr = roundtrip(run.opt, b, req);
   if (rr.outcome != Outcome::Success) {
     b.transport.reset();
     b.handle = 0;
@@ -537,7 +567,23 @@ FanoutResult ShardCoordinator::run(const EstimateJob& job) {
 
   Run run(job, options_);
   run.queues.resize(backends_.size());
-  run.backends.resize(backends_.size());
+  // Borrow the persistent pool: connections and handles opened by a
+  // previous run (or update) of the same instance bytes survive, keeping
+  // the backends' PrecomputeCache entries pinned and hot. A different
+  // instance invalidates the handles — they name the old instance
+  // server-side — but keeps the connections.
+  if (sessions_->instance_text != job.instance_text) {
+    for (BackendState& b : sessions_->backends) b.handle = 0;
+    sessions_->instance_text = job.instance_text;
+  }
+  run.backends = std::move(sessions_->backends);
+  run.next_id.store(sessions_->next_id);
+  for (BackendState& b : run.backends) {
+    b.gone = false;
+    b.ejected_ever = false;
+    b.readmitted = false;
+    b.shards_served = 0;
+  }
   run.shards.resize(static_cast<std::size_t>(options_.shards));
   run.unfinished = options_.shards;
   run.alive_workers = static_cast<int>(backends_.size());
@@ -558,6 +604,12 @@ FanoutResult ShardCoordinator::run(const EstimateJob& job) {
   }
   for (std::thread& t : threads) t.join();
 
+  // Hand connections and handles back to the pool (fatal runs included:
+  // whatever survived is still good for the next run).
+  sessions_->backends = std::move(run.backends);
+  sessions_->next_id = run.next_id.load();
+  const std::vector<BackendState>& pool = sessions_->backends;
+
   {
     std::lock_guard<std::mutex> lock(run.mu);
     out.attempts = run.attempts;
@@ -569,9 +621,9 @@ FanoutResult ShardCoordinator::run(const EstimateJob& job) {
     for (std::size_t bi = 0; bi < backends_.size(); ++bi) {
       BackendReport& rep = out.backends[bi];
       rep.alive = run.ring.contains(bi);
-      rep.ejected = run.backends[bi].ejected_ever;
-      rep.readmitted = run.backends[bi].readmitted;
-      rep.shards_served = run.backends[bi].shards_served;
+      rep.ejected = pool[bi].ejected_ever;
+      rep.readmitted = pool[bi].readmitted;
+      rep.shards_served = pool[bi].shards_served;
     }
     if (run.fatal) {
       out.error = run.fatal_error;
@@ -652,6 +704,159 @@ FanoutResult ShardCoordinator::run(const EstimateJob& job) {
   }
   result += '}';
   out.result_json = std::move(result);
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+std::string fp_hex(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+/// The update_instance request line for one backend's handle. Edge lists
+/// and q cells serialize in the delta's own order (the server validates
+/// set-semantically; order only matters for deletions-before-additions,
+/// which the method fixes server-side).
+std::string update_request(std::uint64_t id, const std::string& trace_json,
+                           std::uint64_t handle,
+                           const core::InstanceDelta& delta) {
+  std::string req = "{\"id\":" + std::to_string(id) + trace_json +
+                    ",\"method\":\"update_instance\",\"params\":{\"handle\":" +
+                    std::to_string(handle);
+  if (!delta.q.empty()) {
+    req += ",\"q\":{";
+    bool first = true;
+    for (const auto& [cell, value] : delta.q) {
+      if (!first) req.push_back(',');
+      first = false;
+      req += '"' + std::to_string(cell) + "\":" + service::json_number(value);
+    }
+    req += '}';
+  }
+  const auto edge_list = [&req](const char* key,
+                                const std::vector<std::pair<int, int>>& es) {
+    if (es.empty()) return;
+    req += std::string(",\"") + key + "\":[";
+    bool first = true;
+    for (const auto& [u, v] : es) {
+      if (!first) req.push_back(',');
+      first = false;
+      req += '[' + std::to_string(u) + ',' + std::to_string(v) + ']';
+    }
+    req += ']';
+  };
+  edge_list("add_edges", delta.add_edges);
+  edge_list("del_edges", delta.del_edges);
+  req += "}}";
+  return req;
+}
+
+}  // namespace
+
+UpdateResult ShardCoordinator::update(const UpdateSpec& spec) {
+  UpdateResult out;
+
+  // Apply the delta locally first: the mutated instance's canonical bytes
+  // and fingerprint must be known regardless of which backends are
+  // reachable — they are what the caller's next EstimateJob must carry.
+  std::shared_ptr<const core::Instance> base;
+  try {
+    std::istringstream is(spec.instance_text);
+    base = std::make_shared<const core::Instance>(core::read_instance(is));
+  } catch (const std::exception& e) {
+    out.error = std::string("bad instance: ") + e.what();
+    return out;
+  }
+  std::shared_ptr<const core::Instance> next;
+  try {
+    next = std::make_shared<const core::Instance>(
+        core::apply_delta(*base, spec.delta));
+  } catch (const core::DeltaError& e) {
+    out.error = std::string("bad delta: ") + e.what();
+    return out;
+  }
+  {
+    std::ostringstream os;
+    core::write_instance(os, *next);
+    out.instance_text = os.str();
+  }
+  out.fingerprint = next->fingerprint();
+  const std::string expect_fp = fp_hex(out.fingerprint);
+
+  std::string trace_json;
+  if (!spec.trace.empty()) {
+    trace_json = ",\"trace\":";
+    service::json_append_quoted(trace_json, spec.trace);
+  }
+
+  // Handles are only worth updating if they hold the delta's base; a pool
+  // opened on different bytes would delta a different instance.
+  const bool base_matches = sessions_->instance_text == spec.instance_text;
+  for (std::size_t bi = 0; bi < sessions_->backends.size(); ++bi) {
+    BackendState& b = sessions_->backends[bi];
+    if (!base_matches) b.handle = 0;
+    if (!b.transport || b.handle == 0) continue;  // run() re-opens lazily
+
+    RequestResult rr = roundtrip(
+        options_,  b,
+        update_request(sessions_->next_id++, trace_json, b.handle,
+                       spec.delta));
+    if (rr.outcome == Outcome::Reopen) {
+      // The backend LRU-expired our handle, so it never held the parent —
+      // nothing to delta there. Open the mutated instance directly.
+      b.handle = 0;
+      rr = open_instance_req(options_, b, out.instance_text, trace_json,
+                             sessions_->next_id++);
+      if (rr.outcome == Outcome::Success && b.handle != 0) {
+        ++out.reopened;
+      } else {
+        b.transport.reset();
+        ++out.skipped;
+      }
+      continue;
+    }
+    if (rr.outcome == Outcome::Fatal) {
+      // A delta that passed local validation was rejected server-side:
+      // version skew between client and backend. Leave no half-updated
+      // pool behind — drop every handle so the next run() opens whichever
+      // instance it actually wants, and report the skew.
+      for (BackendState& bb : sessions_->backends) bb.handle = 0;
+      sessions_->instance_text.clear();
+      out.error = "backend " + std::to_string(bi) + ": " + rr.detail;
+      return out;
+    }
+    if (rr.outcome != Outcome::Success) {
+      // Transport trouble or a transient server condition (busy_handle,
+      // overloaded): drop the connection and let the next run() recover it
+      // with a fresh open of the new instance.
+      b.transport.reset();
+      b.handle = 0;
+      ++out.skipped;
+      continue;
+    }
+    bool verified = false;
+    try {
+      const Json* result = rr.reply.find("result");
+      const Json* fp = result ? result->find("fingerprint") : nullptr;
+      verified = fp != nullptr && fp->as_string("fingerprint") == expect_fp;
+    } catch (const service::JsonError&) {
+    }
+    if (!verified) {
+      // The backend applied the delta to something other than our base —
+      // its session diverged. Reset; lazy re-open fixes it.
+      b.transport.reset();
+      b.handle = 0;
+      ++out.skipped;
+      continue;
+    }
+    ++out.updated;
+  }
+
+  sessions_->instance_text = out.instance_text;
   out.ok = true;
   return out;
 }

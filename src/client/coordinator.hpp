@@ -50,6 +50,7 @@
 
 #include "client/backoff.hpp"
 #include "client/transport.hpp"
+#include "core/delta.hpp"
 
 namespace suu::client {
 
@@ -83,6 +84,32 @@ struct EstimateJob {
   /// can be collected from every backend with the `trace` wire method.
   /// Never affects response bytes.
   std::string trace;
+};
+
+/// An instance delta to fan out to every backend holding an open handle
+/// (mirrors the update_instance wire method). `instance_text` must be the
+/// bytes the coordinator's current sessions were opened with — the base
+/// the delta applies to.
+struct UpdateSpec {
+  std::string instance_text;   ///< current instance (the delta's base)
+  core::InstanceDelta delta;   ///< sparse edit (core/delta.hpp)
+  std::string trace;           ///< optional trace id, as in EstimateJob
+};
+
+struct UpdateResult {
+  bool ok = false;
+  std::string error;          ///< when !ok: why the update is impossible
+  /// The mutated instance in canonical bytes (core::write_instance of the
+  /// delta applied locally): what subsequent EstimateJobs must carry so
+  /// their fingerprint-affine routing and lazy re-opens agree with the
+  /// updated backend sessions.
+  std::string instance_text;
+  std::uint64_t fingerprint = 0;  ///< the mutated instance's fingerprint
+  int updated = 0;   ///< backends whose open handle took the delta in place
+  int reopened = 0;  ///< backends re-opened with the new instance
+                     ///< (their handle had expired server-side)
+  int skipped = 0;   ///< backends left handleless (down, or diverged);
+                     ///< the next run() reconnects and re-opens them lazily
 };
 
 /// Post-run view of one backend, for tests and the demo tool.
@@ -130,12 +157,29 @@ class ShardCoordinator {
 
   /// Fan out `job` and merge. Never throws on backend/wire trouble — that
   /// is reported through FanoutResult; throws only std::bad_alloc-class
-  /// failures. Safe to call repeatedly (each run is independent).
+  /// failures. Safe to call repeatedly: connections and instance handles
+  /// persist across runs of the same instance_text (the backends'
+  /// PrecomputeCache entries stay pinned and hot), and are re-opened
+  /// transparently when the instance changes.
   FanoutResult run(const EstimateJob& job);
 
+  /// Apply `spec.delta` to every backend's open handle via the
+  /// update_instance wire method, after validating it locally against
+  /// spec.instance_text. Sequential over the pool (deltas are tiny; the
+  /// expensive re-prepare happens lazily on the next estimate). Backends
+  /// whose handle expired are re-opened with the NEW instance; backends
+  /// that are down or answer with a diverged fingerprint are reset and
+  /// lazily recovered by the next run(). Fails (ok = false) only when the
+  /// delta itself is invalid — locally, or rejected as bad_delta by a
+  /// backend (version skew).
+  UpdateResult update(const UpdateSpec& spec);
+
  private:
+  struct SessionPool;
+
   std::vector<Backend> backends_;
   FanoutOptions options_;
+  std::unique_ptr<SessionPool> sessions_;
 };
 
 }  // namespace suu::client

@@ -1,0 +1,107 @@
+#include "core/delta.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace suu::core {
+namespace {
+
+[[noreturn]] void delta_fail(const std::string& message) {
+  throw DeltaError(message);
+}
+
+std::string edge_str(int u, int v) {
+  return "(" + std::to_string(u) + ", " + std::to_string(v) + ")";
+}
+
+void check_vertex(int v, int n, const char* where) {
+  if (v < 0 || v >= n) {
+    delta_fail(std::string(where) + " names vertex " + std::to_string(v) +
+               " outside [0, " + std::to_string(n) + ")");
+  }
+}
+
+}  // namespace
+
+Instance apply_delta(const Instance& base, const InstanceDelta& delta,
+                     const ReadLimits& limits) {
+  const int n = base.num_jobs();
+  const int m = base.num_machines();
+  const std::int64_t cells = static_cast<std::int64_t>(n) * m;
+
+  // q edits first: range, value, and duplicate checks before any work.
+  std::vector<double> q(static_cast<std::size_t>(cells));
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      q[static_cast<std::size_t>(j) * m + i] = base.q(i, j);
+    }
+  }
+  std::set<std::int64_t> touched;
+  for (const auto& [cell, value] : delta.q) {
+    if (cell < 0 || cell >= cells) {
+      delta_fail("q cell " + std::to_string(cell) + " outside [0, " +
+                 std::to_string(cells) + ") (cell = job * m + machine)");
+    }
+    if (!std::isfinite(value) || value < 0.0 || value > 1.0) {
+      std::ostringstream os;
+      os << "q cell " << cell << " value " << value << " outside [0, 1]";
+      delta_fail(os.str());
+    }
+    if (!touched.insert(cell).second) {
+      delta_fail("q cell " + std::to_string(cell) + " edited twice");
+    }
+    q[static_cast<std::size_t>(cell)] = value;
+  }
+
+  // Edge edits against the base's edge SET — deletions first, so a delta
+  // may re-add around a deleted edge in one shot.
+  std::set<std::pair<int, int>> edges;
+  for (int v = 0; v < n; ++v) {
+    for (const int u : base.dag().preds(v)) edges.emplace(u, v);
+  }
+  for (const auto& [u, v] : delta.del_edges) {
+    check_vertex(u, n, "del_edges");
+    check_vertex(v, n, "del_edges");
+    if (edges.erase({u, v}) == 0) {
+      delta_fail("del_edges: edge " + edge_str(u, v) +
+                 " is not present (or was already deleted by this delta)");
+    }
+  }
+  for (const auto& [u, v] : delta.add_edges) {
+    check_vertex(u, n, "add_edges");
+    check_vertex(v, n, "add_edges");
+    if (u == v) {
+      delta_fail("add_edges: self-loop " + edge_str(u, v));
+    }
+    if (!edges.emplace(u, v).second) {
+      delta_fail("add_edges: edge " + edge_str(u, v) +
+                 " is already present (or added twice by this delta)");
+    }
+  }
+  if (static_cast<long>(edges.size()) > limits.max_edges) {
+    delta_fail("edge count " + std::to_string(edges.size()) + " exceeds " +
+               std::to_string(limits.max_edges));
+  }
+
+  // Rebuild in sorted (u, v) order — the canonical insertion order that
+  // makes fingerprints of delta chains converge (see header comment).
+  // std::set iteration already yields exactly that order.
+  Dag dag(n);
+  for (const auto& [u, v] : edges) dag.add_edge(u, v);
+
+  // The Instance constructor revalidates acyclicity and per-job
+  // capability; rephrase its violations in delta terms so the wire error
+  // says what the EDIT broke, not which internal invariant tripped.
+  try {
+    return Instance(n, m, std::move(q), std::move(dag));
+  } catch (const DeltaError&) {
+    throw;
+  } catch (const util::CheckError& err) {
+    delta_fail(std::string("delta produces an invalid instance: ") +
+               err.what());
+  }
+}
+
+}  // namespace suu::core

@@ -1,0 +1,67 @@
+// Sparse instance deltas — the "what-if" mutation primitive behind the
+// update_instance wire method.
+//
+// A delta edits a few q cells and adds/removes precedence edges; everything
+// else (n, m, the untouched cells) carries over from the base instance.
+// apply_delta validates the edit against the same invariants read_instance
+// enforces on fresh payloads (cells in range and in [0,1], edges in range,
+// no self-loops, no duplicates, acyclic, every job keeps a capable
+// machine, edge count within ReadLimits) and raises a typed DeltaError —
+// phrased in delta terms — on any violation, leaving the base untouched.
+//
+// Canonical edge order: the mutated dag is rebuilt from the final edge set
+// sorted by (u, v), regardless of the base's insertion order. The instance
+// fingerprint hashes edges in insertion order, so this is what makes delta
+// chains converge — A -> B -> A lands back on A's fingerprint, and the
+// mutated instance fingerprints identically to a cold write/read round-trip
+// of its own bytes (write_instance emits u-ascending × succs order, which
+// for a sorted-insertion dag IS (u, v) order). The flip side: a base whose
+// edges were inserted out of (u, v) order fingerprints differently from its
+// delta-rebuilt twin even under an empty delta — canonicalize such a base
+// with apply_delta(base, {}) first when fingerprint continuity matters.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/io.hpp"
+
+namespace suu::core {
+
+/// Raised by apply_delta on any semantically invalid delta (the wire maps
+/// it to the "bad_delta" error code). Derives from util::CheckError via
+/// ParseError-style so legacy catch sites keep working.
+class DeltaError : public util::CheckError {
+ public:
+  explicit DeltaError(const std::string& what) : util::CheckError(what) {}
+};
+
+/// A sparse mutation of one instance. Mirrors the wire grammar
+/// {"q": {"<cell>": v}, "add_edges": [[u,v],...], "del_edges": [[u,v],...]}.
+struct InstanceDelta {
+  /// q edits as (flat cell index, new value): cell = job * m + machine,
+  /// matching the row-major layout of write_instance. Values in [0, 1];
+  /// duplicate cells rejected.
+  std::vector<std::pair<std::int64_t, double>> q;
+  /// Edges to add (u before v). Applied AFTER del_edges, so a delta may
+  /// move an edge by deleting and re-adding around it. An edge already
+  /// present (post-deletion) is rejected, as are self-loops.
+  std::vector<std::pair<int, int>> add_edges;
+  /// Edges to remove; each must be present in the base.
+  std::vector<std::pair<int, int>> del_edges;
+
+  bool empty() const noexcept {
+    return q.empty() && add_edges.empty() && del_edges.empty();
+  }
+};
+
+/// Apply `delta` to `base` and return the mutated instance (canonical
+/// sorted edge order — see the header comment). Throws DeltaError on any
+/// invalid edit; `limits.max_edges` bounds the post-delta edge count just
+/// as read_instance bounds fresh payloads.
+Instance apply_delta(const Instance& base, const InstanceDelta& delta,
+                     const ReadLimits& limits = {});
+
+}  // namespace suu::core

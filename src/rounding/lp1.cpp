@@ -74,13 +74,20 @@ Lp1Fractional solve_with_simplex(const core::Instance& inst,
   // installs, and phase 1 (the bulk of a cold solve's pivots: ~4.3n at
   // n=1024) vanishes. Gated to the revised engine so the tableau's
   // byte-recorded trajectories stay untouched, and to callers without a
-  // warm-start handle so chained-solve hit/miss accounting keeps its
-  // documented meaning.
+  // SEEDED warm-start handle so chained-solve hit/miss accounting keeps
+  // its documented meaning. A caller handle with an EMPTY basis (a
+  // capture handle, e.g. the registry recording a basis for future delta
+  // children) still gets the crash seed — an empty handle promises a cold
+  // trajectory, and the crash basis IS this function's cold trajectory on
+  // the revised engine.
   lp::WarmStart crash;
+  lp::WarmStart* caller = warm;
   const auto rows = static_cast<std::int64_t>(p.rows.size());
   const auto n_total =
       rows + p.num_vars + static_cast<std::int64_t>(jobs.size());
-  if (warm == nullptr && lp::will_use_revised(engine, rows, n_total)) {
+  const bool crashed = (warm == nullptr || warm->basis.empty()) &&
+                       lp::will_use_revised(engine, rows, n_total);
+  if (crashed) {
     std::vector<double> load(inst.num_machines(), 0.0);
     std::vector<int> chosen(jobs.size(), -1);   // var index per job
     std::vector<int> machine(jobs.size(), -1);  // its machine
@@ -123,6 +130,13 @@ Lp1Fractional solve_with_simplex(const core::Instance& inst,
   const lp::Solution sol = lp::solve_simplex(p, sopt);
   SUU_CHECK_MSG(sol.status == lp::Status::Optimal,
                 "LP1 solve failed: " << lp::to_string(sol.status));
+  if (crashed && caller != nullptr) {
+    // The solve ran through the crash handle, not the caller's: hand the
+    // final basis back and book the solve as a miss — the caller's empty
+    // handle carried no seed, exactly a cold solve's accounting.
+    caller->basis = std::move(crash.basis);
+    ++caller->misses;
+  }
 
   Lp1Fractional frac;
   frac.t = sol.x[t_var];

@@ -89,9 +89,9 @@ class ScopedPhase {
 // cannot grow unbounded label cardinality with made-up method names.
 const char* method_label(const std::string& method) {
   static constexpr const char* kKnown[] = {
-      "list_solvers", "open_instance", "close_instance", "solve",
-      "estimate",     "stats",         "metrics",        "trace",
-      "shutdown"};
+      "list_solvers", "open_instance", "update_instance", "close_instance",
+      "solve",        "estimate",      "stats",           "metrics",
+      "trace",        "shutdown"};
   for (const char* m : kKnown) {
     if (method == m) return m;
   }
@@ -418,6 +418,8 @@ void Engine::dispatch(const Request& req, bool* ok, const Reply& emit,
       result = handle_list_solvers();
     } else if (req.method == "open_instance") {
       result = handle_open_instance(req.params, client);
+    } else if (req.method == "update_instance") {
+      result = handle_update_instance(req.params);
     } else if (req.method == "close_instance") {
       result = handle_close_instance(req.params);
     } else if (req.method == "solve") {
@@ -520,6 +522,78 @@ std::string Engine::handle_open_instance(const Json& params,
   return out;
 }
 
+std::string Engine::handle_update_instance(const Json& params) {
+  const UpdateInstanceParams p = parse_update_instance_params(params);
+
+  // Snapshot the handle's current instance under the lock, apply the delta
+  // outside it (validation + the Dag rebuild may be arbitrarily large),
+  // then re-check and install. The pointer-equality re-check makes
+  // concurrent updates on one handle safe: whichever racer re-locks second
+  // sees a different base pointer and reports busy_handle instead of
+  // silently clobbering the winner's instance.
+  std::shared_ptr<const core::Instance> base;
+  {
+    std::lock_guard<std::mutex> lock(sess_mu_);
+    const auto it = sessions_.find(p.handle);
+    if (it == sessions_.end()) {
+      throw ProtocolError(error_code::kUnknownHandle,
+                          "unknown, closed, or expired instance handle " +
+                              std::to_string(p.handle));
+    }
+    if (it->second.streams > 0) {
+      throw ProtocolError(error_code::kBusyHandle,
+                          "handle " + std::to_string(p.handle) +
+                              " has a streamed estimate in flight; retry "
+                              "when the stream completes");
+    }
+    session_lru_.splice(session_lru_.end(), session_lru_, it->second.lru_it);
+    base = it->second.instance;
+  }
+
+  std::shared_ptr<const core::Instance> next;
+  try {
+    next = std::make_shared<const core::Instance>(
+        core::apply_delta(*base, p.delta, cfg_.read_limits));
+  } catch (const core::DeltaError& err) {
+    throw ProtocolError(error_code::kBadDelta, err.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sess_mu_);
+    const auto it = sessions_.find(p.handle);
+    if (it == sessions_.end()) {
+      throw ProtocolError(error_code::kUnknownHandle,
+                          "instance handle " + std::to_string(p.handle) +
+                              " was closed or expired while the update was "
+                              "applying");
+    }
+    if (it->second.streams > 0 || it->second.instance != base) {
+      throw ProtocolError(error_code::kBusyHandle,
+                          "a concurrent request raced this update on handle " +
+                              std::to_string(p.handle) + "; retry");
+    }
+    it->second.instance = next;
+    it->second.parent_fp = base->fingerprint();
+    session_lru_.splice(session_lru_.end(), session_lru_, it->second.lru_it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deltas_applied;
+  }
+  // The parent's pins stay: keeping the parent entry resident is exactly
+  // what lets the re-prepare warm-start from its recorded basis.
+
+  std::string out = "{\"handle\":" + std::to_string(p.handle);
+  out += ",\"fingerprint\":";
+  json_append_quoted(out, fingerprint_hex(next->fingerprint()));
+  out += ",\"parent\":";
+  json_append_quoted(out, fingerprint_hex(base->fingerprint()));
+  out += ",\"n\":" + std::to_string(next->num_jobs());
+  out += ",\"m\":" + std::to_string(next->num_machines());
+  out += '}';
+  return out;
+}
+
 std::string Engine::handle_close_instance(const Json& params) {
   const CloseInstanceParams p = parse_close_instance_params(params);
   std::vector<std::uint64_t> pinned;
@@ -604,6 +678,26 @@ std::shared_ptr<const Engine::Prepared> Engine::prepare(
       api::SolverRegistry::prepare_key(*inst, resolved, opt);
   if (session_handle != 0) pin_key_for_session(session_handle, key);
 
+  // Delta warm-start hint: when the session's instance was derived from a
+  // parent by update_instance, point the registry at the parent's cache
+  // entry (same resolved solver + options, parent fingerprint) so a miss
+  // here seeds its LP solves from the parent's recorded basis.
+  api::PrepareHint hint;
+  api::PrepareHint* hintp = nullptr;
+  if (session_handle != 0) {
+    std::uint64_t parent_fp = 0;
+    {
+      std::lock_guard<std::mutex> lock(sess_mu_);
+      const auto it = sessions_.find(session_handle);
+      if (it != sessions_.end()) parent_fp = it->second.parent_fp;
+    }
+    if (parent_fp != 0) {
+      hint.parent_key =
+          api::SolverRegistry::prepare_key(parent_fp, resolved, opt);
+      hintp = &hint;
+    }
+  }
+
   std::shared_future<std::shared_ptr<const Prepared>> fut;
   std::promise<std::shared_ptr<const Prepared>> prom;
   bool leader = false;
@@ -627,7 +721,24 @@ std::shared_ptr<const Engine::Prepared> Engine::prepare(
   try {
     auto prep = std::make_shared<Prepared>();
     prep->instance = std::move(inst);
-    prep->solver = reg.prepare(*prep->instance, resolved, opt);
+    const std::uint64_t t0 =
+        hintp != nullptr && obs::enabled() ? obs::now_us() : 0;
+    prep->solver = reg.prepare(*prep->instance, resolved, opt, hintp);
+    if (hintp != nullptr && !hint.cache_hit) {
+      // A re-prepare of an updated handle actually ran: record how long a
+      // delta re-solve takes (warm or not — the histogram's point is the
+      // warm/cold contrast against suu_phase_us{phase="prepare"}) and
+      // whether the parent's basis was accepted somewhere.
+      if (t0 != 0) {
+        obs::Registry::global()
+            .histogram("suu_delta_prepare_us")
+            .observe(obs::now_us() - t0);
+      }
+      if (hint.warm_used) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.delta_warm_hits;
+      }
+    }
     prom.set_value(prep);
     std::lock_guard<std::mutex> lock(sf_mu_);
     inflight_prepares_.erase(key);
@@ -741,6 +852,45 @@ void Engine::handle_estimate(const Json& id, const Json& params, bool* ok,
                              const Reply& emit, const CancelToken& cancel) {
   const EstimateParams p =
       parse_estimate_params(params, cfg_.max_replications);
+  // A streamed estimate through a handle marks the session busy for its
+  // whole run: update_instance must not swap the instance between the
+  // shard envelopes of one reply sequence (it answers busy_handle while
+  // the mark is held). Plain and single-shard estimates snapshot the
+  // instance up front — an update landing mid-run cannot affect their one
+  // response — so they take no mark.
+  const bool guarded = p.stream && p.solve.has_handle;
+  if (guarded) begin_stream(p.solve.handle);
+  try {
+    run_estimate(id, p, ok, emit, cancel);
+  } catch (...) {
+    if (guarded) end_stream(p.solve.handle);
+    throw;
+  }
+  if (guarded) end_stream(p.solve.handle);
+}
+
+void Engine::begin_stream(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(sess_mu_);
+  const auto it = sessions_.find(handle);
+  if (it == sessions_.end()) {
+    throw ProtocolError(error_code::kUnknownHandle,
+                        "unknown, closed, or expired instance handle " +
+                            std::to_string(handle));
+  }
+  ++it->second.streams;
+}
+
+void Engine::end_stream(std::uint64_t handle) noexcept {
+  std::lock_guard<std::mutex> lock(sess_mu_);
+  const auto it = sessions_.find(handle);
+  // The handle may have been closed or LRU-expired mid-stream; the
+  // stream's instance shared_ptr kept the run alive, and there is nothing
+  // left to unmark.
+  if (it != sessions_.end() && it->second.streams > 0) --it->second.streams;
+}
+
+void Engine::run_estimate(const Json& id, const EstimateParams& p, bool* ok,
+                          const Reply& emit, const CancelToken& cancel) {
   auto inst = resolve_instance(p.solve);
   const auto prep = prepare(std::move(inst), p.solve.solver, p.solve.options,
                             p.solve.has_handle ? p.solve.handle : 0);
@@ -853,6 +1003,8 @@ std::string Engine::handle_stats() const {
   // land in a predictable place and two stats snapshots diff cleanly.
   const std::pair<const char*, std::uint64_t> engine_fields[] = {
       {"coalesced", s.coalesced},
+      {"delta_warm_hits", s.delta_warm_hits},
+      {"deltas_applied", s.deltas_applied},
       {"estimates", s.estimates},
       {"failed", s.failed},
       {"inflight", s.inflight},
@@ -914,6 +1066,8 @@ std::string Engine::metrics_text() const {
       {"suu_engine_sessions_closed_total", s.sessions_closed},
       {"suu_engine_sessions_expired_total", s.sessions_expired},
       {"suu_engine_sessions_dropped_total", s.sessions_dropped},
+      {"suu_engine_deltas_applied_total", s.deltas_applied},
+      {"suu_engine_delta_warm_hits_total", s.delta_warm_hits},
   };
   for (const auto& [name, value] : counters) reg.counter(name).set(value);
   reg.gauge("suu_engine_open_handles")

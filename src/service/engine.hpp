@@ -162,6 +162,23 @@ class Engine {
     /// queue exceeded Config::max_outbound_bytes (slow or vanished
     /// readers); reported via record_slow_reader_drop().
     std::uint64_t slow_reader_drops = 0;
+    /// update_instance requests that installed a new instance on a live
+    /// handle (rejected deltas — bad_delta, busy_handle, unknown_handle —
+    /// are not counted).
+    std::uint64_t deltas_applied = 0;
+    /// Re-prepares after an update_instance whose LP solves were warm-
+    /// started from the parent instance's recorded basis AND kept: every
+    /// seeded solve certified its optimum unique (lp::WarmStart::certify),
+    /// so the seeded result stands in for the cold trajectory's bytes.
+    /// Seeded attempts that diverged and fell back cold do not count, and
+    /// a parent whose own trajectory failed the certificate is never
+    /// seeded from in the first place (the registry's parent gate — LP1
+    /// optima are structurally degenerate at paper scale, so expect hits
+    /// mainly on small instances; the larger delta win is skipping the
+    /// parse/validate/fingerprint of a full instance payload). A subset
+    /// of cache-miss prepares on updated handles; cache hits (the child
+    /// was prepared before) don't count — nothing ran.
+    std::uint64_t delta_warm_hits = 0;
     /// open_instance requests that returned a handle.
     std::uint64_t sessions_opened = 0;
     /// close_instance requests that closed a live handle.
@@ -272,6 +289,14 @@ class Engine {
     std::vector<std::uint64_t> pinned_keys;
     std::list<std::uint64_t>::iterator lru_it;  // position in session_lru_
     std::uint64_t owner = 0;  // begin_client scope; 0 = unowned
+    /// Fingerprint of the instance this one was derived from by the last
+    /// update_instance (0 = opened fresh, no parent). Read by prepare() to
+    /// seed a warm-start hint from the parent's cache entry.
+    std::uint64_t parent_fp = 0;
+    /// Streamed estimates currently running against this handle.
+    /// update_instance refuses (busy_handle) while positive — swapping the
+    /// instance mid-stream would mix two instances in one reply sequence.
+    int streams = 0;
   };
 
   /// `queued_at_us` is the obs::now_us() timestamp at admission (submit),
@@ -283,13 +308,28 @@ class Engine {
                 std::uint64_t client, const CancelToken& cancel);
   std::string handle_list_solvers() const;
   std::string handle_open_instance(const Json& params, std::uint64_t client);
+  /// Apply a sparse delta to an open handle: validate against the current
+  /// instance, re-fingerprint, and install the mutated instance on the
+  /// handle (recording the parent fingerprint for warm-started
+  /// re-prepares). Typed errors: unknown_handle, bad_delta, busy_handle.
+  std::string handle_update_instance(const Json& params);
   std::string handle_close_instance(const Json& params);
   std::string handle_solve(const Json& params);
   /// Emits every response line itself (shard envelopes with last == false,
   /// then the terminal line) and reports success through *ok. `cancel`
   /// (may be null) is checked between shards of a streamed estimate.
+  /// Parses, then guards the session handle of a streamed run against
+  /// concurrent update_instance (begin_stream/end_stream) around
+  /// run_estimate, which does the work.
   void handle_estimate(const Json& id, const Json& params, bool* ok,
                        const Reply& emit, const CancelToken& cancel);
+  void run_estimate(const Json& id, const EstimateParams& p, bool* ok,
+                    const Reply& emit, const CancelToken& cancel);
+  /// Mark a streamed estimate in flight on `handle` (throws unknown_handle
+  /// when the handle is gone) / release that mark (no-op when the handle
+  /// was closed or expired mid-stream).
+  void begin_stream(std::uint64_t handle);
+  void end_stream(std::uint64_t handle) noexcept;
   std::string handle_stats() const;
   std::string handle_metrics() const;
   std::string handle_trace(const Json& params) const;

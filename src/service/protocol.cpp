@@ -121,12 +121,13 @@ ErrorClass classify_error(std::string_view code) {
   if (code == error_code::kParseError || code == error_code::kBadRequest ||
       code == error_code::kUnknownMethod || code == error_code::kBadParams ||
       code == error_code::kBadInstance || code == error_code::kUnknownSolver ||
-      code == error_code::kCapped) {
+      code == error_code::kBadDelta || code == error_code::kCapped) {
     return ErrorClass::Fatal;
   }
   if (code == error_code::kUnknownHandle) return ErrorClass::Reopen;
-  // overloaded, shutting_down, internal — and any code this build does not
-  // know about — may clear up on retry or on another backend.
+  // overloaded, shutting_down, internal, busy_handle — and any code this
+  // build does not know about — may clear up on retry or on another backend
+  // (busy_handle: the in-flight stream drains and the handle frees up).
   return ErrorClass::Retryable;
 }
 
@@ -297,6 +298,92 @@ CloseInstanceParams parse_close_instance_params(const Json& params) {
   CloseInstanceParams p;
   p.handle = static_cast<std::uint64_t>(get_int_in(
       o, "handle", 0, 1, std::numeric_limits<std::int64_t>::max()));
+  return p;
+}
+
+namespace {
+
+[[noreturn]] void bad_delta(const std::string& message) {
+  throw ProtocolError(error_code::kBadDelta, message);
+}
+
+/// Decode a q-object key: a decimal flat cell index (job * m + machine).
+/// Strict — no sign, no leading zeros (other than "0" itself), digits only —
+/// so every cell has exactly one wire spelling and duplicate-cell edits
+/// cannot hide behind alternate spellings ("01" vs "1"; the JSON object
+/// would deduplicate equal spellings already).
+std::int64_t parse_cell_key(const std::string& key) {
+  if (key.empty() || (key.size() > 1 && key[0] == '0')) {
+    bad_params("q key '" + key + "' is not a canonical decimal cell index");
+  }
+  std::int64_t cell = 0;
+  for (const char c : key) {
+    if (c < '0' || c > '9') {
+      bad_params("q key '" + key + "' is not a canonical decimal cell index");
+    }
+    if (cell > (std::numeric_limits<std::int64_t>::max() - (c - '0')) / 10) {
+      bad_params("q key '" + key + "' overflows");
+    }
+    cell = cell * 10 + (c - '0');
+  }
+  return cell;
+}
+
+std::vector<std::pair<int, int>> parse_edge_list(const Json& value,
+                                                 const char* key) {
+  const Json::Array& arr = value.as_array(key);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(arr.size());
+  for (const Json& e : arr) {
+    const Json::Array& pair = e.as_array(key);
+    if (pair.size() != 2) {
+      bad_params(std::string(key) + " entries must be [u, v] pairs");
+    }
+    const std::int64_t u = pair[0].as_int64(key);
+    const std::int64_t v = pair[1].as_int64(key);
+    const std::int64_t lim = std::numeric_limits<int>::max();
+    if (u < 0 || u > lim || v < 0 || v > lim) {
+      bad_params(std::string(key) + " vertex outside [0, 2^31)");
+    }
+    edges.emplace_back(static_cast<int>(u), static_cast<int>(v));
+  }
+  return edges;
+}
+
+}  // namespace
+
+UpdateInstanceParams parse_update_instance_params(const Json& params) {
+  if (!params.is_object()) {
+    bad_params("update_instance needs a params object with a 'handle' and a "
+               "delta (q/add_edges/del_edges)");
+  }
+  const Json::Object& o = params.as_object("params");
+  check_known_keys(o, {"handle", "q", "add_edges", "del_edges"}, "params");
+  if (o.find("handle") == o.end()) bad_params("missing 'handle'");
+  UpdateInstanceParams p;
+  p.handle = static_cast<std::uint64_t>(get_int_in(
+      o, "handle", 0, 1, std::numeric_limits<std::int64_t>::max()));
+  if (const auto it = o.find("q"); it != o.end()) {
+    const Json::Object& q = it->second.as_object("q");
+    for (const auto& [key, value] : q) {
+      const std::int64_t cell = parse_cell_key(key);
+      const double v = value.as_double("q value");
+      if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
+        bad_delta("q cell " + key + " value outside [0, 1]");
+      }
+      p.delta.q.emplace_back(cell, v);
+    }
+  }
+  if (const auto it = o.find("add_edges"); it != o.end()) {
+    p.delta.add_edges = parse_edge_list(it->second, "add_edges");
+  }
+  if (const auto it = o.find("del_edges"); it != o.end()) {
+    p.delta.del_edges = parse_edge_list(it->second, "del_edges");
+  }
+  if (p.delta.empty()) {
+    bad_delta("empty delta: at least one of q/add_edges/del_edges must make "
+              "an edit");
+  }
   return p;
 }
 

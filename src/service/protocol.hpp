@@ -10,8 +10,9 @@
 //   failure:  {"id": <scalar>, "ok": false, "error": {"code": "...",
 //                                                     "message": "..."}}
 //
-// Methods: list_solvers, open_instance, close_instance, solve, estimate,
-// stats, metrics, trace, shutdown. A streamed estimate ({"stream": true})
+// Methods: list_solvers, open_instance, update_instance, close_instance,
+// solve, estimate, stats, metrics, trace, shutdown. A streamed estimate
+// ({"stream": true})
 // answers with several lines for one id: per-shard envelopes carrying
 // ordered "seq" fields, then one terminal envelope with "done": true (see
 // make_shard_response / make_done_response below and docs/wire-protocol.md).
@@ -34,6 +35,7 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "core/delta.hpp"
 #include "service/json.hpp"
 #include "sim/engine.hpp"
 #include "util/stats.hpp"
@@ -50,6 +52,14 @@ inline constexpr const char* kBadParams = "bad_params";
 inline constexpr const char* kBadInstance = "bad_instance";
 inline constexpr const char* kUnknownSolver = "unknown_solver";
 inline constexpr const char* kUnknownHandle = "unknown_handle";
+/// update_instance: the delta is malformed or would produce an invalid
+/// instance (cycle, duplicate edge, q outside [0,1], ...). Fatal — the
+/// same delta fails identically everywhere.
+inline constexpr const char* kBadDelta = "bad_delta";
+/// update_instance: the handle has a streamed estimate in flight; mutating
+/// it mid-stream would mix two instances in one reply sequence. Retryable —
+/// the stream drains and the same update then succeeds.
+inline constexpr const char* kBusyHandle = "busy_handle";
 inline constexpr const char* kCapped = "capped";
 /// Server-internal: a streamed estimate stopped because its peer dropped
 /// mid-stream (the transport set the request's CancelToken). The line
@@ -167,6 +177,20 @@ struct CloseInstanceParams {
   std::uint64_t handle = 0;
 };
 
+/// update_instance parameters: a sparse delta against the instance an open
+/// handle currently holds. Wire grammar (docs/wire-protocol.md):
+///   {"handle": N,
+///    "q": {"<cell>": v, ...},        // cell = job * m + machine, v in [0,1]
+///    "add_edges": [[u, v], ...],     // applied after del_edges
+///    "del_edges": [[u, v], ...]}
+/// At least one of q/add_edges/del_edges must be present and non-empty —
+/// an empty update is almost certainly a client bug, so it is rejected
+/// rather than silently re-fingerprinting to the same instance.
+struct UpdateInstanceParams {
+  std::uint64_t handle = 0;
+  core::InstanceDelta delta;
+};
+
 /// Decode params for solve/estimate. Unknown keys and type mismatches
 /// throw ProtocolError(kBadParams). `max_replications` bounds the work one
 /// request may demand. A plain solve rejects the estimate-only keys unless
@@ -176,6 +200,14 @@ SolveParams parse_solve_params(const Json& params,
 EstimateParams parse_estimate_params(const Json& params, int max_replications);
 OpenInstanceParams parse_open_instance_params(const Json& params);
 CloseInstanceParams parse_close_instance_params(const Json& params);
+/// Decode update_instance params. Structural violations (wrong types,
+/// unknown keys, q keys that are not decimal cell indices, edge pairs that
+/// are not 2-int arrays) throw kBadParams; delta-content violations the
+/// parser can already see (non-finite / out-of-[0,1] q values, an entirely
+/// empty delta) throw kBadDelta. Semantic violations against the base
+/// instance (unknown edges, cycles, out-of-range cells) surface later,
+/// from core::apply_delta.
+UpdateInstanceParams parse_update_instance_params(const Json& params);
 
 /// The deterministic contiguous shard partition: shard s of K over R
 /// replications covers [floor(s*R/K), floor((s+1)*R/K)). Requires

@@ -1,0 +1,83 @@
+// libFuzzer target for the update_instance delta pipeline: wire params ->
+// parse_update_instance_params -> core::apply_delta against a fixed base
+// instance (see fuzz_io.cpp for the two build modes and
+// tests/corpus/delta for the seeds).
+//
+// Contract: hostile bytes raise exactly the typed rejections the service
+// maps to error codes — service::JsonError (parse_error),
+// service::ProtocolError (bad_params / bad_delta) or core::DeltaError
+// (bad_delta) — and nothing else. Any ACCEPTED delta must be
+// deterministic (applying it twice produces the same fingerprint) and
+// canonical (the mutated instance round-trips through write_instance /
+// read_instance onto the same bytes), because the engine re-fingerprints
+// and re-serializes the mutated instance for handle re-opens.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/delta.hpp"
+#include "core/generators.hpp"
+#include "core/instance.hpp"
+#include "core/io.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// 4 jobs on 3 machines, two chains (edges 0->1 and 2->3), canonicalized the
+// same way the engine canonicalizes (apply_delta with an empty delta), so
+// valid corpus seeds can name real cells and edges.
+const suu::core::Instance& base_instance() {
+  static const suu::core::Instance inst = [] {
+    suu::util::Rng gen(7);
+    return suu::core::apply_delta(
+        suu::core::make_chains(2, 2, 2, 3,
+                               suu::core::MachineModel::uniform(0.3, 0.9),
+                               gen),
+        suu::core::InstanceDelta{});
+  }();
+  return inst;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  suu::core::InstanceDelta delta;
+  try {
+    const suu::service::Json params = suu::service::Json::parse(text);
+    delta = suu::service::parse_update_instance_params(params).delta;
+  } catch (const suu::service::JsonError&) {
+    return 0;  // parse_error
+  } catch (const suu::service::ProtocolError&) {
+    return 0;  // bad_params / bad_delta
+  }
+  suu::core::Instance mutated = base_instance();
+  try {
+    mutated = suu::core::apply_delta(base_instance(), delta);
+  } catch (const suu::core::DeltaError&) {
+    return 0;  // bad_delta (semantic: cells, edges, cycles, limits)
+  }
+  // Accepted: the mutation must be deterministic...
+  const suu::core::Instance again =
+      suu::core::apply_delta(base_instance(), delta);
+  if (again.fingerprint() != mutated.fingerprint()) {
+    __builtin_trap();  // same delta, different instance
+  }
+  // ...and canonical: serialize -> parse -> serialize is a fixed point
+  // (read_instance throwing on bytes write_instance produced is a finding).
+  std::ostringstream first;
+  suu::core::write_instance(first, mutated);
+  std::istringstream back(first.str());
+  const suu::core::Instance reread = suu::core::read_instance(back);
+  std::ostringstream second;
+  suu::core::write_instance(second, reread);
+  if (second.str() != first.str() ||
+      reread.fingerprint() != mutated.fingerprint()) {
+    __builtin_trap();  // canonical form is not a fixed point
+  }
+  return 0;
+}
